@@ -1,0 +1,12 @@
+"""Regenerates E1: learned knob tuning vs. baselines (CDBTune/QTune/BO/grid/random).
+
+See DESIGN.md section 5 (experiment E1) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e01_knob_tuning(benchmark):
+    """Regenerates E1: learned knob tuning vs. baselines (CDBTune/QTune/BO/grid/random)."""
+    tables = run_experiment_benchmark(benchmark, "E1")
+    assert tables

@@ -1,0 +1,12 @@
+"""Regenerates E2: index advisors (greedy what-if vs. RL vs. classifier).
+
+See DESIGN.md section 5 (experiment E2) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e02_index_advisor(benchmark):
+    """Regenerates E2: index advisors (greedy what-if vs. RL vs. classifier)."""
+    tables = run_experiment_benchmark(benchmark, "E2")
+    assert tables

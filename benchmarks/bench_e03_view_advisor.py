@@ -1,0 +1,12 @@
+"""Regenerates E3: materialized-view advisors under a space budget.
+
+See DESIGN.md section 5 (experiment E3) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e03_view_advisor(benchmark):
+    """Regenerates E3: materialized-view advisors under a space budget."""
+    tables = run_experiment_benchmark(benchmark, "E3")
+    assert tables

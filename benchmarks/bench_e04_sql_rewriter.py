@@ -1,0 +1,12 @@
+"""Regenerates E4: learned rule-ordering rewrites vs. fixed order.
+
+See DESIGN.md section 5 (experiment E4) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e04_sql_rewriter(benchmark):
+    """Regenerates E4: learned rule-ordering rewrites vs. fixed order."""
+    tables = run_experiment_benchmark(benchmark, "E4")
+    assert tables

@@ -1,0 +1,12 @@
+"""Regenerates E5: RL partition-key advisor vs. heuristic.
+
+See DESIGN.md section 5 (experiment E5) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e05_partitioner(benchmark):
+    """Regenerates E5: RL partition-key advisor vs. heuristic."""
+    tables = run_experiment_benchmark(benchmark, "E5")
+    assert tables

@@ -1,0 +1,12 @@
+"""Regenerates E6: learned cardinality estimation q-errors + correlation ablation.
+
+See DESIGN.md section 5 (experiment E6) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e06_cardinality(benchmark):
+    """Regenerates E6: learned cardinality estimation q-errors + correlation ablation."""
+    tables = run_experiment_benchmark(benchmark, "E6")
+    assert tables

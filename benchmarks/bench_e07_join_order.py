@@ -1,0 +1,12 @@
+"""Regenerates E7: join-order methods, cost vs. optimization time.
+
+See DESIGN.md section 5 (experiment E7) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e07_join_order(benchmark):
+    """Regenerates E7: join-order methods, cost vs. optimization time."""
+    tables = run_experiment_benchmark(benchmark, "E7")
+    assert tables

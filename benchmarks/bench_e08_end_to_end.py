@@ -1,0 +1,12 @@
+"""Regenerates E8: NEO-lite end-to-end optimizer on executed work.
+
+See DESIGN.md section 5 (experiment E8) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e08_end_to_end(benchmark):
+    """Regenerates E8: NEO-lite end-to-end optimizer on executed work."""
+    tables = run_experiment_benchmark(benchmark, "E8")
+    assert tables

@@ -1,0 +1,12 @@
+"""Regenerates E9: learned indexes vs. B+Tree, plus the RMI ablation.
+
+See DESIGN.md section 5 (experiment E9) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e09_learned_index(benchmark):
+    """Regenerates E9: learned indexes vs. B+Tree, plus the RMI ablation."""
+    tables = run_experiment_benchmark(benchmark, "E9")
+    assert tables

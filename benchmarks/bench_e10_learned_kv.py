@@ -1,0 +1,12 @@
+"""Regenerates E10: KV design-continuum search vs. fixed designs.
+
+See DESIGN.md section 5 (experiment E10) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e10_learned_kv(benchmark):
+    """Regenerates E10: KV design-continuum search vs. fixed designs."""
+    tables = run_experiment_benchmark(benchmark, "E10")
+    assert tables

@@ -1,0 +1,12 @@
+"""Regenerates E11: learned transaction scheduling vs. FIFO/cost-ordered.
+
+See DESIGN.md section 5 (experiment E11) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e11_txn_scheduling(benchmark):
+    """Regenerates E11: learned transaction scheduling vs. FIFO/cost-ordered."""
+    tables = run_experiment_benchmark(benchmark, "E11")
+    assert tables

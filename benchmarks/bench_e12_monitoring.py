@@ -1,0 +1,12 @@
+"""Regenerates E12: forecasting, perf prediction, root cause, bandit auditing.
+
+See DESIGN.md section 5 (experiment E12) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e12_monitoring(benchmark):
+    """Regenerates E12: forecasting, perf prediction, root cause, bandit auditing."""
+    tables = run_experiment_benchmark(benchmark, "E12")
+    assert tables

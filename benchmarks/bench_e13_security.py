@@ -1,0 +1,12 @@
+"""Regenerates E13: injection detection, sensitive discovery, access control.
+
+See DESIGN.md section 5 (experiment E13) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e13_security(benchmark):
+    """Regenerates E13: injection detection, sensitive discovery, access control."""
+    tables = run_experiment_benchmark(benchmark, "E13")
+    assert tables

@@ -1,0 +1,12 @@
+"""Regenerates E14: EKG discovery, ActiveClean, truth inference.
+
+See DESIGN.md section 5 (experiment E14) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e14_governance(benchmark):
+    """Regenerates E14: EKG discovery, ActiveClean, truth inference."""
+    tables = run_experiment_benchmark(benchmark, "E14")
+    assert tables

@@ -1,0 +1,12 @@
+"""Regenerates E15: materialization, parallel search, halving, offload.
+
+See DESIGN.md section 5 (experiment E15) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e15_training(benchmark):
+    """Regenerates E15: materialization, parallel search, halving, offload."""
+    tables = run_experiment_benchmark(benchmark, "E15")
+    assert tables

@@ -1,0 +1,12 @@
+"""Regenerates E16: operators, hybrid pushdown, cascade ablation.
+
+See DESIGN.md section 5 (experiment E16) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e16_inference(benchmark):
+    """Regenerates E16: operators, hybrid pushdown, cascade ablation."""
+    tables = run_experiment_benchmark(benchmark, "E16")
+    assert tables

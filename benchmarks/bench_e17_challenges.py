@@ -1,0 +1,13 @@
+"""Regenerates E17: the paper's §2.3 challenges made concrete — model
+validation gate, convergence guard, drift detection, fault-tolerant training.
+
+See DESIGN.md section 5 (experiment E17) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_e17_challenges(benchmark):
+    """Regenerates E17: validation, convergence, drift, fault tolerance."""
+    tables = run_experiment_benchmark(benchmark, "E17")
+    assert tables

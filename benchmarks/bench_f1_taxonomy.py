@@ -1,0 +1,12 @@
+"""Regenerates the Figure-1 taxonomy coverage table.
+
+See DESIGN.md section 5 (experiment F1) for the expected shape.
+"""
+
+from conftest import run_experiment_benchmark
+
+
+def test_f1_taxonomy(benchmark):
+    """Regenerates the Figure-1 taxonomy coverage table."""
+    tables = run_experiment_benchmark(benchmark, "F1")
+    assert tables

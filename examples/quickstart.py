@@ -1,0 +1,57 @@
+"""Quickstart: the database engine + AISQL in five minutes.
+
+Creates tables with SQL, queries them through the cost-based optimizer,
+inspects a plan, then trains and applies a model *inside* the database
+with AISQL — the tutorial's declarative DB4AI entry point.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.db4ai.declarative import AISQLExtension
+from repro.engine import Database
+
+
+def main():
+    db = Database()
+
+    # --- plain SQL -------------------------------------------------------
+    db.execute("CREATE TABLE users (id INT, name TEXT, age INT, spend FLOAT)")
+    rng = np.random.default_rng(7)
+    values = []
+    for i in range(2000):
+        age = int(rng.integers(18, 80))
+        spend = round(3.0 * age + rng.normal(0, 25) + 40, 2)
+        values.append("(%d, 'user_%d', %d, %s)" % (i, i, age, spend))
+    db.execute("INSERT INTO users VALUES " + ", ".join(values))
+    db.execute("ANALYZE users")
+
+    print("Row count:", db.query("SELECT COUNT(*) FROM users")[0][0])
+    print("Avg spend of 30-40 year olds:",
+          round(db.query(
+              "SELECT AVG(spend) FROM users WHERE age >= 30 AND age <= 40"
+          )[0][0], 2))
+
+    # --- indexes change plans --------------------------------------------
+    print("\nPlan without an index:")
+    print(db.explain("SELECT COUNT(*) FROM users WHERE age < 25"))
+    db.execute("CREATE INDEX idx_age ON users (age)")
+    print("\nPlan with an index on age:")
+    print(db.explain("SELECT COUNT(*) FROM users WHERE age < 25"))
+
+    # --- AISQL: train and predict inside the database ---------------------
+    AISQLExtension().install(db)
+    print("\n" + db.execute(
+        "CREATE MODEL spend_model KIND regressor ON users TARGET spend "
+        "FEATURES (age) WITH (epochs = 80, hidden = 16)"
+    ))
+    print("Holdout fit:", db.execute("EVALUATE spend_model ON users"))
+    result = db.execute("PREDICT spend_model ON users WHERE age > 70 LIMIT 3")
+    print("Sample predictions (age -> predicted spend):")
+    for row in result.rows:
+        print("   age %d -> %.1f" % (int(row[0]), row[-1]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""AI-for-DB: learned database components (paper §2.1).
+
+Subpackages mirror the tutorial's five AI4DB categories:
+
+* :mod:`repro.ai4db.config` — learned database configuration (knob tuning,
+  index/view advisors, SQL rewriting, partitioning).
+* :mod:`repro.ai4db.optimization` — learned database optimization
+  (cardinality/cost estimation, join ordering, end-to-end optimizer).
+* :mod:`repro.ai4db.design` — learned database design (learned indexes,
+  KV-store design continuum, transaction management).
+* :mod:`repro.ai4db.monitoring` — learned database monitoring (forecasting,
+  performance prediction, root-cause diagnosis, activity monitoring).
+* :mod:`repro.ai4db.security` — learned database security (sensitive-data
+  discovery, access control, SQL-injection detection).
+"""

@@ -1,0 +1,288 @@
+"""Learned index advisors vs. the classical greedy what-if advisor.
+
+The advisor problem: given a workload and a budget of ``k`` single-column
+indexes, pick the set minimizing total workload cost. All advisors use the
+engine's *what-if* machinery — hypothetical indexes costed by the planner
+without being built — exactly how AutoAdmin-style tools and the learned
+advisors the tutorial cites ([30], [50], [65]) interact with the engine.
+
+* :class:`GreedyIndexAdvisor` — classic iterative what-if greedy.
+* :class:`RLIndexAdvisor` — Q-learning over (chosen-set, add-index) MDP
+  (Sadri et al. [65]).
+* :class:`ClassifierIndexAdvisor` — learns "is this index beneficial?"
+  from labeled what-if evaluations on training workloads (ML-enhanced
+  advisor, Ma et al. [50]), then ranks candidates without what-if calls at
+  recommendation time.
+"""
+
+import numpy as np
+
+from repro.common import ensure_rng
+from repro.engine.optimizer.planner import Planner
+from repro.ml import QLearningAgent, RandomForestClassifier
+
+
+class IndexCandidate:
+    """One candidate single-column index.
+
+    Attributes:
+        table, column: the indexed column.
+        name: generated index name.
+    """
+
+    def __init__(self, table, column):
+        self.table = table
+        self.column = column
+        self.name = "idx_%s_%s" % (table.lower(), column.lower())
+
+    def key(self):
+        """Hashable identity."""
+        return (self.table.lower(), self.column.lower())
+
+    def __repr__(self):
+        return "IndexCandidate(%s.%s)" % (self.table, self.column)
+
+    def __eq__(self, other):
+        return isinstance(other, IndexCandidate) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+
+def enumerate_index_candidates(workload):
+    """All (table, column) pairs appearing in workload filter predicates."""
+    seen = {}
+    for q in workload:
+        for p in q.predicates:
+            cand = IndexCandidate(p.table, p.column)
+            seen.setdefault(cand.key(), cand)
+    return list(seen.values())
+
+
+def workload_cost(catalog, workload, weights=None, include_hypothetical=True):
+    """Total estimated workload cost under the catalog's current indexes."""
+    planner = Planner(
+        catalog, include_hypothetical=include_hypothetical, use_views=False
+    )
+    weights = weights or [1.0] * len(workload)
+    total = 0.0
+    for q, w in zip(workload, weights):
+        plan = planner.plan(q)
+        total += w * plan.est_cost
+    return total
+
+
+class _WhatIfSession:
+    """Creates/drops hypothetical indexes around an evaluation."""
+
+    def __init__(self, catalog):
+        self.catalog = catalog
+        self._created = []
+
+    def cost_with(self, candidates, workload, weights=None):
+        """Workload cost if exactly ``candidates`` were added as indexes."""
+        created = []
+        try:
+            for cand in candidates:
+                if self.catalog.index_on(cand.table, cand.column) is None:
+                    self.catalog.create_index(
+                        cand.name, cand.table, cand.column, hypothetical=True
+                    )
+                    created.append(cand.name)
+            return workload_cost(self.catalog, workload, weights)
+        finally:
+            for name in created:
+                self.catalog.drop_index(name)
+
+
+class GreedyIndexAdvisor:
+    """Classical iterative what-if greedy (AutoAdmin-style baseline)."""
+
+    name = "greedy"
+
+    def recommend(self, catalog, workload, budget, weights=None):
+        """Pick up to ``budget`` candidates, best marginal gain first.
+
+        Returns:
+            ``(chosen, final_cost)``.
+        """
+        session = _WhatIfSession(catalog)
+        candidates = enumerate_index_candidates(workload)
+        chosen = []
+        current_cost = session.cost_with([], workload, weights)
+        while len(chosen) < budget:
+            best_cand, best_cost = None, current_cost
+            for cand in candidates:
+                if cand in chosen:
+                    continue
+                cost = session.cost_with(chosen + [cand], workload, weights)
+                if cost < best_cost - 1e-9:
+                    best_cand, best_cost = cand, cost
+            if best_cand is None:
+                break
+            chosen.append(best_cand)
+            current_cost = best_cost
+        return chosen, current_cost
+
+
+class RLIndexAdvisor:
+    """Q-learning over index-set construction (Sadri et al. [65]).
+
+    State: frozenset of chosen candidate indices. Action: add one candidate.
+    Episode ends at the budget; reward at each step is the (normalized)
+    cost reduction achieved by the added index. After training, the greedy
+    policy rollout gives the recommendation.
+
+    Args:
+        episodes: training episodes.
+        seed: exploration seed.
+    """
+
+    name = "rl"
+
+    def __init__(self, episodes=150, seed=0):
+        self.episodes = episodes
+        self.seed = seed
+
+    def recommend(self, catalog, workload, budget, weights=None):
+        session = _WhatIfSession(catalog)
+        candidates = enumerate_index_candidates(workload)
+        if not candidates:
+            return [], workload_cost(catalog, workload, weights)
+        base_cost = session.cost_with([], workload, weights)
+        cost_cache = {frozenset(): base_cost}
+
+        def cost_of(chosen_idx):
+            key = frozenset(chosen_idx)
+            if key not in cost_cache:
+                cost_cache[key] = session.cost_with(
+                    [candidates[i] for i in key], workload, weights
+                )
+            return cost_cache[key]
+
+        agent = QLearningAgent(
+            n_actions=len(candidates),
+            alpha=0.3,
+            gamma=1.0,
+            epsilon=0.4,
+            epsilon_decay=0.98,
+            seed=self.seed,
+        )
+        for __ in range(self.episodes):
+            chosen = []
+            for __step in range(min(budget, len(candidates))):
+                state = frozenset(chosen)
+                valid = [i for i in range(len(candidates)) if i not in chosen]
+                action = agent.act(state, valid_actions=valid)
+                prev = cost_of(chosen)
+                chosen = chosen + [action]
+                new = cost_of(chosen)
+                reward = (prev - new) / max(base_cost, 1e-9)
+                done = len(chosen) >= budget
+                next_valid = [i for i in range(len(candidates)) if i not in chosen]
+                agent.update(
+                    state, action, reward, frozenset(chosen), done, next_valid
+                )
+            agent.decay()
+        # Greedy rollout of the learned policy.
+        chosen = []
+        for __ in range(min(budget, len(candidates))):
+            valid = [i for i in range(len(candidates)) if i not in chosen]
+            if not valid:
+                break
+            action = agent.act(frozenset(chosen), valid_actions=valid, greedy=True)
+            chosen.append(action)
+        picked = [candidates[i] for i in chosen]
+        return picked, cost_of(chosen)
+
+
+class ClassifierIndexAdvisor:
+    """Supervised advisor: predict index benefit from features, then rank.
+
+    Features per candidate: column selectivity (1/ndv), table row count
+    (log), how many workload queries filter the column, the mean predicate
+    selectivity on it, and the fraction of equality predicates. Labels come
+    from what-if evaluations on *training* workloads; at recommendation
+    time no what-if calls are needed — the tutorial's point about advisors
+    that amortize tuning cost.
+    """
+
+    name = "classifier"
+
+    def __init__(self, benefit_threshold=0.01, seed=0):
+        self.benefit_threshold = benefit_threshold
+        self.seed = seed
+        self.model = RandomForestClassifier(n_estimators=20, max_depth=6, seed=seed)
+        self._fitted = False
+
+    @staticmethod
+    def _features(catalog, workload, cand):
+        stats = catalog.stats(cand.table)
+        col = stats.column(cand.column) if stats.has_column(cand.column) else None
+        ndv = col.n_distinct if col is not None else 1
+        n_rows = max(1, stats.n_rows)
+        touching = [
+            p
+            for q in workload
+            for p in q.predicates
+            if (p.table.lower(), p.column.lower()) == cand.key()
+        ]
+        n_queries = sum(
+            1
+            for q in workload
+            if any((p.table.lower(), p.column.lower()) == cand.key()
+                   for p in q.predicates)
+        )
+        sels = []
+        eq_frac = 0.0
+        if touching and col is not None:
+            sels = [col.selectivity(p.op, p.value) for p in touching
+                    if isinstance(p.value, (int, float, str))]
+            eq_frac = float(np.mean([p.op == "=" for p in touching]))
+        mean_sel = float(np.mean(sels)) if sels else 1.0
+        return np.array([
+            1.0 / ndv,
+            np.log1p(n_rows),
+            n_queries / max(1, len(workload)),
+            mean_sel,
+            eq_frac,
+        ])
+
+    def fit(self, catalog, training_workloads, weights=None):
+        """Label candidates on training workloads via what-if evaluation."""
+        X, y = [], []
+        session = _WhatIfSession(catalog)
+        for workload in training_workloads:
+            base = session.cost_with([], workload, weights)
+            for cand in enumerate_index_candidates(workload):
+                cost = session.cost_with([cand], workload, weights)
+                benefit = (base - cost) / max(base, 1e-9)
+                X.append(self._features(catalog, workload, cand))
+                y.append(1 if benefit > self.benefit_threshold else 0)
+        self.model.fit(np.stack(X), np.array(y, dtype=float))
+        self._fitted = True
+        return self
+
+    def recommend(self, catalog, workload, budget, weights=None):
+        """Rank candidates by predicted benefit probability; take top-k."""
+        candidates = enumerate_index_candidates(workload)
+        if not candidates:
+            return [], workload_cost(catalog, workload, weights)
+        if not self._fitted:
+            raise RuntimeError("ClassifierIndexAdvisor used before fit")
+        X = np.stack([self._features(catalog, workload, c) for c in candidates])
+        probs = self.model.predict_proba(X)
+        order = np.argsort(-probs)
+        picked = [candidates[i] for i in order[:budget] if probs[i] >= 0.5]
+        session = _WhatIfSession(catalog)
+        return picked, session.cost_with(picked, workload, weights)
+
+
+def realize_indexes(catalog, chosen):
+    """Actually build the chosen indexes (drop-in after recommendation)."""
+    built = []
+    for cand in chosen:
+        if catalog.index_on(cand.table, cand.column, include_hypothetical=False):
+            continue
+        built.append(catalog.create_index(cand.name, cand.table, cand.column))
+    return built

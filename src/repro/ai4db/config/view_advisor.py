@@ -1,0 +1,293 @@
+"""Materialized-view advisors: DRL selection vs. greedy benefit-per-byte.
+
+Candidates are the distinct join templates in the workload (same table set
++ join edges). Materializing one turns every matching query into a view
+scan plus residual filters. The selection problem under a space budget is
+the classic view-selection knapsack; Han et al. [21] attack it with deep
+RL for dynamic workloads, greedy benefit-per-byte is the static baseline.
+"""
+
+import numpy as np
+
+from repro.common import ensure_rng
+from repro.engine.catalog import ViewDef
+from repro.engine.optimizer.planner import Planner
+from repro.engine.query import ConjunctiveQuery
+from repro.engine.storage import Table
+from repro.engine.types import ColumnSchema, TableSchema
+from repro.ml import QLearningAgent
+
+
+class ViewCandidate:
+    """A candidate materialized view (join template).
+
+    Attributes:
+        query: the defining join-only :class:`ConjunctiveQuery` (no filter
+            predicates — the view is usable by any predicate superset).
+        frequency: how many workload queries match the template.
+        name: generated view name.
+    """
+
+    _counter = [0]
+
+    def __init__(self, query, frequency):
+        self.query = query
+        self.frequency = frequency
+        ViewCandidate._counter[0] += 1
+        self.name = "mv_%d" % ViewCandidate._counter[0]
+
+    def key(self):
+        """Hashable identity: table set + edge set."""
+        return (
+            tuple(sorted(t.lower() for t in self.query.tables)),
+            tuple(sorted(e.key() for e in self.query.join_edges)),
+        )
+
+    def __repr__(self):
+        return "ViewCandidate(%s, freq=%d)" % (
+            "+".join(sorted(self.query.tables)), self.frequency
+        )
+
+
+def enumerate_view_candidates(workload, min_frequency=2, min_tables=2):
+    """Join templates appearing at least ``min_frequency`` times."""
+    groups = {}
+    for q in workload:
+        if len(q.tables) < min_tables:
+            continue
+        template = ConjunctiveQuery(tables=q.tables, join_edges=q.join_edges)
+        key = (
+            tuple(sorted(t.lower() for t in template.tables)),
+            tuple(sorted(e.key() for e in template.join_edges)),
+        )
+        groups.setdefault(key, []).append(template)
+    out = []
+    for templates in groups.values():
+        if len(templates) >= min_frequency:
+            out.append(ViewCandidate(templates[0], len(templates)))
+    return out
+
+
+def materialize_view(database, candidate):
+    """Execute the view's defining join and register it in the catalog.
+
+    The materialized table stores *all* columns of the joined tables with
+    ``table__column`` names (see :class:`~repro.engine.catalog.ViewDef`).
+
+    Returns:
+        the registered :class:`ViewDef`.
+    """
+    catalog = database.catalog
+    planner = Planner(catalog, use_views=False, cost_model=database.cost_model)
+    plan = planner.plan(candidate.query)
+    result = database.executor.execute(plan)
+    columns = []
+    for t, c in result.columns:
+        base_col = catalog.table(t).schema.column(c)
+        columns.append(ColumnSchema("%s__%s" % (t, c), base_col.dtype))
+    schema = TableSchema(candidate.name, columns)
+    data = {}
+    for j, col in enumerate(columns):
+        data[col.name] = [row[j] for row in result.rows]
+    table = Table(schema, columns=data)
+    view = ViewDef(candidate.name, candidate.query, table)
+    catalog.register_view(view)
+    return view
+
+
+def _estimated_view_rows(catalog, candidate):
+    """Estimate a candidate's materialized size without building it."""
+    from repro.engine.optimizer.cardinality import TraditionalEstimator
+
+    est = TraditionalEstimator(catalog)
+    return max(1.0, est.estimate_subset(candidate.query, candidate.query.tables))
+
+
+def _estimated_view_bytes(catalog, candidate):
+    row_bytes = sum(
+        catalog.table(t).row_bytes() for t in candidate.query.tables
+    )
+    return _estimated_view_rows(catalog, candidate) * row_bytes
+
+
+def workload_cost_with_views(database, workload, views):
+    """Estimated workload cost given a set of *registered* view names.
+
+    Uses the planner's view matching; other registered views are ignored by
+    temporarily filtering.
+    """
+    catalog = database.catalog
+    keep = {v.lower() for v in views}
+    all_views = catalog.views()
+    removed = []
+    for v in all_views:
+        if v.name.lower() not in keep:
+            catalog.drop_view(v.name)
+            removed.append(v)
+    try:
+        planner = Planner(catalog, use_views=True, cost_model=database.cost_model)
+        total = 0.0
+        for q in workload:
+            total += planner.plan(q).est_cost
+        return total
+    finally:
+        for v in removed:
+            catalog.register_view(v)
+
+
+class GreedyViewAdvisor:
+    """Greedy benefit-per-byte selection under a space budget (baseline)."""
+
+    name = "greedy"
+
+    def recommend(self, database, workload, space_budget_bytes,
+                  candidates=None):
+        """Pick candidates maximizing marginal benefit per byte.
+
+        Candidates are materialized lazily as chosen (real systems estimate
+        first, build after; we build to measure honestly).
+
+        Returns:
+            ``(chosen_candidates, final_cost)``.
+        """
+        catalog = database.catalog
+        if candidates is None:
+            candidates = enumerate_view_candidates(workload)
+        chosen = []
+        chosen_names = []
+        used_bytes = 0
+        current = workload_cost_with_views(database, workload, chosen_names)
+        remaining = list(candidates)
+        while remaining:
+            scored = []
+            for cand in remaining:
+                est_bytes = _estimated_view_bytes(catalog, cand)
+                if used_bytes + est_bytes > space_budget_bytes:
+                    continue
+                already = {v.name for v in catalog.views()}
+                if cand.name not in already:
+                    materialize_view(database, cand)
+                cost = workload_cost_with_views(
+                    database, workload, chosen_names + [cand.name]
+                )
+                benefit = current - cost
+                actual_bytes = next(
+                    v for v in catalog.views() if v.name == cand.name
+                ).size_bytes()
+                scored.append((benefit / max(actual_bytes, 1.0), benefit,
+                               cost, actual_bytes, cand))
+            scored = [s for s in scored if s[1] > 1e-9
+                      and used_bytes + s[3] <= space_budget_bytes]
+            if not scored:
+                break
+            scored.sort(key=lambda s: -s[0])
+            __, benefit, cost, nbytes, cand = scored[0]
+            chosen.append(cand)
+            chosen_names.append(cand.name)
+            used_bytes += nbytes
+            current = cost
+            remaining = [c for c in remaining if c is not cand]
+        # Drop unchosen materializations to leave the catalog clean.
+        for v in list(database.catalog.views()):
+            if v.name not in chosen_names:
+                database.catalog.drop_view(v.name)
+        return chosen, current
+
+
+class RLViewAdvisor:
+    """Q-learning view selection (Han et al. [21] regime, tabular-scale).
+
+    State: frozenset of chosen candidate indices; actions: add a candidate
+    that fits the remaining budget, or STOP. Reward: normalized workload
+    cost reduction per step. Useful over greedy when benefits interact
+    (two views that share tables cannibalize each other's benefit).
+    """
+
+    name = "rl"
+
+    def __init__(self, episodes=120, seed=0):
+        self.episodes = episodes
+        self.seed = seed
+
+    def recommend(self, database, workload, space_budget_bytes,
+                  candidates=None):
+        catalog = database.catalog
+        if candidates is None:
+            candidates = enumerate_view_candidates(workload)
+        if not candidates:
+            return [], workload_cost_with_views(database, workload, [])
+        # Materialize all candidates once; selection toggles visibility.
+        sizes = []
+        for cand in candidates:
+            if cand.name not in {v.name for v in catalog.views()}:
+                materialize_view(database, cand)
+            sizes.append(
+                next(v for v in catalog.views() if v.name == cand.name).size_bytes()
+            )
+        base_cost = workload_cost_with_views(database, workload, [])
+        cost_cache = {frozenset(): base_cost}
+
+        def cost_of(chosen_idx):
+            key = frozenset(chosen_idx)
+            if key not in cost_cache:
+                names = [candidates[i].name for i in key]
+                cost_cache[key] = workload_cost_with_views(
+                    database, workload, names
+                )
+            return cost_cache[key]
+
+        stop_action = len(candidates)
+        agent = QLearningAgent(
+            n_actions=len(candidates) + 1,
+            alpha=0.3,
+            gamma=1.0,
+            epsilon=0.4,
+            epsilon_decay=0.97,
+            seed=self.seed,
+        )
+
+        def valid_actions(chosen, used):
+            acts = [stop_action]
+            for i in range(len(candidates)):
+                if i not in chosen and used + sizes[i] <= space_budget_bytes:
+                    acts.append(i)
+            return acts
+
+        for __ in range(self.episodes):
+            chosen, used = [], 0
+            while True:
+                state = frozenset(chosen)
+                valid = valid_actions(chosen, used)
+                action = agent.act(state, valid_actions=valid)
+                if action == stop_action:
+                    agent.update(state, action, 0.0, state, True)
+                    break
+                prev = cost_of(chosen)
+                chosen = chosen + [action]
+                used += sizes[action]
+                new = cost_of(chosen)
+                reward = (prev - new) / max(base_cost, 1e-9)
+                next_valid = valid_actions(chosen, used)
+                done = next_valid == [stop_action]
+                agent.update(
+                    state, action, reward, frozenset(chosen), done, next_valid
+                )
+                if done:
+                    break
+            agent.decay()
+        # Greedy rollout.
+        chosen, used = [], 0
+        while True:
+            valid = valid_actions(chosen, used)
+            action = agent.act(frozenset(chosen), valid_actions=valid, greedy=True)
+            if action == stop_action or action in chosen:
+                break
+            chosen.append(action)
+            used += sizes[action]
+        picked = [candidates[i] for i in chosen]
+        final = cost_of(chosen)
+        picked_names = {c.name for c in picked}
+        for v in list(catalog.views()):
+            if v.name in {c.name for c in candidates} and v.name not in picked_names:
+                catalog.drop_view(v.name)
+        return picked, final

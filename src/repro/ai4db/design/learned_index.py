@@ -1,0 +1,428 @@
+"""Learned indexes: RMI, PGM-style piecewise-linear, and updatable ALEX-lite.
+
+Reproduces the shape of Kraska et al.'s "The Case for Learned Index
+Structures" [32] and the follow-ups the tutorial cites (ALEX [12],
+multi-dimensional [59]): a model that predicts a key's position replaces
+the B+Tree's inner nodes, cutting index size by orders of magnitude while
+keeping (or beating) lookup speed, measured here as **probe cost** — the
+number of key comparisons per lookup — plus modeled size in bytes.
+
+All indexes map sorted keys to their positions; ``lookup(key)`` returns the
+position (or ``None``) and the comparison count, so learned and classic
+structures are compared on identical terms in experiment E9.
+"""
+
+import bisect
+
+import numpy as np
+
+from repro.common import ModelError, ensure_rng
+
+
+class BinarySearchIndex:
+    """Baseline: plain binary search over the sorted key array."""
+
+    name = "binary-search"
+
+    def __init__(self, keys):
+        self.keys = np.sort(np.asarray(keys, dtype=float))
+
+    def lookup(self, key):
+        """Returns ``(position or None, comparisons)``."""
+        lo, hi = 0, len(self.keys)
+        comparisons = 0
+        while lo < hi:
+            mid = (lo + hi) // 2
+            comparisons += 1
+            if self.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self.keys) and self.keys[lo] == key:
+            return lo, comparisons
+        return None, comparisons
+
+    def size_bytes(self):
+        """No auxiliary structure beyond the key array itself."""
+        return 0
+
+    def __len__(self):
+        return len(self.keys)
+
+
+class RMIIndex:
+    """Two-stage recursive model index (Kraska et al. [32]).
+
+    Stage 1: a linear model routes a key to one of ``n_models`` stage-2
+    leaf models. Stage 2: per-leaf linear regression predicts the position;
+    the leaf stores its maximum absolute error, and lookup binary-searches
+    only within ``prediction ± error``.
+
+    Args:
+        keys: the (unsorted ok) key array.
+        n_models: number of second-stage models (the size/accuracy dial the
+            E9 ablation sweeps).
+    """
+
+    name = "rmi"
+
+    def __init__(self, keys, n_models=64):
+        if n_models < 1:
+            raise ModelError("n_models must be >= 1")
+        self.keys = np.sort(np.asarray(keys, dtype=float))
+        n = len(self.keys)
+        if n == 0:
+            raise ModelError("cannot build an index over zero keys")
+        self.n_models = n_models
+        positions = np.arange(n, dtype=float)
+        # Stage 1: scale keys to model slots via linear fit on (key -> slot).
+        k_min, k_max = float(self.keys[0]), float(self.keys[-1])
+        span = max(k_max - k_min, 1e-12)
+        self._route_a = (n_models - 1) / span
+        self._route_b = -k_min * self._route_a
+        # Stage 2: per-slot linear models with error bounds.
+        slot_of = np.clip(
+            (self.keys * self._route_a + self._route_b).astype(int), 0, n_models - 1
+        )
+        self._slope = np.zeros(n_models)
+        self._intercept = np.zeros(n_models)
+        self._err = np.zeros(n_models, dtype=int)
+        self._slot_bounds = np.zeros((n_models, 2), dtype=int)
+        for m in range(n_models):
+            mask = slot_of == m
+            idx = np.where(mask)[0]
+            if len(idx) == 0:
+                # Empty slot: route to the nearest populated neighborhood.
+                self._slope[m] = 0.0
+                self._intercept[m] = float(
+                    np.searchsorted(self.keys, (m - self._route_b) / self._route_a)
+                )
+                self._err[m] = 1
+                approx = int(np.clip(self._intercept[m], 0, n - 1))
+                self._slot_bounds[m] = (approx, approx + 1)
+                continue
+            xs = self.keys[idx]
+            ys = positions[idx]
+            span = xs[-1] - xs[0]
+            with np.errstate(over="ignore", divide="ignore"):
+                slope = (ys[-1] - ys[0]) / span if span > 0 else 0.0
+            if not np.isfinite(slope):
+                slope = 0.0
+            intercept = ys[0] - slope * xs[0]
+            pred = xs * slope + intercept
+            residuals = np.abs(pred - ys)
+            residuals = residuals[np.isfinite(residuals)]
+            max_resid = float(residuals.max()) if residuals.size else len(ys)
+            err = int(np.ceil(min(max_resid, len(self.keys)))) + 1
+            self._slope[m] = slope
+            self._intercept[m] = intercept
+            self._err[m] = err
+            self._slot_bounds[m] = (idx[0], idx[-1] + 1)
+
+    def _predict(self, key):
+        slot = int(np.clip(key * self._route_a + self._route_b, 0, self.n_models - 1))
+        pos = self._slope[slot] * key + self._intercept[slot]
+        err = self._err[slot]
+        return int(np.clip(pos, 0, len(self.keys) - 1)), err
+
+    def lookup(self, key):
+        """Model-predicted position, then bounded binary search."""
+        pos, err = self._predict(key)
+        lo = max(0, pos - err)
+        hi = min(len(self.keys), pos + err + 1)
+        comparisons = 0
+        while lo < hi:
+            mid = (lo + hi) // 2
+            comparisons += 1
+            if self.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self.keys) and self.keys[lo] == key:
+            return lo, comparisons
+        return None, comparisons
+
+    def max_error(self):
+        """Largest per-leaf error bound (search-window radius)."""
+        return int(self._err.max())
+
+    def size_bytes(self):
+        """Model parameters only: 2 floats + 1 int per leaf + router."""
+        return self.n_models * (8 + 8 + 4) + 16
+
+    def __len__(self):
+        return len(self.keys)
+
+
+class PGMIndex:
+    """Piecewise-linear index with an epsilon error guarantee (PGM-style).
+
+    Greedily grows maximal segments such that a linear model over the
+    segment predicts every key's position within ``epsilon``; lookup
+    locates the segment by binary search over segment boundaries, then
+    binary-searches ``prediction ± epsilon``.
+
+    Args:
+        keys: key array.
+        epsilon: the error bound (size/speed dial).
+    """
+
+    name = "pgm"
+
+    def __init__(self, keys, epsilon=16):
+        if epsilon < 1:
+            raise ModelError("epsilon must be >= 1")
+        self.keys = np.sort(np.asarray(keys, dtype=float))
+        self.epsilon = int(epsilon)
+        n = len(self.keys)
+        if n == 0:
+            raise ModelError("cannot build an index over zero keys")
+        self._seg_first_key = []
+        self._seg_slope = []
+        self._seg_intercept = []
+        start = 0
+        while start < n:
+            end = self._grow_segment(start)
+            xs = self.keys[start:end]
+            ys = np.arange(start, end, dtype=float)
+            span = xs[-1] - xs[0]
+            with np.errstate(over="ignore", divide="ignore"):
+                slope = (ys[-1] - ys[0]) / span if span > 0 else 0.0
+            if not np.isfinite(slope):
+                slope = 0.0
+            intercept = ys[0] - slope * xs[0]
+            self._seg_first_key.append(float(xs[0]))
+            self._seg_slope.append(slope)
+            self._seg_intercept.append(intercept)
+            start = end
+        self._seg_first_key = np.asarray(self._seg_first_key)
+        self._seg_slope = np.asarray(self._seg_slope)
+        self._seg_intercept = np.asarray(self._seg_intercept)
+
+    def _grow_segment(self, start):
+        """Extend a segment from ``start`` while the epsilon bound holds.
+
+        Uses doubling + binary search over the endpoint with a direct
+        verification, which is O(len log len) per segment — simpler than
+        the optimal convex-hull construction and adequate at this scale.
+        """
+        n = len(self.keys)
+        lo, hi = start + 1, min(n, start + 2)
+        # Doubling phase.
+        while hi < n and self._fits(start, hi + 1):
+            lo = hi
+            hi = min(n, hi * 2 - start)
+        # Binary search for the maximal end in (lo, hi].
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self._fits(start, mid):
+                lo = mid
+            else:
+                hi = mid - 1
+        return max(lo, start + 1)
+
+    def _fits(self, start, end):
+        xs = self.keys[start:end]
+        ys = np.arange(start, end, dtype=float)
+        if not xs[-1] > xs[0]:
+            return True
+        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+            slope = (ys[-1] - ys[0]) / (xs[-1] - xs[0])
+            if not np.isfinite(slope):
+                return False
+            intercept = ys[0] - slope * xs[0]
+            pred = xs * slope + intercept
+            resid = np.abs(pred - ys)
+        if not np.all(np.isfinite(resid)):
+            return False
+        return bool(np.max(resid) <= self.epsilon)
+
+    @property
+    def n_segments(self):
+        """Number of linear segments."""
+        return len(self._seg_slope)
+
+    def lookup(self, key):
+        """Segment routing + epsilon-bounded binary search."""
+        comparisons = 0
+        # Binary search over segment first-keys.
+        seg = int(np.searchsorted(self._seg_first_key, key, side="right") - 1)
+        comparisons += max(1, int(np.ceil(np.log2(self.n_segments + 1))))
+        seg = max(0, seg)
+        pos = self._seg_slope[seg] * key + self._seg_intercept[seg]
+        pos = int(np.clip(pos, 0, len(self.keys) - 1))
+        lo = max(0, pos - self.epsilon)
+        hi = min(len(self.keys), pos + self.epsilon + 1)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            comparisons += 1
+            if self.keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self.keys) and self.keys[lo] == key:
+            return lo, comparisons
+        return None, comparisons
+
+    def size_bytes(self):
+        """Segments: first key + slope + intercept per segment."""
+        return self.n_segments * 24
+
+    def __len__(self):
+        return len(self.keys)
+
+
+class ALEXLiteIndex:
+    """Updatable learned index with gapped leaves (ALEX [12], lite).
+
+    Keys live in model-sized leaf nodes as sorted Python lists with slack;
+    a per-leaf linear model predicts the local position, inserts go to the
+    model-predicted leaf, and a leaf splits when it exceeds
+    ``max_leaf_size``. Simpler than ALEX's gapped arrays but preserves the
+    headline behaviour: inserts stay cheap and lookups stay model-guided,
+    where a static RMI would have to be rebuilt.
+    """
+
+    name = "alex-lite"
+
+    def __init__(self, keys=(), max_leaf_size=256):
+        if max_leaf_size < 8:
+            raise ModelError("max_leaf_size must be >= 8")
+        self.max_leaf_size = max_leaf_size
+        keys = sorted(float(k) for k in keys)
+        if keys:
+            self._leaf_keys = []
+            self._leaves = []
+            for start in range(0, len(keys), max_leaf_size // 2):
+                chunk = keys[start : start + max_leaf_size // 2]
+                self._leaf_keys.append(chunk[0])
+                self._leaves.append(list(chunk))
+        else:
+            self._leaf_keys = [0.0]
+            self._leaves = [[]]
+        self._models = [self._fit_leaf(leaf) for leaf in self._leaves]
+        self._n = len(keys)
+
+    @staticmethod
+    def _fit_leaf(leaf):
+        if len(leaf) < 2 or leaf[-1] == leaf[0]:
+            return (0.0, 0.0)
+        slope = (len(leaf) - 1) / (leaf[-1] - leaf[0])
+        return (slope, -leaf[0] * slope)
+
+    def _leaf_for(self, key):
+        i = bisect.bisect_right(self._leaf_keys, key) - 1
+        return max(0, i)
+
+    def insert(self, key):
+        """Insert one key (duplicates allowed)."""
+        key = float(key)
+        li = self._leaf_for(key)
+        leaf = self._leaves[li]
+        slope, intercept = self._models[li]
+        pos = int(np.clip(slope * key + intercept, 0, len(leaf)))
+        # Model-guided local correction (exponential search around pos).
+        lo, hi = 0, len(leaf)
+        if pos < len(leaf) and leaf and pos > 0:
+            step = 1
+            if leaf[min(pos, len(leaf) - 1)] < key:
+                lo = pos
+                while lo + step < len(leaf) and leaf[lo + step] < key:
+                    step *= 2
+                hi = min(len(leaf), lo + step)
+            else:
+                hi = pos
+                while hi - step > 0 and leaf[hi - step] >= key:
+                    step *= 2
+                lo = max(0, hi - step)
+        ins = bisect.bisect_left(leaf, key, lo, hi)
+        leaf.insert(ins, key)
+        self._n += 1
+        if len(leaf) > self.max_leaf_size:
+            self._split(li)
+        else:
+            self._models[li] = self._fit_leaf(leaf)
+
+    def _split(self, li):
+        leaf = self._leaves[li]
+        mid = len(leaf) // 2
+        left, right = leaf[:mid], leaf[mid:]
+        self._leaves[li] = left
+        self._models[li] = self._fit_leaf(left)
+        self._leaves.insert(li + 1, right)
+        self._leaf_keys.insert(li + 1, right[0])
+        self._models.insert(li + 1, self._fit_leaf(right))
+
+    def lookup(self, key):
+        """Returns ``(global position or None, comparisons)``."""
+        key = float(key)
+        li = self._leaf_for(key)
+        comparisons = max(1, int(np.ceil(np.log2(len(self._leaves) + 1))))
+        leaf = self._leaves[li]
+        if not leaf:
+            return None, comparisons
+        slope, intercept = self._models[li]
+        pos = int(np.clip(slope * key + intercept, 0, len(leaf) - 1))
+        # Exponential search out from the prediction.
+        lo, hi = 0, len(leaf)
+        step = 1
+        if leaf[pos] < key:
+            lo = pos
+            while lo + step < len(leaf) and leaf[lo + step] < key:
+                step *= 2
+                comparisons += 1
+            hi = min(len(leaf), lo + step + 1)
+        else:
+            hi = pos + 1
+            while hi - step > 0 and leaf[max(0, hi - step - 1)] >= key:
+                step *= 2
+                comparisons += 1
+            lo = max(0, hi - step - 1)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            comparisons += 1
+            if leaf[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(leaf) and leaf[lo] == key:
+            offset = sum(len(l) for l in self._leaves[:li])
+            return offset + lo, comparisons
+        return None, comparisons
+
+    def size_bytes(self):
+        """Leaf directory + per-leaf models (+50% slack accounting)."""
+        return len(self._leaves) * (8 + 16) + self._n * 4  # slack overhead
+
+    def __len__(self):
+        return self._n
+
+
+def evaluate_index(index, present_keys, absent_keys):
+    """Probe an index with hit and miss lookups; summarize cost.
+
+    Returns:
+        dict with mean/max comparisons for hits, mean for misses, hit
+        correctness rate, and the structure's modeled size.
+    """
+    hit_comps = []
+    correct = 0
+    all_keys = getattr(index, "keys", None)
+    for k in present_keys:
+        pos, comps = index.lookup(float(k))
+        hit_comps.append(comps)
+        if pos is None:
+            continue
+        if all_keys is None or float(all_keys[pos]) == float(k):
+            correct += 1
+    miss_comps = []
+    for k in absent_keys:
+        pos, comps = index.lookup(float(k))
+        miss_comps.append(comps)
+    return {
+        "mean_hit_comparisons": float(np.mean(hit_comps)),
+        "max_hit_comparisons": int(np.max(hit_comps)),
+        "mean_miss_comparisons": float(np.mean(miss_comps)) if miss_comps else 0.0,
+        "hit_accuracy": correct / max(1, len(present_keys)),
+        "size_bytes": int(index.size_bytes()),
+    }

@@ -1,0 +1,245 @@
+"""Learned key-value store design: the design continuum + alchemy search.
+
+Implements the "data structure alchemy" idea the tutorial describes (Idreos
+et al. [24, 25]): a *design continuum* parameterizes the LSM-tree <-> B-tree
+space with a handful of knobs, an analytic cost model scores a design
+against a workload, and design search walks the knobs "in one direction
+until reaching the cost boundary" — a coordinate-descent procedure the
+paper explicitly likens to gradient descent.
+
+Cost formulas follow the standard LSM analysis (Monkey/Dostoevsky
+lineage): with size ratio ``T``, ``L = ceil(log_T(N/B))`` levels,
+leveling-vs-tiering merge policy, bloom filters with ``bits``/key, and
+fence pointers:
+
+* write cost  ~ leveling: T*L/B;  tiering: L/B   (amortized I/Os per insert)
+* point read  ~ leveling: L*fp ; tiering: T*L*fp  (+1 for the hit)
+* short scan  ~ leveling: L   ; tiering: T*L
+* memory      ~ bloom bits + buffer + fence pointers
+"""
+
+import math
+
+import numpy as np
+
+from repro.common import ModelError, ensure_rng
+
+
+class KVWorkload:
+    """A KV workload mix.
+
+    Attributes:
+        point_reads, writes, scans: operation fractions (sum to 1).
+        n_entries: dataset size in entries.
+        entry_bytes: bytes per entry.
+    """
+
+    def __init__(self, name, point_reads, writes, scans, n_entries=10_000_000,
+                 entry_bytes=128):
+        total = point_reads + writes + scans
+        if not np.isclose(total, 1.0):
+            raise ModelError("operation fractions must sum to 1")
+        self.name = name
+        self.point_reads = float(point_reads)
+        self.writes = float(writes)
+        self.scans = float(scans)
+        self.n_entries = int(n_entries)
+        self.entry_bytes = int(entry_bytes)
+
+    def __repr__(self):
+        return "KVWorkload(%s: r=%.2f w=%.2f s=%.2f)" % (
+            self.name, self.point_reads, self.writes, self.scans
+        )
+
+
+class KVDesign:
+    """One point in the design continuum.
+
+    Attributes:
+        size_ratio: LSM size ratio ``T`` (2 = B-tree-ish merge eagerness,
+            10+ = write-optimized).
+        merge_policy: 0.0 = full leveling ... 1.0 = full tiering (the
+            continuum interpolates costs).
+        buffer_mb: in-memory buffer size.
+        bloom_bits: bloom-filter bits per key (0 disables).
+        fence_granularity: entries per fence pointer (smaller = more memory,
+            cheaper scans/seeks).
+    """
+
+    BOUNDS = {
+        "size_ratio": (2.0, 16.0),
+        "merge_policy": (0.0, 1.0),
+        "buffer_mb": (1.0, 512.0),
+        "bloom_bits": (0.0, 16.0),
+        "fence_granularity": (16.0, 4096.0),
+    }
+
+    def __init__(self, size_ratio=4.0, merge_policy=0.0, buffer_mb=64.0,
+                 bloom_bits=10.0, fence_granularity=256.0):
+        self.size_ratio = float(size_ratio)
+        self.merge_policy = float(merge_policy)
+        self.buffer_mb = float(buffer_mb)
+        self.bloom_bits = float(bloom_bits)
+        self.fence_granularity = float(fence_granularity)
+        for knob, (lo, hi) in self.BOUNDS.items():
+            v = getattr(self, knob)
+            if not lo <= v <= hi:
+                raise ModelError("%s=%r outside [%g, %g]" % (knob, v, lo, hi))
+
+    def knobs(self):
+        """Dict of knob values."""
+        return {k: getattr(self, k) for k in self.BOUNDS}
+
+    def with_knob(self, knob, value):
+        """A copy with one knob changed (clipped to bounds)."""
+        lo, hi = self.BOUNDS[knob]
+        values = self.knobs()
+        values[knob] = min(max(value, lo), hi)
+        return KVDesign(**values)
+
+    def __repr__(self):
+        return ("KVDesign(T=%.1f, policy=%.2f, buf=%.0fMB, bloom=%.1f, "
+                "fence=%.0f)") % (
+            self.size_ratio, self.merge_policy, self.buffer_mb,
+            self.bloom_bits, self.fence_granularity,
+        )
+
+
+class KVCostModel:
+    """Analytic per-operation and memory costs for a design + workload.
+
+    Args:
+        memory_budget_mb: designs whose memory footprint exceeds this pay a
+            linear penalty (models cache pressure).
+        read_weight, write_weight, scan_weight, memory_weight: objective
+            weights for the scalarized total cost.
+    """
+
+    def __init__(self, memory_budget_mb=256.0, memory_weight=0.02):
+        self.memory_budget_mb = memory_budget_mb
+        self.memory_weight = memory_weight
+
+    def _levels(self, design, workload):
+        buffer_entries = design.buffer_mb * 1024 * 1024 / workload.entry_bytes
+        ratio = max(workload.n_entries / max(buffer_entries, 1.0), 1.0)
+        return max(1.0, math.ceil(math.log(ratio, design.size_ratio)))
+
+    def write_cost(self, design, workload):
+        """Amortized I/O per write (leveling/tiering interpolation)."""
+        L = self._levels(design, workload)
+        entries_per_page = 4096 / workload.entry_bytes
+        leveling = design.size_ratio * L / entries_per_page
+        tiering = L / entries_per_page
+        return (1 - design.merge_policy) * leveling + design.merge_policy * tiering
+
+    def point_read_cost(self, design, workload):
+        """Expected I/Os per point lookup, with bloom-filter skipping."""
+        L = self._levels(design, workload)
+        fp = 0.6 ** design.bloom_bits if design.bloom_bits > 0 else 1.0
+        runs_leveling = L
+        runs_tiering = design.size_ratio * L
+        runs = (1 - design.merge_policy) * runs_leveling + (
+            design.merge_policy * runs_tiering
+        )
+        # One true hit + false-positive probes of the other runs; fence
+        # pointers bound the within-run search to one page when fine enough.
+        fence_pages = max(1.0, design.fence_granularity * workload.entry_bytes / 4096)
+        return (1.0 + fp * max(0.0, runs - 1.0)) * fence_pages
+
+    def scan_cost(self, design, workload, scan_entries=100):
+        """Expected I/Os per short range scan."""
+        L = self._levels(design, workload)
+        runs = (1 - design.merge_policy) * L + design.merge_policy * (
+            design.size_ratio * L
+        )
+        pages = max(1.0, scan_entries * workload.entry_bytes / 4096)
+        fence_overhead = design.fence_granularity / 256.0
+        return runs * (1.0 + 0.1 * fence_overhead) + pages
+
+    def memory_mb(self, design, workload):
+        """Memory footprint: buffer + bloom + fence pointers."""
+        bloom = design.bloom_bits * workload.n_entries / 8 / 1024 / 1024
+        fences = (
+            workload.n_entries / max(design.fence_granularity, 1.0)
+        ) * 16 / 1024 / 1024
+        return design.buffer_mb + bloom + fences
+
+    def total_cost(self, design, workload):
+        """Scalarized workload cost (the design-search objective)."""
+        cost = (
+            workload.point_reads * self.point_read_cost(design, workload)
+            + workload.writes * self.write_cost(design, workload)
+            + workload.scans * self.scan_cost(design, workload)
+        )
+        mem = self.memory_mb(design, workload)
+        overflow = max(0.0, mem - self.memory_budget_mb)
+        return cost + self.memory_weight * overflow
+
+
+def classic_designs():
+    """Fixed designs a non-learning engineer would pick off the shelf."""
+    return {
+        "btree-like": KVDesign(size_ratio=2.0, merge_policy=0.0, buffer_mb=16,
+                               bloom_bits=0.0, fence_granularity=64),
+        "lsm-leveling": KVDesign(size_ratio=10.0, merge_policy=0.0,
+                                 buffer_mb=64, bloom_bits=10.0,
+                                 fence_granularity=256),
+        "lsm-tiering": KVDesign(size_ratio=10.0, merge_policy=1.0,
+                                buffer_mb=64, bloom_bits=10.0,
+                                fence_granularity=256),
+    }
+
+
+class DesignContinuumSearch:
+    """Data-structure alchemy: coordinate descent over the design knobs.
+
+    Repeatedly identifies the knob whose move most reduces total cost and
+    "tweaks it in one direction until reaching the cost boundary" [24],
+    then moves to the next knob, until no move helps — the gradient-descent
+    analogue the paper describes.
+
+    Args:
+        cost_model: a :class:`KVCostModel`.
+        n_steps_per_knob: discretization of each knob's sweep.
+        max_rounds: full passes over the knob set.
+    """
+
+    def __init__(self, cost_model=None, n_steps_per_knob=12, max_rounds=6):
+        self.cost_model = cost_model or KVCostModel()
+        self.n_steps_per_knob = n_steps_per_knob
+        self.max_rounds = max_rounds
+
+    def _sweep_values(self, knob):
+        lo, hi = KVDesign.BOUNDS[knob]
+        if knob in ("size_ratio", "buffer_mb", "fence_granularity"):
+            return np.exp(np.linspace(np.log(lo), np.log(hi),
+                                      self.n_steps_per_knob))
+        return np.linspace(lo, hi, self.n_steps_per_knob)
+
+    def search(self, workload, start=None):
+        """Find a low-cost design for ``workload``.
+
+        Returns:
+            ``(best_design, best_cost, trajectory)`` where trajectory lists
+            ``(knob, value, cost)`` for each accepted move.
+        """
+        design = start or KVDesign()
+        cost = self.cost_model.total_cost(design, workload)
+        trajectory = []
+        for __ in range(self.max_rounds):
+            improved = False
+            for knob in KVDesign.BOUNDS:
+                best_v, best_c = None, cost
+                for v in self._sweep_values(knob):
+                    cand = design.with_knob(knob, v)
+                    c = self.cost_model.total_cost(cand, workload)
+                    if c < best_c - 1e-12:
+                        best_v, best_c = v, c
+                if best_v is not None:
+                    design = design.with_knob(knob, best_v)
+                    cost = best_c
+                    trajectory.append((knob, float(best_v), float(best_c)))
+                    improved = True
+            if not improved:
+                break
+        return design, cost, trajectory

@@ -1,0 +1,45 @@
+"""Learned database monitoring (paper §2.1, category 4)."""
+
+from repro.ai4db.monitoring.forecast import (
+    NaiveForecaster,
+    SeasonalNaiveForecaster,
+    MovingAverageForecaster,
+    AutoregressiveForecaster,
+    EnsembleForecaster,
+    evaluate_forecasters,
+)
+from repro.ai4db.monitoring.perf_pred import (
+    ConcurrentWorkloadGenerator,
+    PlanOnlyPredictor,
+    GraphEmbeddingPredictor,
+)
+from repro.ai4db.monitoring.root_cause import (
+    RuleBasedDiagnoser,
+    ClusterDiagnoser,
+)
+from repro.ai4db.monitoring.activity_monitor import (
+    AuditPolicy,
+    RandomAuditPolicy,
+    RoundRobinAuditPolicy,
+    BanditAuditPolicy,
+    run_audit_simulation,
+)
+
+__all__ = [
+    "NaiveForecaster",
+    "SeasonalNaiveForecaster",
+    "MovingAverageForecaster",
+    "AutoregressiveForecaster",
+    "EnsembleForecaster",
+    "evaluate_forecasters",
+    "ConcurrentWorkloadGenerator",
+    "PlanOnlyPredictor",
+    "GraphEmbeddingPredictor",
+    "RuleBasedDiagnoser",
+    "ClusterDiagnoser",
+    "AuditPolicy",
+    "RandomAuditPolicy",
+    "RoundRobinAuditPolicy",
+    "BanditAuditPolicy",
+    "run_audit_simulation",
+]

@@ -1,0 +1,159 @@
+"""Query-arrival forecasting (QueryBot5000-lite, Ma et al. [49]).
+
+The cited system predicts future query arrival rates so a self-driving
+DBMS can provision ahead of load. Its recipe — linear models over lagged
+features plus an ensemble with seasonal components — is reproduced here on
+the telemetry generator's traces. Baselines are the naive persistences a
+non-learning monitor would use.
+"""
+
+import numpy as np
+
+from repro.common import ModelError, NotFittedError
+from repro.ml import LinearRegression, mean_absolute_error, mean_absolute_percentage_error
+
+#: Lags (in hours) the autoregressive features use: recent, daily, weekly.
+DEFAULT_LAGS = (1, 2, 3, 24, 48, 168)
+
+
+class NaiveForecaster:
+    """Predicts the last observed value."""
+
+    name = "naive"
+
+    def fit(self, series):
+        return self
+
+    def predict(self, history, horizon=1):
+        """Forecast ``horizon`` steps from the end of ``history``."""
+        return np.full(horizon, float(history[-1]))
+
+
+class SeasonalNaiveForecaster:
+    """Predicts the value one season (default: one day) ago."""
+
+    name = "seasonal-naive"
+
+    def __init__(self, season=24):
+        self.season = season
+
+    def fit(self, series):
+        return self
+
+    def predict(self, history, horizon=1):
+        history = np.asarray(history, dtype=float)
+        out = np.empty(horizon)
+        for h in range(horizon):
+            idx = len(history) - self.season + h
+            out[h] = history[idx] if 0 <= idx < len(history) else history[-1]
+        return out
+
+
+class MovingAverageForecaster:
+    """Predicts the mean of the last ``window`` observations."""
+
+    name = "moving-average"
+
+    def __init__(self, window=24):
+        self.window = window
+
+    def fit(self, series):
+        return self
+
+    def predict(self, history, horizon=1):
+        history = np.asarray(history, dtype=float)
+        return np.full(horizon, float(history[-self.window :].mean()))
+
+
+class AutoregressiveForecaster:
+    """Linear regression over lagged values + hour/weekday encodings."""
+
+    name = "autoregressive"
+
+    def __init__(self, lags=DEFAULT_LAGS):
+        self.lags = tuple(lags)
+        self.model = LinearRegression()
+        self._fitted = False
+
+    def _features(self, series, t):
+        row = [series[t - lag] for lag in self.lags]
+        hour = t % 24
+        weekday = (t // 24) % 7
+        row.append(np.sin(2 * np.pi * hour / 24))
+        row.append(np.cos(2 * np.pi * hour / 24))
+        row.append(1.0 if weekday >= 5 else 0.0)
+        return row
+
+    def fit(self, series):
+        series = np.asarray(series, dtype=float)
+        max_lag = max(self.lags)
+        if len(series) <= max_lag + 1:
+            raise ModelError("series too short for the configured lags")
+        X, y = [], []
+        for t in range(max_lag, len(series)):
+            X.append(self._features(series, t))
+            y.append(series[t])
+        self.model.fit(np.asarray(X), np.asarray(y))
+        self._fitted = True
+        return self
+
+    def predict(self, history, horizon=1):
+        if not self._fitted:
+            raise NotFittedError("AutoregressiveForecaster used before fit")
+        series = list(np.asarray(history, dtype=float))
+        out = []
+        for __ in range(horizon):
+            t = len(series)
+            x = np.asarray([self._features(series, t)])
+            pred = float(self.model.predict(x)[0])
+            pred = max(pred, 0.0)
+            out.append(pred)
+            series.append(pred)
+        return np.asarray(out)
+
+
+class EnsembleForecaster:
+    """Average of AR + seasonal-naive (the QueryBot5000 hybrid trick)."""
+
+    name = "ensemble"
+
+    def __init__(self, season=24, lags=DEFAULT_LAGS):
+        self.ar = AutoregressiveForecaster(lags)
+        self.seasonal = SeasonalNaiveForecaster(season)
+
+    def fit(self, series):
+        self.ar.fit(series)
+        return self
+
+    def predict(self, history, horizon=1):
+        return 0.5 * self.ar.predict(history, horizon) + 0.5 * self.seasonal.predict(
+            history, horizon
+        )
+
+
+def evaluate_forecasters(series, forecasters, train_frac=0.7, horizon=1):
+    """Rolling-origin evaluation on the tail of ``series``.
+
+    Each forecaster is fit on the training prefix, then asked for
+    ``horizon``-step forecasts at every step of the holdout (using true
+    history up to that point — the standard rolling evaluation).
+
+    Returns:
+        dict name -> {"mae": float, "mape": float}.
+    """
+    series = np.asarray(series, dtype=float)
+    split = int(len(series) * train_frac)
+    train = series[:split]
+    results = {}
+    for fc in forecasters:
+        fc.fit(train)
+        preds, trues = [], []
+        for t in range(split, len(series) - horizon + 1):
+            p = fc.predict(series[:t], horizon=horizon)
+            preds.append(p[-1])
+            trues.append(series[t + horizon - 1])
+        results[fc.name] = {
+            "mae": mean_absolute_error(trues, preds),
+            "mape": mean_absolute_percentage_error(trues, preds),
+        }
+    return results

@@ -1,0 +1,174 @@
+"""Concurrent-query performance prediction: graph embedding vs. plan-only.
+
+Zhou et al. [90] showed that predicting a query's latency under
+concurrency requires modeling the *workload graph* — which queries share
+data (helping each other through caching) and which contend for resources
+(hurting each other). A plan-only model (Marcus & Papaemmanouil [56]
+regime) sees each query in isolation and misses those interactions.
+
+The substrate generates concurrent mixes where ground-truth latency is
+
+    latency_i = base_i * (1 + contention_i - sharing_i + noise)
+
+with sharing/contention derived from pairwise table overlap and memory
+pressure — structure a GCN over the workload graph can capture exactly and
+a per-node MLP cannot.
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.common import ensure_rng
+from repro.ml import GCNRegressor, MLPRegressor
+
+
+class ConcurrentWorkloadGenerator:
+    """Generates concurrent query mixes with ground-truth latencies.
+
+    Each query template has a base work amount, a set of touched tables and
+    a memory footprint. In a mix of ``k`` queries:
+
+    * each pair sharing tables *reduces* both latencies (shared scans),
+    * total memory beyond the budget *inflates* all latencies
+      proportionally to each query's footprint,
+    * pairs writing the same table add lock contention.
+
+    Args:
+        n_tables: size of the simulated schema.
+        seed: generator seed.
+    """
+
+    def __init__(self, n_tables=8, memory_budget=4.0, seed=0):
+        self.n_tables = n_tables
+        self.memory_budget = memory_budget
+        self._rng = ensure_rng(seed)
+
+    def _make_query(self):
+        n_touch = int(self._rng.integers(1, 4))
+        tables = sorted(
+            self._rng.choice(self.n_tables, size=n_touch, replace=False).tolist()
+        )
+        return {
+            "base": float(self._rng.uniform(0.5, 5.0)),
+            "tables": tables,
+            "memory": float(self._rng.uniform(0.2, 1.5)),
+            "writes": bool(self._rng.random() < 0.25),
+        }
+
+    def generate_mix(self, k=6):
+        """One concurrent mix; returns ``(graph, features, latencies)``.
+
+        The graph's nodes are ``0..k-1``; edge weights are the pairwise
+        table-overlap counts. Node features: base work, memory footprint,
+        write flag, number of touched tables.
+        """
+        queries = [self._make_query() for __ in range(k)]
+        g = nx.Graph()
+        g.add_nodes_from(range(k))
+        overlap = np.zeros((k, k))
+        for i in range(k):
+            for j in range(i + 1, k):
+                shared = len(set(queries[i]["tables"]) & set(queries[j]["tables"]))
+                if shared:
+                    g.add_edge(i, j, weight=float(shared))
+                    overlap[i, j] = overlap[j, i] = shared
+        latencies = np.zeros(k)
+        for i, q in enumerate(queries):
+            sharing = 0.08 * overlap[i].sum()
+            # Buffer-pool contention is local to the queries touching the
+            # same tables: neighbors' memory footprints compete with ours.
+            neighbor_memory = sum(
+                queries[j]["memory"] for j in range(k) if overlap[i, j]
+            )
+            pressure = max(
+                0.0, q["memory"] + neighbor_memory - self.memory_budget
+            ) / self.memory_budget
+            contention = 0.8 * pressure
+            for j in range(k):
+                if j != i and overlap[i, j] and (
+                    queries[i]["writes"] or queries[j]["writes"]
+                ):
+                    contention += 0.15 * overlap[i, j]
+            noise = float(self._rng.normal(0.0, 0.02))
+            latencies[i] = q["base"] * max(
+                0.1, 1.0 + contention - sharing + noise
+            )
+        features = np.array(
+            [
+                [q["base"], q["memory"], 1.0 if q["writes"] else 0.0,
+                 len(q["tables"])]
+                for q in queries
+            ]
+        )
+        return g, features, latencies
+
+    def generate_dataset(self, n_mixes=120, k_range=(4, 10)):
+        """A list of ``(graph, features, latencies)`` mixes."""
+        out = []
+        for __ in range(n_mixes):
+            k = int(self._rng.integers(k_range[0], k_range[1] + 1))
+            out.append(self.generate_mix(k))
+        return out
+
+
+class PlanOnlyPredictor:
+    """Baseline: per-query MLP that never sees the co-running queries.
+
+    Both predictors regress the *slowdown ratio* ``latency / base`` and
+    reconstruct latency by multiplying back — the standard trick, since the
+    isolated base cost is known from the plan. The plan-only model cannot
+    see the mix, so it can only predict the average slowdown.
+    """
+
+    name = "plan-only"
+
+    def __init__(self, epochs=150, seed=0):
+        self.model = MLPRegressor(hidden=(32, 32), epochs=epochs, seed=seed)
+
+    def fit(self, dataset):
+        X = np.vstack([feats for __, feats, ___ in dataset])
+        y = np.concatenate(
+            [lat / feats[:, 0] for __, feats, lat in dataset]
+        )
+        self.model.fit(X, y)
+        return self
+
+    def predict(self, graph, features):
+        """Per-node latency predictions (graph is ignored)."""
+        features = np.asarray(features, dtype=float)
+        ratio = self.model.predict(features)
+        return np.maximum(ratio, 0.05) * features[:, 0]
+
+
+class GraphEmbeddingPredictor:
+    """Zhou et al. [90] lite: GCN over the workload graph.
+
+    Message passing lets each query's prediction see its neighbors'
+    footprints (data sharing, memory pressure, write conflicts), which is
+    exactly the signal the slowdown ratio depends on.
+    """
+
+    name = "graph-embedding"
+
+    def __init__(self, hidden=32, epochs=150, seed=0):
+        self.hidden = hidden
+        self.epochs = epochs
+        self.seed = seed
+        self.model = None
+
+    def fit(self, dataset):
+        in_dim = dataset[0][1].shape[1]
+        self.model = GCNRegressor(
+            in_dim, hidden=self.hidden, epochs=self.epochs, seed=self.seed
+        )
+        graphs = [g for g, __, ___ in dataset]
+        feats = [f for __, f, ___ in dataset]
+        targets = [lat / f[:, 0] for __, f, lat in dataset]
+        self.model.fit(graphs, feats, targets)
+        return self
+
+    def predict(self, graph, features):
+        """Per-node latency predictions using graph structure."""
+        features = np.asarray(features, dtype=float)
+        ratio = self.model.predict(graph, features)
+        return np.maximum(ratio, 0.05) * features[:, 0]

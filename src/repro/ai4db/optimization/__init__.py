@@ -1,0 +1,26 @@
+"""Learned database optimization: estimation, join ordering, end-to-end."""
+
+from repro.ai4db.optimization.cardinality import (
+    QueryFeaturizer,
+    LearnedCardinalityEstimator,
+    generate_training_queries,
+)
+from repro.ai4db.optimization.cost import LearnedCostModel, PlanFeaturizer
+from repro.ai4db.optimization.join_order import (
+    MCTSJoinOrderer,
+    DQNJoinOrderer,
+    compare_orderers,
+)
+from repro.ai4db.optimization.end_to_end import NeoLiteOptimizer
+
+__all__ = [
+    "QueryFeaturizer",
+    "LearnedCardinalityEstimator",
+    "generate_training_queries",
+    "LearnedCostModel",
+    "PlanFeaturizer",
+    "MCTSJoinOrderer",
+    "DQNJoinOrderer",
+    "compare_orderers",
+    "NeoLiteOptimizer",
+]

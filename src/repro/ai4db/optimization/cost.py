@@ -1,0 +1,108 @@
+"""Learned plan-cost estimation.
+
+The analytic cost model is only as good as its cardinality inputs; the
+learned cost model (Sun & Li [70] estimate cost and cardinality jointly;
+Marcus et al. [56] regress plan latency) instead learns executed work
+directly from plan structure. Here a plan is featurized into operator
+counts and size statistics and a gradient-boosted regressor predicts the
+executor's measured work.
+"""
+
+import numpy as np
+
+from repro.common import ModelError, NotFittedError
+from repro.engine import plans as P
+from repro.ml import GradientBoostingRegressor
+
+_OP_TYPES = [
+    "SeqScan", "IndexScan", "ViewScan", "HashJoin", "NestedLoopJoin",
+    "CrossJoin", "Filter", "Project", "HashAggregate", "Sort", "Limit",
+]
+
+
+class PlanFeaturizer:
+    """Encodes a physical plan as a fixed-length dense vector.
+
+    Features per plan: operator-type counts, tree depth, sums and maxima of
+    per-node ``est_rows`` (log-scaled), the root's analytic ``est_cost``
+    (log-scaled) — letting the model learn a *correction* on top of the
+    analytic estimate — and scan-level predicate counts.
+    """
+
+    def __init__(self):
+        self._op_pos = {name: i for i, name in enumerate(_OP_TYPES)}
+
+    @property
+    def dim(self):
+        """Feature-vector length."""
+        return len(_OP_TYPES) + 6
+
+    def featurize(self, plan):
+        """Encode one annotated physical plan."""
+        vec = np.zeros(self.dim)
+        total_log_rows = 0.0
+        max_log_rows = 0.0
+        n_predicates = 0
+        depth = 0
+
+        def walk(node, d):
+            nonlocal total_log_rows, max_log_rows, n_predicates, depth
+            depth = max(depth, d)
+            pos = self._op_pos.get(node.op_name)
+            if pos is not None:
+                vec[pos] += 1.0
+            rows = node.est_rows if node.est_rows is not None else 0.0
+            lr = float(np.log1p(max(rows, 0.0)))
+            total_log_rows += lr
+            max_log_rows = max(max_log_rows, lr)
+            if isinstance(node, P.SeqScan):
+                n_predicates += len(node.predicates)
+            elif isinstance(node, P.IndexScan):
+                n_predicates += 1 + len(node.residual)
+            for child in node.children:
+                walk(child, d + 1)
+
+        walk(plan, 1)
+        base = len(_OP_TYPES)
+        vec[base] = total_log_rows
+        vec[base + 1] = max_log_rows
+        vec[base + 2] = depth
+        vec[base + 3] = n_predicates
+        est_cost = plan.est_cost if plan.est_cost is not None else 0.0
+        vec[base + 4] = float(np.log1p(max(est_cost, 0.0)))
+        vec[base + 5] = float(np.log1p(max(plan.est_rows or 0.0, 0.0)))
+        return vec
+
+
+class LearnedCostModel:
+    """Gradient-boosted regressor from plan features to log executed work.
+
+    Args:
+        n_estimators, max_depth, learning_rate: boosting hyperparameters.
+    """
+
+    def __init__(self, n_estimators=80, max_depth=4, learning_rate=0.1):
+        self.featurizer = PlanFeaturizer()
+        self.model = GradientBoostingRegressor(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            learning_rate=learning_rate,
+        )
+        self._fitted = False
+
+    def fit(self, plans, measured_work):
+        """Train on (annotated plan, executed work) pairs."""
+        if len(plans) != len(measured_work):
+            raise ModelError("plans and work measurements must align")
+        X = np.stack([self.featurizer.featurize(p) for p in plans])
+        y = np.log1p(np.maximum(np.asarray(measured_work, dtype=float), 0.0))
+        self.model.fit(X, y)
+        self._fitted = True
+        return self
+
+    def predict(self, plans):
+        """Predicted executed work for each plan."""
+        if not self._fitted:
+            raise NotFittedError("LearnedCostModel used before fit")
+        X = np.stack([self.featurizer.featurize(p) for p in plans])
+        return np.maximum(np.expm1(self.model.predict(X)), 0.0)

@@ -1,0 +1,31 @@
+"""Learned database security (paper §2.1, category 5)."""
+
+from repro.ai4db.security.sql_injection import (
+    InjectionCorpusGenerator,
+    SignatureRuleDetector,
+    LearnedInjectionDetector,
+    evaluate_detector,
+)
+from repro.ai4db.security.discovery import (
+    SensitiveColumnGenerator,
+    RegexRuleDiscovery,
+    LearnedSensitiveDiscovery,
+)
+from repro.ai4db.security.access_control import (
+    AccessRequestGenerator,
+    StaticACLBaseline,
+    LearnedAccessController,
+)
+
+__all__ = [
+    "InjectionCorpusGenerator",
+    "SignatureRuleDetector",
+    "LearnedInjectionDetector",
+    "evaluate_detector",
+    "SensitiveColumnGenerator",
+    "RegexRuleDiscovery",
+    "LearnedSensitiveDiscovery",
+    "AccessRequestGenerator",
+    "StaticACLBaseline",
+    "LearnedAccessController",
+]

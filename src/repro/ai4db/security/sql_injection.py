@@ -1,0 +1,240 @@
+"""SQL-injection detection: learned classifiers vs. signature rules.
+
+The tutorial cites classification-tree [47, 69] and neural [5, 72]
+injection detectors. The experimental story they share: signature rules
+catch textbook attacks but miss *obfuscated* variants (comment insertion,
+case mangling, encodings), while learned detectors generalize from lexical
+statistics. The corpus generator below produces benign statements from
+application templates plus five attack families, each with an obfuscated
+variant, so E13 can report per-family recall.
+"""
+
+import re
+
+import numpy as np
+
+from repro.common import ensure_rng
+from repro.ml import (
+    DecisionTreeClassifier,
+    LogisticRegression,
+    StandardScaler,
+    precision_recall_f1,
+)
+
+_BENIGN_TEMPLATES = [
+    "SELECT name, email FROM users WHERE id = {n}",
+    "SELECT * FROM orders WHERE customer_id = {n} AND status = '{w}'",
+    "SELECT COUNT(*) FROM sessions WHERE user_id = {n}",
+    "INSERT INTO audit (user_id, action) VALUES ({n}, '{w}')",
+    "SELECT p.title FROM posts p WHERE p.author = '{w}' ORDER BY p.id LIMIT {n}",
+    "SELECT balance FROM accounts WHERE iban = '{w}{n}'",
+    "SELECT * FROM products WHERE price < {n} AND category = '{w}'",
+    "SELECT id FROM users WHERE lower(email) = '{w}@example.com'",
+]
+
+_WORDS = ["pending", "shipped", "alice", "bob", "garden", "tools", "books",
+          "active", "eu", "billing"]
+
+_ATTACKS = {
+    "tautology": [
+        "SELECT * FROM users WHERE name = '' OR '1'='1'",
+        "SELECT * FROM accounts WHERE id = {n} OR 1=1",
+        "SELECT * FROM users WHERE email = 'x' OR 'a'='a' -- '",
+    ],
+    "union": [
+        "SELECT name FROM products WHERE id = {n} UNION SELECT password FROM users",
+        "SELECT title FROM posts WHERE id = {n} UNION SELECT card_number FROM payments -- ",
+    ],
+    "piggyback": [
+        "SELECT * FROM users WHERE id = {n}; DROP TABLE users",
+        "SELECT * FROM logs WHERE day = {n}; DELETE FROM audit",
+    ],
+    "comment": [
+        "SELECT * FROM users WHERE name = 'admin' -- ' AND password = 'x'",
+        "SELECT * FROM users WHERE id = {n} /* bypass */ OR 1=1",
+    ],
+    "blind": [
+        "SELECT * FROM users WHERE id = {n} AND SUBSTR(password,1,1) = 'a'",
+        "SELECT * FROM users WHERE id = {n} AND 1=(SELECT COUNT(*) FROM users)",
+    ],
+}
+
+
+def _obfuscate(text, rng):
+    """Apply the evasions real attackers use against signature filters."""
+    choice = rng.integers(0, 4)
+    if choice == 0:
+        # Inline-comment splitting of keywords.
+        for kw in ("UNION", "SELECT", "OR", "AND", "DROP"):
+            text = re.sub(r"\b%s\b" % kw, kw[0] + "/**/" + kw[1:], text, count=1)
+        return text
+    if choice == 1:
+        # Random case mangling.
+        return "".join(
+            c.upper() if rng.random() < 0.5 else c.lower() for c in text
+        )
+    if choice == 2:
+        # Whitespace variation.
+        return text.replace(" ", "  ").replace("=", " = ")
+    # Alternate tautology spelling (avoids the classic '1'='1' signature).
+    return text.replace("'1'='1'", "'abc' LIKE 'abc'").replace(
+        "1=1", "2>1"
+    )
+
+
+class InjectionCorpusGenerator:
+    """Labeled corpus of benign and attack statements.
+
+    Args:
+        obfuscate_fraction: share of attacks passed through the obfuscator.
+        seed: generation seed.
+    """
+
+    def __init__(self, obfuscate_fraction=0.5, seed=0):
+        self.obfuscate_fraction = obfuscate_fraction
+        self._rng = ensure_rng(seed)
+
+    def _fill(self, template):
+        return template.format(
+            n=int(self._rng.integers(1, 100000)),
+            w=_WORDS[int(self._rng.integers(0, len(_WORDS)))],
+        )
+
+    def generate(self, n_benign=400, n_attacks=200):
+        """Returns ``(texts, labels, families)``; family is ``None`` for
+        benign, else the attack family (with ``+obf`` suffix if
+        obfuscated)."""
+        texts, labels, families = [], [], []
+        for __ in range(n_benign):
+            template = _BENIGN_TEMPLATES[
+                int(self._rng.integers(0, len(_BENIGN_TEMPLATES)))
+            ]
+            texts.append(self._fill(template))
+            labels.append(0)
+            families.append(None)
+        family_names = sorted(_ATTACKS)
+        for __ in range(n_attacks):
+            family = family_names[int(self._rng.integers(0, len(family_names)))]
+            template = _ATTACKS[family][
+                int(self._rng.integers(0, len(_ATTACKS[family])))
+            ]
+            text = self._fill(template)
+            if self._rng.random() < self.obfuscate_fraction:
+                text = _obfuscate(text, self._rng)
+                family = family + "+obf"
+            texts.append(text)
+            labels.append(1)
+            families.append(family)
+        return texts, np.array(labels), families
+
+
+class SignatureRuleDetector:
+    """Baseline: the classic WAF-style signature list."""
+
+    name = "signature-rules"
+
+    SIGNATURES = [
+        r"'1'\s*=\s*'1'",
+        r"\b1\s*=\s*1\b",
+        r"\bUNION\s+SELECT\b",
+        r";\s*DROP\s+TABLE",
+        r";\s*DELETE\s+FROM",
+        r"--\s*$",
+        r"--\s",
+    ]
+
+    def __init__(self):
+        self._patterns = [re.compile(s, re.IGNORECASE) for s in self.SIGNATURES]
+
+    def predict(self, texts):
+        """1 = flagged as injection."""
+        return np.array(
+            [int(any(p.search(t) for p in self._patterns)) for t in texts]
+        )
+
+
+_KEYWORDS = ["union", "select", "drop", "delete", "insert", "or", "and",
+             "like", "substr", "count"]
+
+
+def lexical_features(text):
+    """Lexical statistics robust to case/whitespace obfuscation."""
+    lower = re.sub(r"/\*.*?\*/", " ", text.lower())  # strip inline comments
+    tokens = re.findall(r"[a-z_]+|[0-9]+|[^\sa-z0-9_]", lower)
+    n = max(1, len(text))
+    feats = [
+        len(text),
+        text.count("'") / n * 100,
+        text.count('"') / n * 100,
+        text.count(";"),
+        text.count("-") / n * 100,
+        text.count("=") ,
+        text.count("(") ,
+        lower.count("/**/") + text.count("/*"),
+        sum(c.isupper() for c in text) / n,
+        sum(c.isdigit() for c in text) / n,
+        len(tokens),
+    ]
+    for kw in _KEYWORDS:
+        feats.append(sum(1 for t in tokens if t == kw))
+    # Comparison-of-literals signal: any op between two literals/quoted.
+    feats.append(
+        len(re.findall(r"('[^']*'|\b\d+\b)\s*(=|>|<|like)\s*('[^']*'|\b\d+\b)",
+                       lower))
+    )
+    # Statement count (piggyback signal).
+    feats.append(lower.count(";"))
+    return np.asarray(feats, dtype=float)
+
+
+class LearnedInjectionDetector:
+    """Classifier over lexical features (tree or logistic).
+
+    Args:
+        kind: ``"tree"`` (classification-tree detectors [47, 69]) or
+            ``"logistic"``.
+        seed: training seed.
+    """
+
+    def __init__(self, kind="tree", seed=0):
+        self.kind = kind
+        self.scaler = StandardScaler()
+        if kind == "tree":
+            self.model = DecisionTreeClassifier(max_depth=8, seed=seed)
+        elif kind == "logistic":
+            self.model = LogisticRegression(lr=0.3, epochs=600, seed=seed)
+        else:
+            raise ValueError("kind must be 'tree' or 'logistic'")
+        self.name = "learned-%s" % kind
+
+    def fit(self, texts, labels):
+        X = np.stack([lexical_features(t) for t in texts])
+        X = self.scaler.fit_transform(X)
+        self.model.fit(X, np.asarray(labels, dtype=float))
+        return self
+
+    def predict(self, texts):
+        """1 = flagged as injection."""
+        X = np.stack([lexical_features(t) for t in texts])
+        X = self.scaler.transform(X)
+        return self.model.predict(X)
+
+
+def evaluate_detector(detector, texts, labels, families=None):
+    """Precision/recall/F1 overall plus per-family recall.
+
+    Returns:
+        dict with ``precision``, ``recall``, ``f1`` and (when families are
+        given) ``family_recall`` mapping family -> recall.
+    """
+    preds = detector.predict(texts)
+    precision, recall, f1 = precision_recall_f1(labels, preds)
+    out = {"precision": precision, "recall": recall, "f1": f1}
+    if families is not None:
+        per = {}
+        for fam in sorted({f for f in families if f}):
+            idx = [i for i, f in enumerate(families) if f == fam]
+            caught = sum(int(preds[i]) for i in idx)
+            per[fam] = caught / max(1, len(idx))
+        out["family_recall"] = per
+    return out

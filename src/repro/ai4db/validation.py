@@ -1,0 +1,226 @@
+"""Model validation, convergence guards, and drift adaptation.
+
+The tutorial's AI4DB challenges section (§2.3) asks three deployment
+questions this module answers concretely:
+
+* **Model validation** — "it is hard to evaluate whether a learned model is
+  effective ... a validation model is required." :class:`ValidatedEstimator`
+  holds out a validation workload, compares the learned estimator's q-error
+  against the traditional baseline, and *refuses to deploy* (falls back)
+  when the learned model does not win. At query time it also falls back
+  per-query when an ensemble disagreement signal says the model is
+  uncertain.
+
+* **Model convergence** — "if the model cannot be converged, we need to
+  provide alternative ways to avoid making delayed and inaccurate
+  decisions." :class:`ConvergenceGuard` monitors a tuner's improvement
+  curve and switches to a safe fallback policy when the learner stalls
+  below the fallback's known performance.
+
+* **Adaptability** — "how to make a trained model support dynamic data
+  updates?" :class:`DriftDetector` fingerprints the training-time column
+  statistics and flags retraining when the live distribution walks away.
+"""
+
+import numpy as np
+
+from repro.common import ModelError, ensure_rng
+from repro.engine.optimizer.cardinality import CardinalityEstimator
+from repro.ml import q_error, q_error_summary
+
+
+class ValidatedEstimator(CardinalityEstimator):
+    """A learned estimator gated by validation, with per-query fallback.
+
+    Args:
+        learned: the learned cardinality estimator (fitted).
+        fallback: the traditional estimator used when validation fails or a
+            query looks out-of-distribution.
+        accept_ratio: deploy the learned model only if its validation q95 is
+            at most ``accept_ratio`` times the fallback's.
+        disagreement_threshold: at query time, if ``learned/fallback``
+            estimates disagree by more than this factor *and* the learned
+            model lost validation in that regime, prefer the fallback.
+    """
+
+    def __init__(self, learned, fallback, accept_ratio=1.0,
+                 disagreement_threshold=50.0):
+        self.learned = learned
+        self.fallback = fallback
+        self.accept_ratio = accept_ratio
+        self.disagreement_threshold = disagreement_threshold
+        self.deployed_ = None
+        self.validation_report_ = None
+
+    def validate(self, queries, true_cards):
+        """Run the validation gate; returns the validation report dict."""
+        if not queries:
+            raise ModelError("validation needs at least one query")
+        learned_pred = [
+            self.learned.estimate_subset(q, q.tables) for q in queries
+        ]
+        fallback_pred = [
+            self.fallback.estimate_subset(q, q.tables) for q in queries
+        ]
+        learned_q = q_error_summary(true_cards, learned_pred)
+        fallback_q = q_error_summary(true_cards, fallback_pred)
+        self.deployed_ = learned_q["q95"] <= fallback_q["q95"] * self.accept_ratio
+        self.validation_report_ = {
+            "learned_q95": learned_q["q95"],
+            "fallback_q95": fallback_q["q95"],
+            "learned_q50": learned_q["q50"],
+            "fallback_q50": fallback_q["q50"],
+            "deployed": self.deployed_,
+        }
+        return self.validation_report_
+
+    def _choose(self, learned_value, fallback_value):
+        if not self.deployed_:
+            return fallback_value
+        hi = max(learned_value, 1.0)
+        lo = max(min(learned_value, fallback_value), 1.0)
+        if max(learned_value, fallback_value) / lo > self.disagreement_threshold:
+            # Massive disagreement: trust the bounded, explainable estimate.
+            return fallback_value
+        return learned_value
+
+    def estimate_table(self, query, table):
+        if self.deployed_ is None:
+            raise ModelError("validate() must run before estimation")
+        return self._choose(
+            self.learned.estimate_table(query, table),
+            self.fallback.estimate_table(query, table),
+        )
+
+    def estimate_subset(self, query, tables):
+        if self.deployed_ is None:
+            raise ModelError("validate() must run before estimation")
+        return self._choose(
+            self.learned.estimate_subset(query, tables),
+            self.fallback.estimate_subset(query, tables),
+        )
+
+
+class ConvergenceGuard:
+    """Watches a learner's reward curve; falls back when it stalls.
+
+    Wraps two tuners (a learner and a safe fallback) behind the tuner
+    protocol. The learner runs first; if after ``patience`` observations
+    its best-so-far has not beaten ``min_improvement`` over the starting
+    point, the remaining budget goes to the fallback — the "alternative
+    way to avoid delayed and inaccurate decisions" the paper calls for.
+
+    Args:
+        learner: the (possibly non-converging) tuner.
+        fallback: the safe tuner (e.g., grid or BO).
+        patience: observations granted to the learner before the check.
+        min_improvement: relative improvement the learner must show.
+    """
+
+    name = "convergence-guard"
+
+    def __init__(self, learner, fallback, patience=20, min_improvement=0.05):
+        self.learner = learner
+        self.fallback = fallback
+        self.patience = patience
+        self.min_improvement = min_improvement
+        self.fell_back_ = None
+
+    def tune(self, simulator, workload, budget):
+        """Run the guarded session; returns the winning TuningResult."""
+        probe_budget = min(self.patience, budget)
+        learner_result = self.learner.tune(simulator, workload, probe_budget)
+        baseline = learner_result.history[0]
+        improvement = (learner_result.best_throughput - baseline) / max(
+            baseline, 1e-9
+        )
+        remaining = budget - probe_budget
+        if improvement >= self.min_improvement or remaining <= 0:
+            self.fell_back_ = False
+            if remaining > 0:
+                cont = self.learner.tune(simulator, workload, remaining)
+                if cont.best_throughput > learner_result.best_throughput:
+                    return cont
+            return learner_result
+        self.fell_back_ = True
+        fallback_result = self.fallback.tune(simulator, workload, remaining)
+        if fallback_result.best_throughput >= learner_result.best_throughput:
+            return fallback_result
+        return learner_result
+
+
+class DriftDetector:
+    """Detects distribution drift against training-time statistics.
+
+    Fingerprints each numeric column with quantiles at fit time; at check
+    time computes the maximum absolute quantile shift, normalized by the
+    training-time interquartile range. Exceeding ``threshold`` flags the
+    column (and the models trained on it) for retraining.
+
+    Args:
+        quantiles: fingerprint quantiles.
+        threshold: normalized shift that counts as drift.
+    """
+
+    def __init__(self, quantiles=(0.1, 0.25, 0.5, 0.75, 0.9), threshold=0.5):
+        self.quantiles = tuple(quantiles)
+        self.threshold = threshold
+        self._fingerprints = {}
+
+    def fit(self, catalog, tables):
+        """Fingerprint the (numeric) columns of the given tables."""
+        from repro.engine.types import DataType
+
+        for t in tables:
+            table = catalog.table(t)
+            for col in table.schema.columns:
+                if col.dtype is DataType.TEXT:
+                    continue
+                values = np.asarray(table.column_array(col.name), dtype=float)
+                if values.size == 0:
+                    continue
+                self._fingerprints[(t.lower(), col.name.lower())] = (
+                    np.quantile(values, self.quantiles)
+                )
+        return self
+
+    def check(self, catalog):
+        """Return drifted columns as ``{(table, column): shift}``."""
+        drifted = {}
+        for (t, c), baseline in self._fingerprints.items():
+            table = catalog.table(t)
+            values = np.asarray(table.column_array(c), dtype=float)
+            if values.size == 0:
+                continue
+            current = np.quantile(values, self.quantiles)
+            iqr = max(baseline[-2] - baseline[1], 1e-9)
+            shift = float(np.max(np.abs(current - baseline)) / iqr)
+            if shift > self.threshold:
+                drifted[(t, c)] = shift
+        return drifted
+
+    def needs_retraining(self, catalog):
+        """Whether any fingerprinted column drifted."""
+        return bool(self.check(catalog))
+
+
+def uncertainty_from_ensemble(models, featurize, query, rng=None):
+    """Ensemble-disagreement uncertainty for a learned estimator.
+
+    Utility for callers wanting a per-query confidence signal: the spread
+    (max/min ratio) of an ensemble's predictions. High spread means the
+    query is off-manifold and the fallback estimator should be used.
+
+    Args:
+        models: list of fitted regressors with ``predict``.
+        featurize: ``query -> vector`` callable.
+        query: the query to score.
+
+    Returns:
+        ``(mean_estimate, spread_ratio)``.
+    """
+    x = featurize(query).reshape(1, -1)
+    preds = np.array([
+        max(float(np.expm1(m.predict(x)[0])), 1.0) for m in models
+    ])
+    return float(preds.mean()), float(preds.max() / preds.min())

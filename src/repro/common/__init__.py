@@ -1,0 +1,34 @@
+"""Shared utilities: errors, seeded randomness, timing, table reporting.
+
+Everything in :mod:`repro` that needs randomness accepts either an integer
+seed or a :class:`numpy.random.Generator`; :func:`ensure_rng` normalizes
+the two so experiments are reproducible end to end.
+"""
+
+from repro.common.errors import (
+    ReproError,
+    CatalogError,
+    ParseError,
+    PlanError,
+    ExecutionError,
+    ModelError,
+    NotFittedError,
+)
+from repro.common.rng import ensure_rng, spawn_rngs
+from repro.common.timing import Stopwatch, timed
+from repro.common.tables import ResultTable
+
+__all__ = [
+    "ReproError",
+    "CatalogError",
+    "ParseError",
+    "PlanError",
+    "ExecutionError",
+    "ModelError",
+    "NotFittedError",
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "timed",
+    "ResultTable",
+]

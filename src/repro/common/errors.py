@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library signals with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CatalogError(ReproError):
+    """A catalog object (table, column, index, view) is missing or invalid."""
+
+
+class ParseError(ReproError):
+    """SQL (or AISQL) text could not be tokenized or parsed.
+
+    Attributes:
+        position: character offset in the input where the error was detected,
+            or ``None`` when the error is not tied to a single location.
+    """
+
+    def __init__(self, message, position=None):
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(ReproError):
+    """A logical or physical plan is malformed or cannot be produced."""
+
+
+class ExecutionError(ReproError):
+    """A physical operator failed while producing rows."""
+
+
+class ModelError(ReproError):
+    """An ML model was misused (bad shapes, invalid hyperparameters...)."""
+
+
+class NotFittedError(ModelError):
+    """A model method requiring a fitted model was called before ``fit``."""

@@ -1,0 +1,129 @@
+"""Result-table formatting shared by benchmarks and EXPERIMENTS.md.
+
+Every experiment in the benchmark harness emits a :class:`ResultTable` so
+that console output, markdown snippets, and CSV files all agree. Keeping a
+single formatting path is what lets EXPERIMENTS.md be regenerated rather
+than hand-edited.
+"""
+
+
+def _format_cell(value, floatfmt):
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+class ResultTable:
+    """A small, ordered, column-typed result table.
+
+    Args:
+        title: human-readable experiment title (printed as a header).
+        columns: ordered list of column names.
+        floatfmt: ``format()`` spec applied to float cells (default ``.4g``).
+    """
+
+    def __init__(self, title, columns, floatfmt=".4g"):
+        if not columns:
+            raise ValueError("a ResultTable needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.floatfmt = floatfmt
+        self.rows = []
+
+    def add_row(self, *values, **named):
+        """Append a row, either positionally or by column name.
+
+        Positional values must match the column count exactly; named values
+        must cover every column. Mixing the two styles is rejected to keep
+        call sites unambiguous.
+        """
+        if values and named:
+            raise ValueError("pass either positional values or named values")
+        if named:
+            missing = [c for c in self.columns if c not in named]
+            if missing:
+                raise ValueError("missing columns: %s" % ", ".join(missing))
+            extra = [k for k in named if k not in self.columns]
+            if extra:
+                raise ValueError("unknown columns: %s" % ", ".join(extra))
+            row = [named[c] for c in self.columns]
+        else:
+            if len(values) != len(self.columns):
+                raise ValueError(
+                    "expected %d values, got %d" % (len(self.columns), len(values))
+                )
+            row = list(values)
+        self.rows.append(row)
+        return self
+
+    def column(self, name):
+        """Return the values of one column as a list."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise KeyError("no column named %r" % (name,))
+        return [row[idx] for row in self.rows]
+
+    def _rendered(self):
+        header = [str(c) for c in self.columns]
+        body = [
+            [_format_cell(v, self.floatfmt) for v in row] for row in self.rows
+        ]
+        widths = [len(h) for h in header]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return header, body, widths
+
+    def to_text(self):
+        """Render as an aligned plain-text table with a title header."""
+        header, body, widths = self._rendered()
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append(sep)
+        for row in body:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self):
+        """Render as a GitHub-flavored markdown table (with title header)."""
+        header, body, __ = self._rendered()
+        lines = ["### %s" % self.title, ""]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        for row in body:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def to_csv(self):
+        """Render as CSV text (no title; header row first)."""
+        def esc(cell):
+            if any(ch in cell for ch in ",\"\n"):
+                return '"' + cell.replace('"', '""') + '"'
+            return cell
+
+        header, body, __ = self._rendered()
+        lines = [",".join(esc(h) for h in header)]
+        for row in body:
+            lines.append(",".join(esc(c) for c in row))
+        return "\n".join(lines)
+
+    def show(self):
+        """Print the plain-text rendering (used by benches and examples)."""
+        print()
+        print(self.to_text())
+        print()
+        return self
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __repr__(self):
+        return "ResultTable(title=%r, columns=%r, rows=%d)" % (
+            self.title,
+            self.columns,
+            len(self.rows),
+        )

@@ -1,0 +1,74 @@
+"""Wall-clock timing helpers used by the experiment harness."""
+
+import time
+from contextlib import contextmanager
+
+
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    A stopwatch can be started and stopped repeatedly; ``elapsed`` is the
+    total time spent between start/stop pairs. Useful for timing only the
+    optimizer portion of a loop that also executes queries.
+    """
+
+    def __init__(self):
+        self._start = None
+        self._elapsed = 0.0
+
+    def start(self):
+        """Begin (or resume) timing. Idempotent while running."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self):
+        """Pause timing and fold the interval into ``elapsed``."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self
+
+    def reset(self):
+        """Zero the accumulated time and stop the watch."""
+        self._start = None
+        self._elapsed = 0.0
+        return self
+
+    @property
+    def running(self):
+        """Whether the watch is currently accumulating time."""
+        return self._start is not None
+
+    @property
+    def elapsed(self):
+        """Total accumulated seconds (including the open interval, if any)."""
+        extra = 0.0
+        if self._start is not None:
+            extra = time.perf_counter() - self._start
+        return self._elapsed + extra
+
+
+@contextmanager
+def timed(sink=None, key=None):
+    """Context manager yielding a :class:`Stopwatch` around a block.
+
+    Args:
+        sink: optional ``dict``; when given together with ``key`` the elapsed
+            seconds are stored into ``sink[key]`` on exit.
+        key: dictionary key used with ``sink``.
+
+    Example:
+        >>> times = {}
+        >>> with timed(times, "fit"):
+        ...     _ = sum(range(1000))
+        >>> times["fit"] >= 0.0
+        True
+    """
+    watch = Stopwatch().start()
+    try:
+        yield watch
+    finally:
+        watch.stop()
+        if sink is not None and key is not None:
+            sink[key] = watch.elapsed

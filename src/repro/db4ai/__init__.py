@@ -1,0 +1,15 @@
+"""DB-for-AI: database techniques that optimize ML workflows (paper §2.2).
+
+Subpackages mirror the tutorial's four DB4AI categories:
+
+* :mod:`repro.db4ai.declarative` — AISQL: ``CREATE MODEL`` / ``PREDICT``
+  statements executed inside the database.
+* :mod:`repro.db4ai.governance` — data discovery (Aurum-lite EKG), data
+  cleaning (ActiveClean-lite), data labeling (crowd + truth inference),
+  and data lineage.
+* :mod:`repro.db4ai.training` — feature-selection materialization, model
+  selection with parallel search, the model registry (ModelDB-lite), and
+  the hardware-acceleration cost model.
+* :mod:`repro.db4ai.inference` — in-database operators, operator
+  selection, and hybrid DB+AI query optimization (pushdown, cascades).
+"""

@@ -1,0 +1,17 @@
+"""Declarative language model: AISQL (paper §2.2, category 1)."""
+
+from repro.db4ai.declarative.aisql import (
+    AISQLExtension,
+    CreateModelStmt,
+    PredictStmt,
+    EvaluateStmt,
+    PredictResult,
+)
+
+__all__ = [
+    "AISQLExtension",
+    "CreateModelStmt",
+    "PredictStmt",
+    "EvaluateStmt",
+    "PredictResult",
+]

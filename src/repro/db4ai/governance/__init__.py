@@ -1,0 +1,37 @@
+"""Data governance for AI (paper §2.2, category 2)."""
+
+from repro.db4ai.governance.discovery import (
+    EnterpriseKnowledgeGraph,
+    joinable_pairs,
+)
+from repro.db4ai.governance.cleaning import (
+    CorruptedDataset,
+    ActiveCleanSession,
+    RandomCleanSession,
+    cleaning_curve,
+)
+from repro.db4ai.governance.labeling import (
+    SimulatedCrowd,
+    majority_vote,
+    DawidSkene,
+    active_label_acquisition,
+)
+from repro.db4ai.governance.lineage import (
+    LineageTable,
+    LineageTracker,
+)
+
+__all__ = [
+    "EnterpriseKnowledgeGraph",
+    "joinable_pairs",
+    "CorruptedDataset",
+    "ActiveCleanSession",
+    "RandomCleanSession",
+    "cleaning_curve",
+    "SimulatedCrowd",
+    "majority_vote",
+    "DawidSkene",
+    "active_label_acquisition",
+    "LineageTable",
+    "LineageTracker",
+]

@@ -1,0 +1,171 @@
+"""Data labeling with a simulated crowd and truth inference.
+
+The tutorial's labeling section [40, 57]: crowdsourcing platforms label
+training data cheaply but noisily, so the DB4AI problem is *truth
+inference* — recovering true labels from redundant noisy votes — and
+*label acquisition* — spending the label budget where it helps most.
+
+Implemented: a worker pool with per-worker confusion matrices, majority
+vote, Dawid–Skene EM (which jointly estimates worker reliabilities and
+true labels), and uncertainty-driven active acquisition.
+"""
+
+import numpy as np
+
+from repro.common import ensure_rng
+
+
+class SimulatedCrowd:
+    """A pool of workers with hidden per-worker confusion matrices.
+
+    Args:
+        n_workers: pool size.
+        n_classes: label-space size.
+        reliability_range: per-worker probability of answering correctly is
+            drawn uniformly from this range; errors are spread over the
+            other classes with a worker-specific bias.
+        n_spammers: workers who answer uniformly at random (the failure
+            mode majority vote handles worst).
+        seed: pool seed.
+    """
+
+    def __init__(self, n_workers=20, n_classes=3, reliability_range=(0.55, 0.95),
+                 n_spammers=3, seed=0):
+        rng = ensure_rng(seed)
+        self._rng = rng
+        self.n_workers = n_workers
+        self.n_classes = n_classes
+        self.confusion = np.zeros((n_workers, n_classes, n_classes))
+        for w in range(n_workers):
+            if w < n_spammers:
+                self.confusion[w] = np.full((n_classes, n_classes),
+                                            1.0 / n_classes)
+                continue
+            p = rng.uniform(*reliability_range)
+            for c in range(n_classes):
+                row = rng.dirichlet(np.ones(n_classes - 1)) * (1 - p)
+                self.confusion[w, c] = np.insert(row, c, p)
+
+    def label(self, true_class, worker):
+        """One noisy label from ``worker`` for an item of ``true_class``."""
+        return int(
+            self._rng.choice(self.n_classes, p=self.confusion[worker, true_class])
+        )
+
+    def collect(self, true_labels, redundancy=3):
+        """Random worker assignments with ``redundancy`` votes per item.
+
+        Returns:
+            votes: list (per item) of ``(worker, label)`` pairs.
+        """
+        votes = []
+        for t in true_labels:
+            workers = self._rng.choice(self.n_workers, size=redundancy,
+                                       replace=False)
+            votes.append([(int(w), self.label(int(t), int(w))) for w in workers])
+        return votes
+
+
+def majority_vote(votes, n_classes, seed=0):
+    """Per-item plurality label (ties broken at random, seeded)."""
+    rng = ensure_rng(seed)
+    out = []
+    for item_votes in votes:
+        counts = np.zeros(n_classes)
+        for __, label in item_votes:
+            counts[label] += 1
+        best = np.flatnonzero(counts == counts.max())
+        out.append(int(best[rng.integers(0, len(best))]))
+    return np.asarray(out)
+
+
+class DawidSkene:
+    """Dawid–Skene EM: jointly infer true labels and worker confusions.
+
+    Args:
+        n_classes: label-space size.
+        max_iter: EM iterations.
+        tol: convergence threshold on posterior change.
+    """
+
+    def __init__(self, n_classes, max_iter=50, tol=1e-5, smoothing=0.01):
+        self.n_classes = n_classes
+        self.max_iter = max_iter
+        self.tol = tol
+        self.smoothing = smoothing
+        self.posteriors_ = None
+        self.worker_confusion_ = None
+        self.class_prior_ = None
+
+    def fit(self, votes, n_workers):
+        """Run EM on the vote lists; returns self."""
+        n_items = len(votes)
+        K = self.n_classes
+        # Init posteriors with majority vote proportions.
+        post = np.full((n_items, K), 1.0 / K)
+        for i, item_votes in enumerate(votes):
+            counts = np.zeros(K)
+            for __, label in item_votes:
+                counts[label] += 1
+            if counts.sum():
+                post[i] = (counts + 0.1) / (counts + 0.1).sum()
+        for __ in range(self.max_iter):
+            # M step: worker confusions + class prior from posteriors.
+            conf = np.full((n_workers, K, K), self.smoothing)
+            for i, item_votes in enumerate(votes):
+                for w, label in item_votes:
+                    conf[w, :, label] += post[i]
+            conf /= conf.sum(axis=2, keepdims=True)
+            prior = post.mean(axis=0)
+            # E step: recompute posteriors.
+            new_post = np.tile(np.log(np.maximum(prior, 1e-12)), (n_items, 1))
+            for i, item_votes in enumerate(votes):
+                for w, label in item_votes:
+                    new_post[i] += np.log(np.maximum(conf[w, :, label], 1e-12))
+            new_post -= new_post.max(axis=1, keepdims=True)
+            new_post = np.exp(new_post)
+            new_post /= new_post.sum(axis=1, keepdims=True)
+            delta = float(np.abs(new_post - post).max())
+            post = new_post
+            self.worker_confusion_ = conf
+            self.class_prior_ = prior
+            if delta < self.tol:
+                break
+        self.posteriors_ = post
+        return self
+
+    def predict(self):
+        """MAP label per item."""
+        return self.posteriors_.argmax(axis=1)
+
+    def worker_reliability(self):
+        """Estimated per-worker accuracy (diagonal mass of the confusion)."""
+        return self.worker_confusion_.diagonal(axis1=1, axis2=2).mean(axis=1)
+
+
+def active_label_acquisition(crowd, true_labels, budget, initial_redundancy=1,
+                             batch=50, seed=0):
+    """Uncertainty-driven label acquisition vs. uniform redundancy.
+
+    Start with one vote per item, then repeatedly spend ``batch`` extra
+    votes on the items whose Dawid–Skene posterior is most uncertain,
+    until the budget is exhausted.
+
+    Returns:
+        ``(inferred_labels, votes)`` after the budget is spent.
+    """
+    rng = ensure_rng(seed)
+    n_items = len(true_labels)
+    votes = crowd.collect(true_labels, redundancy=initial_redundancy)
+    spent = n_items * initial_redundancy
+    while spent + batch <= budget:
+        ds = DawidSkene(crowd.n_classes).fit(votes, crowd.n_workers)
+        margins = np.sort(ds.posteriors_, axis=1)
+        uncertainty = 1.0 - (margins[:, -1] - margins[:, -2])
+        order = np.argsort(-uncertainty)
+        for i in order[:batch]:
+            worker = int(rng.integers(0, crowd.n_workers))
+            votes[i].append((worker, crowd.label(int(true_labels[i]), worker)))
+        spent += batch
+    ds = DawidSkene(crowd.n_classes).fit(votes, crowd.n_workers)
+    return ds.predict(), votes

@@ -1,0 +1,156 @@
+"""Row-level data lineage through pipeline transformations.
+
+The tutorial lists data lineage as a governance pillar: when a model
+misbehaves, trace its training rows back through filters/joins/maps to the
+source records (backward lineage), and when a source record is found to be
+corrupt, find everything it influenced (forward lineage).
+
+:class:`LineageTracker` wraps dataset transformations and records
+why-provenance — for each output row, the set of contributing input row
+ids per source — supporting both directions plus an audit trail of the
+operations applied.
+"""
+
+from repro.common import ReproError
+
+
+class LineageTable:
+    """A dataset with provenance: rows + per-row contributing source ids.
+
+    Attributes:
+        name: dataset name.
+        rows: list of row values (any Python objects, commonly dicts).
+        provenance: per output row, a dict ``{source_name: frozenset(ids)}``.
+    """
+
+    def __init__(self, name, rows, provenance=None, source=True):
+        self.name = name
+        self.rows = list(rows)
+        if provenance is None:
+            if not source:
+                raise ReproError("derived tables need explicit provenance")
+            provenance = [
+                {name: frozenset([i])} for i in range(len(self.rows))
+            ]
+        if len(provenance) != len(self.rows):
+            raise ReproError("provenance must align with rows")
+        self.provenance = list(provenance)
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __repr__(self):
+        return "LineageTable(%r, rows=%d)" % (self.name, len(self.rows))
+
+
+def _merge_prov(a, b):
+    out = dict(a)
+    for src, ids in b.items():
+        out[src] = out.get(src, frozenset()) | ids
+    return out
+
+
+class LineageTracker:
+    """Applies transformations while recording row-level lineage.
+
+    All operations return new :class:`LineageTable` objects and append an
+    entry to :attr:`log` describing the step.
+    """
+
+    def __init__(self):
+        self.log = []
+
+    def source(self, name, rows):
+        """Register a source dataset (identity provenance)."""
+        table = LineageTable(name, rows)
+        self.log.append(("source", name, len(rows)))
+        return table
+
+    def filter(self, table, predicate, name=None):
+        """Keep rows satisfying ``predicate(row)``."""
+        name = name or "%s_filtered" % table.name
+        rows, prov = [], []
+        for row, p in zip(table.rows, table.provenance):
+            if predicate(row):
+                rows.append(row)
+                prov.append(p)
+        out = LineageTable(name, rows, prov, source=False)
+        self.log.append(("filter", table.name, name, len(rows)))
+        return out
+
+    def map(self, table, fn, name=None):
+        """Transform each row with ``fn(row)`` (1-to-1 provenance)."""
+        name = name or "%s_mapped" % table.name
+        rows = [fn(r) for r in table.rows]
+        out = LineageTable(name, rows, list(table.provenance), source=False)
+        self.log.append(("map", table.name, name, len(rows)))
+        return out
+
+    def join(self, left, right, key_fn_left, key_fn_right, combine,
+             name=None):
+        """Hash equi-join; output provenance unions both inputs'."""
+        name = name or "%s_join_%s" % (left.name, right.name)
+        buckets = {}
+        for row, p in zip(right.rows, right.provenance):
+            buckets.setdefault(key_fn_right(row), []).append((row, p))
+        rows, prov = [], []
+        for row, p in zip(left.rows, left.provenance):
+            for rrow, rp in buckets.get(key_fn_left(row), ()):
+                rows.append(combine(row, rrow))
+                prov.append(_merge_prov(p, rp))
+        out = LineageTable(name, rows, prov, source=False)
+        self.log.append(("join", left.name, right.name, name, len(rows)))
+        return out
+
+    def union(self, a, b, name=None):
+        """Concatenate two datasets (provenance preserved per row)."""
+        name = name or "%s_union_%s" % (a.name, b.name)
+        out = LineageTable(
+            name, a.rows + b.rows, a.provenance + b.provenance, source=False
+        )
+        self.log.append(("union", a.name, b.name, name, len(out)))
+        return out
+
+    def aggregate(self, table, key_fn, agg_fn, name=None):
+        """Group-by aggregation; each group's provenance unions members'."""
+        name = name or "%s_agg" % table.name
+        groups = {}
+        for row, p in zip(table.rows, table.provenance):
+            key = key_fn(row)
+            bucket = groups.setdefault(key, ([], {}))
+            bucket[0].append(row)
+            groups[key] = (bucket[0], _merge_prov(bucket[1], p))
+        rows, prov = [], []
+        for key, (members, p) in groups.items():
+            rows.append(agg_fn(key, members))
+            prov.append(p)
+        out = LineageTable(name, rows, prov, source=False)
+        self.log.append(("aggregate", table.name, name, len(rows)))
+        return out
+
+    # -- lineage queries ---------------------------------------------------
+    @staticmethod
+    def backward(table, row_index):
+        """Source rows contributing to one output row.
+
+        Returns:
+            dict ``{source_name: sorted list of row ids}``.
+        """
+        if not 0 <= row_index < len(table):
+            raise ReproError("row index out of range")
+        return {
+            src: sorted(ids) for src, ids in table.provenance[row_index].items()
+        }
+
+    @staticmethod
+    def forward(table, source_name, source_id):
+        """Output rows influenced by one source row.
+
+        Returns:
+            sorted list of output row indices in ``table``.
+        """
+        hits = []
+        for i, prov in enumerate(table.provenance):
+            if source_id in prov.get(source_name, frozenset()):
+                hits.append(i)
+        return hits

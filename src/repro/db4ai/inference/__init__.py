@@ -1,0 +1,29 @@
+"""Model inference inside the database (paper §2.2, category 4)."""
+
+from repro.db4ai.inference.operators import (
+    ModelScanOperator,
+    udf_per_row_inference,
+    vectorized_inference,
+    select_operator,
+)
+from repro.db4ai.inference.pushdown import (
+    HybridQuery,
+    NaiveStrategy,
+    PushdownStrategy,
+    CascadeStrategy,
+    run_hybrid_query,
+    make_patients_database,
+)
+
+__all__ = [
+    "ModelScanOperator",
+    "udf_per_row_inference",
+    "vectorized_inference",
+    "select_operator",
+    "HybridQuery",
+    "NaiveStrategy",
+    "PushdownStrategy",
+    "CascadeStrategy",
+    "run_hybrid_query",
+    "make_patients_database",
+]

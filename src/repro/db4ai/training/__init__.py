@@ -1,0 +1,46 @@
+"""Model training optimization (paper §2.2, category 3)."""
+
+from repro.db4ai.training.registry import ModelRecord, ModelRegistry
+from repro.db4ai.training.features import (
+    FeatureSpec,
+    FeatureComputeEngine,
+    greedy_forward_selection,
+)
+from repro.db4ai.training.model_select import (
+    TrainingJob,
+    make_search_space,
+    simulate_parallel_search,
+    successive_halving,
+)
+from repro.db4ai.training.hardware import (
+    DeviceSpec,
+    DEVICES,
+    training_time,
+    crossover_table,
+)
+from repro.db4ai.training.fault_tolerance import (
+    CheckpointStore,
+    CheckpointableMLPTrainer,
+    CheckpointedTrainer,
+    SimulatedCrash,
+)
+
+__all__ = [
+    "CheckpointStore",
+    "CheckpointableMLPTrainer",
+    "CheckpointedTrainer",
+    "SimulatedCrash",
+    "ModelRecord",
+    "ModelRegistry",
+    "FeatureSpec",
+    "FeatureComputeEngine",
+    "greedy_forward_selection",
+    "TrainingJob",
+    "make_search_space",
+    "simulate_parallel_search",
+    "successive_halving",
+    "DeviceSpec",
+    "DEVICES",
+    "training_time",
+    "crossover_table",
+]

@@ -1,0 +1,123 @@
+"""Hardware acceleration of in-database training (DAnA [52], ColumnML [29]).
+
+The cited systems pipe training data from the buffer pool straight into an
+FPGA/accelerator, bypassing the CPU, and show *crossover* results: offload
+wins once data volume and model compute amortize the transfer setup, and
+column-stores feed accelerators better than row-stores because only the
+needed columns move.
+
+This analytic model reproduces those crossovers from first principles:
+``time = layout-dependent scan + transfer + device compute``, per device.
+"""
+
+import numpy as np
+
+from repro.common import ReproError
+
+
+class DeviceSpec:
+    """A compute device for in-database training.
+
+    Attributes:
+        name: device name.
+        compute_gflops: effective training throughput.
+        transfer_gbps: host->device bandwidth (None = in-place, no copy).
+        setup_ms: fixed invocation overhead.
+    """
+
+    def __init__(self, name, compute_gflops, transfer_gbps=None, setup_ms=0.0):
+        self.name = name
+        self.compute_gflops = float(compute_gflops)
+        self.transfer_gbps = transfer_gbps
+        self.setup_ms = float(setup_ms)
+
+    def __repr__(self):
+        return "DeviceSpec(%r, %.0f GFLOPs)" % (self.name, self.compute_gflops)
+
+
+#: Calibrated device roster (relative numbers matter, not absolutes).
+DEVICES = {
+    "cpu": DeviceSpec("cpu", compute_gflops=50.0, transfer_gbps=None,
+                      setup_ms=0.0),
+    "fpga": DeviceSpec("fpga", compute_gflops=400.0, transfer_gbps=8.0,
+                       setup_ms=30.0),
+    "gpu": DeviceSpec("gpu", compute_gflops=2000.0, transfer_gbps=12.0,
+                      setup_ms=80.0),
+}
+
+
+def scan_time_s(n_rows, n_cols_needed, n_cols_total, layout="column",
+                value_bytes=8, scan_gbps=6.0):
+    """Seconds to read the training columns out of storage.
+
+    Row stores must read whole rows; column stores read only the needed
+    columns — the ColumnML advantage.
+    """
+    if layout == "column":
+        data = n_rows * n_cols_needed * value_bytes
+    elif layout == "row":
+        data = n_rows * n_cols_total * value_bytes
+    else:
+        raise ReproError("layout must be 'row' or 'column'")
+    return data / (scan_gbps * 1e9)
+
+
+def training_time(device, n_rows, n_cols_needed, n_cols_total=20,
+                  layout="column", epochs=10, flops_per_value=200,
+                  value_bytes=8):
+    """End-to-end seconds to train on one device.
+
+    Components: storage scan (layout-dependent), host->device transfer
+    (None for CPU), device compute over ``epochs`` passes.
+
+    Returns:
+        dict with ``scan``, ``transfer``, ``compute``, ``total`` seconds.
+    """
+    if isinstance(device, str):
+        device = DEVICES[device]
+    scan = scan_time_s(n_rows, n_cols_needed, n_cols_total, layout,
+                       value_bytes)
+    data_bytes = n_rows * n_cols_needed * value_bytes
+    if device.transfer_gbps is None:
+        transfer = 0.0
+    else:
+        transfer = data_bytes / (device.transfer_gbps * 1e9)
+    flops = n_rows * n_cols_needed * flops_per_value * epochs
+    compute = flops / (device.compute_gflops * 1e9)
+    total = scan + transfer + compute + device.setup_ms / 1000.0
+    return {"scan": scan, "transfer": transfer, "compute": compute,
+            "total": total}
+
+
+def crossover_table(row_counts, devices=("cpu", "fpga", "gpu"),
+                    layouts=("row", "column"), **kwargs):
+    """Training time per (device, layout) across data sizes.
+
+    Returns:
+        list of dict rows: ``{"n_rows", "device", "layout", "total_s"}`` —
+        the E15 crossover table showing where offload starts to win and
+        how much the columnar layout helps.
+    """
+    out = []
+    for n_rows in row_counts:
+        for device in devices:
+            for layout in layouts:
+                t = training_time(device, n_rows, n_cols_needed=6,
+                                  layout=layout, **kwargs)
+                out.append({
+                    "n_rows": n_rows,
+                    "device": device,
+                    "layout": layout,
+                    "total_s": t["total"],
+                })
+    return out
+
+
+def best_device(n_rows, layout="column", **kwargs):
+    """The fastest device for a given scale (argmin of total time)."""
+    times = {
+        name: training_time(name, n_rows, n_cols_needed=6, layout=layout,
+                            **kwargs)["total"]
+        for name in DEVICES
+    }
+    return min(times, key=times.get), times

@@ -1,0 +1,127 @@
+"""ModelDB-lite: a versioned in-database model registry (Vartak et al. [75]).
+
+Model training is trial-and-error; the registry tracks every trained model
+with its hyperparameters, metrics, training-data lineage, and parent
+version, and supports the queries a practitioner actually runs: "best
+model for task X", "what produced this model", "all versions of Y".
+"""
+
+import time
+
+from repro.common import CatalogError
+
+
+class ModelRecord:
+    """One registered model version.
+
+    Attributes:
+        name: logical model name.
+        version: integer version within the name (1-based).
+        model: the fitted estimator object.
+        params: hyperparameter dict.
+        metrics: evaluation metrics dict.
+        lineage: description of training data (table name, predicate, row
+            count, feature columns...).
+        parent: ``(name, version)`` of the model this was derived from.
+        created_at: registration timestamp (seconds).
+        tags: free-form string tags.
+    """
+
+    def __init__(self, name, version, model, params=None, metrics=None,
+                 lineage=None, parent=None, tags=()):
+        self.name = name
+        self.version = version
+        self.model = model
+        self.params = dict(params or {})
+        self.metrics = dict(metrics or {})
+        self.lineage = dict(lineage or {})
+        self.parent = parent
+        self.created_at = time.time()
+        self.tags = set(tags)
+
+    @property
+    def key(self):
+        """``(name, version)`` identity."""
+        return (self.name, self.version)
+
+    def __repr__(self):
+        return "ModelRecord(%s v%d, metrics=%r)" % (
+            self.name, self.version, self.metrics
+        )
+
+
+class ModelRegistry:
+    """Stores, versions, and searches model records."""
+
+    def __init__(self):
+        self._by_name = {}
+
+    def register(self, name, model, params=None, metrics=None, lineage=None,
+                 parent=None, tags=()):
+        """Register a new version of ``name``; returns the record."""
+        versions = self._by_name.setdefault(name.lower(), [])
+        record = ModelRecord(
+            name, len(versions) + 1, model, params, metrics, lineage, parent,
+            tags,
+        )
+        versions.append(record)
+        return record
+
+    def get(self, name, version=None):
+        """Fetch a record (latest version by default)."""
+        versions = self._by_name.get(name.lower())
+        if not versions:
+            raise CatalogError("no model named %r" % (name,))
+        if version is None:
+            return versions[-1]
+        if not 1 <= version <= len(versions):
+            raise CatalogError(
+                "model %r has versions 1..%d, not %r"
+                % (name, len(versions), version)
+            )
+        return versions[version - 1]
+
+    def has_model(self, name):
+        """Whether any version of ``name`` exists."""
+        return name.lower() in self._by_name
+
+    def versions(self, name):
+        """All versions of one model name."""
+        versions = self._by_name.get(name.lower())
+        if not versions:
+            raise CatalogError("no model named %r" % (name,))
+        return list(versions)
+
+    def all_records(self):
+        """Every record across names and versions."""
+        out = []
+        for versions in self._by_name.values():
+            out.extend(versions)
+        return out
+
+    def best(self, metric, higher_is_better=True, tag=None):
+        """The record with the best value of ``metric`` (optionally tagged)."""
+        pool = [
+            r
+            for r in self.all_records()
+            if metric in r.metrics and (tag is None or tag in r.tags)
+        ]
+        if not pool:
+            raise CatalogError("no models with metric %r" % (metric,))
+        return (max if higher_is_better else min)(
+            pool, key=lambda r: r.metrics[metric]
+        )
+
+    def search(self, predicate):
+        """Records satisfying ``predicate(record)``."""
+        return [r for r in self.all_records() if predicate(r)]
+
+    def lineage_chain(self, name, version=None):
+        """Walk parents back to the root; returns records newest-first."""
+        chain = [self.get(name, version)]
+        while chain[-1].parent is not None:
+            chain.append(self.get(*chain[-1].parent))
+        return chain
+
+    def __len__(self):
+        return len(self.all_records())

@@ -1,0 +1,71 @@
+"""In-memory relational database substrate.
+
+Everything the AI4DB components act on lives here: a SQL front end, a
+catalog with statistics, a pluggable cost-based optimizer, an executor with
+exact work accounting, index structures, and the simulators (knobs,
+transactions, telemetry) that stand in for production substrates per the
+substitution table in DESIGN.md.
+"""
+
+from repro.engine.types import ColumnSchema, DataType, TableSchema
+from repro.engine.storage import PAGE_BYTES, Table
+from repro.engine.stats import ColumnStats, EquiDepthHistogram, TableStats
+from repro.engine.query import Aggregate, ConjunctiveQuery, JoinEdge, Predicate
+from repro.engine.catalog import Catalog, IndexDef, ViewDef
+from repro.engine.indexes import BPlusTree, HashIndex
+from repro.engine.executor import ExecutionResult, Executor, Relation, count_join_rows
+from repro.engine.database import Database
+from repro.engine.knobs import (
+    KnobSpec,
+    KnobResponseSimulator,
+    WorkloadProfile,
+    default_knobs,
+    standard_workloads,
+)
+from repro.engine.txn import (
+    Transaction,
+    LockTableSimulator,
+    ScheduleResult,
+    hotspot_workload,
+    fifo_schedule,
+    cost_ordered_schedule,
+)
+from repro.engine import datagen, telemetry
+
+__all__ = [
+    "ColumnSchema",
+    "DataType",
+    "TableSchema",
+    "PAGE_BYTES",
+    "Table",
+    "ColumnStats",
+    "EquiDepthHistogram",
+    "TableStats",
+    "Aggregate",
+    "ConjunctiveQuery",
+    "JoinEdge",
+    "Predicate",
+    "Catalog",
+    "IndexDef",
+    "ViewDef",
+    "BPlusTree",
+    "HashIndex",
+    "ExecutionResult",
+    "Executor",
+    "Relation",
+    "count_join_rows",
+    "Database",
+    "KnobSpec",
+    "KnobResponseSimulator",
+    "WorkloadProfile",
+    "default_knobs",
+    "standard_workloads",
+    "Transaction",
+    "LockTableSimulator",
+    "ScheduleResult",
+    "hotspot_workload",
+    "fifo_schedule",
+    "cost_ordered_schedule",
+    "datagen",
+    "telemetry",
+]

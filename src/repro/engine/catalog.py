@@ -1,0 +1,338 @@
+"""Catalog: tables, statistics, indexes (real and what-if), views.
+
+The catalog is the surface the AI4DB advisors act on: the index advisor
+creates/drops (possibly hypothetical) indexes, the view advisor registers
+materialized views, ANALYZE refreshes the statistics the traditional
+optimizer estimates from.
+"""
+
+import numpy as np
+
+from repro.common import CatalogError
+from repro.engine.indexes import BPlusTree, HashIndex
+from repro.engine.stats import TableStats
+from repro.engine.storage import VALUE_BYTES, Table
+from repro.engine.types import ColumnSchema, DataType, TableSchema
+
+
+class IndexDef:
+    """Catalog entry for an index.
+
+    Attributes:
+        name: unique index name.
+        table: indexed table name.
+        column: indexed column name.
+        kind: ``"btree"`` or ``"hash"``.
+        hypothetical: when True the index has no physical structure — it
+            exists only for what-if costing (the index-advisor workflow).
+        structure: the physical :class:`BPlusTree`/:class:`HashIndex`, or
+            ``None`` for hypothetical indexes.
+    """
+
+    def __init__(self, name, table, column, kind="btree", hypothetical=False,
+                 structure=None):
+        if kind not in ("btree", "hash"):
+            raise CatalogError("index kind must be 'btree' or 'hash'")
+        self.name = name
+        self.table = table
+        self.column = column
+        self.kind = kind
+        self.hypothetical = hypothetical
+        self.structure = structure
+
+    def size_bytes(self, n_rows, n_distinct=None):
+        """Actual or modeled size of the index."""
+        if self.structure is not None:
+            return self.structure.size_bytes()
+        # Hypothetical: model as one key + one pointer per row plus 20%
+        # structural overhead.
+        return int(n_rows * (8 + 8) * 1.2)
+
+    def __repr__(self):
+        tag = "what-if " if self.hypothetical else ""
+        return "IndexDef(%s%s on %s.%s, %s)" % (
+            tag, self.name, self.table, self.column, self.kind
+        )
+
+
+class ViewDef:
+    """Catalog entry for a materialized view.
+
+    The view materializes the join result of ``query`` with *all* columns of
+    the joined tables (wide rows), so any query over the same table set and
+    join edges whose predicates subsume the view's can be answered from it
+    by applying residual predicates.
+
+    Attributes:
+        name: view name.
+        query: the defining :class:`~repro.engine.query.ConjunctiveQuery`.
+        table: the materialized :class:`~repro.engine.storage.Table`; column
+            names are ``table__column``.
+    """
+
+    def __init__(self, name, query, table):
+        self.name = name
+        self.query = query
+        self.table = table
+
+    @property
+    def n_rows(self):
+        """Materialized row count."""
+        return self.table.n_rows
+
+    def size_bytes(self):
+        """Modeled storage footprint of the materialization."""
+        return self.table.n_rows * self.table.row_bytes()
+
+    def matches(self, query):
+        """Whether ``query`` can be answered from this view.
+
+        Requires the same table set, the same join-edge set, and the view's
+        predicates to be a subset of the query's predicates. Returns the
+        residual predicates to apply on the view, or ``None`` when the view
+        does not apply.
+        """
+        if set(t.lower() for t in query.tables) != set(
+            t.lower() for t in self.query.tables
+        ):
+            return None
+        if set(e.key() for e in query.join_edges) != set(
+            e.key() for e in self.query.join_edges
+        ):
+            return None
+        view_preds = set(p.key() for p in self.query.predicates)
+        query_preds = set(p.key() for p in query.predicates)
+        if not view_preds <= query_preds:
+            return None
+        return [p for p in query.predicates if p.key() not in view_preds]
+
+    def __repr__(self):
+        return "ViewDef(%r, rows=%d)" % (self.name, self.n_rows)
+
+
+class Catalog:
+    """Holds all tables, statistics, indexes, and materialized views."""
+
+    def __init__(self):
+        self._tables = {}
+        self._stats = {}
+        self._indexes = {}
+        self._views = {}
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def create_table(self, name, columns, sensitive=()):
+        """Create an empty table.
+
+        Args:
+            name: table name.
+            columns: list of ``(name, type)`` pairs or :class:`ColumnSchema`.
+            sensitive: column names to flag as sensitive (ground truth for
+                the security experiments).
+
+        Returns:
+            the new :class:`Table`.
+        """
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError("table %r already exists" % (name,))
+        sensitive_set = {s.lower() for s in sensitive}
+        cols = []
+        for c in columns:
+            if isinstance(c, ColumnSchema):
+                cols.append(c)
+            else:
+                cname, ctype = c
+                cols.append(
+                    ColumnSchema(
+                        cname, ctype, sensitive=cname.lower() in sensitive_set
+                    )
+                )
+        table = Table(TableSchema(name, cols))
+        self._tables[key] = table
+        return table
+
+    def register_table(self, table):
+        """Register a pre-built :class:`Table` (used by the data generators)."""
+        key = table.name.lower()
+        if key in self._tables:
+            raise CatalogError("table %r already exists" % (table.name,))
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name):
+        """Drop a table and its dependent stats and indexes."""
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError("no table named %r" % (name,))
+        del self._tables[key]
+        self._stats.pop(key, None)
+        for idx_name in [
+            n for n, d in self._indexes.items() if d.table.lower() == key
+        ]:
+            del self._indexes[idx_name]
+
+    def table(self, name):
+        """Look up a table by name."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError("no table named %r" % (name,))
+
+    def has_table(self, name):
+        """Whether the table exists."""
+        return name.lower() in self._tables
+
+    def table_names(self):
+        """All table names (sorted)."""
+        return sorted(t.name for t in self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def analyze(self, name=None, n_buckets=32):
+        """Collect statistics for one table (or all tables when ``None``)."""
+        if name is None:
+            for t in list(self._tables.values()):
+                self.analyze(t.name, n_buckets=n_buckets)
+            return None
+        table = self.table(name)
+        stats = TableStats.build(table, n_buckets=n_buckets)
+        self._stats[name.lower()] = stats
+        return stats
+
+    def stats(self, name):
+        """Statistics for a table, computing them lazily if missing."""
+        key = name.lower()
+        if key not in self._stats:
+            self.analyze(name)
+        return self._stats[key]
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def create_index(self, name, table, column, kind="btree", hypothetical=False):
+        """Create a (real or what-if) single-column index."""
+        if name.lower() in {n.lower() for n in self._indexes}:
+            raise CatalogError("index %r already exists" % (name,))
+        tbl = self.table(table)
+        tbl.schema.column(column)  # validates the column exists
+        structure = None
+        if not hypothetical:
+            values = tbl.column_array(column)
+            pairs = list(zip(values.tolist(), range(len(values))))
+            if kind == "btree":
+                structure = BPlusTree.bulk_load(pairs)
+            else:
+                structure = HashIndex.bulk_load(pairs)
+        idx = IndexDef(
+            name, tbl.name, tbl.schema.column(column).name, kind,
+            hypothetical=hypothetical, structure=structure,
+        )
+        self._indexes[name] = idx
+        return idx
+
+    def drop_index(self, name):
+        """Drop an index by name."""
+        for key in list(self._indexes):
+            if key.lower() == name.lower():
+                del self._indexes[key]
+                return
+        raise CatalogError("no index named %r" % (name,))
+
+    def indexes(self, table=None):
+        """All indexes, optionally restricted to one table."""
+        out = list(self._indexes.values())
+        if table is not None:
+            out = [i for i in out if i.table.lower() == table.lower()]
+        return out
+
+    def index_on(self, table, column, include_hypothetical=True):
+        """The index on ``table.column`` if one exists, else ``None``."""
+        for idx in self._indexes.values():
+            if (
+                idx.table.lower() == table.lower()
+                and idx.column.lower() == column.lower()
+                and (include_hypothetical or not idx.hypothetical)
+            ):
+                return idx
+        return None
+
+    def index_size_total(self):
+        """Total modeled bytes across all (non-hypothetical) indexes."""
+        total = 0
+        for idx in self._indexes.values():
+            if idx.hypothetical:
+                continue
+            n_rows = self.table(idx.table).n_rows
+            total += idx.size_bytes(n_rows)
+        return total
+
+    # ------------------------------------------------------------------
+    # Materialized views
+    # ------------------------------------------------------------------
+    def register_view(self, view):
+        """Register a materialized :class:`ViewDef`."""
+        key = view.name.lower()
+        if key in self._views:
+            raise CatalogError("view %r already exists" % (view.name,))
+        self._views[key] = view
+        return view
+
+    def drop_view(self, name):
+        """Drop a materialized view."""
+        key = name.lower()
+        if key not in self._views:
+            raise CatalogError("no view named %r" % (name,))
+        del self._views[key]
+
+    def views(self):
+        """All materialized views."""
+        return list(self._views.values())
+
+    def matching_view(self, query):
+        """Find ``(view, residual_predicates)`` answering ``query``, if any.
+
+        Prefers the view with the fewest rows (cheapest to scan).
+        """
+        best = None
+        for view in self._views.values():
+            residual = view.matches(query)
+            if residual is None:
+                continue
+            if best is None or view.n_rows < best[0].n_rows:
+                best = (view, residual)
+        return best
+
+    def view_size_total(self):
+        """Total modeled bytes across all materialized views."""
+        return sum(v.size_bytes() for v in self._views.values())
+
+    # ------------------------------------------------------------------
+    def total_data_bytes(self):
+        """Total modeled base-table bytes."""
+        return sum(t.n_rows * t.row_bytes() for t in self._tables.values())
+
+    def describe(self):
+        """Human-readable one-line-per-object summary (for examples/demos)."""
+        lines = []
+        for t in sorted(self._tables.values(), key=lambda x: x.name.lower()):
+            lines.append(
+                "table %s(%s) rows=%d"
+                % (
+                    t.name,
+                    ", ".join(
+                        "%s %s" % (c.name, c.dtype.value) for c in t.schema.columns
+                    ),
+                    t.n_rows,
+                )
+            )
+        for i in self.indexes():
+            lines.append("index %s on %s.%s (%s)%s" % (
+                i.name, i.table, i.column, i.kind,
+                " [what-if]" if i.hypothetical else "",
+            ))
+        for v in self.views():
+            lines.append("view %s rows=%d" % (v.name, v.n_rows))
+        return "\n".join(lines)

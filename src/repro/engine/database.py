@@ -1,0 +1,140 @@
+"""The :class:`Database` façade: SQL in, rows out.
+
+Ties the front end (parser + lowering), the optimizer (rewriter, planner)
+and the executor together, and exposes the extension points the AI4DB and
+DB4AI layers use:
+
+* ``statement_hooks`` — callables that get the raw SQL text first; the
+  AISQL declarative layer registers its ``CREATE MODEL``/``PREDICT``
+  handlers here.
+* ``planner`` attributes — estimator/enumerator/cost model are swappable.
+* ``rewriter`` — optional query rewriter applied before planning.
+"""
+
+from repro.common import ParseError
+from repro.engine.catalog import Catalog
+from repro.engine.executor import Executor, count_join_rows
+from repro.engine.optimizer.cost import CostModel
+from repro.engine.optimizer.planner import Planner
+from repro.engine.sql.ast_nodes import (
+    AnalyzeStmt,
+    CreateIndexStmt,
+    CreateTableStmt,
+    InsertStmt,
+    SelectStmt,
+)
+from repro.engine.sql.lowering import lower_select
+from repro.engine.sql.parser import parse_sql
+
+
+class Database:
+    """An in-memory database instance.
+
+    Args:
+        enumerator: join enumerator for the default planner
+            (``"dp"``/``"greedy"``/``"random"``).
+        use_views: whether the planner may answer from materialized views.
+        cost_params: overrides for the cost-model constants (knob effects).
+    """
+
+    def __init__(self, enumerator="dp", use_views=True, cost_params=None):
+        self.catalog = Catalog()
+        self.cost_model = CostModel(cost_params)
+        self.planner = Planner(
+            self.catalog,
+            cost_model=self.cost_model,
+            enumerator=enumerator,
+            use_views=use_views,
+        )
+        self.executor = Executor(self.catalog, self.cost_model)
+        self.rewriter = None  # callable(query) -> query, set by ai4db layers
+        self.statement_hooks = []  # callables(db, sql_text) -> result or None
+
+    # ------------------------------------------------------------------
+    def execute(self, sql_text):
+        """Execute one SQL (or AISQL) statement.
+
+        Returns:
+            For SELECT: an :class:`~repro.engine.executor.ExecutionResult`.
+            For DDL/DML/ANALYZE: a status string.
+            For hooked statements: whatever the hook returns.
+        """
+        for hook in self.statement_hooks:
+            result = hook(self, sql_text)
+            if result is not None:
+                return result
+        stmt = parse_sql(sql_text)
+        if isinstance(stmt, SelectStmt):
+            return self._run_select(stmt)
+        if isinstance(stmt, CreateTableStmt):
+            self.catalog.create_table(stmt.name, stmt.columns)
+            return "CREATE TABLE"
+        if isinstance(stmt, CreateIndexStmt):
+            self.catalog.create_index(
+                stmt.name, stmt.table, stmt.column, kind=stmt.kind,
+                hypothetical=stmt.hypothetical,
+            )
+            return "CREATE INDEX"
+        if isinstance(stmt, InsertStmt):
+            table = self.catalog.table(stmt.table)
+            rows = stmt.rows
+            if stmt.columns:
+                positions = [
+                    table.schema.column_index(c) for c in stmt.columns
+                ]
+                width = len(table.schema.columns)
+                reordered = []
+                for r in rows:
+                    if len(r) != len(positions):
+                        raise ParseError(
+                            "INSERT row width %d != column list width %d"
+                            % (len(r), len(positions))
+                        )
+                    full = [None] * width
+                    for pos, v in zip(positions, r):
+                        full[pos] = v
+                    reordered.append(full)
+                rows = reordered
+            n = table.insert_rows(rows)
+            return "INSERT %d" % n
+        if isinstance(stmt, AnalyzeStmt):
+            self.catalog.analyze(stmt.table)
+            return "ANALYZE"
+        raise ParseError("unhandled statement %r" % (stmt,))
+
+    def _run_select(self, stmt):
+        query = lower_select(stmt, self.catalog)
+        if self.rewriter is not None:
+            query = self.rewriter(query)
+        plan = self.planner.plan(query)
+        return self.executor.execute(plan)
+
+    # ------------------------------------------------------------------
+    def query(self, sql_text):
+        """Execute a SELECT and return just the rows."""
+        result = self.execute(sql_text)
+        return result.rows
+
+    def explain(self, sql_text):
+        """Return the physical plan text for a SELECT without executing it."""
+        stmt = parse_sql(sql_text)
+        if not isinstance(stmt, SelectStmt):
+            raise ParseError("EXPLAIN supports only SELECT statements")
+        query = lower_select(stmt, self.catalog)
+        if self.rewriter is not None:
+            query = self.rewriter(query)
+        plan = self.planner.plan(query)
+        return plan.pretty()
+
+    def run_query_object(self, query, order=None):
+        """Plan and execute a structured :class:`ConjunctiveQuery` directly."""
+        if self.rewriter is not None:
+            query = self.rewriter(query)
+        plan = self.planner.plan(query, order=order)
+        return self.executor.execute(plan)
+
+    def true_cardinality(self, query, tables=None):
+        """Oracle cardinality of (a subset of) a conjunctive query's join."""
+        return count_join_rows(
+            self.catalog, query, tables if tables is not None else query.tables
+        )

@@ -1,0 +1,385 @@
+"""Plan executor.
+
+Interprets a physical plan over the catalog, producing rows *and* an exact
+work measurement. Work is computed with the same formulas as the analytic
+cost model but on the **actual** cardinalities observed at run time, so:
+
+* measured work == cost-model output under a perfect estimator, and
+* the gap between a plan's ``est_cost`` and its measured work is exactly
+  the damage done by cardinality misestimation — the quantity the learned
+  optimizer experiments report.
+
+Results are fully materialized (these are analytics-scale experiments, not
+a streaming engine).
+"""
+
+import operator
+
+from repro.common import ExecutionError
+from repro.engine import plans as P
+from repro.engine.optimizer.cost import CostModel
+
+_OPS = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Relation:
+    """An intermediate result: column labels plus materialized rows.
+
+    Attributes:
+        columns: list of ``(table, column)`` labels (lowercased).
+        rows: list of tuples aligned with ``columns``.
+    """
+
+    __slots__ = ("columns", "rows", "_index")
+
+    def __init__(self, columns, rows):
+        self.columns = [(t.lower(), c.lower()) for t, c in columns]
+        self.rows = rows
+        self._index = {tc: i for i, tc in enumerate(self.columns)}
+
+    def col_pos(self, table, column):
+        """Position of ``table.column`` in each row tuple."""
+        key = (table.lower(), column.lower())
+        if key not in self._index:
+            raise ExecutionError(
+                "intermediate result has no column %s.%s" % (table, column)
+            )
+        return self._index[key]
+
+    def __len__(self):
+        return len(self.rows)
+
+
+class ExecutionResult:
+    """Executor output: the result relation plus the work accounting."""
+
+    def __init__(self, relation, work, operator_work):
+        self.relation = relation
+        self.work = work
+        self.operator_work = operator_work
+
+    @property
+    def rows(self):
+        """Result rows (list of tuples)."""
+        return self.relation.rows
+
+    @property
+    def columns(self):
+        """Result column labels."""
+        return self.relation.columns
+
+    def __repr__(self):
+        return "ExecutionResult(rows=%d, work=%.1f)" % (len(self.rows), self.work)
+
+
+class Executor:
+    """Executes physical plans against a catalog.
+
+    Args:
+        catalog: the :class:`~repro.engine.catalog.Catalog`.
+        cost_model: the :class:`CostModel` whose constants weight the work
+            accounting (pass the knob-derived model so knob settings change
+            measured work, closing the tuning feedback loop).
+    """
+
+    def __init__(self, catalog, cost_model=None):
+        self.catalog = catalog
+        self.cost_model = cost_model or CostModel()
+
+    def execute(self, plan):
+        """Run ``plan``; returns an :class:`ExecutionResult`."""
+        self._work = 0.0
+        self._op_work = {}
+        relation = self._exec(plan)
+        return ExecutionResult(relation, self._work, dict(self._op_work))
+
+    # ------------------------------------------------------------------
+    def _charge(self, node, amount):
+        self._work += amount
+        key = node.op_name
+        self._op_work[key] = self._op_work.get(key, 0.0) + amount
+
+    def _exec(self, node):
+        handler = getattr(self, "_exec_%s" % type(node).__name__.lower(), None)
+        if handler is None:
+            raise ExecutionError("executor does not support %r" % (node,))
+        return handler(node)
+
+    # -- scans -----------------------------------------------------------
+    def _table_relation(self, table_name):
+        table = self.catalog.table(table_name)
+        columns = [(table.name, c.name) for c in table.schema.columns]
+        return table, columns
+
+    @staticmethod
+    def _eval_predicates(relation, predicates):
+        if not predicates:
+            return relation.rows
+        compiled = [
+            (relation.col_pos(p.table, p.column), _OPS[p.op], p.value)
+            for p in predicates
+        ]
+        out = []
+        for row in relation.rows:
+            ok = True
+            for pos, op, value in compiled:
+                if not op(row[pos], value):
+                    ok = False
+                    break
+            if ok:
+                out.append(row)
+        return out
+
+    def _exec_seqscan(self, node):
+        table, columns = self._table_relation(node.table)
+        self._charge(node, self.cost_model.seq_scan(table.n_rows))
+        relation = Relation(columns, table.rows())
+        rows = self._eval_predicates(relation, node.predicates)
+        return Relation(columns, rows)
+
+    def _exec_indexscan(self, node):
+        idx = None
+        for cand in self.catalog.indexes(node.table):
+            if cand.name == node.index_name:
+                idx = cand
+                break
+        if idx is None:
+            raise ExecutionError("index %r not found" % (node.index_name,))
+        if idx.hypothetical:
+            raise ExecutionError(
+                "cannot execute a plan using hypothetical index %r" % (idx.name,)
+            )
+        pred = node.predicate
+        structure = idx.structure
+        if pred.op == "=":
+            row_ids = structure.search(pred.value)
+        elif idx.kind == "hash":
+            raise ExecutionError("hash index supports only equality probes")
+        elif pred.op == "<":
+            row_ids = structure.range_search(high=pred.value, inclusive=(True, False))
+        elif pred.op == "<=":
+            row_ids = structure.range_search(high=pred.value, inclusive=(True, True))
+        elif pred.op == ">":
+            row_ids = structure.range_search(low=pred.value, inclusive=(False, True))
+        elif pred.op == ">=":
+            row_ids = structure.range_search(low=pred.value, inclusive=(True, True))
+        else:
+            raise ExecutionError("index scan cannot evaluate %r" % (pred,))
+        table, columns = self._table_relation(node.table)
+        self._charge(node, self.cost_model.index_scan(len(row_ids)))
+        relation = Relation(columns, table.rows(sorted(row_ids)))
+        rows = self._eval_predicates(relation, node.residual)
+        return Relation(columns, rows)
+
+    def _exec_viewscan(self, node):
+        view_table = node.view.table
+        columns = []
+        for name in view_table.schema.column_names:
+            t, __, c = name.partition("__")
+            columns.append((t, c))
+        self._charge(node, self.cost_model.seq_scan(view_table.n_rows))
+        relation = Relation(columns, view_table.rows())
+        rows = self._eval_predicates(relation, node.residual)
+        return Relation(columns, rows)
+
+    def _exec_emptyresult(self, node):
+        return Relation(node.columns, [])
+
+    # -- joins -----------------------------------------------------------
+    def _join_keys(self, node, left, right):
+        left_pos, right_pos = [], []
+        for e in node.edges:
+            if (e.left_table.lower(), e.left_column.lower()) in {
+                tc for tc in left.columns
+            }:
+                lp = left.col_pos(e.left_table, e.left_column)
+                rp = right.col_pos(e.right_table, e.right_column)
+            else:
+                lp = left.col_pos(e.right_table, e.right_column)
+                rp = right.col_pos(e.left_table, e.left_column)
+            left_pos.append(lp)
+            right_pos.append(rp)
+        return left_pos, right_pos
+
+    def _exec_hashjoin(self, node):
+        left = self._exec(node.children[0])
+        right = self._exec(node.children[1])
+        left_pos, right_pos = self._join_keys(node, left, right)
+        buckets = {}
+        for row in right.rows:
+            key = tuple(row[p] for p in right_pos)
+            buckets.setdefault(key, []).append(row)
+        out = []
+        for row in left.rows:
+            key = tuple(row[p] for p in left_pos)
+            for match in buckets.get(key, ()):
+                out.append(row + match)
+        self._charge(
+            node, self.cost_model.hash_join(len(left.rows), len(right.rows), len(out))
+        )
+        return Relation(left.columns + right.columns, out)
+
+    def _exec_nestedloopjoin(self, node):
+        left = self._exec(node.children[0])
+        right = self._exec(node.children[1])
+        left_pos, right_pos = self._join_keys(node, left, right)
+        out = []
+        for lrow in left.rows:
+            lkey = tuple(lrow[p] for p in left_pos)
+            for rrow in right.rows:
+                if lkey == tuple(rrow[p] for p in right_pos):
+                    out.append(lrow + rrow)
+        self._charge(
+            node,
+            self.cost_model.nested_loop_join(
+                len(left.rows), len(right.rows), len(out)
+            ),
+        )
+        return Relation(left.columns + right.columns, out)
+
+    def _exec_crossjoin(self, node):
+        left = self._exec(node.children[0])
+        right = self._exec(node.children[1])
+        out = [l + r for l in left.rows for r in right.rows]
+        self._charge(node, self.cost_model.cross_join(len(left.rows), len(right.rows)))
+        return Relation(left.columns + right.columns, out)
+
+    # -- shaping ----------------------------------------------------------
+    def _exec_filter(self, node):
+        child = self._exec(node.children[0])
+        self._charge(node, self.cost_model.params["cpu_tuple_cost"] * len(child.rows))
+        rows = self._eval_predicates(child, node.predicates)
+        return Relation(child.columns, rows)
+
+    def _exec_project(self, node):
+        child = self._exec(node.children[0])
+        positions = [child.col_pos(t, c) for t, c in node.columns]
+        self._charge(node, self.cost_model.params["cpu_tuple_cost"] * len(child.rows))
+        rows = [tuple(row[p] for p in positions) for row in child.rows]
+        if node.distinct:
+            seen = set()
+            deduped = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    deduped.append(row)
+            rows = deduped
+        return Relation(node.columns, rows)
+
+    def _exec_hashaggregate(self, node):
+        child = self._exec(node.children[0])
+        key_pos = [child.col_pos(t, c) for t, c in node.group_by]
+        agg_pos = []
+        for agg in node.aggregates:
+            if agg.column is None:
+                agg_pos.append(None)
+            else:
+                agg_pos.append(child.col_pos(agg.table, agg.column))
+        groups = {}
+        for row in child.rows:
+            key = tuple(row[p] for p in key_pos)
+            groups.setdefault(key, []).append(row)
+        if not groups and not node.group_by:
+            groups[()] = []
+        out = []
+        for key, rows in groups.items():
+            values = []
+            for agg, pos in zip(node.aggregates, agg_pos):
+                if agg.func == "count":
+                    values.append(len(rows))
+                    continue
+                col = [r[pos] for r in rows]
+                if not col:
+                    values.append(None)
+                elif agg.func == "sum":
+                    values.append(sum(col))
+                elif agg.func == "avg":
+                    values.append(sum(col) / len(col))
+                elif agg.func == "min":
+                    values.append(min(col))
+                elif agg.func == "max":
+                    values.append(max(col))
+                else:
+                    raise ExecutionError("unknown aggregate %r" % (agg.func,))
+            out.append(key + tuple(values))
+        self._charge(node, self.cost_model.aggregate(len(child.rows), len(out)))
+        columns = list(node.group_by) + [
+            ("agg", "%s_%d" % (a.func, i)) for i, a in enumerate(node.aggregates)
+        ]
+        return Relation(columns, out)
+
+    def _exec_sort(self, node):
+        child = self._exec(node.children[0])
+        pos = child.col_pos(*node.key)
+        self._charge(node, self.cost_model.sort(len(child.rows)))
+        rows = sorted(child.rows, key=lambda r: r[pos], reverse=node.descending)
+        return Relation(child.columns, rows)
+
+    def _exec_limit(self, node):
+        child = self._exec(node.children[0])
+        return Relation(child.columns, child.rows[: node.n])
+
+
+def count_join_rows(catalog, query, tables):
+    """True cardinality of the filtered join over ``tables`` (oracle helper).
+
+    Used by :class:`~repro.engine.optimizer.cardinality.TrueCardinalityEstimator`
+    and by tests. Executes with hash joins in a connectivity-respecting order
+    and does not charge any work accounting.
+    """
+    names = [t for t in query.tables if t.lower() in {x.lower() for x in tables}]
+    if not names:
+        return 0
+    table0 = catalog.table(names[0])
+    columns = [(table0.name, c.name) for c in table0.schema.columns]
+    relation = Relation(columns, table0.rows())
+    rows = Executor._eval_predicates(relation, query.predicates_on(names[0]))
+    current = Relation(columns, rows)
+    joined = [names[0]]
+    remaining = names[1:]
+    while remaining:
+        nxt = None
+        for t in remaining:
+            if query.edges_between(joined, t):
+                nxt = t
+                break
+        if nxt is None:
+            nxt = remaining[0]
+        tbl = catalog.table(nxt)
+        cols_t = [(tbl.name, c.name) for c in tbl.schema.columns]
+        rel_t = Relation(cols_t, tbl.rows())
+        rel_t = Relation(cols_t, Executor._eval_predicates(rel_t, query.predicates_on(nxt)))
+        edges = query.edges_between(joined, nxt)
+        if edges:
+            left_pos, right_pos = [], []
+            for e in edges:
+                in_left = (e.left_table.lower(), e.left_column.lower()) in {
+                    tc for tc in current.columns
+                }
+                if in_left:
+                    left_pos.append(current.col_pos(e.left_table, e.left_column))
+                    right_pos.append(rel_t.col_pos(e.right_table, e.right_column))
+                else:
+                    left_pos.append(current.col_pos(e.right_table, e.right_column))
+                    right_pos.append(rel_t.col_pos(e.left_table, e.left_column))
+            buckets = {}
+            for row in rel_t.rows:
+                buckets.setdefault(tuple(row[p] for p in right_pos), []).append(row)
+            out = []
+            for row in current.rows:
+                key = tuple(row[p] for p in left_pos)
+                for match in buckets.get(key, ()):
+                    out.append(row + match)
+        else:
+            out = [l + r for l in current.rows for r in rel_t.rows]
+        current = Relation(current.columns + rel_t.columns, out)
+        joined.append(nxt)
+        remaining.remove(nxt)
+    return len(current.rows)

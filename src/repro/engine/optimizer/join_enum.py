@@ -1,0 +1,192 @@
+"""Join-order enumeration: Selinger-style DP, greedy, and random baselines.
+
+All enumerators produce *left-deep orders* — a list of table names — and
+share one objective, :func:`order_cost`, so the traditional enumerators and
+the learned agents in :mod:`repro.ai4db.optimization.join_order` compete on
+exactly the same footing.
+"""
+
+from itertools import combinations
+
+from repro.common import PlanError, ensure_rng
+
+
+def order_cost(query, order, estimator, cost_model):
+    """Cost of executing a left-deep join order.
+
+    The first table is scanned; each subsequent table is joined to the
+    accumulated prefix with the cheaper of hash/nested-loop join (cross
+    join when no edge connects it). Scan costs for the base tables are
+    included once.
+
+    Args:
+        query: the :class:`~repro.engine.query.ConjunctiveQuery`.
+        order: list of table names covering the query's tables exactly.
+        estimator: a cardinality estimator.
+        cost_model: a :class:`~repro.engine.optimizer.cost.CostModel`.
+
+    Returns:
+        float total cost.
+    """
+    if {t.lower() for t in order} != {t.lower() for t in query.tables}:
+        raise PlanError("order must cover exactly the query's tables")
+    total = 0.0
+    first = order[0]
+    current_rows = estimator.estimate_table(query, first)
+    total += cost_model.seq_scan(
+        estimator.estimate_subset(_no_predicates(query), [first])
+    )
+    joined = [first]
+    for t in order[1:]:
+        right_rows = estimator.estimate_table(query, t)
+        total += cost_model.seq_scan(
+            estimator.estimate_subset(_no_predicates(query), [t])
+        )
+        out_rows = estimator.estimate_subset(query, joined + [t])
+        edges = query.edges_between(joined, t)
+        if edges:
+            __, join_cost = cost_model.choose_join(current_rows, right_rows, out_rows)
+        else:
+            join_cost = cost_model.cross_join(current_rows, right_rows)
+        total += join_cost
+        current_rows = out_rows
+        joined.append(t)
+    return total
+
+
+class _NoPredicateView:
+    """Query view with all filter predicates stripped (for base-scan costs)."""
+
+    def __init__(self, query):
+        self._query = query
+        self.tables = query.tables
+        self.join_edges = query.join_edges
+        self.predicates = []
+
+    def predicates_on(self, table):
+        return []
+
+    def signature(self):
+        return (self._query.signature(), "__nopred__")
+
+
+def _no_predicates(query):
+    return _NoPredicateView(query)
+
+
+def dp_left_deep(query, estimator, cost_model):
+    """Optimal left-deep order by dynamic programming over table subsets.
+
+    Cross products are considered only when a subset has no connecting edge
+    (disconnected join graphs), mirroring the System R policy.
+
+    Returns:
+        ``(order, cost)``.
+    """
+    tables = list(query.tables)
+    n = len(tables)
+    if n == 0:
+        raise PlanError("query has no tables")
+    index = {t.lower(): i for i, t in enumerate(tables)}
+    # best[frozenset of indices] = (cost_without_scans, rows, order tuple)
+    best = {}
+    rows_cache = {}
+
+    def filtered_rows(i):
+        if i not in rows_cache:
+            rows_cache[i] = estimator.estimate_table(query, tables[i])
+        return rows_cache[i]
+
+    for i in range(n):
+        best[frozenset([i])] = (0.0, filtered_rows(i), (tables[i],))
+
+    adjacency = [set() for _ in range(n)]
+    for e in query.join_edges:
+        a, b = index[e.left_table.lower()], index[e.right_table.lower()]
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+
+    for size in range(1, n):
+        for subset_tuple in combinations(range(n), size):
+            subset = frozenset(subset_tuple)
+            if subset not in best:
+                continue
+            cost_s, rows_s, order_s = best[subset]
+            connected = set()
+            for i in subset:
+                connected |= adjacency[i]
+            connected -= subset
+            candidates = connected if connected else set(range(n)) - subset
+            for j in candidates:
+                new_set = subset | {j}
+                out_rows = estimator.estimate_subset(
+                    query, [tables[k] for k in new_set]
+                )
+                right_rows = filtered_rows(j)
+                if j in connected:
+                    __, join_cost = cost_model.choose_join(
+                        rows_s, right_rows, out_rows
+                    )
+                else:
+                    join_cost = cost_model.cross_join(rows_s, right_rows)
+                new_cost = cost_s + join_cost
+                entry = best.get(new_set)
+                if entry is None or new_cost < entry[0]:
+                    best[new_set] = (new_cost, out_rows, order_s + (tables[j],))
+
+    full = frozenset(range(n))
+    if full not in best:
+        raise PlanError("DP failed to cover all tables")
+    __, ___, order = best[full]
+    order = list(order)
+    return order, order_cost(query, order, estimator, cost_model)
+
+
+def greedy_order(query, estimator, cost_model):
+    """Greedy left-deep order: start at the smallest filtered table, then
+    repeatedly join the adjacent table minimizing the intermediate size.
+
+    Returns:
+        ``(order, cost)``.
+    """
+    tables = list(query.tables)
+    remaining = {t.lower(): t for t in tables}
+    start = min(tables, key=lambda t: estimator.estimate_table(query, t))
+    order = [start]
+    del remaining[start.lower()]
+    while remaining:
+        adjacent = [
+            t for t in remaining.values() if query.edges_between(order, t)
+        ]
+        pool = adjacent if adjacent else list(remaining.values())
+        nxt = min(
+            pool,
+            key=lambda t: estimator.estimate_subset(query, order + [t]),
+        )
+        order.append(nxt)
+        del remaining[nxt.lower()]
+    return order, order_cost(query, order, estimator, cost_model)
+
+
+def random_order(query, estimator, cost_model, seed=None, connected=True):
+    """A random (by default connectivity-respecting) left-deep order.
+
+    Returns:
+        ``(order, cost)``.
+    """
+    rng = ensure_rng(seed)
+    tables = list(query.tables)
+    remaining = {t.lower(): t for t in tables}
+    first = tables[int(rng.integers(0, len(tables)))]
+    order = [first]
+    del remaining[first.lower()]
+    while remaining:
+        pool = list(remaining.values())
+        if connected:
+            adjacent = [t for t in pool if query.edges_between(order, t)]
+            if adjacent:
+                pool = adjacent
+        nxt = pool[int(rng.integers(0, len(pool)))]
+        order.append(nxt)
+        del remaining[nxt.lower()]
+    return order, order_cost(query, order, estimator, cost_model)

@@ -1,0 +1,180 @@
+"""The planner: access-path selection + join ordering + plan assembly.
+
+``Planner`` is deliberately pluggable along the three axes the learned
+components replace:
+
+* the **cardinality estimator** (traditional / sampling / learned MSCN-lite),
+* the **join enumerator** (``"dp"``, ``"greedy"``, ``"random"``, or an
+  explicit order supplied by an RL/MCTS agent),
+* the **cost model** (whose constants the knob tuner moves).
+
+That pluggability is the point: every AI4DB optimization experiment is
+"swap one axis, hold the rest fixed, measure executed work".
+"""
+
+from repro.common import PlanError
+from repro.engine import plans as P
+from repro.engine.optimizer.cardinality import TraditionalEstimator
+from repro.engine.optimizer.cost import CostModel, _SinglePredicateView
+from repro.engine.optimizer.join_enum import dp_left_deep, greedy_order, random_order
+
+_ENUMERATORS = {"dp": dp_left_deep, "greedy": greedy_order}
+
+
+class Planner:
+    """Builds physical plans for conjunctive queries.
+
+    Args:
+        catalog: the database catalog.
+        estimator: cardinality estimator; defaults to the traditional
+            histogram estimator.
+        cost_model: a :class:`CostModel`; default constants unless knobs say
+            otherwise.
+        enumerator: ``"dp"``, ``"greedy"`` or ``"random"``.
+        use_views: consider matching materialized views.
+        use_indexes: consider index scans as access paths.
+        include_hypothetical: treat what-if indexes as usable (for advisor
+            costing only — executing such a plan raises).
+        seed: seed for the random enumerator.
+    """
+
+    def __init__(
+        self,
+        catalog,
+        estimator=None,
+        cost_model=None,
+        enumerator="dp",
+        use_views=True,
+        use_indexes=True,
+        include_hypothetical=False,
+        seed=0,
+    ):
+        self.catalog = catalog
+        self.estimator = estimator or TraditionalEstimator(catalog)
+        self.cost_model = cost_model or CostModel()
+        if enumerator not in ("dp", "greedy", "random"):
+            raise PlanError("enumerator must be dp, greedy, or random")
+        self.enumerator = enumerator
+        self.use_views = use_views
+        self.use_indexes = use_indexes
+        self.include_hypothetical = include_hypothetical
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def plan(self, query, order=None):
+        """Produce an annotated physical plan for ``query``.
+
+        Args:
+            query: a :class:`~repro.engine.query.ConjunctiveQuery`.
+            order: optional explicit left-deep join order (list of table
+                names); when given, enumeration is skipped — this is the
+                hook the learned join-order agents use.
+        """
+        if query.limit == 0:
+            plan = P.EmptyResult(self._output_columns(query))
+            self.cost_model.annotate(plan, self.estimator, query)
+            return plan
+        view_match = self.catalog.matching_view(query) if self.use_views else None
+        if view_match is not None:
+            view, residual = view_match
+            plan = P.ViewScan(view, residual)
+            plan = self._finalize(plan, query)
+            self.cost_model.annotate(plan, self.estimator, query)
+            return plan
+        if order is None:
+            if len(query.tables) == 1:
+                order = [query.tables[0]]
+            elif self.enumerator == "random":
+                order, __ = random_order(
+                    query, self.estimator, self.cost_model, seed=self.seed
+                )
+            else:
+                order, __ = _ENUMERATORS[self.enumerator](
+                    query, self.estimator, self.cost_model
+                )
+        else:
+            if {t.lower() for t in order} != {t.lower() for t in query.tables}:
+                raise PlanError("explicit order must cover the query's tables")
+        plan = self._access_path(query, order[0])
+        joined = [order[0]]
+        for t in order[1:]:
+            right = self._access_path(query, t)
+            edges = query.edges_between(joined, t)
+            if edges:
+                left_rows = self.estimator.estimate_subset(query, joined)
+                right_rows = self.estimator.estimate_table(query, t)
+                out_rows = self.estimator.estimate_subset(query, joined + [t])
+                kind, __ = self.cost_model.choose_join(
+                    left_rows, right_rows, out_rows
+                )
+                if kind == "hash":
+                    plan = P.HashJoin(plan, right, edges)
+                else:
+                    plan = P.NestedLoopJoin(plan, right, edges)
+            else:
+                plan = P.CrossJoin(plan, right)
+            joined.append(t)
+        plan = self._finalize(plan, query)
+        self.cost_model.annotate(plan, self.estimator, query)
+        return plan
+
+    # ------------------------------------------------------------------
+    def _access_path(self, query, table):
+        """Choose SeqScan vs IndexScan for one base table."""
+        preds = query.predicates_on(table)
+        if not (self.use_indexes and preds):
+            return P.SeqScan(table, preds)
+        table_rows = max(1.0, float(self.catalog.table(table).n_rows))
+        best = None
+        for pred in preds:
+            if pred.op == "!=":
+                continue
+            idx = self.catalog.index_on(
+                table, pred.column, include_hypothetical=self.include_hypothetical
+            )
+            if idx is None:
+                continue
+            if idx.kind == "hash" and pred.op != "=":
+                continue
+            matching = self.estimator.estimate_table(
+                _SinglePredicateView(query, table, [pred]), table
+            )
+            if best is None or matching < best[0]:
+                best = (matching, pred, idx)
+        if best is None:
+            return P.SeqScan(table, preds)
+        matching, pred, idx = best
+        seq_cost = self.cost_model.seq_scan(table_rows)
+        idx_cost = self.cost_model.index_scan(matching)
+        if idx_cost >= seq_cost:
+            return P.SeqScan(table, preds)
+        residual = [p for p in preds if p is not pred]
+        return P.IndexScan(table, idx.name, pred, residual)
+
+    def _output_columns(self, query):
+        if query.projections:
+            return list(query.projections)
+        cols = []
+        for t in query.tables:
+            schema = self.catalog.table(t).schema
+            cols.extend((t, c.name) for c in schema.columns)
+        return cols
+
+    def _finalize(self, plan, query):
+        """Attach aggregate / sort / project / limit operators.
+
+        Sort runs before projection so that ORDER BY keys absent from the
+        select list are still available to the sort operator.
+        """
+        if query.aggregates or query.group_by:
+            plan = P.HashAggregate(plan, query.group_by, query.aggregates)
+        else:
+            if query.order_by is not None:
+                key, descending = query.order_by
+                plan = P.Sort(plan, key, descending)
+            if query.projections:
+                plan = P.Project(plan, query.projections,
+                                 distinct=query.distinct)
+        if query.limit is not None:
+            plan = P.Limit(plan, query.limit)
+        return plan

@@ -1,0 +1,284 @@
+"""Logical rewrite rules over conjunctive queries.
+
+Each rule is a pure transformation ``ConjunctiveQuery -> ConjunctiveQuery``
+(or ``None`` when it does not apply). The *fixed-order* rewriter applies
+the registry top-down once — the traditional behaviour the tutorial notes
+"may derive suboptimal queries" — while the learned rewriter in
+:mod:`repro.ai4db.config.sql_rewriter` searches over rule orderings.
+"""
+
+from repro.common import PlanError
+from repro.engine.query import ConjunctiveQuery, Predicate
+
+
+def _clone(query, predicates=None, join_edges=None, tables=None, limit=None):
+    return ConjunctiveQuery(
+        tables=tables if tables is not None else query.tables,
+        join_edges=join_edges if join_edges is not None else query.join_edges,
+        predicates=predicates if predicates is not None else query.predicates,
+        projections=query.projections,
+        aggregates=query.aggregates,
+        group_by=query.group_by,
+        order_by=query.order_by,
+        limit=limit if limit is not None else query.limit,
+        distinct=query.distinct,
+    )
+
+
+class RewriteRule:
+    """Base class: subclasses implement :meth:`apply`.
+
+    Attributes:
+        name: short rule name for reporting.
+    """
+
+    name = "rule"
+
+    def apply(self, query, catalog=None):
+        """Return a rewritten query, or ``None`` when the rule is a no-op."""
+        raise NotImplementedError
+
+
+class RemoveDuplicatePredicates(RewriteRule):
+    """Drop exact-duplicate filter predicates and join edges."""
+
+    name = "dedup-predicates"
+
+    def apply(self, query, catalog=None):
+        seen_p, preds = set(), []
+        for p in query.predicates:
+            if p.key() not in seen_p:
+                seen_p.add(p.key())
+                preds.append(p)
+        seen_e, edges = set(), []
+        for e in query.join_edges:
+            if e.key() not in seen_e:
+                seen_e.add(e.key())
+                edges.append(e)
+        if len(preds) == len(query.predicates) and len(edges) == len(query.join_edges):
+            return None
+        return _clone(query, predicates=preds, join_edges=edges)
+
+
+class TightenRangePredicates(RewriteRule):
+    """Collapse redundant range predicates on the same column.
+
+    ``x > 3 AND x > 5`` becomes ``x > 5``; ``x <= 7 AND x < 9`` becomes
+    ``x <= 7``; equality absorbs consistent ranges.
+    """
+
+    name = "tighten-ranges"
+
+    def apply(self, query, catalog=None):
+        by_col = {}
+        others = []
+        for p in query.predicates:
+            if p.op in ("<", "<=", ">", ">=") and isinstance(p.value, (int, float)):
+                by_col.setdefault((p.table.lower(), p.column.lower()), []).append(p)
+            else:
+                others.append(p)
+        changed = False
+        kept = list(others)
+        for (t, c), preds in by_col.items():
+            lowers = [p for p in preds if p.op in (">", ">=")]
+            uppers = [p for p in preds if p.op in ("<", "<=")]
+            new = []
+            if lowers:
+                best = max(lowers, key=lambda p: (p.value, p.op == ">"))
+                new.append(best)
+                if len(lowers) > 1:
+                    changed = True
+            if uppers:
+                best = min(uppers, key=lambda p: (p.value, p.op != "<"))
+                new.append(best)
+                if len(uppers) > 1:
+                    changed = True
+            kept.extend(new)
+        if not changed:
+            return None
+        return _clone(query, predicates=kept)
+
+
+class DetectContradictions(RewriteRule):
+    """Mark provably-empty queries with ``LIMIT 0``.
+
+    Detects ``x = a AND x = b`` for ``a != b`` and empty ranges like
+    ``x > 10 AND x < 5``.
+    """
+
+    name = "detect-contradictions"
+
+    def apply(self, query, catalog=None):
+        if query.limit == 0:
+            return None
+        by_col = {}
+        for p in query.predicates:
+            if isinstance(p.value, (int, float)):
+                by_col.setdefault((p.table.lower(), p.column.lower()), []).append(p)
+        for preds in by_col.values():
+            eqs = [p.value for p in preds if p.op == "="]
+            if len(set(eqs)) > 1:
+                return _clone(query, limit=0)
+            low = -float("inf")
+            low_strict = False
+            high = float("inf")
+            high_strict = False
+            for p in preds:
+                if p.op in (">", ">="):
+                    if p.value > low:
+                        low, low_strict = p.value, p.op == ">"
+                elif p.op in ("<", "<="):
+                    if p.value < high:
+                        high, high_strict = p.value, p.op == "<"
+            if eqs:
+                v = eqs[0]
+                if v < low or v > high:
+                    return _clone(query, limit=0)
+                if (v == low and low_strict) or (v == high and high_strict):
+                    return _clone(query, limit=0)
+            if low > high or (low == high and (low_strict or high_strict)):
+                return _clone(query, limit=0)
+        return None
+
+
+class PropagateEqualityConstants(RewriteRule):
+    """Propagate ``t.a = const`` across join edges ``t.a = s.b``.
+
+    Adds the implied ``s.b = const``, giving the optimizer an extra filter
+    to push down — a classic rewrite that can change join orders entirely.
+    """
+
+    name = "propagate-equalities"
+
+    def apply(self, query, catalog=None):
+        existing = {p.key() for p in query.predicates}
+        new_preds = []
+        for p in query.predicates:
+            if p.op != "=":
+                continue
+            for e in query.join_edges:
+                if (
+                    e.left_table.lower() == p.table.lower()
+                    and e.left_column.lower() == p.column.lower()
+                ):
+                    cand = Predicate(e.right_table, e.right_column, "=", p.value)
+                elif (
+                    e.right_table.lower() == p.table.lower()
+                    and e.right_column.lower() == p.column.lower()
+                ):
+                    cand = Predicate(e.left_table, e.left_column, "=", p.value)
+                else:
+                    continue
+                if cand.key() not in existing:
+                    existing.add(cand.key())
+                    new_preds.append(cand)
+        if not new_preds:
+            return None
+        return _clone(query, predicates=query.predicates + new_preds)
+
+
+class EliminateRedundantJoins(RewriteRule):
+    """Remove key–foreign-key joins whose inner table is otherwise unused.
+
+    Applies when a joined table (a) contributes no projections, aggregates,
+    group-by keys, or filter predicates, (b) joins on a unique column
+    (``ndv == n_rows`` in the statistics), and (c) referential integrity is
+    assumed (the synthetic star-schema generators guarantee it).
+
+    This is the rewrite with the biggest payoff in the E4 experiment.
+    """
+
+    name = "eliminate-redundant-joins"
+
+    def __init__(self, assume_referential_integrity=True):
+        self.assume_referential_integrity = assume_referential_integrity
+
+    def _is_unique(self, catalog, table, column):
+        stats = catalog.stats(table)
+        if not stats.has_column(column):
+            return False
+        col = stats.column(column)
+        return col.n_distinct >= stats.n_rows > 0
+
+    def apply(self, query, catalog=None):
+        if catalog is None or not self.assume_referential_integrity:
+            return None
+        if len(query.tables) < 2:
+            return None
+        used = set()
+        for t, __ in query.projections:
+            used.add(t.lower())
+        for a in query.aggregates:
+            if a.table:
+                used.add(a.table.lower())
+        for t, __ in query.group_by:
+            used.add(t.lower())
+        if query.order_by:
+            used.add(query.order_by[0][0].lower())
+        for p in query.predicates:
+            used.add(p.table.lower())
+        # COUNT(*) depends on multiplicity of the whole join; key-FK joins
+        # preserve it, so count-only queries are still eligible.
+        for t in list(query.tables):
+            tl = t.lower()
+            if tl in used:
+                continue
+            touching = [e for e in query.join_edges if e.touches(t)]
+            if len(touching) != 1:
+                continue
+            edge = touching[0]
+            side_col = (
+                edge.left_column
+                if edge.left_table.lower() == tl
+                else edge.right_column
+            )
+            if not self._is_unique(catalog, t, side_col):
+                continue
+            new_tables = [x for x in query.tables if x.lower() != tl]
+            new_edges = [e for e in query.join_edges if not e.touches(t)]
+            remaining = ConjunctiveQuery(
+                tables=new_tables,
+                join_edges=new_edges,
+                predicates=query.predicates,
+                projections=query.projections,
+                aggregates=query.aggregates,
+                group_by=query.group_by,
+                order_by=query.order_by,
+                limit=query.limit,
+                distinct=query.distinct,
+            )
+            if remaining.is_connected():
+                return remaining
+        return None
+
+
+def default_rules(assume_referential_integrity=True):
+    """The standard rule registry, in the traditional fixed order."""
+    return [
+        RemoveDuplicatePredicates(),
+        DetectContradictions(),
+        TightenRangePredicates(),
+        PropagateEqualityConstants(),
+        EliminateRedundantJoins(assume_referential_integrity),
+    ]
+
+
+def apply_rules_fixed_order(query, rules, catalog=None, max_passes=3):
+    """Apply rules in registry order, repeating until a fixpoint.
+
+    This is the traditional baseline rewriter. Returns
+    ``(rewritten_query, applied_rule_names)``.
+    """
+    applied = []
+    current = query
+    for __ in range(max_passes):
+        changed = False
+        for rule in rules:
+            result = rule.apply(current, catalog=catalog)
+            if result is not None:
+                current = result
+                applied.append(rule.name)
+                changed = True
+        if not changed:
+            break
+    return current, applied

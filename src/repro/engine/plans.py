@@ -1,0 +1,231 @@
+"""Physical plan trees.
+
+A physical plan is a tree of operator nodes. Each node carries the
+optimizer's estimates (``est_rows``, ``est_cost``) so learned components can
+featurize plans, and the executor interprets the tree to produce rows and
+an exact *work* measurement (tuples processed) that serves as the
+deterministic ground-truth latency in experiments.
+"""
+
+from repro.common import PlanError
+
+
+class PhysicalPlan:
+    """Base class for physical operator nodes.
+
+    Attributes:
+        children: child plan nodes.
+        est_rows: optimizer's output-cardinality estimate.
+        est_cost: optimizer's cumulative cost estimate for the subtree.
+    """
+
+    def __init__(self, children=()):
+        self.children = list(children)
+        self.est_rows = None
+        self.est_cost = None
+
+    @property
+    def op_name(self):
+        """Operator name used in plan rendering and featurization."""
+        return type(self).__name__
+
+    def walk(self):
+        """Yield every node in the subtree, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def output_tables(self):
+        """Set of base-table names contributing to this node's output."""
+        out = set()
+        for node in self.walk():
+            if isinstance(node, (SeqScan, IndexScan)):
+                out.add(node.table.lower())
+            elif isinstance(node, ViewScan):
+                out.update(t.lower() for t in node.view.query.tables)
+        return out
+
+    def pretty(self, indent=0):
+        """Render the plan as an indented explain-style string."""
+        pad = "  " * indent
+        label = self.describe()
+        est = ""
+        if self.est_rows is not None:
+            est = "  (rows=%s cost=%s)" % (
+                format(self.est_rows, ".4g"),
+                format(self.est_cost, ".4g") if self.est_cost is not None else "?",
+            )
+        lines = [pad + label + est]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self):
+        """One-line node description (overridden by subclasses)."""
+        return self.op_name
+
+    def __repr__(self):
+        return "<%s>" % self.describe()
+
+
+class SeqScan(PhysicalPlan):
+    """Full scan of a base table, applying pushed-down predicates."""
+
+    def __init__(self, table, predicates=()):
+        super().__init__()
+        self.table = table
+        self.predicates = list(predicates)
+
+    def describe(self):
+        preds = " [%s]" % ", ".join(map(str, self.predicates)) if self.predicates else ""
+        return "SeqScan(%s)%s" % (self.table, preds)
+
+
+class IndexScan(PhysicalPlan):
+    """Index lookup/range scan on one indexed predicate, plus residual filters."""
+
+    def __init__(self, table, index_name, predicate, residual=()):
+        super().__init__()
+        self.table = table
+        self.index_name = index_name
+        self.predicate = predicate
+        self.residual = list(residual)
+
+    def describe(self):
+        res = " +%d residual" % len(self.residual) if self.residual else ""
+        return "IndexScan(%s via %s on %s)%s" % (
+            self.table, self.index_name, self.predicate, res
+        )
+
+
+class ViewScan(PhysicalPlan):
+    """Scan of a materialized view with residual predicates."""
+
+    def __init__(self, view, residual=()):
+        super().__init__()
+        self.view = view
+        self.residual = list(residual)
+
+    def describe(self):
+        return "ViewScan(%s, residual=%d)" % (self.view.name, len(self.residual))
+
+
+class NestedLoopJoin(PhysicalPlan):
+    """Tuple-at-a-time nested loops over the join edges (equi only)."""
+
+    def __init__(self, left, right, edges):
+        super().__init__([left, right])
+        if not edges:
+            raise PlanError("NestedLoopJoin requires at least one join edge")
+        self.edges = list(edges)
+
+    def describe(self):
+        return "NestedLoopJoin(%s)" % ", ".join(map(str, self.edges))
+
+
+class HashJoin(PhysicalPlan):
+    """Hash join; the right child is the build side."""
+
+    def __init__(self, left, right, edges):
+        super().__init__([left, right])
+        if not edges:
+            raise PlanError("HashJoin requires at least one join edge")
+        self.edges = list(edges)
+
+    def describe(self):
+        return "HashJoin(%s)" % ", ".join(map(str, self.edges))
+
+
+class CrossJoin(PhysicalPlan):
+    """Cartesian product (only produced for disconnected join graphs)."""
+
+    def __init__(self, left, right):
+        super().__init__([left, right])
+
+    def describe(self):
+        return "CrossJoin"
+
+
+class Filter(PhysicalPlan):
+    """Standalone filter (predicates that could not be pushed into a scan)."""
+
+    def __init__(self, child, predicates):
+        super().__init__([child])
+        self.predicates = list(predicates)
+
+    def describe(self):
+        return "Filter(%s)" % ", ".join(map(str, self.predicates))
+
+
+class Project(PhysicalPlan):
+    """Column projection (and implicit dedup when ``distinct``)."""
+
+    def __init__(self, child, columns, distinct=False):
+        super().__init__([child])
+        self.columns = list(columns)  # list of (table, column)
+        self.distinct = distinct
+
+    def describe(self):
+        cols = ", ".join("%s.%s" % tc for tc in self.columns)
+        return "Project(%s)%s" % (cols, " DISTINCT" if self.distinct else "")
+
+
+class HashAggregate(PhysicalPlan):
+    """Group-by + aggregate evaluation via hashing."""
+
+    def __init__(self, child, group_by, aggregates):
+        super().__init__([child])
+        self.group_by = list(group_by)  # list of (table, column)
+        self.aggregates = list(aggregates)
+
+    def describe(self):
+        return "HashAggregate(keys=%d, aggs=%s)" % (
+            len(self.group_by),
+            ", ".join(map(str, self.aggregates)),
+        )
+
+
+class Sort(PhysicalPlan):
+    """Sort on one key."""
+
+    def __init__(self, child, key, descending=False):
+        super().__init__([child])
+        self.key = key  # (table, column)
+        self.descending = descending
+
+    def describe(self):
+        return "Sort(%s.%s %s)" % (
+            self.key[0], self.key[1], "DESC" if self.descending else "ASC"
+        )
+
+
+class Limit(PhysicalPlan):
+    """Truncate output to ``n`` rows."""
+
+    def __init__(self, child, n):
+        super().__init__([child])
+        if n < 0:
+            raise PlanError("LIMIT must be non-negative")
+        self.n = n
+
+    def describe(self):
+        return "Limit(%d)" % self.n
+
+
+class EmptyResult(PhysicalPlan):
+    """Plan node producing no rows (e.g., contradictory predicates)."""
+
+    def __init__(self, columns):
+        super().__init__()
+        self.columns = list(columns)
+
+    def describe(self):
+        return "EmptyResult"
+
+
+def plan_signature(plan):
+    """A hashable structural signature of a plan (for caching/featurizing)."""
+    parts = []
+    for node in plan.walk():
+        parts.append(node.describe())
+    return tuple(parts)

@@ -1,0 +1,224 @@
+"""Structured query model: conjunctive select-project-join queries.
+
+Most learned database components (cardinality estimators, join-order
+agents, index/view advisors) operate on a *structured* view of the query —
+which tables it touches, which join edges connect them, which filter
+predicates it carries. :class:`ConjunctiveQuery` is that view; the SQL
+front end lowers parsed SELECT statements into it, and the workload
+generators produce it directly.
+"""
+
+from repro.common import PlanError
+
+_COMPARISONS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+class Predicate:
+    """A filter predicate ``table.column <op> value``.
+
+    Args:
+        table: table name.
+        column: column name.
+        op: one of ``= != < <= > >=``.
+        value: literal (int/float/str).
+    """
+
+    __slots__ = ("table", "column", "op", "value")
+
+    def __init__(self, table, column, op, value):
+        if op not in _COMPARISONS:
+            raise PlanError("unsupported predicate operator %r" % (op,))
+        self.table = table
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def key(self):
+        """Hashable identity for dedup/caching."""
+        return (self.table.lower(), self.column.lower(), self.op, self.value)
+
+    def __repr__(self):
+        return "%s.%s %s %r" % (self.table, self.column, self.op, self.value)
+
+    def __eq__(self, other):
+        return isinstance(other, Predicate) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+
+class JoinEdge:
+    """An equi-join edge ``left_table.left_column = right_table.right_column``."""
+
+    __slots__ = ("left_table", "left_column", "right_table", "right_column")
+
+    def __init__(self, left_table, left_column, right_table, right_column):
+        self.left_table = left_table
+        self.left_column = left_column
+        self.right_table = right_table
+        self.right_column = right_column
+
+    def touches(self, table):
+        """Whether this edge involves ``table``."""
+        t = table.lower()
+        return self.left_table.lower() == t or self.right_table.lower() == t
+
+    def other_side(self, table):
+        """``(table, column)`` of the side opposite ``table``."""
+        t = table.lower()
+        if self.left_table.lower() == t:
+            return self.right_table, self.right_column
+        if self.right_table.lower() == t:
+            return self.left_table, self.left_column
+        raise PlanError("edge %r does not touch table %r" % (self, table))
+
+    def key(self):
+        """Order-insensitive hashable identity."""
+        a = (self.left_table.lower(), self.left_column.lower())
+        b = (self.right_table.lower(), self.right_column.lower())
+        return (a, b) if a <= b else (b, a)
+
+    def __repr__(self):
+        return "%s.%s = %s.%s" % (
+            self.left_table,
+            self.left_column,
+            self.right_table,
+            self.right_column,
+        )
+
+    def __eq__(self, other):
+        return isinstance(other, JoinEdge) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+
+class Aggregate:
+    """An aggregate expression ``func(table.column)`` (or ``COUNT(*)``)."""
+
+    __slots__ = ("func", "table", "column")
+
+    FUNCS = {"count", "sum", "avg", "min", "max"}
+
+    def __init__(self, func, table=None, column=None):
+        func = func.lower()
+        if func not in self.FUNCS:
+            raise PlanError("unsupported aggregate %r" % (func,))
+        if func != "count" and column is None:
+            raise PlanError("%s() needs a column argument" % func)
+        self.func = func
+        self.table = table
+        self.column = column
+
+    def __repr__(self):
+        arg = "*" if self.column is None else "%s.%s" % (self.table, self.column)
+        return "%s(%s)" % (self.func, arg)
+
+
+class ConjunctiveQuery:
+    """A select-project-join query in structured form.
+
+    Attributes:
+        tables: list of table names (deduplicated, order preserved).
+        join_edges: list of :class:`JoinEdge` equi-joins.
+        predicates: list of :class:`Predicate` filters (implicitly AND-ed).
+        projections: list of ``(table, column)`` output columns; empty means
+            "all columns of all tables".
+        aggregates: list of :class:`Aggregate` (empty for plain selects).
+        group_by: list of ``(table, column)`` grouping keys.
+        order_by: optional ``((table, column), descending)`` pair.
+        limit: optional row limit.
+    """
+
+    def __init__(
+        self,
+        tables,
+        join_edges=(),
+        predicates=(),
+        projections=(),
+        aggregates=(),
+        group_by=(),
+        order_by=None,
+        limit=None,
+        distinct=False,
+    ):
+        seen = set()
+        self.tables = []
+        for t in tables:
+            key = t.lower()
+            if key not in seen:
+                seen.add(key)
+                self.tables.append(t)
+        if not self.tables:
+            raise PlanError("a query needs at least one table")
+        self.join_edges = list(join_edges)
+        self.predicates = list(predicates)
+        self.projections = list(projections)
+        self.aggregates = list(aggregates)
+        self.group_by = list(group_by)
+        self.order_by = order_by
+        self.limit = limit
+        self.distinct = distinct
+        table_set = {t.lower() for t in self.tables}
+        for e in self.join_edges:
+            if e.left_table.lower() not in table_set or e.right_table.lower() not in table_set:
+                raise PlanError("join edge %r references a table not in FROM" % (e,))
+        for p in self.predicates:
+            if p.table.lower() not in table_set:
+                raise PlanError("predicate %r references a table not in FROM" % (p,))
+
+    def predicates_on(self, table):
+        """Filter predicates on one table."""
+        t = table.lower()
+        return [p for p in self.predicates if p.table.lower() == t]
+
+    def edges_between(self, left_tables, right_table):
+        """Join edges connecting any table in ``left_tables`` to ``right_table``."""
+        left = {t.lower() for t in left_tables}
+        rt = right_table.lower()
+        out = []
+        for e in self.join_edges:
+            lt, rtt = e.left_table.lower(), e.right_table.lower()
+            if (lt in left and rtt == rt) or (rtt in left and lt == rt):
+                out.append(e)
+        return out
+
+    def join_graph(self):
+        """The query's join graph as ``{table: set(neighbor tables)}``."""
+        graph = {t.lower(): set() for t in self.tables}
+        for e in self.join_edges:
+            lt, rt = e.left_table.lower(), e.right_table.lower()
+            graph[lt].add(rt)
+            graph[rt].add(lt)
+        return graph
+
+    def is_connected(self):
+        """Whether the join graph is connected (no cross products needed)."""
+        graph = self.join_graph()
+        if not graph:
+            return True
+        start = next(iter(graph))
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for nb in graph[node]:
+                if nb not in seen:
+                    seen.add(nb)
+                    stack.append(nb)
+        return len(seen) == len(graph)
+
+    def signature(self):
+        """Hashable identity of the query's structure (for caching/featurizing)."""
+        return (
+            tuple(sorted(t.lower() for t in self.tables)),
+            tuple(sorted(e.key() for e in self.join_edges)),
+            tuple(sorted(p.key() for p in self.predicates)),
+        )
+
+    def __repr__(self):
+        return "ConjunctiveQuery(tables=%r, joins=%d, predicates=%d)" % (
+            self.tables,
+            len(self.join_edges),
+            len(self.predicates),
+        )

@@ -1,0 +1,36 @@
+"""SQL front end: lexer, parser, AST, and lowering to structured queries."""
+
+from repro.engine.sql.lexer import Token, TokenType, tokenize
+from repro.engine.sql.ast_nodes import (
+    SelectStmt,
+    TableRef,
+    ColumnRef,
+    Literal,
+    Comparison,
+    AggCall,
+    CreateTableStmt,
+    CreateIndexStmt,
+    InsertStmt,
+    AnalyzeStmt,
+)
+from repro.engine.sql.parser import Parser, parse_sql
+from repro.engine.sql.lowering import lower_select
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "SelectStmt",
+    "TableRef",
+    "ColumnRef",
+    "Literal",
+    "Comparison",
+    "AggCall",
+    "CreateTableStmt",
+    "CreateIndexStmt",
+    "InsertStmt",
+    "AnalyzeStmt",
+    "Parser",
+    "parse_sql",
+    "lower_select",
+]

@@ -1,0 +1,242 @@
+"""Table/column statistics: equi-depth histograms and selectivity math.
+
+This is the *traditional* estimation machinery that the learned estimators
+in :mod:`repro.ai4db.optimization` are benchmarked against. It deliberately
+makes the classic assumptions — uniformity within buckets, attribute-value
+independence across predicates — because those assumptions are exactly what
+the learned approaches the tutorial surveys were built to fix.
+"""
+
+import numpy as np
+
+from repro.common import CatalogError
+from repro.engine.types import DataType
+
+
+class EquiDepthHistogram:
+    """Most-common values + equi-depth histogram over a numeric column.
+
+    Mirrors the PostgreSQL statistics design: values frequent enough to
+    distort an equi-depth bucketing are pulled out into an exact MCV list,
+    and the histogram covers only the residual distribution. Without the
+    MCV list, heavy hitters collapse quantile edges and wreck both point
+    and range estimates.
+    """
+
+    def __init__(self, edges, counts, n_distinct, mcv=None, total=None):
+        self.edges = np.asarray(edges, dtype=float)
+        self.counts = np.asarray(counts, dtype=float)
+        if len(self.edges) != len(self.counts) + 1:
+            raise CatalogError("histogram needs len(edges) == len(counts)+1")
+        self.n_distinct = max(1, int(n_distinct))
+        #: exact counts of the most common values (value -> count)
+        self.mcv = dict(mcv or {})
+        self._mcv_total = float(sum(self.mcv.values()))
+        self._resid_total = float(self.counts.sum())
+        self.total = float(total) if total is not None else (
+            self._mcv_total + self._resid_total
+        )
+        resid_ndv = self.n_distinct - len(self.mcv)
+        self._resid_ndv = max(1, resid_ndv)
+
+    @classmethod
+    def build(cls, values, n_buckets=32):
+        """Build from raw values: extract MCVs, bucket the residual."""
+        values = np.asarray(values, dtype=float)
+        values = values[~np.isnan(values)]
+        if values.size == 0:
+            return cls(np.array([0.0, 0.0]), np.array([0.0]), 1)
+        uniq, freq = np.unique(values, return_counts=True)
+        ndv = len(uniq)
+        threshold = max(2.0, values.size / max(1, n_buckets))
+        heavy = freq >= threshold
+        mcv = {float(v): int(c) for v, c in zip(uniq[heavy], freq[heavy])}
+        residual = values[~np.isin(values, uniq[heavy])]
+        if residual.size == 0:
+            lo = float(uniq[0])
+            return cls(np.array([lo, lo]), np.array([0.0]), ndv, mcv=mcv)
+        buckets = max(1, min(n_buckets, residual.size))
+        qs = np.linspace(0.0, 1.0, buckets + 1)
+        edges = np.unique(np.quantile(residual, qs))
+        if len(edges) == 1:
+            edges = np.array([edges[0], edges[0]])
+        counts, __ = np.histogram(residual, bins=edges)
+        return cls(edges, counts.astype(float), ndv, mcv=mcv)
+
+    @property
+    def min(self):
+        """Column minimum (MCVs included)."""
+        lo = float(self.edges[0])
+        if self.mcv:
+            lo = min(lo, min(self.mcv)) if self._resid_total else min(self.mcv)
+        return lo
+
+    @property
+    def max(self):
+        """Column maximum (MCVs included)."""
+        hi = float(self.edges[-1])
+        if self.mcv:
+            hi = max(hi, max(self.mcv)) if self._resid_total else max(self.mcv)
+        return hi
+
+    def _resid_fraction_below(self, x, inclusive):
+        """Fraction of *residual* values < x (or <= x when inclusive)."""
+        if self._resid_total == 0:
+            return 0.0
+        if x < self.edges[0]:
+            return 0.0
+        if x > self.edges[-1] or (inclusive and x == self.edges[-1]):
+            return 1.0
+        acc = 0.0
+        for i in range(len(self.counts)):
+            lo, hi = self.edges[i], self.edges[i + 1]
+            if x >= hi:
+                acc += self.counts[i]
+                continue
+            if x <= lo:
+                break
+            span = hi - lo
+            frac = (x - lo) / span if span > 0 else 0.5
+            acc += self.counts[i] * frac
+            break
+        return min(1.0, acc / self._resid_total)
+
+    def _fraction_below(self, x, inclusive):
+        """Estimated fraction of all values < x (or <= x when inclusive)."""
+        if self.total == 0:
+            return 0.0
+        mcv_below = sum(
+            c for v, c in self.mcv.items()
+            if v < x or (inclusive and v == x)
+        )
+        resid = self._resid_fraction_below(x, inclusive) * self._resid_total
+        return min(1.0, (mcv_below + resid) / self.total)
+
+    def selectivity(self, op, value):
+        """Estimated selectivity of ``column <op> value``.
+
+        Supported ops: ``=``, ``!=``, ``<``, ``<=``, ``>``, ``>=``.
+        Equality on an MCV is exact; otherwise it uses the uniform-
+        frequency assumption over the residual distinct values.
+        """
+        value = float(value)
+        if op == "=":
+            if self.total == 0:
+                return 0.0
+            if value in self.mcv:
+                return self.mcv[value] / self.total
+            if self._resid_total == 0:
+                return 0.0
+            if value < self.edges[0] or value > self.edges[-1]:
+                return 0.0
+            return (self._resid_total / self.total) / self._resid_ndv
+        if op == "!=":
+            return 1.0 - self.selectivity("=", value)
+        if op == "<":
+            return self._fraction_below(value, inclusive=False)
+        if op == "<=":
+            return self._fraction_below(value, inclusive=True)
+        if op == ">":
+            return 1.0 - self._fraction_below(value, inclusive=True)
+        if op == ">=":
+            return 1.0 - self._fraction_below(value, inclusive=False)
+        raise CatalogError("unsupported operator %r" % (op,))
+
+    def range_selectivity(self, low, high):
+        """Estimated selectivity of ``low <= column <= high``."""
+        if high < low:
+            return 0.0
+        return max(
+            0.0,
+            self._fraction_below(high, inclusive=True)
+            - self._fraction_below(low, inclusive=False),
+        )
+
+
+class ColumnStats:
+    """Statistics for one column: bounds, distinct count, histogram."""
+
+    def __init__(self, name, dtype, n_rows, n_distinct, histogram=None,
+                 top_values=None):
+        self.name = name
+        self.dtype = dtype
+        self.n_rows = int(n_rows)
+        self.n_distinct = max(1, int(n_distinct))
+        self.histogram = histogram
+        # (value -> frequency) for the most common values; used for TEXT.
+        self.top_values = dict(top_values or {})
+
+    @classmethod
+    def build(cls, name, dtype, values, n_buckets=32, n_top=10):
+        """Collect stats from a column array."""
+        n_rows = len(values)
+        if dtype is DataType.TEXT:
+            uniq, counts = np.unique(np.asarray(values, dtype=object), return_counts=True)
+            order = np.argsort(-counts)
+            top = {str(uniq[i]): int(counts[i]) for i in order[:n_top]}
+            return cls(name, dtype, n_rows, len(uniq), histogram=None, top_values=top)
+        hist = EquiDepthHistogram.build(values, n_buckets=n_buckets)
+        return cls(name, dtype, n_rows, hist.n_distinct, histogram=hist)
+
+    def selectivity(self, op, value):
+        """Selectivity of ``column <op> value`` using histogram or NDV."""
+        if self.n_rows == 0:
+            return 0.0
+        if self.dtype is DataType.TEXT:
+            if op == "=":
+                key = str(value)
+                if key in self.top_values:
+                    return self.top_values[key] / self.n_rows
+                return 1.0 / self.n_distinct
+            if op == "!=":
+                return 1.0 - self.selectivity("=", value)
+            # Range predicates on text: fall back to a fixed guess, as real
+            # systems do without collation histograms.
+            return 1.0 / 3.0
+        if self.histogram is None:
+            return 1.0 / self.n_distinct if op == "=" else 1.0 / 3.0
+        return self.histogram.selectivity(op, value)
+
+    @property
+    def min(self):
+        """Column minimum (numeric columns only; None for TEXT)."""
+        return self.histogram.min if self.histogram is not None else None
+
+    @property
+    def max(self):
+        """Column maximum (numeric columns only; None for TEXT)."""
+        return self.histogram.max if self.histogram is not None else None
+
+
+class TableStats:
+    """Statistics for one table: row count plus per-column stats."""
+
+    def __init__(self, table_name, n_rows, column_stats):
+        self.table_name = table_name
+        self.n_rows = int(n_rows)
+        self.columns = {c.name.lower(): c for c in column_stats}
+
+    @classmethod
+    def build(cls, table, n_buckets=32):
+        """Collect statistics from a :class:`repro.engine.storage.Table`."""
+        col_stats = []
+        for col in table.schema.columns:
+            values = table.column_array(col.name)
+            col_stats.append(
+                ColumnStats.build(col.name, col.dtype, values, n_buckets=n_buckets)
+            )
+        return cls(table.name, table.n_rows, col_stats)
+
+    def column(self, name):
+        """Per-column stats for ``name``."""
+        try:
+            return self.columns[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                "no statistics for column %r of table %r"
+                % (name, self.table_name)
+            )
+
+    def has_column(self, name):
+        """Whether stats exist for the column."""
+        return name.lower() in self.columns

@@ -1,0 +1,138 @@
+"""Columnar in-memory storage with a page model.
+
+Tables store each column as a NumPy array. A simple page model (rows per
+page, bytes per value) gives the cost model and the hardware-acceleration
+experiments something physical to reason about without real I/O.
+"""
+
+import numpy as np
+
+from repro.common import CatalogError
+from repro.engine.types import DataType, TableSchema
+
+#: Logical page size used by the cost model, in bytes.
+PAGE_BYTES = 8192
+
+#: Modeled width of one value, in bytes, per data type.
+VALUE_BYTES = {DataType.INT: 8, DataType.FLOAT: 8, DataType.TEXT: 24}
+
+
+class Table:
+    """An in-memory table: a :class:`TableSchema` plus column arrays.
+
+    Rows can be appended (``insert_rows``) and read either row-wise
+    (``rows()``) or column-wise (``column_array``). The column arrays are
+    the canonical representation; row views are materialized on demand.
+    """
+
+    def __init__(self, schema, columns=None):
+        if not isinstance(schema, TableSchema):
+            raise CatalogError("Table needs a TableSchema")
+        self.schema = schema
+        if columns is None:
+            self._columns = {
+                c.name.lower(): np.empty(0, dtype=c.dtype.numpy_dtype)
+                for c in schema.columns
+            }
+            self._n_rows = 0
+        else:
+            normalized = {}
+            n_rows = None
+            for c in schema.columns:
+                key = c.name.lower()
+                if key not in {k.lower() for k in columns}:
+                    raise CatalogError("missing data for column %r" % (c.name,))
+                source = columns.get(c.name, columns.get(key))
+                if source is None:
+                    for k, v in columns.items():
+                        if k.lower() == key:
+                            source = v
+                            break
+                arr = np.asarray(source, dtype=c.dtype.numpy_dtype)
+                if n_rows is None:
+                    n_rows = len(arr)
+                elif len(arr) != n_rows:
+                    raise CatalogError(
+                        "column %r has %d rows, expected %d"
+                        % (c.name, len(arr), n_rows)
+                    )
+                normalized[key] = arr
+            self._columns = normalized
+            self._n_rows = n_rows or 0
+
+    @property
+    def name(self):
+        """Table name from the schema."""
+        return self.schema.name
+
+    @property
+    def n_rows(self):
+        """Current row count."""
+        return self._n_rows
+
+    def column_array(self, name):
+        """The NumPy array backing column ``name``."""
+        key = name.lower()
+        if key not in self._columns:
+            raise CatalogError(
+                "table %r has no column %r" % (self.name, name)
+            )
+        return self._columns[key]
+
+    def rows(self, indices=None):
+        """Materialize rows as a list of tuples (optionally a subset)."""
+        arrays = [self._columns[c.name.lower()] for c in self.schema.columns]
+        if indices is None:
+            return list(zip(*(a.tolist() for a in arrays))) if arrays else []
+        return [tuple(a[i] for a in arrays) for i in indices]
+
+    def row(self, index):
+        """One row as a tuple."""
+        if not 0 <= index < self._n_rows:
+            raise IndexError("row index out of range")
+        return tuple(
+            self._columns[c.name.lower()][index] for c in self.schema.columns
+        )
+
+    def insert_rows(self, rows):
+        """Append rows (iterable of sequences aligned with the schema)."""
+        rows = list(rows)
+        if not rows:
+            return 0
+        width = len(self.schema.columns)
+        for r in rows:
+            if len(r) != width:
+                raise CatalogError(
+                    "row width %d does not match schema width %d"
+                    % (len(r), width)
+                )
+        for j, col in enumerate(self.schema.columns):
+            new_vals = np.asarray(
+                [col.dtype.coerce(r[j]) for r in rows],
+                dtype=col.dtype.numpy_dtype,
+            )
+            key = col.name.lower()
+            self._columns[key] = np.concatenate([self._columns[key], new_vals])
+        self._n_rows += len(rows)
+        return len(rows)
+
+    def row_bytes(self):
+        """Modeled bytes per row."""
+        return sum(VALUE_BYTES[c.dtype] for c in self.schema.columns)
+
+    def n_pages(self):
+        """Modeled page count in a row-major layout."""
+        per_page = max(1, PAGE_BYTES // max(1, self.row_bytes()))
+        return max(1, -(-self._n_rows // per_page)) if self._n_rows else 0
+
+    def column_pages(self, name):
+        """Modeled page count for one column in a columnar layout."""
+        col = self.schema.column(name)
+        per_page = max(1, PAGE_BYTES // VALUE_BYTES[col.dtype])
+        return max(1, -(-self._n_rows // per_page)) if self._n_rows else 0
+
+    def __len__(self):
+        return self._n_rows
+
+    def __repr__(self):
+        return "Table(%r, rows=%d)" % (self.name, self._n_rows)

@@ -1,0 +1,25 @@
+"""Experiment harness shared by the benchmark suite and EXPERIMENTS.md.
+
+Every experiment (E1–E16, F1 in DESIGN.md §5) registers a function that
+returns one or more :class:`~repro.common.ResultTable`; the benchmark files
+call into the registry, and ``python -m repro.harness <exp-id>`` runs one
+from the command line.
+"""
+
+from repro.common import ResultTable
+from repro.harness.registry import (
+    ExperimentSpec,
+    register_experiment,
+    get_experiment,
+    all_experiments,
+    run_experiment,
+)
+
+__all__ = [
+    "ResultTable",
+    "ExperimentSpec",
+    "register_experiment",
+    "get_experiment",
+    "all_experiments",
+    "run_experiment",
+]

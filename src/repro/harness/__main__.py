@@ -1,0 +1,51 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.harness            # list experiments
+    python -m repro.harness E6         # run one experiment
+    python -m repro.harness all        # run everything (slow)
+    python -m repro.harness E6 --fast  # CI-sized run
+"""
+
+import argparse
+
+from repro.harness.registry import all_experiments, run_experiment
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Run the AI4DB/DB4AI reproduction experiments.",
+    )
+    parser.add_argument("experiment", nargs="?", default=None,
+                        help="experiment id (E1..E16, F1), 'all', or "
+                             "'report' (writes EXPERIMENTS.md)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--fast", action="store_true",
+                        help="shrunken data/budgets for quick runs")
+    parser.add_argument("--out", default="EXPERIMENTS.md",
+                        help="output path for 'report'")
+    args = parser.parse_args(argv)
+    if args.experiment is None:
+        print("Available experiments:")
+        for spec in all_experiments():
+            print("  %-4s %s" % (spec.exp_id, spec.title))
+        return 0
+    if args.experiment.lower() == "report":
+        from repro.harness.report import write_report
+
+        path = write_report(args.out, seed=args.seed, fast=args.fast)
+        print("wrote %s" % path)
+        return 0
+    if args.experiment.lower() == "all":
+        for spec in all_experiments():
+            run_experiment(spec.exp_id, seed=args.seed, fast=args.fast)
+        return 0
+    run_experiment(args.experiment, seed=args.seed, fast=args.fast)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

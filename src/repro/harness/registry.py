@@ -1,0 +1,83 @@
+"""Experiment registry and runner."""
+
+from repro.common import ReproError
+
+
+class ExperimentSpec:
+    """Metadata + entry point for one experiment.
+
+    Attributes:
+        exp_id: short id ("E1", "F1", ...).
+        title: human-readable title.
+        claim: the qualitative shape expected (from DESIGN.md §5).
+        func: callable ``(seed=..., fast=...) -> list[ResultTable]``.
+    """
+
+    def __init__(self, exp_id, title, claim, func):
+        self.exp_id = exp_id
+        self.title = title
+        self.claim = claim
+        self.func = func
+
+    def run(self, seed=0, fast=False):
+        """Run the experiment; returns a list of ResultTables."""
+        tables = self.func(seed=seed, fast=fast)
+        if not isinstance(tables, (list, tuple)):
+            tables = [tables]
+        return list(tables)
+
+    def __repr__(self):
+        return "ExperimentSpec(%s: %s)" % (self.exp_id, self.title)
+
+
+_REGISTRY = {}
+
+
+def register_experiment(exp_id, title, claim):
+    """Decorator registering an experiment function under ``exp_id``."""
+
+    def deco(func):
+        key = exp_id.upper()
+        if key in _REGISTRY:
+            raise ReproError("experiment %s already registered" % exp_id)
+        _REGISTRY[key] = ExperimentSpec(exp_id, title, claim, func)
+        return func
+
+    return deco
+
+
+def get_experiment(exp_id):
+    """Look up an experiment by id (case-insensitive)."""
+    _load_all()
+    key = exp_id.upper()
+    if key not in _REGISTRY:
+        raise ReproError(
+            "no experiment %r (have: %s)" % (exp_id, ", ".join(sorted(_REGISTRY)))
+        )
+    return _REGISTRY[key]
+
+
+def all_experiments():
+    """All registered experiments, sorted by id."""
+    _load_all()
+    return [
+        _REGISTRY[k]
+        for k in sorted(_REGISTRY, key=lambda s: (s[0], int(s[1:]) if s[1:].isdigit() else 0))
+    ]
+
+
+def run_experiment(exp_id, seed=0, fast=False, show=True):
+    """Run one experiment and (optionally) print its tables."""
+    spec = get_experiment(exp_id)
+    tables = spec.run(seed=seed, fast=fast)
+    if show:
+        print("== %s: %s ==" % (spec.exp_id, spec.title))
+        print("expected shape: %s" % spec.claim)
+        for t in tables:
+            t.show()
+    return tables
+
+
+def _load_all():
+    """Import the experiment definitions module (registers everything)."""
+    from repro.harness import experiments  # noqa: F401

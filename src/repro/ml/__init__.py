@@ -1,0 +1,103 @@
+"""NumPy-only machine-learning substrate for the AI4DB/DB4AI library.
+
+No external ML frameworks are used; every model here is small enough to
+train on the synthetic database workloads in seconds while preserving the
+qualitative behaviour of the deep models the tutorial's cited systems use.
+"""
+
+from repro.ml.preprocessing import (
+    StandardScaler,
+    MinMaxScaler,
+    OneHotEncoder,
+    train_test_split,
+    polynomial_features,
+)
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_squared_error,
+    root_mean_squared_error,
+    r2_score,
+    q_error,
+    q_error_summary,
+    accuracy,
+    precision_recall_f1,
+    log_loss,
+    mean_absolute_percentage_error,
+    cumulative_regret,
+)
+from repro.ml.linear import LinearRegression, RidgeRegression, LogisticRegression
+from repro.ml.mlp import MLP, Adam, MLPRegressor, MLPClassifier
+from repro.ml.tree import (
+    DecisionTreeRegressor,
+    DecisionTreeClassifier,
+    RandomForestRegressor,
+    RandomForestClassifier,
+    GradientBoostingRegressor,
+)
+from repro.ml.gp import (
+    GaussianProcessRegressor,
+    BayesianOptimizer,
+    expected_improvement,
+    rbf_kernel,
+)
+from repro.ml.rl import (
+    ReplayBuffer,
+    QLearningAgent,
+    DQNAgent,
+    DDPGAgent,
+    EpsilonGreedyBandit,
+    UCB1Bandit,
+    ThompsonBetaBandit,
+    MCTS,
+    MCTSNode,
+)
+from repro.ml.graph import GCNRegressor, normalized_adjacency
+from repro.ml.cluster import KMeans, silhouette_score
+
+__all__ = [
+    "StandardScaler",
+    "MinMaxScaler",
+    "OneHotEncoder",
+    "train_test_split",
+    "polynomial_features",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "r2_score",
+    "q_error",
+    "q_error_summary",
+    "accuracy",
+    "precision_recall_f1",
+    "log_loss",
+    "mean_absolute_percentage_error",
+    "cumulative_regret",
+    "LinearRegression",
+    "RidgeRegression",
+    "LogisticRegression",
+    "MLP",
+    "Adam",
+    "MLPRegressor",
+    "MLPClassifier",
+    "DecisionTreeRegressor",
+    "DecisionTreeClassifier",
+    "RandomForestRegressor",
+    "RandomForestClassifier",
+    "GradientBoostingRegressor",
+    "GaussianProcessRegressor",
+    "BayesianOptimizer",
+    "expected_improvement",
+    "rbf_kernel",
+    "ReplayBuffer",
+    "QLearningAgent",
+    "DQNAgent",
+    "DDPGAgent",
+    "EpsilonGreedyBandit",
+    "UCB1Bandit",
+    "ThompsonBetaBandit",
+    "MCTS",
+    "MCTSNode",
+    "GCNRegressor",
+    "normalized_adjacency",
+    "KMeans",
+    "silhouette_score",
+]

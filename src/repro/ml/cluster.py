@@ -1,0 +1,126 @@
+"""Clustering: k-means and quality scores.
+
+Used by the root-cause diagnosis pipeline (cluster slow queries by KPI
+state, per Ma et al. [51]) and by the workload-forecasting preprocessor.
+"""
+
+import numpy as np
+
+from repro.common import ModelError, NotFittedError, ensure_rng
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization.
+
+    Args:
+        n_clusters: number of centroids.
+        n_init: independent restarts; best inertia wins.
+        max_iter: Lloyd iterations per restart.
+        tol: centroid-shift convergence tolerance.
+        seed: initialization seed.
+    """
+
+    def __init__(self, n_clusters=3, n_init=4, max_iter=100, tol=1e-6, seed=0):
+        if n_clusters < 1:
+            raise ModelError("n_clusters must be >= 1")
+        self.n_clusters = n_clusters
+        self.n_init = n_init
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.centroids_ = None
+        self.labels_ = None
+        self.inertia_ = None
+
+    def _init_centroids(self, X, rng):
+        n = X.shape[0]
+        centroids = [X[rng.integers(0, n)]]
+        for _ in range(1, self.n_clusters):
+            d2 = np.min(
+                [np.sum((X - c) ** 2, axis=1) for c in centroids], axis=0
+            )
+            total = d2.sum()
+            if total <= 0:
+                centroids.append(X[rng.integers(0, n)])
+                continue
+            probs = d2 / total
+            centroids.append(X[rng.choice(n, p=probs)])
+        return np.array(centroids)
+
+    def _run_once(self, X, rng):
+        centroids = self._init_centroids(X, rng)
+        labels = np.zeros(X.shape[0], dtype=int)
+        for _ in range(self.max_iter):
+            dists = np.linalg.norm(X[:, None, :] - centroids[None, :, :], axis=2)
+            labels = dists.argmin(axis=1)
+            new_centroids = centroids.copy()
+            for k in range(self.n_clusters):
+                members = X[labels == k]
+                if len(members):
+                    new_centroids[k] = members.mean(axis=0)
+            shift = float(np.linalg.norm(new_centroids - centroids))
+            centroids = new_centroids
+            if shift < self.tol:
+                break
+        dists = np.linalg.norm(X[:, None, :] - centroids[None, :, :], axis=2)
+        labels = dists.argmin(axis=1)
+        inertia = float(np.sum(dists[np.arange(len(labels)), labels] ** 2))
+        return centroids, labels, inertia
+
+    def fit(self, X):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.shape[0] < self.n_clusters:
+            raise ModelError(
+                "need at least n_clusters=%d samples, got %d"
+                % (self.n_clusters, X.shape[0])
+            )
+        rng = ensure_rng(self.seed)
+        best = None
+        for _ in range(self.n_init):
+            result = self._run_once(X, rng)
+            if best is None or result[2] < best[2]:
+                best = result
+        self.centroids_, self.labels_, self.inertia_ = best
+        return self
+
+    def predict(self, X):
+        """Nearest-centroid label for each row."""
+        if self.centroids_ is None:
+            raise NotFittedError("KMeans used before fit")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        dists = np.linalg.norm(X[:, None, :] - self.centroids_[None, :, :], axis=2)
+        return dists.argmin(axis=1)
+
+    def fit_predict(self, X):
+        """Fit and return training labels."""
+        return self.fit(X).labels_
+
+
+def silhouette_score(X, labels):
+    """Mean silhouette coefficient; higher means better-separated clusters."""
+    X = np.asarray(X, dtype=float)
+    labels = np.asarray(labels)
+    unique = np.unique(labels)
+    if len(unique) < 2:
+        raise ModelError("silhouette needs at least 2 clusters")
+    n = X.shape[0]
+    dists = np.linalg.norm(X[:, None, :] - X[None, :, :], axis=2)
+    scores = np.zeros(n)
+    for i in range(n):
+        same = labels == labels[i]
+        same[i] = False
+        a = dists[i, same].mean() if same.any() else 0.0
+        b = np.inf
+        for lab in unique:
+            if lab == labels[i]:
+                continue
+            other = labels == lab
+            if other.any():
+                b = min(b, dists[i, other].mean())
+        denom = max(a, b)
+        scores[i] = 0.0 if denom == 0 else (b - a) / denom
+    return float(scores.mean())

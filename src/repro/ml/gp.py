@@ -1,0 +1,158 @@
+"""Gaussian process regression and Bayesian optimization.
+
+This powers the OtterTune-style knob-tuning baseline the tutorial cites
+(Aken et al. [3]): GP surrogate + expected-improvement acquisition over the
+knob space.
+"""
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+from scipy.stats import norm
+
+from repro.common import ModelError, NotFittedError, ensure_rng
+
+
+def rbf_kernel(A, B, length_scale=1.0, variance=1.0):
+    """Squared-exponential kernel matrix between row sets ``A`` and ``B``."""
+    A = np.atleast_2d(np.asarray(A, dtype=float))
+    B = np.atleast_2d(np.asarray(B, dtype=float))
+    sq = (
+        np.sum(A**2, axis=1)[:, None]
+        + np.sum(B**2, axis=1)[None, :]
+        - 2.0 * A @ B.T
+    )
+    np.maximum(sq, 0.0, out=sq)
+    return variance * np.exp(-0.5 * sq / (length_scale**2))
+
+
+class GaussianProcessRegressor:
+    """GP regression with an RBF kernel and Gaussian observation noise.
+
+    Args:
+        length_scale: RBF length scale.
+        variance: RBF signal variance.
+        noise: observation-noise variance added to the kernel diagonal.
+        normalize_y: center/scale targets internally (recommended when
+            observations span decades, as throughput numbers do).
+    """
+
+    def __init__(self, length_scale=1.0, variance=1.0, noise=1e-6, normalize_y=True):
+        if noise < 0:
+            raise ModelError("noise must be >= 0")
+        self.length_scale = float(length_scale)
+        self.variance = float(variance)
+        self.noise = float(noise)
+        self.normalize_y = normalize_y
+        self._X = None
+        self._chol = None
+        self._alpha = None
+        self._y_mean = 0.0
+        self._y_scale = 1.0
+
+    def fit(self, X, y):
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ModelError(
+                "X has %d rows but y has %d" % (X.shape[0], y.shape[0])
+            )
+        if self.normalize_y:
+            self._y_mean = float(y.mean())
+            scale = float(y.std())
+            self._y_scale = scale if scale > 0 else 1.0
+        yn = (y - self._y_mean) / self._y_scale
+        K = rbf_kernel(X, X, self.length_scale, self.variance)
+        K[np.diag_indices_from(K)] += self.noise + 1e-10
+        self._chol = cho_factor(K, lower=True)
+        self._alpha = cho_solve(self._chol, yn)
+        self._X = X
+        return self
+
+    def predict(self, X, return_std=False):
+        """Posterior mean (and optionally standard deviation) at ``X``."""
+        if self._X is None:
+            raise NotFittedError("GaussianProcessRegressor used before fit")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Ks = rbf_kernel(X, self._X, self.length_scale, self.variance)
+        mean = Ks @ self._alpha * self._y_scale + self._y_mean
+        if not return_std:
+            return mean
+        v = cho_solve(self._chol, Ks.T)
+        var = self.variance - np.sum(Ks * v.T, axis=1)
+        var = np.maximum(var, 1e-12)
+        return mean, np.sqrt(var) * self._y_scale
+
+
+def expected_improvement(mean, std, best, xi=0.01):
+    """EI acquisition for maximization given posterior mean/std arrays."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    improve = mean - best - xi
+    z = improve / std
+    return improve * norm.cdf(z) + std * norm.pdf(z)
+
+
+class BayesianOptimizer:
+    """GP-based maximizer over a box-constrained continuous space.
+
+    Implements the suggest/observe loop OtterTune-style tuners use: fit a GP
+    on the observations so far, score a random candidate pool with expected
+    improvement, and suggest the argmax.
+
+    Args:
+        bounds: sequence of ``(low, high)`` pairs, one per dimension.
+        n_candidates: size of the random candidate pool per suggestion.
+        init_points: suggestions drawn uniformly before the GP kicks in.
+        seed: randomness seed.
+    """
+
+    def __init__(self, bounds, n_candidates=256, init_points=5, seed=0, noise=1e-4):
+        self.bounds = [(float(lo), float(hi)) for lo, hi in bounds]
+        for lo, hi in self.bounds:
+            if hi <= lo:
+                raise ModelError("each bound must satisfy low < high")
+        self.n_candidates = n_candidates
+        self.init_points = init_points
+        self.noise = noise
+        self._rng = ensure_rng(seed)
+        self._X = []
+        self._y = []
+
+    def _random_point(self):
+        return np.array(
+            [self._rng.uniform(lo, hi) for lo, hi in self.bounds]
+        )
+
+    def suggest(self):
+        """Return the next point to evaluate."""
+        if len(self._X) < self.init_points:
+            return self._random_point()
+        dim_spans = np.array([hi - lo for lo, hi in self.bounds])
+        gp = GaussianProcessRegressor(
+            length_scale=float(np.mean(dim_spans)) * 0.25,
+            variance=1.0,
+            noise=self.noise,
+        )
+        gp.fit(np.array(self._X), np.array(self._y))
+        pool = np.array([self._random_point() for _ in range(self.n_candidates)])
+        mean, std = gp.predict(pool, return_std=True)
+        ei = expected_improvement(mean, std, best=max(self._y))
+        return pool[int(np.argmax(ei))]
+
+    def observe(self, x, y):
+        """Record an evaluated ``(point, objective)`` pair."""
+        x = np.asarray(x, dtype=float).ravel()
+        if x.shape[0] != len(self.bounds):
+            raise ModelError(
+                "point has %d dims, expected %d" % (x.shape[0], len(self.bounds))
+            )
+        self._X.append(x)
+        self._y.append(float(y))
+
+    @property
+    def best(self):
+        """Best ``(point, objective)`` observed so far, or ``None``."""
+        if not self._y:
+            return None
+        i = int(np.argmax(self._y))
+        return self._X[i], self._y[i]

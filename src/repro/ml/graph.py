@@ -1,0 +1,166 @@
+"""GCN-lite: message-passing graph embedding on NetworkX graphs.
+
+Backs the concurrent-query performance predictor (Zhou et al. [90]), which
+embeds a *workload graph* — vertices are concurrently running operators,
+edges are data-sharing/conflict relations — and regresses per-vertex
+performance from the embedding.
+
+The model is a standard 2-layer graph convolution with symmetric-normalized
+adjacency, trained end-to-end with a linear readout per node. Everything is
+dense NumPy, which is fine at workload-graph scale (tens of nodes).
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.common import ModelError, NotFittedError, ensure_rng
+
+
+def normalized_adjacency(graph, nodes=None):
+    """Symmetric-normalized adjacency with self-loops: ``D^-1/2 (A+I) D^-1/2``.
+
+    Args:
+        graph: an undirected :class:`networkx.Graph` (weights honored).
+        nodes: optional explicit node ordering; default sorted by node key.
+
+    Returns:
+        ``(A_hat, nodes)`` — the dense normalized matrix and the ordering.
+    """
+    if nodes is None:
+        nodes = sorted(graph.nodes())
+    index = {n: i for i, n in enumerate(nodes)}
+    n = len(nodes)
+    A = np.eye(n)
+    for u, v, data in graph.edges(data=True):
+        w = float(data.get("weight", 1.0))
+        A[index[u], index[v]] += w
+        A[index[v], index[u]] += w
+    deg = A.sum(axis=1)
+    d_inv_sqrt = 1.0 / np.sqrt(np.maximum(deg, 1e-12))
+    A_hat = A * d_inv_sqrt[:, None] * d_inv_sqrt[None, :]
+    return A_hat, list(nodes)
+
+
+class GCNRegressor:
+    """Two-layer GCN with a per-node linear readout, trained with Adam.
+
+    Each training example is an entire graph: node-feature matrix ``X``
+    (n_nodes x in_dim), adjacency from the graph structure, and a per-node
+    target vector ``y``. The same weights are shared across graphs, so the
+    model generalizes to unseen workload mixes.
+
+    Args:
+        in_dim: node feature dimension.
+        hidden: hidden embedding width.
+        epochs: training epochs over the graph list.
+        lr: Adam learning rate.
+        seed: init seed.
+    """
+
+    def __init__(self, in_dim, hidden=32, epochs=200, lr=1e-2, seed=0):
+        rng = ensure_rng(seed)
+        self.in_dim = in_dim
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.W1 = rng.normal(scale=np.sqrt(2.0 / in_dim), size=(in_dim, hidden))
+        self.W2 = rng.normal(scale=np.sqrt(2.0 / hidden), size=(hidden, hidden))
+        self.w_out = rng.normal(scale=np.sqrt(2.0 / hidden), size=(hidden, 1))
+        self.b_out = np.zeros(1)
+        self._fitted = False
+        self.loss_curve_ = []
+
+    @property
+    def _params(self):
+        return [self.W1, self.W2, self.w_out, self.b_out]
+
+    def _forward(self, A_hat, X):
+        H1_pre = A_hat @ X @ self.W1
+        H1 = np.maximum(H1_pre, 0.0)
+        H2_pre = A_hat @ H1 @ self.W2
+        H2 = np.maximum(H2_pre, 0.0)
+        out = H2 @ self.w_out + self.b_out
+        cache = (A_hat, X, H1_pre, H1, H2_pre, H2)
+        return out.ravel(), cache
+
+    def _backward(self, cache, dout):
+        A_hat, X, H1_pre, H1, H2_pre, H2 = cache
+        dout = dout.reshape(-1, 1)
+        g_w_out = H2.T @ dout
+        g_b_out = dout.sum(axis=0)
+        dH2 = dout @ self.w_out.T
+        dH2_pre = dH2 * (H2_pre > 0)
+        g_W2 = (A_hat @ H1).T @ dH2_pre
+        dH1 = A_hat.T @ dH2_pre @ self.W2.T
+        dH1_pre = dH1 * (H1_pre > 0)
+        g_W1 = (A_hat @ X).T @ dH1_pre
+        return [g_W1, g_W2, g_w_out, g_b_out]
+
+    def fit(self, graphs, features, targets):
+        """Train on a list of graphs with aligned features/targets.
+
+        Args:
+            graphs: list of :class:`networkx.Graph`.
+            features: list of ``(n_nodes, in_dim)`` arrays; row order must
+                match ``sorted(graph.nodes())``.
+            targets: list of per-node target vectors.
+        """
+        if not (len(graphs) == len(features) == len(targets)):
+            raise ModelError("graphs, features and targets must align")
+        if not graphs:
+            raise ModelError("need at least one training graph")
+        prepared = []
+        for g, X, y in zip(graphs, features, targets):
+            X = np.asarray(X, dtype=float)
+            y = np.asarray(y, dtype=float).ravel()
+            if X.shape[0] != g.number_of_nodes():
+                raise ModelError("feature rows must match node count")
+            if X.shape[1] != self.in_dim:
+                raise ModelError(
+                    "feature dim %d != in_dim %d" % (X.shape[1], self.in_dim)
+                )
+            if y.shape[0] != X.shape[0]:
+                raise ModelError("target length must match node count")
+            A_hat, __ = normalized_adjacency(g)
+            prepared.append((A_hat, X, y))
+        # Simple Adam over the shared parameters.
+        m = [np.zeros_like(p) for p in self._params]
+        v = [np.zeros_like(p) for p in self._params]
+        t = 0
+        self.loss_curve_ = []
+        for _ in range(self.epochs):
+            epoch_loss = 0.0
+            for A_hat, X, y in prepared:
+                pred, cache = self._forward(A_hat, X)
+                err = pred - y
+                epoch_loss += float(np.mean(err**2))
+                grads = self._backward(cache, 2.0 * err / len(err))
+                t += 1
+                params = self._params
+                for i, (p, g_) in enumerate(zip(params, grads)):
+                    m[i] = 0.9 * m[i] + 0.1 * g_
+                    v[i] = 0.999 * v[i] + 0.001 * g_**2
+                    m_hat = m[i] / (1 - 0.9**t)
+                    v_hat = v[i] / (1 - 0.999**t)
+                    p -= self.lr * m_hat / (np.sqrt(v_hat) + 1e-8)
+            self.loss_curve_.append(epoch_loss / len(prepared))
+        self._fitted = True
+        return self
+
+    def predict(self, graph, features):
+        """Per-node predictions for one graph (row order = sorted nodes)."""
+        if not self._fitted:
+            raise NotFittedError("GCNRegressor used before fit")
+        X = np.asarray(features, dtype=float)
+        A_hat, __ = normalized_adjacency(graph)
+        pred, __ = self._forward(A_hat, X)
+        return pred
+
+    def embed(self, graph, features):
+        """Final-layer node embeddings (useful for clustering/inspection)."""
+        if not self._fitted:
+            raise NotFittedError("GCNRegressor used before fit")
+        X = np.asarray(features, dtype=float)
+        A_hat, __ = normalized_adjacency(graph)
+        __, cache = self._forward(A_hat, X)
+        return cache[5]

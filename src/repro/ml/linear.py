@@ -1,0 +1,168 @@
+"""Linear models: least squares, ridge, and logistic regression.
+
+These are the workhorse baselines for the learned-database components
+(e.g., the plan-only performance predictor, access-control scorer, and the
+linear stages inside the recursive-model-index learned index).
+"""
+
+import numpy as np
+
+from repro.common import ModelError, NotFittedError, ensure_rng
+
+
+def _design(X, add_intercept):
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if add_intercept:
+        X = np.hstack([X, np.ones((X.shape[0], 1))])
+    return X
+
+
+class LinearRegression:
+    """Ordinary least squares via :func:`numpy.linalg.lstsq`.
+
+    Args:
+        add_intercept: whether to fit a bias term (default True).
+    """
+
+    def __init__(self, add_intercept=True):
+        self.add_intercept = add_intercept
+        self.coef_ = None
+        self.intercept_ = 0.0
+
+    def fit(self, X, y):
+        Xd = _design(X, self.add_intercept)
+        y = np.asarray(y, dtype=float).ravel()
+        if Xd.shape[0] != y.shape[0]:
+            raise ModelError(
+                "X has %d rows but y has %d" % (Xd.shape[0], y.shape[0])
+            )
+        w, *_ = np.linalg.lstsq(Xd, y, rcond=None)
+        if self.add_intercept:
+            self.coef_ = w[:-1]
+            self.intercept_ = float(w[-1])
+        else:
+            self.coef_ = w
+            self.intercept_ = 0.0
+        return self
+
+    def predict(self, X):
+        if self.coef_ is None:
+            raise NotFittedError("LinearRegression used before fit")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return X @ self.coef_ + self.intercept_
+
+
+class RidgeRegression:
+    """L2-regularized least squares solved in closed form.
+
+    The intercept is not penalized (handled by centering), matching the
+    standard formulation.
+
+    Args:
+        alpha: regularization strength (>= 0).
+    """
+
+    def __init__(self, alpha=1.0):
+        if alpha < 0:
+            raise ModelError("alpha must be >= 0, got %r" % (alpha,))
+        self.alpha = float(alpha)
+        self.coef_ = None
+        self.intercept_ = 0.0
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ModelError(
+                "X has %d rows but y has %d" % (X.shape[0], y.shape[0])
+            )
+        x_mean = X.mean(axis=0)
+        y_mean = y.mean()
+        Xc = X - x_mean
+        yc = y - y_mean
+        n_features = X.shape[1]
+        gram = Xc.T @ Xc + self.alpha * np.eye(n_features)
+        self.coef_ = np.linalg.solve(gram, Xc.T @ yc)
+        self.intercept_ = float(y_mean - x_mean @ self.coef_)
+        return self
+
+    def predict(self, X):
+        if self.coef_ is None:
+            raise NotFittedError("RidgeRegression used before fit")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return X @ self.coef_ + self.intercept_
+
+
+def _sigmoid(z):
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+class LogisticRegression:
+    """Binary logistic regression trained with full-batch gradient descent.
+
+    Args:
+        lr: learning rate.
+        epochs: gradient steps.
+        l2: L2 penalty on the weights (not the bias).
+        seed: seed for the (tiny) random weight init.
+    """
+
+    def __init__(self, lr=0.1, epochs=500, l2=1e-4, seed=0):
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self.coef_ = None
+        self.intercept_ = 0.0
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y, dtype=float).ravel()
+        if set(np.unique(y)) - {0.0, 1.0}:
+            raise ModelError("LogisticRegression expects 0/1 labels")
+        if X.shape[0] != y.shape[0]:
+            raise ModelError(
+                "X has %d rows but y has %d" % (X.shape[0], y.shape[0])
+            )
+        rng = ensure_rng(self.seed)
+        n, d = X.shape
+        w = rng.normal(scale=0.01, size=d)
+        b = 0.0
+        for _ in range(self.epochs):
+            p = _sigmoid(X @ w + b)
+            err = p - y
+            grad_w = X.T @ err / n + self.l2 * w
+            grad_b = float(err.mean())
+            w -= self.lr * grad_w
+            b -= self.lr * grad_b
+        self.coef_ = w
+        self.intercept_ = b
+        return self
+
+    def predict_proba(self, X):
+        """Probability of the positive class for each row."""
+        if self.coef_ is None:
+            raise NotFittedError("LogisticRegression used before fit")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return _sigmoid(X @ self.coef_ + self.intercept_)
+
+    def predict(self, X, threshold=0.5):
+        """Hard 0/1 labels at the given probability threshold."""
+        return (self.predict_proba(X) >= threshold).astype(int)

@@ -1,0 +1,145 @@
+"""Evaluation metrics used across AI4DB and DB4AI experiments.
+
+Includes the database-specific *q-error* metric (the standard cardinality-
+estimation error measure: ``max(est/true, true/est)``) alongside the usual
+regression and classification scores.
+"""
+
+import numpy as np
+
+
+def _pair(y_true, y_pred):
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            "shape mismatch: %s vs %s" % (y_true.shape, y_pred.shape)
+        )
+    if y_true.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return y_true, y_pred
+
+
+def mean_absolute_error(y_true, y_pred):
+    """Mean of ``|y_true - y_pred|``."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mean_squared_error(y_true, y_pred):
+    """Mean of squared residuals."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true, y_pred):
+    """Square root of :func:`mean_squared_error`."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def r2_score(y_true, y_pred):
+    """Coefficient of determination; 1.0 is perfect, 0.0 matches the mean."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    ss_res = np.sum((y_true - y_pred) ** 2)
+    ss_tot = np.sum((y_true - y_true.mean()) ** 2)
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return float(1.0 - ss_res / ss_tot)
+
+
+def q_error(true_values, est_values, floor=1.0):
+    """Per-sample q-error: ``max(est/true, true/est)`` with a value floor.
+
+    Cardinalities are floored at ``floor`` (default 1 row) before the ratio,
+    matching the convention in the learned-cardinality literature so that
+    zero estimates do not produce infinities.
+
+    Returns:
+        ndarray of per-sample q-errors (all >= 1).
+    """
+    t = np.maximum(np.asarray(true_values, dtype=float).ravel(), floor)
+    e = np.maximum(np.asarray(est_values, dtype=float).ravel(), floor)
+    if t.shape != e.shape:
+        raise ValueError("shape mismatch: %s vs %s" % (t.shape, e.shape))
+    return np.maximum(t / e, e / t)
+
+
+def q_error_summary(true_values, est_values, quantiles=(0.5, 0.9, 0.95, 0.99)):
+    """Summarize q-errors at the quantiles the literature reports.
+
+    Returns:
+        dict mapping ``"mean"``, ``"max"`` and ``"q50"``-style keys to floats.
+    """
+    qe = q_error(true_values, est_values)
+    out = {"mean": float(qe.mean()), "max": float(qe.max())}
+    for q in quantiles:
+        out["q%d" % int(round(q * 100))] = float(np.quantile(qe, q))
+    return out
+
+
+def accuracy(y_true, y_pred):
+    """Fraction of exact label matches."""
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            "shape mismatch: %s vs %s" % (y_true.shape, y_pred.shape)
+        )
+    if y_true.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_recall_f1(y_true, y_pred, positive=1):
+    """Binary precision/recall/F1 for the ``positive`` label.
+
+    Empty denominators yield 0.0 rather than NaN (the usual convention for
+    detector benchmarks with no predicted/actual positives).
+
+    Returns:
+        ``(precision, recall, f1)`` floats.
+    """
+    y_true = np.asarray(y_true).ravel()
+    y_pred = np.asarray(y_pred).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            "shape mismatch: %s vs %s" % (y_true.shape, y_pred.shape)
+        )
+    tp = float(np.sum((y_pred == positive) & (y_true == positive)))
+    fp = float(np.sum((y_pred == positive) & (y_true != positive)))
+    fn = float(np.sum((y_pred != positive) & (y_true == positive)))
+    precision = tp / (tp + fp) if tp + fp > 0 else 0.0
+    recall = tp / (tp + fn) if tp + fn > 0 else 0.0
+    if precision + recall == 0.0:
+        return precision, recall, 0.0
+    f1 = 2.0 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def log_loss(y_true, prob, eps=1e-12):
+    """Binary cross-entropy between labels and predicted probabilities."""
+    y_true, prob = _pair(y_true, prob)
+    p = np.clip(prob, eps, 1.0 - eps)
+    return float(-np.mean(y_true * np.log(p) + (1.0 - y_true) * np.log(1.0 - p)))
+
+
+def mean_absolute_percentage_error(y_true, y_pred, eps=1e-9):
+    """MAPE with an epsilon guard against zero denominators."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    denom = np.maximum(np.abs(y_true), eps)
+    return float(np.mean(np.abs(y_true - y_pred) / denom))
+
+
+def cumulative_regret(rewards, best_expected):
+    """Cumulative regret curve of a bandit run.
+
+    Args:
+        rewards: sequence of realized per-step rewards.
+        best_expected: expected per-step reward of the optimal arm.
+
+    Returns:
+        ndarray where entry ``t`` is ``(t+1)*best_expected - sum(rewards[:t+1])``.
+    """
+    rewards = np.asarray(rewards, dtype=float).ravel()
+    steps = np.arange(1, rewards.size + 1)
+    return steps * float(best_expected) - np.cumsum(rewards)

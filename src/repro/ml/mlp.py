@@ -1,0 +1,297 @@
+"""Feed-forward neural networks with backprop and Adam, in NumPy.
+
+This is the stand-in for the deep models the tutorial's cited systems use
+(MSCN-style cardinality estimators, CDBTune/QTune critics and actors,
+NEO's value network). Networks are intentionally small — the experiments
+run on synthetic data at laptop scale — but the training loop is a real
+mini-batch Adam loop with configurable losses and activations.
+"""
+
+import numpy as np
+
+from repro.common import ModelError, NotFittedError, ensure_rng
+
+_ACTIVATIONS = {}
+
+
+def _activation(name):
+    try:
+        return _ACTIVATIONS[name]
+    except KeyError:
+        raise ModelError(
+            "unknown activation %r (have: %s)"
+            % (name, ", ".join(sorted(_ACTIVATIONS)))
+        )
+
+
+def _register(name, fwd, bwd):
+    _ACTIVATIONS[name] = (fwd, bwd)
+
+
+_register("relu", lambda z: np.maximum(z, 0.0), lambda z, a: (z > 0).astype(float))
+_register("tanh", np.tanh, lambda z, a: 1.0 - a**2)
+_register("identity", lambda z: z, lambda z, a: np.ones_like(z))
+
+
+def _sigmoid(z):
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+_register("sigmoid", _sigmoid, lambda z, a: a * (1.0 - a))
+
+
+class Adam:
+    """Adam optimizer over a flat list of parameter arrays."""
+
+    def __init__(self, params, lr=1e-3, beta1=0.9, beta2=0.999, eps=1e-8):
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in params]
+        self._v = [np.zeros_like(p) for p in params]
+        self._t = 0
+
+    def step(self, grads):
+        """Apply one Adam update given gradients aligned with ``params``."""
+        if len(grads) != len(self.params):
+            raise ModelError("gradient count mismatch")
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for i, (p, g) in enumerate(zip(self.params, grads)):
+            self._m[i] = b1 * self._m[i] + (1 - b1) * g
+            self._v[i] = b2 * self._v[i] + (1 - b2) * g**2
+            m_hat = self._m[i] / (1 - b1**self._t)
+            v_hat = self._v[i] / (1 - b2**self._t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class MLP:
+    """A multilayer perceptron with explicit forward/backward passes.
+
+    This low-level class exposes ``forward``/``backward``/``grads`` so the RL
+    agents (DQN/DDPG) can drive custom losses; most users want
+    :class:`MLPRegressor` or :class:`MLPClassifier` instead.
+
+    Args:
+        layer_sizes: e.g. ``[in_dim, 64, 64, out_dim]``.
+        hidden_activation: activation between hidden layers.
+        output_activation: activation on the final layer.
+        seed: weight-init seed.
+    """
+
+    def __init__(
+        self,
+        layer_sizes,
+        hidden_activation="relu",
+        output_activation="identity",
+        seed=0,
+    ):
+        if len(layer_sizes) < 2:
+            raise ModelError("need at least an input and an output layer")
+        rng = ensure_rng(seed)
+        self.layer_sizes = list(layer_sizes)
+        self.hidden_activation = hidden_activation
+        self.output_activation = output_activation
+        self.weights = []
+        self.biases = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(rng.normal(scale=scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._cache = None
+
+    @property
+    def params(self):
+        """Flat list of parameter arrays (weights then biases, per layer)."""
+        out = []
+        for w, b in zip(self.weights, self.biases):
+            out.extend([w, b])
+        return out
+
+    def forward(self, X, cache=True):
+        """Run the network; with ``cache=True`` store activations for backprop."""
+        X = np.asarray(X, dtype=float)
+        squeeze = X.ndim == 1
+        if squeeze:
+            X = X.reshape(1, -1)
+        zs, acts = [], [X]
+        a = X
+        n_layers = len(self.weights)
+        for i, (w, b) in enumerate(zip(self.weights, self.biases)):
+            z = a @ w + b
+            name = (
+                self.output_activation
+                if i == n_layers - 1
+                else self.hidden_activation
+            )
+            fwd, __ = _activation(name)
+            a = fwd(z)
+            zs.append(z)
+            acts.append(a)
+        if cache:
+            self._cache = (zs, acts)
+        return a[0] if squeeze else a
+
+    def backward(self, dloss_dout):
+        """Backprop ``dL/d(output)`` through the cached forward pass.
+
+        Returns:
+            ``(grads, dloss_dinput)`` — grads aligned with :attr:`params`.
+        """
+        if self._cache is None:
+            raise ModelError("backward called before a cached forward pass")
+        zs, acts = self._cache
+        n_layers = len(self.weights)
+        delta = np.asarray(dloss_dout, dtype=float)
+        if delta.ndim == 1:
+            delta = delta.reshape(1, -1)
+        grads_w = [None] * n_layers
+        grads_b = [None] * n_layers
+        for i in reversed(range(n_layers)):
+            name = (
+                self.output_activation
+                if i == n_layers - 1
+                else self.hidden_activation
+            )
+            __, bwd = _activation(name)
+            delta = delta * bwd(zs[i], acts[i + 1])
+            grads_w[i] = acts[i].T @ delta
+            grads_b[i] = delta.sum(axis=0)
+            delta = delta @ self.weights[i].T
+        grads = []
+        for gw, gb in zip(grads_w, grads_b):
+            grads.extend([gw, gb])
+        return grads, delta
+
+    def copy_from(self, other, tau=1.0):
+        """Polyak-average parameters from ``other`` (tau=1 copies exactly)."""
+        for p, q in zip(self.params, other.params):
+            p *= 1.0 - tau
+            p += tau * q
+
+
+class _FittedMLP:
+    """Shared mini-batch training loop for the high-level estimators."""
+
+    def __init__(
+        self,
+        hidden=(64, 64),
+        epochs=200,
+        batch_size=32,
+        lr=1e-3,
+        seed=0,
+        hidden_activation="relu",
+    ):
+        self.hidden = tuple(hidden)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self.hidden_activation = hidden_activation
+        self.net_ = None
+        self.loss_curve_ = []
+
+    def _fit_loop(self, X, y, out_dim, output_activation, loss_grad, loss_val):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y.reshape(-1, out_dim) if out_dim > 1 else y.reshape(-1, 1)
+        if X.shape[0] != y.shape[0]:
+            raise ModelError(
+                "X has %d rows but y has %d" % (X.shape[0], y.shape[0])
+            )
+        rng = ensure_rng(self.seed)
+        sizes = [X.shape[1], *self.hidden, out_dim]
+        self.net_ = MLP(
+            sizes,
+            hidden_activation=self.hidden_activation,
+            output_activation=output_activation,
+            seed=rng.integers(0, 2**31 - 1),
+        )
+        opt = Adam(self.net_.params, lr=self.lr)
+        n = X.shape[0]
+        batch = min(self.batch_size, n)
+        self.loss_curve_ = []
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch):
+                idx = order[start : start + batch]
+                xb, yb = X[idx], y[idx]
+                pred = self.net_.forward(xb)
+                epoch_loss += loss_val(yb, pred) * len(idx)
+                grads, __ = self.net_.backward(loss_grad(yb, pred) / len(idx))
+                opt.step(grads)
+            self.loss_curve_.append(epoch_loss / n)
+        return self
+
+
+class MLPRegressor(_FittedMLP):
+    """MLP regression with mean-squared-error loss.
+
+    Args mirror :class:`_FittedMLP`; ``fit(X, y)`` / ``predict(X)`` follow
+    the usual estimator protocol. ``loss_curve_`` records per-epoch MSE.
+    """
+
+    def fit(self, X, y):
+        y = np.asarray(y, dtype=float)
+        out_dim = 1 if y.ndim == 1 else y.shape[1]
+        return self._fit_loop(
+            X,
+            y,
+            out_dim,
+            "identity",
+            loss_grad=lambda yt, yp: 2.0 * (yp - yt),
+            loss_val=lambda yt, yp: float(np.mean((yp - yt) ** 2)),
+        )
+
+    def predict(self, X):
+        if self.net_ is None:
+            raise NotFittedError("MLPRegressor used before fit")
+        out = self.net_.forward(np.asarray(X, dtype=float), cache=False)
+        out = np.asarray(out)
+        if out.ndim == 2 and out.shape[1] == 1:
+            return out.ravel()
+        return out
+
+
+class MLPClassifier(_FittedMLP):
+    """Binary MLP classifier with sigmoid output and cross-entropy loss."""
+
+    def fit(self, X, y):
+        y = np.asarray(y, dtype=float).ravel()
+        if set(np.unique(y)) - {0.0, 1.0}:
+            raise ModelError("MLPClassifier expects 0/1 labels")
+
+        def grad(yt, yp):
+            # d(BCE)/d(sigmoid-output) combined form stays stable because the
+            # chain through sigmoid' is applied in backward(); use the
+            # quotient form with clipping.
+            p = np.clip(yp, 1e-7, 1.0 - 1e-7)
+            return (p - yt) / (p * (1.0 - p))
+
+        def val(yt, yp):
+            p = np.clip(yp, 1e-7, 1.0 - 1e-7)
+            return float(-np.mean(yt * np.log(p) + (1 - yt) * np.log(1 - p)))
+
+        return self._fit_loop(X, y, 1, "sigmoid", grad, val)
+
+    def predict_proba(self, X):
+        """Positive-class probability per row."""
+        if self.net_ is None:
+            raise NotFittedError("MLPClassifier used before fit")
+        out = self.net_.forward(np.asarray(X, dtype=float), cache=False)
+        return np.asarray(out).ravel()
+
+    def predict(self, X, threshold=0.5):
+        """Hard 0/1 labels at the given threshold."""
+        return (self.predict_proba(X) >= threshold).astype(int)

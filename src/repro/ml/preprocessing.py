@@ -1,0 +1,169 @@
+"""Feature preprocessing: scalers, encoders, splits.
+
+Minimal NumPy counterparts of the sklearn preprocessing utilities that the
+learned-database components rely on. All transformers follow the
+``fit`` / ``transform`` / ``fit_transform`` protocol and raise
+:class:`repro.common.NotFittedError` when used before fitting.
+"""
+
+import numpy as np
+
+from repro.common import NotFittedError, ensure_rng
+
+
+def _as_2d(X):
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError("expected 1-D or 2-D input, got %d-D" % X.ndim)
+    return X
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance.
+
+    Constant columns get scale 1.0 so they pass through unchanged instead of
+    producing NaNs.
+    """
+
+    def __init__(self):
+        self.mean_ = None
+        self.scale_ = None
+
+    def fit(self, X):
+        X = _as_2d(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X):
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler used before fit")
+        return (_as_2d(X) - self.mean_) / self.scale_
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X):
+        if self.mean_ is None:
+            raise NotFittedError("StandardScaler used before fit")
+        return _as_2d(X) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale features into ``[lo, hi]`` (default ``[0, 1]``)."""
+
+    def __init__(self, feature_range=(0.0, 1.0)):
+        lo, hi = feature_range
+        if hi <= lo:
+            raise ValueError("feature_range must satisfy lo < hi")
+        self.feature_range = (float(lo), float(hi))
+        self.data_min_ = None
+        self.data_max_ = None
+
+    def fit(self, X):
+        X = _as_2d(X)
+        self.data_min_ = X.min(axis=0)
+        self.data_max_ = X.max(axis=0)
+        return self
+
+    def transform(self, X):
+        if self.data_min_ is None:
+            raise NotFittedError("MinMaxScaler used before fit")
+        lo, hi = self.feature_range
+        span = self.data_max_ - self.data_min_
+        span = np.where(span == 0.0, 1.0, span)
+        unit = (_as_2d(X) - self.data_min_) / span
+        return unit * (hi - lo) + lo
+
+    def fit_transform(self, X):
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X):
+        if self.data_min_ is None:
+            raise NotFittedError("MinMaxScaler used before fit")
+        lo, hi = self.feature_range
+        span = self.data_max_ - self.data_min_
+        span = np.where(span == 0.0, 1.0, span)
+        unit = (_as_2d(X) - lo) / (hi - lo)
+        return unit * span + self.data_min_
+
+
+class OneHotEncoder:
+    """One-hot encode a 1-D array of hashable category labels.
+
+    Unknown categories at transform time map to the all-zero vector, which is
+    the behaviour the security/monitoring classifiers want for unseen tokens.
+    """
+
+    def __init__(self):
+        self.categories_ = None
+        self._index = None
+
+    def fit(self, values):
+        seen = []
+        index = {}
+        for v in values:
+            if v not in index:
+                index[v] = len(seen)
+                seen.append(v)
+        self.categories_ = seen
+        self._index = index
+        return self
+
+    def transform(self, values):
+        if self._index is None:
+            raise NotFittedError("OneHotEncoder used before fit")
+        out = np.zeros((len(values), len(self.categories_)))
+        for i, v in enumerate(values):
+            j = self._index.get(v)
+            if j is not None:
+                out[i, j] = 1.0
+        return out
+
+    def fit_transform(self, values):
+        return self.fit(values).transform(values)
+
+
+def train_test_split(X, y, test_size=0.25, seed=None):
+    """Shuffle and split ``(X, y)`` into train and test partitions.
+
+    Args:
+        X: 2-D features (or anything indexable by a row-index array).
+        y: 1-D targets aligned with ``X``.
+        test_size: fraction in ``(0, 1)`` assigned to the test split.
+        seed: seed or Generator for the shuffle.
+
+    Returns:
+        ``(X_train, X_test, y_train, y_test)``
+    """
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1), got %r" % (test_size,))
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("X and y disagree on length: %d vs %d" % (len(X), len(y)))
+    rng = ensure_rng(seed)
+    order = rng.permutation(len(X))
+    n_test = max(1, int(round(len(X) * test_size)))
+    test_idx = order[:n_test]
+    train_idx = order[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+def polynomial_features(X, degree=2):
+    """Append element-wise powers of ``X`` up to ``degree`` (no cross terms).
+
+    A cheap nonlinearity injector for the linear baselines; degree 1 returns
+    ``X`` unchanged (as a float copy).
+    """
+    if degree < 1:
+        raise ValueError("degree must be >= 1")
+    X = _as_2d(X)
+    blocks = [X]
+    for d in range(2, degree + 1):
+        blocks.append(X**d)
+    return np.hstack(blocks)

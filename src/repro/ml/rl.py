@@ -1,0 +1,499 @@
+"""Reinforcement-learning substrate: bandits, Q-learning, DQN, DDPG, MCTS.
+
+These agents back the AI4DB components the tutorial surveys:
+
+* **DDPG-lite** — CDBTune/QTune-style continuous knob tuning [42, 87].
+* **DQN-lite / tabular Q** — ReJOIN-style join ordering [54], the
+  index/partition advisors' create/drop MDPs [65, 23].
+* **MCTS** — SkinnerDB-style join ordering [74] and learned rewrite-rule
+  ordering.
+* **Bandits** — database activity monitoring as a multi-armed bandit [19].
+"""
+
+import numpy as np
+
+from repro.common import ModelError, ensure_rng
+from repro.ml.mlp import MLP, Adam
+
+
+class ReplayBuffer:
+    """Fixed-capacity uniform-sampling experience replay."""
+
+    def __init__(self, capacity=10000, seed=0):
+        if capacity < 1:
+            raise ModelError("capacity must be >= 1")
+        self.capacity = capacity
+        self._rng = ensure_rng(seed)
+        self._data = []
+        self._pos = 0
+
+    def push(self, state, action, reward, next_state, done):
+        """Store one transition, evicting the oldest when full."""
+        item = (
+            np.asarray(state, dtype=float),
+            action,
+            float(reward),
+            np.asarray(next_state, dtype=float),
+            bool(done),
+        )
+        if len(self._data) < self.capacity:
+            self._data.append(item)
+        else:
+            self._data[self._pos] = item
+            self._pos = (self._pos + 1) % self.capacity
+
+    def sample(self, batch_size):
+        """Sample ``batch_size`` transitions (with replacement)."""
+        if not self._data:
+            raise ModelError("cannot sample from an empty buffer")
+        idx = self._rng.integers(0, len(self._data), size=batch_size)
+        states = np.stack([self._data[i][0] for i in idx])
+        actions = [self._data[i][1] for i in idx]
+        rewards = np.array([self._data[i][2] for i in idx])
+        next_states = np.stack([self._data[i][3] for i in idx])
+        dones = np.array([self._data[i][4] for i in idx], dtype=float)
+        return states, actions, rewards, next_states, dones
+
+    def __len__(self):
+        return len(self._data)
+
+
+class QLearningAgent:
+    """Tabular Q-learning over hashable states and integer actions.
+
+    Args:
+        n_actions: size of the discrete action space.
+        alpha: learning rate.
+        gamma: discount factor.
+        epsilon: exploration rate (epsilon-greedy).
+        epsilon_decay: multiplicative decay applied by :meth:`decay`.
+        seed: exploration seed.
+    """
+
+    def __init__(
+        self,
+        n_actions,
+        alpha=0.1,
+        gamma=0.95,
+        epsilon=0.2,
+        epsilon_min=0.01,
+        epsilon_decay=0.995,
+        seed=0,
+    ):
+        if n_actions < 1:
+            raise ModelError("n_actions must be >= 1")
+        self.n_actions = n_actions
+        self.alpha = alpha
+        self.gamma = gamma
+        self.epsilon = epsilon
+        self.epsilon_min = epsilon_min
+        self.epsilon_decay = epsilon_decay
+        self._rng = ensure_rng(seed)
+        self.q_table = {}
+
+    def q_values(self, state):
+        """Q-value vector for ``state`` (zeros when unseen)."""
+        key = state
+        if key not in self.q_table:
+            self.q_table[key] = np.zeros(self.n_actions)
+        return self.q_table[key]
+
+    def act(self, state, valid_actions=None, greedy=False):
+        """Epsilon-greedy action; optionally restricted to ``valid_actions``."""
+        actions = (
+            list(range(self.n_actions)) if valid_actions is None else list(valid_actions)
+        )
+        if not actions:
+            raise ModelError("no valid actions")
+        if not greedy and self._rng.random() < self.epsilon:
+            return int(self._rng.choice(actions))
+        q = self.q_values(state)
+        best = max(actions, key=lambda a: q[a])
+        return int(best)
+
+    def update(self, state, action, reward, next_state, done, next_valid=None):
+        """One Q-learning backup."""
+        q = self.q_values(state)
+        if done:
+            target = reward
+        else:
+            nq = self.q_values(next_state)
+            if next_valid:
+                future = max(nq[a] for a in next_valid)
+            else:
+                future = float(nq.max())
+            target = reward + self.gamma * future
+        q[action] += self.alpha * (target - q[action])
+
+    def decay(self):
+        """Decay epsilon toward its floor; call once per episode."""
+        self.epsilon = max(self.epsilon_min, self.epsilon * self.epsilon_decay)
+
+
+class DQNAgent:
+    """DQN-lite: MLP Q-network, target network, replay, epsilon-greedy.
+
+    Args:
+        state_dim: state vector length.
+        n_actions: discrete action count.
+        hidden: hidden layer sizes for the Q-network.
+        gamma: discount.
+        lr: Adam learning rate.
+        batch_size: replay batch size.
+        target_sync: gradient steps between hard target-network syncs.
+        seed: randomness seed.
+    """
+
+    def __init__(
+        self,
+        state_dim,
+        n_actions,
+        hidden=(64, 64),
+        gamma=0.95,
+        lr=1e-3,
+        epsilon=0.3,
+        epsilon_min=0.02,
+        epsilon_decay=0.99,
+        batch_size=32,
+        buffer_capacity=5000,
+        target_sync=50,
+        seed=0,
+    ):
+        self.state_dim = state_dim
+        self.n_actions = n_actions
+        self.gamma = gamma
+        self.epsilon = epsilon
+        self.epsilon_min = epsilon_min
+        self.epsilon_decay = epsilon_decay
+        self.batch_size = batch_size
+        self.target_sync = target_sync
+        self._rng = ensure_rng(seed)
+        sizes = [state_dim, *hidden, n_actions]
+        self.q_net = MLP(sizes, seed=int(self._rng.integers(0, 2**31 - 1)))
+        self.target_net = MLP(sizes, seed=int(self._rng.integers(0, 2**31 - 1)))
+        self.target_net.copy_from(self.q_net)
+        self._opt = Adam(self.q_net.params, lr=lr)
+        self.buffer = ReplayBuffer(
+            buffer_capacity, seed=int(self._rng.integers(0, 2**31 - 1))
+        )
+        self._steps = 0
+
+    def act(self, state, valid_actions=None, greedy=False):
+        """Epsilon-greedy action from the Q-network."""
+        actions = (
+            list(range(self.n_actions)) if valid_actions is None else list(valid_actions)
+        )
+        if not actions:
+            raise ModelError("no valid actions")
+        if not greedy and self._rng.random() < self.epsilon:
+            return int(self._rng.choice(actions))
+        q = self.q_net.forward(np.asarray(state, dtype=float), cache=False)
+        q = np.asarray(q).ravel()
+        best = max(actions, key=lambda a: q[a])
+        return int(best)
+
+    def remember(self, state, action, reward, next_state, done):
+        """Store a transition in the replay buffer."""
+        self.buffer.push(state, action, reward, next_state, done)
+
+    def train_step(self):
+        """One gradient step on a replay batch; no-op until enough data."""
+        if len(self.buffer) < self.batch_size:
+            return None
+        states, actions, rewards, next_states, dones = self.buffer.sample(
+            self.batch_size
+        )
+        next_q = self.target_net.forward(next_states, cache=False)
+        targets_for_actions = rewards + self.gamma * (1.0 - dones) * next_q.max(axis=1)
+        q = self.q_net.forward(states)
+        grad = np.zeros_like(q)
+        idx = np.arange(len(actions))
+        taken = q[idx, actions]
+        grad[idx, actions] = 2.0 * (taken - targets_for_actions) / len(actions)
+        grads, __ = self.q_net.backward(grad)
+        self._opt.step(grads)
+        self._steps += 1
+        if self._steps % self.target_sync == 0:
+            self.target_net.copy_from(self.q_net)
+        return float(np.mean((taken - targets_for_actions) ** 2))
+
+    def decay(self):
+        """Decay epsilon toward its floor; call once per episode."""
+        self.epsilon = max(self.epsilon_min, self.epsilon * self.epsilon_decay)
+
+
+class DDPGAgent:
+    """DDPG-lite actor-critic for continuous action spaces in ``[-1, 1]^d``.
+
+    The CDBTune paper frames knob tuning exactly this way: the state is the
+    database metrics vector, the action is the (normalized) knob vector, the
+    reward is the performance delta. This implementation keeps the standard
+    machinery — actor/critic, target networks with Polyak averaging,
+    replay, Gaussian exploration noise — at NumPy scale.
+    """
+
+    def __init__(
+        self,
+        state_dim,
+        action_dim,
+        hidden=(64, 64),
+        gamma=0.95,
+        actor_lr=1e-3,
+        critic_lr=1e-3,
+        tau=0.05,
+        noise_scale=0.2,
+        noise_decay=0.99,
+        batch_size=32,
+        buffer_capacity=5000,
+        seed=0,
+    ):
+        self.state_dim = state_dim
+        self.action_dim = action_dim
+        self.gamma = gamma
+        self.tau = tau
+        self.noise_scale = noise_scale
+        self.noise_decay = noise_decay
+        self.batch_size = batch_size
+        self._rng = ensure_rng(seed)
+
+        def seeded():
+            return int(self._rng.integers(0, 2**31 - 1))
+
+        self.actor = MLP(
+            [state_dim, *hidden, action_dim], output_activation="tanh", seed=seeded()
+        )
+        self.actor_target = MLP(
+            [state_dim, *hidden, action_dim], output_activation="tanh", seed=seeded()
+        )
+        self.actor_target.copy_from(self.actor)
+        self.critic = MLP([state_dim + action_dim, *hidden, 1], seed=seeded())
+        self.critic_target = MLP([state_dim + action_dim, *hidden, 1], seed=seeded())
+        self.critic_target.copy_from(self.critic)
+        self._actor_opt = Adam(self.actor.params, lr=actor_lr)
+        self._critic_opt = Adam(self.critic.params, lr=critic_lr)
+        self.buffer = ReplayBuffer(buffer_capacity, seed=seeded())
+
+    def act(self, state, noisy=True):
+        """Actor action in ``[-1, 1]^d``, with Gaussian exploration noise."""
+        a = self.actor.forward(np.asarray(state, dtype=float), cache=False)
+        a = np.asarray(a, dtype=float).ravel()
+        if noisy:
+            a = a + self._rng.normal(scale=self.noise_scale, size=a.shape)
+        return np.clip(a, -1.0, 1.0)
+
+    def remember(self, state, action, reward, next_state, done):
+        """Store a transition in the replay buffer."""
+        self.buffer.push(state, np.asarray(action, dtype=float), reward, next_state, done)
+
+    def train_step(self):
+        """One critic + actor update on a replay batch."""
+        if len(self.buffer) < self.batch_size:
+            return None
+        states, actions, rewards, next_states, dones = self.buffer.sample(
+            self.batch_size
+        )
+        actions = np.stack(actions)
+        # Critic update: TD target from target nets.
+        next_actions = self.actor_target.forward(next_states, cache=False)
+        target_q = self.critic_target.forward(
+            np.hstack([next_states, next_actions]), cache=False
+        ).ravel()
+        targets = rewards + self.gamma * (1.0 - dones) * target_q
+        q = self.critic.forward(np.hstack([states, actions])).ravel()
+        dq = (2.0 * (q - targets) / len(targets)).reshape(-1, 1)
+        critic_grads, __ = self.critic.backward(dq)
+        self._critic_opt.step(critic_grads)
+        # Actor update: ascend dQ/da through the critic.
+        pred_actions = self.actor.forward(states)
+        q_in = np.hstack([states, pred_actions])
+        self.critic.forward(q_in)
+        __, dq_dinput = self.critic.backward(
+            -np.ones((len(states), 1)) / len(states)
+        )
+        dq_daction = dq_dinput[:, self.state_dim :]
+        actor_grads, __ = self.actor.backward(dq_daction)
+        self._actor_opt.step(actor_grads)
+        # Polyak averaging.
+        self.actor_target.copy_from(self.actor, tau=self.tau)
+        self.critic_target.copy_from(self.critic, tau=self.tau)
+        return float(np.mean((q - targets) ** 2))
+
+    def decay(self):
+        """Decay exploration noise; call once per episode."""
+        self.noise_scale *= self.noise_decay
+
+
+class EpsilonGreedyBandit:
+    """Classic epsilon-greedy multi-armed bandit with sample means."""
+
+    def __init__(self, n_arms, epsilon=0.1, seed=0):
+        if n_arms < 1:
+            raise ModelError("n_arms must be >= 1")
+        self.n_arms = n_arms
+        self.epsilon = epsilon
+        self._rng = ensure_rng(seed)
+        self.counts = np.zeros(n_arms, dtype=int)
+        self.values = np.zeros(n_arms)
+
+    def select(self):
+        """Pick an arm."""
+        if self._rng.random() < self.epsilon:
+            return int(self._rng.integers(0, self.n_arms))
+        return int(np.argmax(self.values))
+
+    def update(self, arm, reward):
+        """Record the observed reward for ``arm``."""
+        self.counts[arm] += 1
+        self.values[arm] += (reward - self.values[arm]) / self.counts[arm]
+
+
+class UCB1Bandit:
+    """UCB1: optimism-in-the-face-of-uncertainty index policy."""
+
+    def __init__(self, n_arms, c=2.0):
+        if n_arms < 1:
+            raise ModelError("n_arms must be >= 1")
+        self.n_arms = n_arms
+        self.c = c
+        self.counts = np.zeros(n_arms, dtype=int)
+        self.values = np.zeros(n_arms)
+        self._t = 0
+
+    def select(self):
+        """Pick the arm with the highest upper confidence bound."""
+        self._t += 1
+        for a in range(self.n_arms):
+            if self.counts[a] == 0:
+                return a
+        ucb = self.values + np.sqrt(self.c * np.log(self._t) / self.counts)
+        return int(np.argmax(ucb))
+
+    def update(self, arm, reward):
+        """Record the observed reward for ``arm``."""
+        self.counts[arm] += 1
+        self.values[arm] += (reward - self.values[arm]) / self.counts[arm]
+
+
+class ThompsonBetaBandit:
+    """Thompson sampling with Beta posteriors for rewards in ``[0, 1]``."""
+
+    def __init__(self, n_arms, seed=0):
+        if n_arms < 1:
+            raise ModelError("n_arms must be >= 1")
+        self.n_arms = n_arms
+        self._rng = ensure_rng(seed)
+        self.alpha = np.ones(n_arms)
+        self.beta = np.ones(n_arms)
+
+    def select(self):
+        """Sample each posterior and pick the argmax."""
+        draws = self._rng.beta(self.alpha, self.beta)
+        return int(np.argmax(draws))
+
+    def update(self, arm, reward):
+        """Bayesian update with a reward in [0, 1] (fractional allowed)."""
+        reward = float(np.clip(reward, 0.0, 1.0))
+        self.alpha[arm] += reward
+        self.beta[arm] += 1.0 - reward
+
+
+class MCTSNode:
+    """One node of the UCT search tree."""
+
+    __slots__ = ("state", "parent", "action", "children", "visits", "total", "untried")
+
+    def __init__(self, state, parent=None, action=None, untried=()):
+        self.state = state
+        self.parent = parent
+        self.action = action
+        self.children = []
+        self.visits = 0
+        self.total = 0.0
+        self.untried = list(untried)
+
+    @property
+    def mean(self):
+        return self.total / self.visits if self.visits else 0.0
+
+
+class MCTS:
+    """Generic UCT Monte-Carlo tree search over a pluggable environment.
+
+    The environment is described by three callables, which lets the join-order
+    selector, rewrite-rule orderer, and tests all share one search core:
+
+    Args:
+        actions_fn: ``state -> list`` of legal actions (empty = terminal).
+        step_fn: ``(state, action) -> state`` transition (pure).
+        reward_fn: ``state -> float`` terminal reward (higher is better).
+        c_uct: UCT exploration constant.
+        seed: rollout seed.
+    """
+
+    def __init__(self, actions_fn, step_fn, reward_fn, c_uct=1.4, seed=0):
+        self.actions_fn = actions_fn
+        self.step_fn = step_fn
+        self.reward_fn = reward_fn
+        self.c_uct = c_uct
+        self._rng = ensure_rng(seed)
+
+    def _select(self, node):
+        while not node.untried and node.children:
+            log_n = np.log(node.visits + 1)
+            node = max(
+                node.children,
+                key=lambda ch: ch.mean + self.c_uct * np.sqrt(log_n / (ch.visits + 1e-9)),
+            )
+        return node
+
+    def _expand(self, node):
+        if not node.untried:
+            return node
+        i = int(self._rng.integers(0, len(node.untried)))
+        action = node.untried.pop(i)
+        next_state = self.step_fn(node.state, action)
+        child = MCTSNode(
+            next_state,
+            parent=node,
+            action=action,
+            untried=self.actions_fn(next_state),
+        )
+        node.children.append(child)
+        return child
+
+    def _rollout(self, state):
+        while True:
+            actions = self.actions_fn(state)
+            if not actions:
+                return self.reward_fn(state)
+            action = actions[int(self._rng.integers(0, len(actions)))]
+            state = self.step_fn(state, action)
+
+    def search(self, root_state, n_iterations=200):
+        """Run UCT from ``root_state``; return ``(best_terminal_state, reward)``.
+
+        The best terminal state is the highest-reward state seen across all
+        rollouts/expansions, which for plan search means the best complete
+        plan encountered — not merely the most-visited child.
+        """
+        root = MCTSNode(root_state, untried=self.actions_fn(root_state))
+        best_state, best_reward = None, -np.inf
+        for _ in range(n_iterations):
+            node = self._select(root)
+            node = self._expand(node)
+            state = node.state
+            # Complete the episode with a random rollout, tracking the final
+            # state so we can return the best complete solution.
+            actions = self.actions_fn(state)
+            while actions:
+                action = actions[int(self._rng.integers(0, len(actions)))]
+                state = self.step_fn(state, action)
+                actions = self.actions_fn(state)
+            reward = self.reward_fn(state)
+            if reward > best_reward:
+                best_state, best_reward = state, reward
+            while node is not None:
+                node.visits += 1
+                node.total += reward
+                node = node.parent
+        return best_state, best_reward

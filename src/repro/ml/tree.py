@@ -1,0 +1,365 @@
+"""CART decision trees, random forests, and gradient boosting in NumPy.
+
+Tree models back several AI4DB components: the index-advisor classifier,
+SQL-injection detection (classification-tree approach the tutorial cites),
+and the learned cost model's non-neural baseline.
+"""
+
+import numpy as np
+
+from repro.common import ModelError, NotFittedError, ensure_rng
+
+
+class _Node:
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value=None):
+        self.feature = None
+        self.threshold = None
+        self.left = None
+        self.right = None
+        self.value = value
+
+    @property
+    def is_leaf(self):
+        return self.feature is None
+
+
+def _best_split_sse(X, y, feature_indices, min_leaf):
+    """Best (feature, threshold) minimizing child SSE for regression."""
+    n = len(y)
+    best = (None, None, np.inf)
+    y_sum = y.sum()
+    y_sq = (y**2).sum()
+    parent_sse = y_sq - y_sum**2 / n
+    for f in feature_indices:
+        order = np.argsort(X[:, f], kind="stable")
+        xs = X[order, f]
+        ys = y[order]
+        cum_sum = np.cumsum(ys)
+        cum_sq = np.cumsum(ys**2)
+        for i in range(min_leaf, n - min_leaf + 1):
+            if i < n and xs[i - 1] == xs[i]:
+                continue
+            if i >= n:
+                break
+            left_n, right_n = i, n - i
+            left_sse = cum_sq[i - 1] - cum_sum[i - 1] ** 2 / left_n
+            r_sum = y_sum - cum_sum[i - 1]
+            r_sq = y_sq - cum_sq[i - 1]
+            right_sse = r_sq - r_sum**2 / right_n
+            total = left_sse + right_sse
+            if total < best[2] - 1e-12:
+                thr = 0.5 * (xs[i - 1] + xs[i])
+                best = (f, thr, total)
+    if best[0] is None or best[2] >= parent_sse - 1e-12:
+        return None
+    return best[0], best[1]
+
+
+def _best_split_gini(X, y, feature_indices, min_leaf):
+    """Best (feature, threshold) minimizing weighted Gini for 0/1 labels."""
+    n = len(y)
+    total_pos = y.sum()
+    p = total_pos / n
+    parent_gini = 2.0 * p * (1.0 - p)
+    best = (None, None, parent_gini)
+    for f in feature_indices:
+        order = np.argsort(X[:, f], kind="stable")
+        xs = X[order, f]
+        ys = y[order]
+        cum_pos = np.cumsum(ys)
+        for i in range(min_leaf, n - min_leaf + 1):
+            if i < n and xs[i - 1] == xs[i]:
+                continue
+            if i >= n:
+                break
+            left_n, right_n = i, n - i
+            lp = cum_pos[i - 1] / left_n
+            rp = (total_pos - cum_pos[i - 1]) / right_n
+            gini = (
+                left_n / n * 2.0 * lp * (1.0 - lp)
+                + right_n / n * 2.0 * rp * (1.0 - rp)
+            )
+            if gini < best[2] - 1e-12:
+                thr = 0.5 * (xs[i - 1] + xs[i])
+                best = (f, thr, gini)
+    if best[0] is None:
+        return None
+    return best[0], best[1]
+
+
+class _BaseTree:
+    def __init__(self, max_depth=6, min_samples_leaf=2, max_features=None, seed=0):
+        if max_depth < 1:
+            raise ModelError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ModelError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.root_ = None
+        self.n_features_ = None
+
+    def _leaf_value(self, y):
+        raise NotImplementedError
+
+    def _split(self, X, y, feats):
+        raise NotImplementedError
+
+    def _build(self, X, y, depth, rng):
+        node = _Node(value=self._leaf_value(y))
+        if (
+            depth >= self.max_depth
+            or len(y) < 2 * self.min_samples_leaf
+            or np.all(y == y[0])
+        ):
+            return node
+        n_features = X.shape[1]
+        if self.max_features is None:
+            feats = range(n_features)
+        else:
+            k = max(1, min(self.max_features, n_features))
+            feats = rng.choice(n_features, size=k, replace=False)
+        split = self._split(X, y, feats)
+        if split is None:
+            return node
+        f, thr = split
+        mask = X[:, f] <= thr
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = f
+        node.threshold = thr
+        node.left = self._build(X[mask], y[mask], depth + 1, rng)
+        node.right = self._build(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ModelError(
+                "X has %d rows but y has %d" % (X.shape[0], y.shape[0])
+            )
+        if X.shape[0] == 0:
+            raise ModelError("cannot fit a tree on zero samples")
+        self.n_features_ = X.shape[1]
+        rng = ensure_rng(self.seed)
+        self.root_ = self._build(X, y, 0, rng)
+        return self
+
+    def _predict_row(self, row):
+        node = self.root_
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        return node.value
+
+    def _raw_predict(self, X):
+        if self.root_ is None:
+            raise NotFittedError("%s used before fit" % type(self).__name__)
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        return np.array([self._predict_row(row) for row in X])
+
+    def depth(self):
+        """Actual depth of the fitted tree (0 = a single leaf)."""
+        if self.root_ is None:
+            raise NotFittedError("%s used before fit" % type(self).__name__)
+
+        def walk(node):
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regression tree minimizing squared error."""
+
+    def _leaf_value(self, y):
+        return float(y.mean())
+
+    def _split(self, X, y, feats):
+        return _best_split_sse(X, y, feats, self.min_samples_leaf)
+
+    def predict(self, X):
+        """Predicted mean of the matching leaf per row."""
+        return self._raw_predict(X)
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """CART binary classification tree minimizing Gini impurity."""
+
+    def _leaf_value(self, y):
+        return float(y.mean())
+
+    def _split(self, X, y, feats):
+        return _best_split_gini(X, y, feats, self.min_samples_leaf)
+
+    def fit(self, X, y):
+        labels = set(np.unique(np.asarray(y, dtype=float)))
+        if labels - {0.0, 1.0}:
+            raise ModelError("DecisionTreeClassifier expects 0/1 labels")
+        return super().fit(X, y)
+
+    def predict_proba(self, X):
+        """Positive-class probability (leaf positive fraction)."""
+        return self._raw_predict(X)
+
+    def predict(self, X, threshold=0.5):
+        """Hard 0/1 labels at the given threshold."""
+        return (self.predict_proba(X) >= threshold).astype(int)
+
+
+class RandomForestRegressor:
+    """Bagged ensemble of randomized regression trees."""
+
+    def __init__(
+        self,
+        n_estimators=20,
+        max_depth=8,
+        min_samples_leaf=2,
+        max_features=None,
+        seed=0,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_ = None
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y, dtype=float).ravel()
+        rng = ensure_rng(self.seed)
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, X.shape[1] // 2)
+        self.trees_ = []
+        n = X.shape[0]
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X):
+        """Mean prediction across the ensemble."""
+        if not self.trees_:
+            raise NotFittedError("RandomForestRegressor used before fit")
+        preds = np.stack([t.predict(X) for t in self.trees_])
+        return preds.mean(axis=0)
+
+
+class RandomForestClassifier:
+    """Bagged ensemble of randomized binary classification trees."""
+
+    def __init__(
+        self,
+        n_estimators=20,
+        max_depth=8,
+        min_samples_leaf=2,
+        max_features=None,
+        seed=0,
+    ):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_ = None
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y, dtype=float).ravel()
+        rng = ensure_rng(self.seed)
+        max_features = self.max_features
+        if max_features is None:
+            max_features = max(1, int(np.sqrt(X.shape[1])))
+        self.trees_ = []
+        n = X.shape[0]
+        for _ in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=max_features,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X):
+        """Mean leaf-probability across the ensemble."""
+        if not self.trees_:
+            raise NotFittedError("RandomForestClassifier used before fit")
+        preds = np.stack([t.predict_proba(X) for t in self.trees_])
+        return preds.mean(axis=0)
+
+    def predict(self, X, threshold=0.5):
+        """Hard 0/1 labels at the given threshold."""
+        return (self.predict_proba(X) >= threshold).astype(int)
+
+
+class GradientBoostingRegressor:
+    """Gradient boosting with squared loss over shallow CART trees."""
+
+    def __init__(
+        self, n_estimators=50, learning_rate=0.1, max_depth=3, min_samples_leaf=2
+    ):
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.init_ = None
+        self.trees_ = None
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y, dtype=float).ravel()
+        self.init_ = float(y.mean())
+        pred = np.full_like(y, self.init_)
+        self.trees_ = []
+        for i in range(self.n_estimators):
+            residual = y - pred
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                seed=i,
+            )
+            tree.fit(X, residual)
+            update = tree.predict(X)
+            pred = pred + self.learning_rate * update
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X):
+        """Staged-sum prediction of the boosted ensemble."""
+        if self.trees_ is None:
+            raise NotFittedError("GradientBoostingRegressor used before fit")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        out = np.full(X.shape[0], self.init_)
+        for tree in self.trees_:
+            out += self.learning_rate * tree.predict(X)
+        return out

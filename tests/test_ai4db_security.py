@@ -1,0 +1,166 @@
+"""Tests for learned security: injection, discovery, access control."""
+
+import numpy as np
+import pytest
+
+from repro.ai4db.security.access_control import (
+    AccessRequestGenerator,
+    LearnedAccessController,
+    StaticACLBaseline,
+    _hidden_policy,
+    false_permit_rate,
+)
+from repro.ai4db.security.discovery import (
+    LearnedSensitiveDiscovery,
+    RegexRuleDiscovery,
+    SensitiveColumnGenerator,
+    column_features,
+    discovery_f1,
+)
+from repro.ai4db.security.sql_injection import (
+    InjectionCorpusGenerator,
+    LearnedInjectionDetector,
+    SignatureRuleDetector,
+    evaluate_detector,
+    lexical_features,
+)
+from repro.ml import accuracy
+
+
+class TestInjectionCorpus:
+    def test_labels_and_families(self):
+        gen = InjectionCorpusGenerator(seed=0)
+        texts, labels, families = gen.generate(100, 50)
+        assert len(texts) == 150
+        assert labels.sum() == 50
+        assert all(f is None for f in families[:100])
+        assert all(f is not None for f in families[100:])
+
+    def test_obfuscation_fraction(self):
+        gen = InjectionCorpusGenerator(obfuscate_fraction=1.0, seed=0)
+        __, ___, families = gen.generate(10, 60)
+        attack_families = [f for f in families if f]
+        assert all(f.endswith("+obf") for f in attack_families)
+
+    def test_benign_statements_parse_as_sqlish(self):
+        gen = InjectionCorpusGenerator(seed=1)
+        texts, labels, __ = gen.generate(50, 0)
+        assert all(t.upper().startswith(("SELECT", "INSERT")) for t in texts)
+
+
+class TestInjectionDetectors:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        gen = InjectionCorpusGenerator(seed=0)
+        train = gen.generate(400, 200)
+        test = gen.generate(200, 100)
+        return train, test
+
+    def test_rules_perfect_precision_imperfect_recall(self, corpus):
+        __, (tx, ty, tf) = corpus
+        r = evaluate_detector(SignatureRuleDetector(), tx, ty, tf)
+        assert r["precision"] > 0.95
+        assert r["recall"] < 1.0
+
+    def test_learned_beats_rules_on_recall(self, corpus):
+        (trx, trl, __), (tx, ty, tf) = corpus
+        detector = LearnedInjectionDetector("tree", seed=0).fit(trx, trl)
+        learned = evaluate_detector(detector, tx, ty, tf)
+        rules = evaluate_detector(SignatureRuleDetector(), tx, ty, tf)
+        assert learned["recall"] > rules["recall"]
+        assert learned["precision"] > 0.9
+
+    def test_learned_catches_obfuscated(self, corpus):
+        (trx, trl, __), (tx, ty, tf) = corpus
+        detector = LearnedInjectionDetector("logistic", seed=0).fit(trx, trl)
+        r = evaluate_detector(detector, tx, ty, tf)
+        obf = [v for k, v in r["family_recall"].items()
+               if k.endswith("+obf")]
+        assert float(np.mean(obf)) > 0.8
+
+    def test_lexical_features_fixed_length(self):
+        a = lexical_features("SELECT 1")
+        b = lexical_features("SELECT * FROM t WHERE x = 'y' OR 1=1 -- ")
+        assert a.shape == b.shape
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            LearnedInjectionDetector("svm")
+
+
+class TestSensitiveDiscovery:
+    @pytest.fixture(scope="class")
+    def columns(self):
+        gen = SensitiveColumnGenerator(seed=0)
+        train = gen.generate(120)
+        test = gen.generate(60)
+        return train, test
+
+    def test_ground_truth_fractions(self, columns):
+        (names, values, labels, kinds), __ = columns
+        assert 0.2 < labels.mean() < 0.7
+
+    def test_learned_beats_name_rules(self, columns):
+        (n1, v1, l1, __), (n2, v2, l2, ___) = columns
+        learned = LearnedSensitiveDiscovery(seed=0).fit(n1, v1, l1)
+        __, ___, f1_learned = discovery_f1(learned, n2, v2, l2)
+        __, ___, f1_rules = discovery_f1(RegexRuleDiscovery(), n2, v2, l2)
+        assert f1_learned > f1_rules
+
+    def test_rules_fooled_by_neutral_names(self):
+        rules = RegexRuleDiscovery()
+        # sensitive content hidden behind a neutral name
+        preds = rules.predict(["field_3"], [["123-45-6789"]])
+        assert preds[0] == 0
+
+    def test_learned_sees_content(self, columns):
+        (n1, v1, l1, __), ___ = columns
+        learned = LearnedSensitiveDiscovery(seed=0).fit(n1, v1, l1)
+        ssn_values = ["%03d-%02d-%04d" % (i + 1, 12, 3456) for i in range(40)]
+        pred = learned.predict(["field_99"], [ssn_values])
+        assert pred[0] == 1
+
+    def test_column_features_shape_stable(self):
+        a = column_features("email", ["x@y.com"] * 5)
+        b = column_features("qty", ["5", "7"])
+        assert a.shape == b.shape
+
+
+class TestAccessControl:
+    @pytest.fixture(scope="class")
+    def requests(self):
+        gen = AccessRequestGenerator(seed=0, label_noise=0.0)
+        return gen.generate(1500), gen.generate(500)
+
+    def test_hidden_policy_examples(self):
+        assert _hidden_policy("admin", "delete", "ad_hoc", "pii", False, True)
+        assert not _hidden_policy("marketing", "export", "campaign", "pii",
+                                  False, False)
+        assert _hidden_policy("support", "read", "support_ticket", "pii",
+                              False, False)
+        assert not _hidden_policy("support", "read", "support_ticket", "pii",
+                                  True, False)
+
+    def test_learned_beats_static_acl(self, requests):
+        (req_tr, y_tr), (req_te, y_te) = requests
+        acl = StaticACLBaseline().fit(req_tr, y_tr)
+        learned = LearnedAccessController(seed=0).fit(req_tr, y_tr)
+        assert accuracy(y_te, learned.predict(req_te)) > accuracy(
+            y_te, acl.predict(req_te)
+        )
+
+    def test_learned_low_false_permits(self, requests):
+        (req_tr, y_tr), (req_te, y_te) = requests
+        learned = LearnedAccessController(seed=0).fit(req_tr, y_tr)
+        assert false_permit_rate(y_te, learned.predict(req_te)) < 0.08
+
+    def test_static_acl_blind_to_context(self, requests):
+        (req_tr, y_tr), __ = requests
+        acl = StaticACLBaseline().fit(req_tr, y_tr)
+        base = ("support", "read", "support_ticket", "pii", False, False)
+        off_hours = ("support", "read", "support_ticket", "pii", True, False)
+        # Same (role, action) -> same decision, even though policy differs.
+        assert acl.predict([base])[0] == acl.predict([off_hours])[0]
+
+    def test_false_permit_rate_no_denies(self):
+        assert false_permit_rate([1, 1], [1, 1]) == 0.0

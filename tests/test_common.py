@@ -1,0 +1,177 @@
+"""Tests for repro.common: errors, rng, timing, result tables."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import (
+    ParseError,
+    ReproError,
+    ResultTable,
+    Stopwatch,
+    ensure_rng,
+    spawn_rngs,
+    timed,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 10**9)
+        b = ensure_rng(2).integers(0, 10**9)
+        assert a != b
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        g1, g2 = spawn_rngs(0, 2)
+        assert g1.integers(0, 10**9) != g2.integers(0, 10**9)
+
+    def test_deterministic(self):
+        a = spawn_rngs(7, 3)[2].integers(0, 10**9)
+        b = spawn_rngs(7, 3)[2].integers(0, 10**9)
+        assert a == b
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        w = Stopwatch().start()
+        time.sleep(0.01)
+        w.stop()
+        first = w.elapsed
+        assert first >= 0.005
+        w.start()
+        time.sleep(0.01)
+        w.stop()
+        assert w.elapsed > first
+
+    def test_reset(self):
+        w = Stopwatch().start()
+        w.stop()
+        w.reset()
+        assert w.elapsed == 0.0
+        assert not w.running
+
+    def test_running_property(self):
+        w = Stopwatch()
+        assert not w.running
+        w.start()
+        assert w.running
+        w.stop()
+        assert not w.running
+
+    def test_timed_context_sink(self):
+        sink = {}
+        with timed(sink, "step"):
+            time.sleep(0.005)
+        assert sink["step"] >= 0.003
+
+
+class TestResultTable:
+    def test_positional_rows(self):
+        t = ResultTable("t", ["a", "b"])
+        t.add_row(1, 2.5)
+        assert len(t) == 1
+        assert t.column("a") == [1]
+
+    def test_named_rows(self):
+        t = ResultTable("t", ["a", "b"])
+        t.add_row(b=2, a=1)
+        assert t.rows[0] == [1, 2]
+
+    def test_wrong_width_rejected(self):
+        t = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_missing_named_rejected(self):
+        t = ResultTable("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(a=1)
+
+    def test_unknown_named_rejected(self):
+        t = ResultTable("t", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row(a=1, z=2)
+
+    def test_mixing_styles_rejected(self):
+        t = ResultTable("t", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, a=1)
+
+    def test_unknown_column_lookup(self):
+        t = ResultTable("t", ["a"])
+        with pytest.raises(KeyError):
+            t.column("zz")
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            ResultTable("t", [])
+
+    def test_text_rendering_contains_everything(self):
+        t = ResultTable("My Title", ["name", "value"])
+        t.add_row("alpha", 1.25)
+        text = t.to_text()
+        assert "My Title" in text
+        assert "alpha" in text
+        assert "1.25" in text
+
+    def test_markdown_shape(self):
+        t = ResultTable("T", ["x"])
+        t.add_row(3)
+        md = t.to_markdown()
+        assert md.startswith("### T")
+        assert "| x |" in md
+        assert "| 3 |" in md
+
+    def test_csv_escaping(self):
+        t = ResultTable("T", ["x"])
+        t.add_row('he said "hi", twice')
+        csv = t.to_csv()
+        assert '"he said ""hi"", twice"' in csv
+
+    def test_bool_rendering(self):
+        t = ResultTable("T", ["ok"])
+        t.add_row(True)
+        assert "yes" in t.to_text()
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32), min_size=1, max_size=8))
+    def test_column_roundtrip_property(self, values):
+        t = ResultTable("T", ["v"])
+        for v in values:
+            t.add_row(float(v))
+        assert t.column("v") == [float(v) for v in values]
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ParseError, ReproError)
+
+    def test_parse_error_position(self):
+        err = ParseError("bad", position=7)
+        assert err.position == 7

@@ -1,0 +1,154 @@
+"""Tests for AISQL: CREATE MODEL / PREDICT / EVALUATE."""
+
+import numpy as np
+import pytest
+
+from repro.common import CatalogError, ParseError
+from repro.db4ai.declarative import AISQLExtension, PredictResult
+from repro.engine import Database
+
+
+@pytest.fixture
+def ml_db():
+    db = Database()
+    db.execute("CREATE TABLE samples (x FLOAT, z FLOAT, y FLOAT, label INT)")
+    rng = np.random.default_rng(0)
+    rows = []
+    for __ in range(400):
+        x, z = rng.normal(), rng.normal()
+        y = 2.0 * x - z + 0.05 * rng.normal()
+        label = 1 if x + z > 0 else 0
+        rows.append("(%.4f, %.4f, %.4f, %d)" % (x, z, y, label))
+    db.execute("INSERT INTO samples VALUES " + ", ".join(rows))
+    db.execute("ANALYZE samples")
+    ext = AISQLExtension().install(db)
+    return db, ext
+
+
+class TestCreateModel:
+    def test_regressor_trains_and_registers(self, ml_db):
+        db, ext = ml_db
+        out = db.execute(
+            "CREATE MODEL m KIND regressor ON samples TARGET y "
+            "FEATURES (x, z) WITH (epochs = 60)"
+        )
+        assert out.startswith("CREATE MODEL m v1")
+        record = ext.registry.get("m")
+        assert record.metrics["train_r2"] > 0.9
+        assert record.lineage["table"] == "samples"
+        assert record.lineage["n_rows"] == 400
+
+    def test_classifier_kind(self, ml_db):
+        db, ext = ml_db
+        db.execute(
+            "CREATE MODEL c KIND classifier ON samples TARGET label "
+            "FEATURES (x, z) WITH (epochs = 60)"
+        )
+        assert ext.registry.get("c").metrics["train_accuracy"] > 0.85
+
+    def test_linear_kind(self, ml_db):
+        db, ext = ml_db
+        db.execute(
+            "CREATE MODEL lin KIND linear ON samples TARGET y FEATURES (x, z)"
+        )
+        assert ext.registry.get("lin").metrics["train_r2"] > 0.95
+
+    def test_where_clause_limits_training_rows(self, ml_db):
+        db, ext = ml_db
+        db.execute(
+            "CREATE MODEL sub KIND linear ON samples TARGET y "
+            "FEATURES (x, z) WHERE x > 0"
+        )
+        assert ext.registry.get("sub").lineage["n_rows"] < 400
+        assert ext.registry.get("sub").lineage["predicates"]
+
+    def test_versioning(self, ml_db):
+        db, ext = ml_db
+        db.execute("CREATE MODEL v KIND linear ON samples TARGET y FEATURES (x)")
+        db.execute("CREATE MODEL v KIND linear ON samples TARGET y FEATURES (z)")
+        assert ext.registry.get("v").version == 2
+        assert len(ext.registry.versions("v")) == 2
+
+    def test_text_feature_rejected(self, ml_db):
+        db, __ = ml_db
+        db.execute("CREATE TABLE txt (s TEXT, y FLOAT)")
+        db.execute("INSERT INTO txt VALUES ('a', 1.0)")
+        with pytest.raises(ParseError):
+            db.execute("CREATE MODEL t KIND linear ON txt TARGET y FEATURES (s)")
+
+    def test_empty_training_set_rejected(self, ml_db):
+        db, __ = ml_db
+        with pytest.raises(ParseError):
+            db.execute(
+                "CREATE MODEL e KIND linear ON samples TARGET y "
+                "FEATURES (x) WHERE x > 99999"
+            )
+
+    def test_bad_kind_rejected(self, ml_db):
+        db, __ = ml_db
+        with pytest.raises(ParseError):
+            db.execute(
+                "CREATE MODEL b KIND forest ON samples TARGET y FEATURES (x)"
+            )
+
+
+class TestPredictEvaluate:
+    def test_predict_appends_column(self, ml_db):
+        db, __ = ml_db
+        db.execute("CREATE MODEL p KIND linear ON samples TARGET y FEATURES (x, z)")
+        result = db.execute("PREDICT p ON samples LIMIT 5")
+        assert isinstance(result, PredictResult)
+        assert len(result.rows) == 5
+        assert result.columns[-1] == "prediction"
+        # prediction approximately 2x - z
+        x, z, pred = result.rows[0][0], result.rows[0][1], result.rows[0][2]
+        assert pred == pytest.approx(2 * x - z, abs=0.2)
+
+    def test_predict_with_where(self, ml_db):
+        db, __ = ml_db
+        db.execute("CREATE MODEL pw KIND linear ON samples TARGET y FEATURES (x)")
+        result = db.execute("PREDICT pw ON samples WHERE x > 1.0")
+        assert all(row[0] > 1.0 for row in result.rows)
+
+    def test_predict_empty_result(self, ml_db):
+        db, __ = ml_db
+        db.execute("CREATE MODEL pe KIND linear ON samples TARGET y FEATURES (x)")
+        result = db.execute("PREDICT pe ON samples WHERE x > 99999")
+        assert result.rows == []
+
+    def test_predict_unknown_model(self, ml_db):
+        db, __ = ml_db
+        with pytest.raises(CatalogError):
+            db.execute("PREDICT ghost ON samples")
+
+    def test_evaluate_updates_registry(self, ml_db):
+        db, ext = ml_db
+        db.execute("CREATE MODEL ev KIND linear ON samples TARGET y FEATURES (x, z)")
+        metrics = db.execute("EVALUATE ev ON samples")
+        assert metrics["r2"] > 0.95
+        assert "r2" in ext.registry.get("ev").metrics
+
+    def test_evaluate_classifier_accuracy(self, ml_db):
+        db, __ = ml_db
+        db.execute(
+            "CREATE MODEL evc KIND classifier ON samples TARGET label "
+            "FEATURES (x, z) WITH (epochs = 60)"
+        )
+        metrics = db.execute("EVALUATE evc ON samples")
+        assert metrics["accuracy"] > 0.85
+
+
+class TestHookDispatch:
+    def test_plain_sql_still_works(self, ml_db):
+        db, __ = ml_db
+        assert db.query("SELECT COUNT(*) FROM samples")[0][0] == 400
+
+    def test_create_table_not_intercepted(self, ml_db):
+        db, __ = ml_db
+        assert db.execute("CREATE TABLE other (a INT)") == "CREATE TABLE"
+
+    def test_non_aisql_create_model_prefix(self, ml_db):
+        db, __ = ml_db
+        # CREATE MODELX... should NOT be treated as AISQL (word boundary).
+        with pytest.raises(ParseError):
+            db.execute("CREATE MODELING (a INT)")

@@ -1,0 +1,307 @@
+"""Tests for training optimization and in-database inference."""
+
+import numpy as np
+import pytest
+
+from repro.common import CatalogError, ReproError
+from repro.db4ai.inference.operators import (
+    ModelScanOperator,
+    select_operator,
+    udf_per_row_inference,
+    vectorized_inference,
+)
+from repro.db4ai.inference.pushdown import (
+    CascadeStrategy,
+    HybridQuery,
+    NaiveStrategy,
+    PushdownStrategy,
+    make_patients_database,
+    run_hybrid_query,
+    train_stay_models,
+)
+from repro.db4ai.training.features import (
+    FeatureComputeEngine,
+    default_feature_library,
+    greedy_forward_selection,
+    make_regression_data,
+)
+from repro.db4ai.training.hardware import (
+    DEVICES,
+    best_device,
+    crossover_table,
+    scan_time_s,
+    training_time,
+)
+from repro.db4ai.training.model_select import (
+    grid_under_budget,
+    make_search_space,
+    simulate_parallel_search,
+    successive_halving,
+)
+from repro.db4ai.training.registry import ModelRegistry
+from repro.engine.query import Predicate
+from repro.ml import LinearRegression
+
+
+class TestModelRegistry:
+    def test_register_and_get_latest(self):
+        reg = ModelRegistry()
+        reg.register("m", object(), metrics={"acc": 0.8})
+        r2 = reg.register("m", object(), metrics={"acc": 0.9})
+        assert reg.get("m") is r2
+        assert reg.get("m", version=1).metrics["acc"] == 0.8
+
+    def test_unknown_model(self):
+        with pytest.raises(CatalogError):
+            ModelRegistry().get("nope")
+
+    def test_bad_version(self):
+        reg = ModelRegistry()
+        reg.register("m", object())
+        with pytest.raises(CatalogError):
+            reg.get("m", version=5)
+
+    def test_best_by_metric(self):
+        reg = ModelRegistry()
+        reg.register("a", object(), metrics={"rmse": 2.0})
+        reg.register("b", object(), metrics={"rmse": 1.0})
+        assert reg.best("rmse", higher_is_better=False).name == "b"
+
+    def test_best_with_tag(self):
+        reg = ModelRegistry()
+        reg.register("a", object(), metrics={"acc": 0.9}, tags=["prod"])
+        reg.register("b", object(), metrics={"acc": 0.99})
+        assert reg.best("acc", tag="prod").name == "a"
+
+    def test_best_no_metric(self):
+        reg = ModelRegistry()
+        reg.register("a", object())
+        with pytest.raises(CatalogError):
+            reg.best("f1")
+
+    def test_lineage_chain(self):
+        reg = ModelRegistry()
+        r1 = reg.register("base", object())
+        r2 = reg.register("tuned", object(), parent=("base", 1))
+        chain = reg.lineage_chain("tuned")
+        assert [r.name for r in chain] == ["tuned", "base"]
+
+    def test_search_predicate(self):
+        reg = ModelRegistry()
+        reg.register("x", object(), params={"lr": 0.1})
+        reg.register("y", object(), params={"lr": 0.2})
+        hits = reg.search(lambda r: r.params.get("lr", 0) > 0.15)
+        assert [r.name for r in hits] == ["y"]
+
+    def test_len_counts_versions(self):
+        reg = ModelRegistry()
+        reg.register("m", object())
+        reg.register("m", object())
+        assert len(reg) == 2
+
+
+class TestFeatureSelection:
+    @pytest.fixture(scope="class")
+    def data(self):
+        cols, y = make_regression_data(n_rows=1000, seed=0)
+        return cols, y, default_feature_library()
+
+    def test_materialization_same_result_less_cost(self, data):
+        cols, y, specs = data
+        results = {}
+        for materialize in (True, False):
+            engine = FeatureComputeEngine(cols, y, specs,
+                                          materialize=materialize)
+            selected, traj = greedy_forward_selection(engine, k=3)
+            results[materialize] = (selected, traj, engine.compute_cost)
+        assert results[True][0] == results[False][0]  # same selection
+        assert results[True][2] < results[False][2] / 3  # >=3x cheaper
+
+    def test_selection_finds_planted_structure(self, data):
+        cols, y, specs = data
+        engine = FeatureComputeEngine(cols, y, specs)
+        selected, traj = greedy_forward_selection(engine, k=4)
+        assert "x0_x1" in selected  # the planted interaction
+        assert traj[-1] > 0.9
+
+    def test_scores_monotone_nondecreasing(self, data):
+        cols, y, specs = data
+        engine = FeatureComputeEngine(cols, y, specs)
+        __, traj = greedy_forward_selection(engine, k=4)
+        assert all(b >= a - 1e-9 for a, b in zip(traj, traj[1:]))
+
+    def test_unknown_feature_rejected(self, data):
+        cols, y, specs = data
+        engine = FeatureComputeEngine(cols, y, specs)
+        with pytest.raises(ReproError):
+            engine.evaluate(["made_up"])
+
+
+class TestModelSelect:
+    @pytest.fixture(scope="class")
+    def jobs(self):
+        return make_search_space(48, seed=0)
+
+    def test_task_parallel_beats_bsp_with_stragglers(self, jobs):
+        task = simulate_parallel_search(jobs, strategy="task", seed=1)
+        bsp = simulate_parallel_search(jobs, strategy="bsp", seed=1)
+        assert task["throughput"] > bsp["throughput"]
+
+    def test_ps_capacity_slowdown(self, jobs):
+        fast = simulate_parallel_search(jobs, strategy="ps", seed=1,
+                                        server_capacity=8)
+        slow = simulate_parallel_search(jobs, strategy="ps", seed=1,
+                                        server_capacity=2)
+        assert slow["makespan"] > fast["makespan"]
+
+    def test_unknown_strategy(self, jobs):
+        with pytest.raises(ReproError):
+            simulate_parallel_search(jobs, strategy="mapreduce")
+
+    def test_halving_finds_best_config(self, jobs):
+        result = successive_halving(jobs, budget_seconds=800)
+        oracle = max(j.quality(1.0) for j in jobs)
+        assert result["best_quality"] >= oracle - 0.03
+
+    def test_halving_beats_or_ties_grid(self, jobs):
+        h = successive_halving(jobs, budget_seconds=800)
+        g = grid_under_budget(jobs, budget_seconds=800)
+        assert h["best_quality"] >= g["best_quality"] - 1e-9
+
+    def test_halving_respects_budget(self, jobs):
+        result = successive_halving(jobs, budget_seconds=500)
+        assert result["budget_used"] <= 500
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ReproError):
+            successive_halving([], 100)
+
+
+class TestHardwareModel:
+    def test_column_layout_scans_less(self):
+        row = scan_time_s(10**6, 6, 20, layout="row")
+        col = scan_time_s(10**6, 6, 20, layout="column")
+        assert col < row
+
+    def test_bad_layout(self):
+        with pytest.raises(ReproError):
+            scan_time_s(10, 1, 2, layout="hybrid")
+
+    def test_cpu_wins_small_gpu_wins_large(self):
+        small_best, __ = best_device(10_000)
+        large_best, __ = best_device(100_000_000)
+        assert small_best == "cpu"
+        assert large_best == "gpu"
+
+    def test_crossover_exists(self):
+        sizes = [10**k for k in range(3, 9)]
+        winners = [best_device(n)[0] for n in sizes]
+        assert winners[0] == "cpu" and winners[-1] != "cpu"
+
+    def test_components_sum(self):
+        t = training_time("fpga", 10**6, 6)
+        assert t["total"] == pytest.approx(
+            t["scan"] + t["transfer"] + t["compute"] + DEVICES["fpga"].setup_ms / 1000.0
+        )
+
+    def test_crossover_table_rows(self):
+        rows = crossover_table([1000, 10**6])
+        assert len(rows) == 2 * 3 * 2
+
+
+class TestInferenceOperators:
+    @pytest.fixture(scope="class")
+    def model(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 2))
+        return LinearRegression().fit(X, X[:, 0] + 2 * X[:, 1])
+
+    def test_udf_and_vectorized_agree(self, model, rng):
+        X = rng.normal(size=(500, 2))
+        udf_pred, __ = udf_per_row_inference(model, X)
+        vec_pred, __ = vectorized_inference(model, X)
+        assert np.allclose(udf_pred, vec_pred)
+
+    def test_vectorized_faster_at_scale(self, model, rng):
+        X = rng.normal(size=(5000, 2))
+        __, t_udf = udf_per_row_inference(model, X)
+        __, t_vec = vectorized_inference(model, X)
+        assert t_vec < t_udf
+
+    def test_select_operator_crossover(self):
+        assert select_operator(10) == "udf"
+        assert select_operator(100000) == "vectorized"
+
+    def test_model_scan_operator(self, model):
+        op = ModelScanOperator(model, [("t", "a"), ("t", "b")], mode="auto")
+        columns = [("t", "a"), ("t", "b")]
+        rows = [(1.0, 2.0), (0.0, 1.0)]
+        new_cols, new_rows = op.apply(columns, rows)
+        assert new_cols[-1] == ("ml", "prediction")
+        assert new_rows[0][-1] == pytest.approx(5.0)
+        assert op.last_mode in ("udf", "vectorized")
+
+    def test_model_scan_missing_column(self, model):
+        op = ModelScanOperator(model, [("t", "zz")])
+        with pytest.raises(ReproError):
+            op.apply([("t", "a")], [(1.0,)])
+
+    def test_model_scan_empty_input(self, model):
+        op = ModelScanOperator(model, [("t", "a")])
+        cols, rows = op.apply([("t", "a")], [])
+        assert rows == []
+
+    def test_bad_mode(self, model):
+        with pytest.raises(ReproError):
+            ModelScanOperator(model, [], mode="turbo")
+
+
+class TestHybridPushdown:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        db, features = make_patients_database(5000, seed=0)
+        models = train_stay_models(db, features, n_train=1500, seed=0)
+        hybrid = HybridQuery("patients",
+                             [Predicate("patients", "age", ">", 60)],
+                             features, threshold=5.0)
+        return db, models, hybrid
+
+    def test_pushdown_predicts_fewer_rows_same_answer(self, setup):
+        db, models, hybrid = setup
+        naive = NaiveStrategy().run(db, models, hybrid)
+        pushdown = PushdownStrategy().run(db, models, hybrid)
+        assert pushdown["expensive_rows"] < naive["expensive_rows"]
+        assert pushdown["selected"] == naive["selected"]
+
+    def test_cascade_cuts_expensive_rows_further(self, setup):
+        db, models, hybrid = setup
+        pushdown = PushdownStrategy().run(db, models, hybrid)
+        cascade = CascadeStrategy(low=0.1, high=0.9).run(db, models, hybrid)
+        assert cascade["expensive_rows"] < pushdown["expensive_rows"]
+
+    def test_all_strategies_high_recall(self, setup):
+        db, models, hybrid = setup
+        results = run_hybrid_query(db, models, hybrid)
+        for row in results:
+            assert row["recall"] > 0.85
+            assert row["precision"] > 0.7
+
+    def test_cascade_threshold_validation(self):
+        with pytest.raises(ReproError):
+            CascadeStrategy(low=0.9, high=0.1)
+
+    def test_wider_uncertain_band_predicts_more(self, setup):
+        db, models, hybrid = setup
+        narrow = CascadeStrategy(low=0.4, high=0.6).run(db, models, hybrid)
+        wide = CascadeStrategy(low=0.02, high=0.98).run(db, models, hybrid)
+        assert wide["expensive_rows"] > narrow["expensive_rows"]
+
+    def test_empty_relational_filter(self, setup):
+        db, models, __ = setup
+        hybrid = HybridQuery("patients",
+                             [Predicate("patients", "age", ">", 999)],
+                             ["age", "severity", "comorbidities",
+                              "emergency", "ward"], threshold=5.0)
+        result = PushdownStrategy().run(db, models, hybrid)
+        assert result["selected"] == set()
+        assert result["expensive_rows"] == 0

@@ -1,0 +1,126 @@
+"""Tests for the B+Tree and hash index, including property-based checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import CatalogError
+from repro.engine.indexes import BPlusTree, HashIndex
+
+
+class TestBPlusTreeBasics:
+    def test_insert_and_search(self):
+        tree = BPlusTree(order=4)
+        for i, key in enumerate([5, 3, 8, 1, 9, 7]):
+            tree.insert(key, i)
+        assert tree.search(8) == [2]
+        assert tree.search(42) == []
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, 1)
+        tree.insert(5, 2)
+        assert sorted(tree.search(5)) == [1, 2]
+        assert tree.n_keys == 1
+        assert len(tree) == 2
+
+    def test_range_search_inclusive_bounds(self):
+        tree = BPlusTree.bulk_load([(i, i) for i in range(10)], order=4)
+        assert sorted(tree.range_search(3, 6)) == [3, 4, 5, 6]
+        assert sorted(tree.range_search(3, 6, inclusive=(False, False))) == [4, 5]
+
+    def test_range_search_open_bounds(self):
+        tree = BPlusTree.bulk_load([(i, i) for i in range(10)], order=4)
+        assert sorted(tree.range_search(high=2)) == [0, 1, 2]
+        assert sorted(tree.range_search(low=8)) == [8, 9]
+        assert sorted(tree.range_search()) == list(range(10))
+
+    def test_items_in_key_order(self):
+        tree = BPlusTree(order=4)
+        keys = [9, 2, 7, 4, 1, 8, 3]
+        for k in keys:
+            tree.insert(k, k)
+        assert [k for k, __ in tree.items()] == sorted(keys)
+
+    def test_splits_increase_height(self):
+        tree = BPlusTree(order=3)
+        for i in range(100):
+            tree.insert(i, i)
+        assert tree.height > 1
+        # Everything still findable after many splits.
+        for i in range(100):
+            assert tree.search(i) == [i]
+
+    def test_order_validation(self):
+        with pytest.raises(CatalogError):
+            BPlusTree(order=2)
+
+    def test_size_bytes_grows(self):
+        small = BPlusTree.bulk_load([(i, i) for i in range(10)])
+        big = BPlusTree.bulk_load([(i, i) for i in range(1000)])
+        assert big.size_bytes() > small.size_bytes()
+
+    def test_text_keys(self):
+        tree = BPlusTree(order=4)
+        for i, w in enumerate(["pear", "apple", "mango", "fig"]):
+            tree.insert(w, i)
+        assert tree.search("apple") == [1]
+        assert sorted(tree.range_search("apple", "mango")) == [1, 2, 3]
+
+
+class TestHashIndex:
+    def test_insert_and_search(self):
+        idx = HashIndex()
+        idx.insert("k", 1)
+        idx.insert("k", 2)
+        assert sorted(idx.search("k")) == [1, 2]
+        assert idx.search("missing") == []
+        assert idx.n_keys == 1
+        assert len(idx) == 2
+
+    def test_bulk_load(self):
+        idx = HashIndex.bulk_load([(i % 3, i) for i in range(9)])
+        assert sorted(idx.search(0)) == [0, 3, 6]
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=-10**6, max_value=10**6), min_size=1,
+                max_size=300),
+       st.integers(min_value=3, max_value=16))
+def test_btree_matches_dict_reference(keys, order):
+    """Property: B+Tree search agrees with a dict-of-lists reference."""
+    tree = BPlusTree(order=order)
+    reference = {}
+    for row_id, key in enumerate(keys):
+        tree.insert(key, row_id)
+        reference.setdefault(key, []).append(row_id)
+    for key, ids in reference.items():
+        assert sorted(tree.search(key)) == sorted(ids)
+    assert tree.n_keys == len(reference)
+    assert len(tree) == len(keys)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1,
+                max_size=200),
+       st.integers(min_value=0, max_value=1000),
+       st.integers(min_value=0, max_value=1000))
+def test_btree_range_matches_filter(keys, lo, hi):
+    """Property: range_search equals brute-force filtering."""
+    if lo > hi:
+        lo, hi = hi, lo
+    tree = BPlusTree.bulk_load([(k, i) for i, k in enumerate(keys)], order=5)
+    expected = sorted(i for i, k in enumerate(keys) if lo <= k <= hi)
+    assert sorted(tree.range_search(lo, hi)) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                max_size=150))
+def test_btree_items_sorted_and_complete(keys):
+    """Property: items() yields every key exactly once, in order."""
+    tree = BPlusTree.bulk_load([(k, i) for i, k in enumerate(keys)], order=4)
+    emitted = [k for k, __ in tree.items()]
+    assert emitted == sorted(set(keys))
+    total = sum(len(ids) for __, ids in tree.items())
+    assert total == len(keys)

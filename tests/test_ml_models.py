@@ -1,0 +1,280 @@
+"""Tests for the supervised models in repro.ml (linear, MLP, trees, GP)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import ModelError, NotFittedError
+from repro.ml import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    GaussianProcessRegressor,
+    GradientBoostingRegressor,
+    LinearRegression,
+    LogisticRegression,
+    MLPClassifier,
+    MLPRegressor,
+    RandomForestClassifier,
+    RandomForestRegressor,
+    RidgeRegression,
+    expected_improvement,
+    rbf_kernel,
+)
+
+
+def _linear_data(rng, n=200, d=3, noise=0.05):
+    X = rng.normal(size=(n, d))
+    w = np.arange(1, d + 1, dtype=float)
+    y = X @ w + 0.5 + noise * rng.normal(size=n)
+    return X, y, w
+
+
+class TestLinearRegression:
+    def test_recovers_coefficients(self, rng):
+        X, y, w = _linear_data(rng, noise=0.0)
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, w, atol=1e-8)
+        assert model.intercept_ == pytest.approx(0.5, abs=1e-8)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict([[1.0]])
+
+    def test_1d_input_accepted(self, rng):
+        x = rng.normal(size=100)
+        y = 2 * x + 1
+        model = LinearRegression().fit(x, y)
+        assert model.predict(np.array([3.0])) == pytest.approx(7.0, abs=1e-6)
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ModelError):
+            LinearRegression().fit(rng.normal(size=(10, 2)), np.ones(9))
+
+    def test_no_intercept(self, rng):
+        X, y, w = _linear_data(rng, noise=0.0)
+        model = LinearRegression(add_intercept=False).fit(X, y - 0.5)
+        assert np.allclose(model.coef_, w, atol=1e-8)
+        assert model.intercept_ == 0.0
+
+
+class TestRidgeRegression:
+    def test_shrinks_toward_zero(self, rng):
+        X, y, __ = _linear_data(rng)
+        small = RidgeRegression(alpha=1e-6).fit(X, y)
+        large = RidgeRegression(alpha=1e4).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ModelError):
+            RidgeRegression(alpha=-1.0)
+
+    def test_matches_ols_at_zero_alpha(self, rng):
+        X, y, __ = _linear_data(rng, noise=0.0)
+        ridge = RidgeRegression(alpha=0.0).fit(X, y)
+        ols = LinearRegression().fit(X, y)
+        assert np.allclose(ridge.coef_, ols.coef_, atol=1e-6)
+
+
+class TestLogisticRegression:
+    def test_separable_data(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] + X[:, 1] > 0).astype(float)
+        model = LogisticRegression(lr=0.5, epochs=800, seed=0).fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.95
+
+    def test_proba_in_unit_interval(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = (X[:, 0] > 0).astype(float)
+        model = LogisticRegression(epochs=100).fit(X, y)
+        p = model.predict_proba(X)
+        assert np.all(p >= 0) and np.all(p <= 1)
+
+    def test_bad_labels_rejected(self, rng):
+        with pytest.raises(ModelError):
+            LogisticRegression().fit(rng.normal(size=(5, 2)),
+                                     np.array([0, 1, 2, 0, 1]))
+
+
+class TestMLP:
+    def test_regression_learns_nonlinear(self, rng):
+        X = rng.uniform(-2, 2, size=(400, 2))
+        y = np.sin(X[:, 0]) + X[:, 1] ** 2
+        model = MLPRegressor(hidden=(32, 32), epochs=200, seed=0).fit(X, y)
+        mse = float(np.mean((model.predict(X) - y) ** 2))
+        assert mse < 0.05
+
+    def test_loss_curve_decreases(self, rng):
+        X = rng.normal(size=(200, 2))
+        y = X[:, 0]
+        model = MLPRegressor(hidden=(16,), epochs=60, seed=0).fit(X, y)
+        assert model.loss_curve_[-1] < model.loss_curve_[0]
+
+    def test_classifier_learns(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = ((X[:, 0] ** 2 + X[:, 1] ** 2) < 1.0).astype(float)
+        model = MLPClassifier(hidden=(32,), epochs=150, seed=0).fit(X, y)
+        assert np.mean(model.predict(X) == y) > 0.9
+
+    def test_classifier_bad_labels(self, rng):
+        with pytest.raises(ModelError):
+            MLPClassifier().fit(rng.normal(size=(4, 2)), [0, 1, 5, 1])
+
+    def test_not_fitted(self):
+        with pytest.raises(NotFittedError):
+            MLPRegressor().predict([[0.0]])
+
+    def test_deterministic_given_seed(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = X[:, 0]
+        p1 = MLPRegressor(hidden=(8,), epochs=30, seed=3).fit(X, y).predict(X)
+        p2 = MLPRegressor(hidden=(8,), epochs=30, seed=3).fit(X, y).predict(X)
+        assert np.allclose(p1, p2)
+
+    def test_multioutput_regression(self, rng):
+        X = rng.normal(size=(200, 3))
+        Y = np.stack([X[:, 0], -X[:, 1]], axis=1)
+        model = MLPRegressor(hidden=(32,), epochs=150, seed=0).fit(X, Y)
+        pred = model.predict(X)
+        assert pred.shape == Y.shape
+        assert float(np.mean((pred - Y) ** 2)) < 0.1
+
+
+class TestTrees:
+    def test_regressor_fits_step_function(self, rng):
+        X = rng.uniform(0, 1, size=(300, 1))
+        y = (X[:, 0] > 0.5).astype(float) * 10.0
+        tree = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        assert float(np.mean((tree.predict(X) - y) ** 2)) < 0.1
+
+    def test_classifier_axis_aligned(self, rng):
+        X = rng.uniform(-1, 1, size=(400, 2))
+        y = ((X[:, 0] > 0) & (X[:, 1] > 0)).astype(float)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        assert np.mean(tree.predict(X) == y) > 0.95
+
+    def test_depth_limit_respected(self, rng):
+        X = rng.normal(size=(500, 3))
+        y = rng.normal(size=500)
+        tree = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self, rng):
+        X = rng.normal(size=(50, 1))
+        y = rng.normal(size=50)
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=20)
+        tree.fit(X, y)
+
+        def leaf_sizes(node, X_sub, y_sub):
+            if node.is_leaf:
+                return [len(y_sub)]
+            mask = X_sub[:, node.feature] <= node.threshold
+            return leaf_sizes(node.left, X_sub[mask], y_sub[mask]) + \
+                leaf_sizes(node.right, X_sub[~mask], y_sub[~mask])
+
+        assert min(leaf_sizes(tree.root_, X, y)) >= 20
+
+    def test_constant_target_single_leaf(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = np.full(20, 3.0)
+        tree = DecisionTreeRegressor().fit(X, y)
+        assert tree.depth() == 0
+        assert np.allclose(tree.predict(X), 3.0)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor().fit(np.empty((0, 1)), np.empty(0))
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(max_depth=0)
+        with pytest.raises(ModelError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+
+
+class TestEnsembles:
+    def test_forest_averages_out_overfit_noise(self, rng):
+        # Bagging's textbook claim: deep trees overfit label noise; the
+        # forest's average generalizes better.
+        X = rng.normal(size=(300, 3))
+        y = X[:, 0] + 1.5 * rng.normal(size=300)
+        X_test = rng.normal(size=(300, 3))
+        y_test = X_test[:, 0]
+        deep = dict(max_depth=12, min_samples_leaf=1)
+        tree = DecisionTreeRegressor(seed=0, **deep).fit(X, y)
+        forest = RandomForestRegressor(n_estimators=20, max_features=3,
+                                       seed=0, **deep).fit(X, y)
+        tree_mse = float(np.mean((tree.predict(X_test) - y_test) ** 2))
+        forest_mse = float(np.mean((forest.predict(X_test) - y_test) ** 2))
+        assert forest_mse < tree_mse
+
+    def test_forest_classifier_probability_range(self, rng):
+        X = rng.normal(size=(200, 3))
+        y = (X[:, 0] > 0).astype(float)
+        forest = RandomForestClassifier(n_estimators=10, seed=0).fit(X, y)
+        p = forest.predict_proba(X)
+        assert np.all((p >= 0) & (p <= 1))
+        assert np.mean(forest.predict(X) == y) > 0.85
+
+    def test_gbm_improves_with_stages(self, rng):
+        X = rng.normal(size=(300, 2))
+        y = X[:, 0] ** 2 + X[:, 1]
+        weak = GradientBoostingRegressor(n_estimators=2).fit(X, y)
+        strong = GradientBoostingRegressor(n_estimators=60).fit(X, y)
+        weak_mse = float(np.mean((weak.predict(X) - y) ** 2))
+        strong_mse = float(np.mean((strong.predict(X) - y) ** 2))
+        assert strong_mse < weak_mse
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestRegressor().predict([[1.0]])
+        with pytest.raises(NotFittedError):
+            GradientBoostingRegressor().predict([[1.0]])
+
+
+class TestGaussianProcess:
+    def test_interpolates_noiseless(self, rng):
+        X = np.linspace(0, 5, 20).reshape(-1, 1)
+        y = np.sin(X).ravel()
+        gp = GaussianProcessRegressor(length_scale=1.0, noise=1e-8).fit(X, y)
+        pred = gp.predict(X)
+        assert np.allclose(pred, y, atol=1e-3)
+
+    def test_uncertainty_grows_away_from_data(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0.0, 1.0])
+        gp = GaussianProcessRegressor(noise=1e-6).fit(X, y)
+        __, near = gp.predict([[0.5]], return_std=True)
+        __, far = gp.predict([[10.0]], return_std=True)
+        assert far[0] > near[0]
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ModelError):
+            GaussianProcessRegressor(noise=-1.0)
+
+    def test_rbf_kernel_diagonal_is_variance(self):
+        A = np.array([[1.0, 2.0]])
+        K = rbf_kernel(A, A, variance=2.5)
+        assert K[0, 0] == pytest.approx(2.5)
+
+    def test_expected_improvement_positive_at_high_mean(self):
+        ei_good = expected_improvement(np.array([2.0]), np.array([0.1]),
+                                       best=1.0)
+        ei_bad = expected_improvement(np.array([0.0]), np.array([0.1]),
+                                      best=1.0)
+        assert ei_good[0] > ei_bad[0] >= 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=2, max_value=30), st.integers(min_value=0, max_value=10**6))
+def test_linear_regression_exact_on_any_line(n, seed):
+    """Property: OLS recovers any noiseless affine function exactly."""
+    rng = np.random.default_rng(seed)
+    slope = rng.uniform(-5, 5)
+    intercept = rng.uniform(-5, 5)
+    x = rng.uniform(-10, 10, size=n)
+    if np.ptp(x) < 1e-6:
+        x[0] += 1.0
+    y = slope * x + intercept
+    model = LinearRegression().fit(x, y)
+    assert model.coef_[0] == pytest.approx(slope, abs=1e-6)
+    assert model.intercept_ == pytest.approx(intercept, abs=1e-5)

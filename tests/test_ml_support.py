@@ -1,0 +1,404 @@
+"""Tests for ML support code: preprocessing, metrics, clustering, RL, graph."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import ModelError, NotFittedError
+from repro.ml import (
+    DDPGAgent,
+    DQNAgent,
+    EpsilonGreedyBandit,
+    GCNRegressor,
+    KMeans,
+    MCTS,
+    MinMaxScaler,
+    OneHotEncoder,
+    QLearningAgent,
+    ReplayBuffer,
+    StandardScaler,
+    ThompsonBetaBandit,
+    UCB1Bandit,
+    accuracy,
+    cumulative_regret,
+    log_loss,
+    mean_absolute_error,
+    normalized_adjacency,
+    polynomial_features,
+    precision_recall_f1,
+    q_error,
+    q_error_summary,
+    r2_score,
+    silhouette_score,
+    train_test_split,
+)
+
+
+class TestScalers:
+    def test_standard_scaler_zero_mean_unit_var(self, rng):
+        X = rng.normal(loc=5, scale=3, size=(200, 3))
+        Xs = StandardScaler().fit_transform(X)
+        assert np.allclose(Xs.mean(axis=0), 0, atol=1e-9)
+        assert np.allclose(Xs.std(axis=0), 1, atol=1e-9)
+
+    def test_standard_scaler_constant_column(self):
+        X = np.array([[1.0, 5.0], [2.0, 5.0], [3.0, 5.0]])
+        Xs = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Xs))
+        assert np.allclose(Xs[:, 1], 0.0)
+
+    def test_standard_scaler_inverse(self, rng):
+        X = rng.normal(size=(50, 2))
+        sc = StandardScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X)
+
+    def test_minmax_range(self, rng):
+        X = rng.uniform(-3, 9, size=(100, 2))
+        Xs = MinMaxScaler((0, 1)).fit_transform(X)
+        assert Xs.min() >= 0 and Xs.max() <= 1
+
+    def test_minmax_custom_range_and_inverse(self, rng):
+        X = rng.normal(size=(40, 2))
+        sc = MinMaxScaler((-2, 2)).fit(X)
+        Xs = sc.transform(X)
+        assert Xs.min() >= -2 - 1e-9 and Xs.max() <= 2 + 1e-9
+        assert np.allclose(sc.inverse_transform(Xs), X)
+
+    def test_minmax_bad_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler((1, 1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform([[1.0]])
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform([[1.0]])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2,
+                    max_size=40))
+    def test_standard_scaler_inverse_property(self, values):
+        X = np.asarray(values).reshape(-1, 1)
+        sc = StandardScaler().fit(X)
+        assert np.allclose(sc.inverse_transform(sc.transform(X)), X,
+                           atol=1e-6 * max(1.0, np.abs(X).max()))
+
+
+class TestEncodersAndSplits:
+    def test_one_hot_roundtrip(self):
+        enc = OneHotEncoder().fit(["a", "b", "c", "a"])
+        out = enc.transform(["b", "a"])
+        assert out.shape == (2, 3)
+        assert out[0, 1] == 1.0 and out[1, 0] == 1.0
+
+    def test_one_hot_unknown_is_zero(self):
+        enc = OneHotEncoder().fit(["a", "b"])
+        assert np.all(enc.transform(["zzz"]) == 0)
+
+    def test_split_sizes(self, rng):
+        X = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.3, seed=0)
+        assert len(X_te) == 30 and len(X_tr) == 70
+        assert len(y_te) == 30 and len(y_tr) == 70
+
+    def test_split_disjoint_and_complete(self, rng):
+        X = np.arange(50).reshape(-1, 1)
+        y = np.arange(50)
+        X_tr, X_te, __, ___ = train_test_split(X, y, seed=1)
+        combined = sorted(X_tr.ravel().tolist() + X_te.ravel().tolist())
+        assert combined == list(range(50))
+
+    def test_split_bad_fraction(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((4, 1)), np.ones(4), test_size=1.5)
+
+    def test_split_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((4, 1)), np.ones(5))
+
+    def test_polynomial_features(self):
+        X = np.array([[2.0, 3.0]])
+        out = polynomial_features(X, degree=3)
+        assert np.allclose(out, [[2, 3, 4, 9, 8, 27]])
+
+    def test_polynomial_degree_one_identity(self):
+        X = np.array([[1.0, -1.0]])
+        assert np.allclose(polynomial_features(X, 1), X)
+
+
+class TestMetrics:
+    def test_mae_mse(self):
+        assert mean_absolute_error([1, 2], [2, 4]) == pytest.approx(1.5)
+
+    def test_r2_perfect_and_mean(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert r2_score(y, np.full(3, y.mean())) == pytest.approx(0.0)
+
+    def test_q_error_symmetric(self):
+        assert np.allclose(q_error([10], [100]), q_error([100], [10]))
+
+    def test_q_error_floor(self):
+        assert q_error([0], [0])[0] == 1.0
+
+    def test_q_error_summary_keys(self):
+        s = q_error_summary(np.arange(1, 101), np.arange(1, 101) * 2)
+        assert set(s) == {"mean", "max", "q50", "q90", "q95", "q99"}
+        assert s["q50"] == pytest.approx(2.0)
+
+    def test_precision_recall_f1(self):
+        p, r, f1 = precision_recall_f1([1, 1, 0, 0], [1, 0, 1, 0])
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+        assert f1 == pytest.approx(0.5)
+
+    def test_prf_no_positives(self):
+        p, r, f1 = precision_recall_f1([0, 0], [0, 0])
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_accuracy(self):
+        assert accuracy(["a", "b"], ["a", "c"]) == pytest.approx(0.5)
+
+    def test_log_loss_bounds(self):
+        good = log_loss([1, 0], [0.99, 0.01])
+        bad = log_loss([1, 0], [0.01, 0.99])
+        assert good < bad
+
+    def test_cumulative_regret_monotone_for_suboptimal(self):
+        regret = cumulative_regret([0.5] * 10, best_expected=1.0)
+        assert np.all(np.diff(regret) > 0)
+        assert regret[-1] == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1,
+                    max_size=30),
+           st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1,
+                    max_size=30))
+    def test_q_error_at_least_one_property(self, a, b):
+        n = min(len(a), len(b))
+        qe = q_error(a[:n], b[:n])
+        assert np.all(qe >= 1.0)
+
+
+class TestClustering:
+    def test_kmeans_separated_blobs(self, rng):
+        centers = np.array([[0, 0], [10, 10], [0, 10]])
+        X = np.vstack([rng.normal(c, 0.5, size=(30, 2)) for c in centers])
+        km = KMeans(3, seed=0).fit(X)
+        # Each blob should be one cluster.
+        labels = km.labels_
+        for start in (0, 30, 60):
+            block = labels[start : start + 30]
+            assert np.all(block == block[0])
+
+    def test_kmeans_predict_consistent_with_fit(self, rng):
+        X = rng.normal(size=(60, 2))
+        km = KMeans(4, seed=1).fit(X)
+        assert np.array_equal(km.predict(X), km.labels_)
+
+    def test_kmeans_too_few_samples(self):
+        with pytest.raises(ModelError):
+            KMeans(5).fit(np.ones((3, 2)))
+
+    def test_silhouette_prefers_true_clustering(self, rng):
+        X = np.vstack([rng.normal(0, 0.3, (20, 2)),
+                       rng.normal(8, 0.3, (20, 2))])
+        good = np.array([0] * 20 + [1] * 20)
+        bad = np.array(([0, 1] * 20))
+        assert silhouette_score(X, good) > silhouette_score(X, bad)
+
+    def test_silhouette_single_cluster_rejected(self, rng):
+        with pytest.raises(ModelError):
+            silhouette_score(rng.normal(size=(10, 2)), np.zeros(10))
+
+
+class TestBandits:
+    def _run(self, bandit, means, steps, rng):
+        total = 0.0
+        for __ in range(steps):
+            arm = bandit.select()
+            reward = float(np.clip(rng.normal(means[arm], 0.1), 0, 1))
+            bandit.update(arm, reward)
+            total += reward
+        return total
+
+    def test_ucb_finds_best_arm(self, rng):
+        means = [0.2, 0.8, 0.4]
+        bandit = UCB1Bandit(3)
+        self._run(bandit, means, 500, rng)
+        assert int(np.argmax(bandit.counts)) == 1
+
+    def test_thompson_beats_random(self, rng):
+        means = [0.1, 0.9, 0.3, 0.2]
+        ts = ThompsonBetaBandit(4, seed=0)
+        total_ts = self._run(ts, means, 400, rng)
+        rand_total = 400 * float(np.mean(means))
+        assert total_ts > rand_total
+
+    def test_epsilon_greedy_explores(self, rng):
+        bandit = EpsilonGreedyBandit(3, epsilon=0.5, seed=0)
+        self._run(bandit, [0.5, 0.5, 0.5], 300, rng)
+        assert np.all(bandit.counts > 0)
+
+    def test_invalid_arm_count(self):
+        with pytest.raises(ModelError):
+            UCB1Bandit(0)
+
+
+class TestReplayAndAgents:
+    def test_replay_eviction(self):
+        buf = ReplayBuffer(capacity=3, seed=0)
+        for i in range(5):
+            buf.push([i], i, float(i), [i], False)
+        assert len(buf) == 3
+        states, __, ___, ____, _____ = buf.sample(10)
+        assert states.min() >= 2  # oldest evicted
+
+    def test_replay_empty_sample_rejected(self):
+        with pytest.raises(ModelError):
+            ReplayBuffer().sample(1)
+
+    def test_q_learning_gridline(self):
+        # 1-D walk: states 0..4, action 1 moves right, reward at state 4.
+        agent = QLearningAgent(n_actions=2, epsilon=0.3, seed=0)
+        for __ in range(300):
+            state = 0
+            for __step in range(10):
+                action = agent.act(state)
+                next_state = min(4, state + 1) if action == 1 else max(0, state - 1)
+                reward = 1.0 if next_state == 4 else 0.0
+                agent.update(state, action, reward, next_state,
+                             next_state == 4)
+                state = next_state
+                if state == 4:
+                    break
+            agent.decay()
+        # Learned policy should walk right from every state.
+        for s in range(4):
+            assert agent.act(s, greedy=True) == 1
+
+    def test_q_learning_valid_action_mask(self):
+        agent = QLearningAgent(n_actions=5, epsilon=1.0, seed=0)
+        for __ in range(50):
+            assert agent.act("s", valid_actions=[2, 3]) in (2, 3)
+
+    def test_q_learning_no_valid_actions(self):
+        agent = QLearningAgent(n_actions=2)
+        with pytest.raises(ModelError):
+            agent.act("s", valid_actions=[])
+
+    def test_dqn_contextual_bandit(self, rng):
+        agent = DQNAgent(state_dim=1, n_actions=2, hidden=(32,), gamma=0.0,
+                         epsilon=0.5, lr=5e-3, target_sync=20, seed=0)
+        for __ in range(800):
+            s = np.array([float(rng.integers(0, 2))])
+            a = agent.act(s)
+            r = 1.0 if a == int(s[0]) else -1.0
+            agent.remember(s, a, r, s, True)
+            agent.train_step()
+        assert agent.act(np.array([0.0]), greedy=True) == 0
+        assert agent.act(np.array([1.0]), greedy=True) == 1
+
+    def test_ddpg_continuous_bandit(self, rng):
+        target = np.array([0.5, -0.5])
+        agent = DDPGAgent(state_dim=2, action_dim=2, gamma=0.0,
+                          noise_scale=0.4, seed=0)
+        s = np.zeros(2)
+        for i in range(900):
+            a = agent.act(s)
+            r = -float(np.sum((a - target) ** 2))
+            agent.remember(s, a, r, s, True)
+            agent.train_step()
+            if i % 100 == 0:
+                agent.decay()
+        final = agent.act(s, noisy=False)
+        assert np.all(np.abs(final - target) < 0.25)
+
+    def test_actions_clipped(self):
+        agent = DDPGAgent(2, 2, noise_scale=10.0, seed=0)
+        a = agent.act(np.zeros(2))
+        assert np.all(a >= -1.0) and np.all(a <= 1.0)
+
+
+class TestMCTS:
+    def test_finds_optimal_sequence(self):
+        # Maximize sum of 3 chosen digits in {0,1,2}.
+        mcts = MCTS(
+            actions_fn=lambda s: list(range(3)) if len(s) < 3 else [],
+            step_fn=lambda s, a: s + (a,),
+            reward_fn=lambda s: float(sum(s)),
+            seed=0,
+        )
+        best, reward = mcts.search((), n_iterations=200)
+        assert best == (2, 2, 2)
+        assert reward == 6.0
+
+    def test_trap_requires_lookahead(self):
+        # Choosing 0 first unlocks a big terminal bonus; greedy would pick 1.
+        def reward(s):
+            if len(s) < 2:
+                return 0.0
+            return 10.0 if s[0] == 0 else float(s[0] + s[1])
+
+        mcts = MCTS(
+            actions_fn=lambda s: [0, 1] if len(s) < 2 else [],
+            step_fn=lambda s, a: s + (a,),
+            reward_fn=reward,
+            seed=1,
+        )
+        best, r = mcts.search((), n_iterations=300)
+        assert best[0] == 0 and r == 10.0
+
+
+class TestGraph:
+    def test_normalized_adjacency_rows(self):
+        g = nx.path_graph(3)
+        A_hat, nodes = normalized_adjacency(g)
+        assert nodes == [0, 1, 2]
+        assert A_hat.shape == (3, 3)
+        # Symmetric and nonnegative.
+        assert np.allclose(A_hat, A_hat.T)
+        assert np.all(A_hat >= 0)
+
+    def test_gcn_learns_neighbor_sum(self, rng):
+        # Target = own feature + mean of neighbors' features: exactly what
+        # one round of message passing can represent.
+        graphs, feats, targets = [], [], []
+        for seed in range(12):
+            g = nx.gnp_random_graph(8, 0.4, seed=seed)
+            X = np.random.default_rng(seed).normal(size=(8, 2))
+            y = np.zeros(8)
+            for node in g.nodes():
+                nbrs = list(g.neighbors(node))
+                y[node] = X[node, 0] + (
+                    np.mean(X[nbrs, 0]) if nbrs else 0.0
+                )
+            graphs.append(g)
+            feats.append(X)
+            targets.append(y)
+        model = GCNRegressor(2, hidden=16, epochs=300, seed=0)
+        model.fit(graphs[:10], feats[:10], targets[:10])
+        assert model.loss_curve_[-1] < model.loss_curve_[0] * 0.5
+        pred = model.predict(graphs[11], feats[11])
+        # Held-out predictions must carry real signal: strong positive
+        # correlation with the neighbor-aware target.
+        corr = float(np.corrcoef(pred, targets[11])[0, 1])
+        assert corr > 0.5
+
+    def test_gcn_validates_shapes(self, rng):
+        g = nx.path_graph(3)
+        model = GCNRegressor(2)
+        with pytest.raises(ModelError):
+            model.fit([g], [rng.normal(size=(3, 5))], [np.zeros(3)])
+        with pytest.raises(ModelError):
+            model.fit([g], [rng.normal(size=(2, 2))], [np.zeros(2)])
+
+    def test_gcn_unfitted(self, rng):
+        with pytest.raises(NotFittedError):
+            GCNRegressor(2).predict(nx.path_graph(2), rng.normal(size=(2, 2)))
