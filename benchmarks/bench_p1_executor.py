@@ -1,0 +1,129 @@
+"""P1 benchmark: row vs. vectorized executor on the E8 execution phase.
+
+Rebuilds the E8 clique schema + workload, plans every query once, then
+times pure plan execution (no planning, no learning) under both executor
+modes on the *same* plan objects. The two modes must report identical
+total work — the work-parity invariant — so the wall-clock ratio is pure
+implementation speedup.
+
+Run standalone to (re)generate ``BENCH_P1.json``::
+
+    PYTHONPATH=src python benchmarks/bench_p1_executor.py
+
+``REPRO_BENCH_FAST=1`` shrinks to E8's fast sizes; the committed JSON and
+the ≥5× acceptance gate use the full sizes.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.engine import datagen
+from repro.engine.database import Database
+from repro.engine.executor import EXECUTOR_MODES, Executor
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+
+def build_workload_plans(fast, seed=0):
+    """The E8 schema/workload, planned once; returns ``(db, plans)``."""
+    db = Database()
+    names, edges = datagen.make_join_graph_schema(
+        db.catalog, "clique", n_tables=5,
+        rows_per_table=400 if fast else 600, seed=seed + 3, prefix="n",
+        correlated=True,
+    )
+    workload = datagen.join_graph_workload(
+        names, edges, n_queries=12 if fast else 18, seed=seed + 4,
+        min_tables=4,
+    )
+    return db, [db.planner.plan(q) for q in workload]
+
+
+def execute_all(db, plans, mode):
+    """Execute every plan in ``mode``; returns ``(total_rows, total_work)``."""
+    ex = Executor(db.catalog, db.cost_model, mode=mode)
+    total_rows, total_work = 0, 0.0
+    for plan in plans:
+        result = ex.execute(plan)
+        total_rows += len(result.rows)
+        total_work += result.work
+    return total_rows, total_work
+
+
+def measure(fast, repeats=3, seed=0):
+    """Best-of-``repeats`` wall time per mode plus the speedup ratio."""
+    db, plans = build_workload_plans(fast, seed=seed)
+    out = {
+        "workload": "E8 clique (rows_per_table=%d, queries=%d)"
+        % (400 if fast else 600, 12 if fast else 18),
+        "fast": fast,
+        "modes": {},
+    }
+    checks = {}
+    for mode in EXECUTOR_MODES:
+        best = float("inf")
+        for __ in range(repeats):
+            t0 = time.perf_counter()
+            checks[mode] = execute_all(db, plans, mode)
+            best = min(best, time.perf_counter() - t0)
+        out["modes"][mode] = {
+            "seconds": best,
+            "total_rows": checks[mode][0],
+            "total_work": checks[mode][1],
+        }
+    assert checks["row"] == checks["vectorized"], (
+        "executor modes disagree: %r" % (checks,)
+    )
+    out["speedup"] = out["modes"]["row"]["seconds"] / max(
+        out["modes"]["vectorized"]["seconds"], 1e-12
+    )
+    return out
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_p1_executor_modes(benchmark, executor_mode):
+    """Times one executor mode on the (FAST-aware) E8 execution phase."""
+    db, plans = build_workload_plans(fast=FAST)
+    total_rows, total_work = benchmark.pedantic(
+        execute_all, args=(db, plans, executor_mode), rounds=1, iterations=1
+    )
+    assert total_rows > 0 and total_work > 0
+
+
+def test_p1_modes_agree_on_totals():
+    """Both modes produce the same rows and work on the FAST workload."""
+    db, plans = build_workload_plans(fast=True)
+    assert execute_all(db, plans, "row") == execute_all(db, plans, "vectorized")
+
+
+@pytest.mark.slow
+def test_p1_vectorized_speedup_full_size():
+    """Acceptance gate: ≥5× execution-phase speedup at full E8 sizes."""
+    payload = measure(fast=False, repeats=2)
+    assert payload["speedup"] >= 5.0, payload
+
+
+if __name__ == "__main__":
+    payload = {"bench": "P1 vectorized executor", "results": []}
+    for fast in (True, False):
+        result = measure(fast)
+        payload["results"].append(result)
+        print(
+            "%s: row %.3fs vectorized %.3fs -> %.1fx"
+            % (
+                "fast" if fast else "full",
+                result["modes"]["row"]["seconds"],
+                result["modes"]["vectorized"]["seconds"],
+                result["speedup"],
+            )
+        )
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_P1.json")
+    with open(os.path.abspath(out_path), "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print("wrote BENCH_P1.json")

@@ -11,6 +11,8 @@ DB4AI layers use:
 * ``rewriter`` — optional query rewriter applied before planning.
 """
 
+import os
+
 from repro.common import ParseError
 from repro.engine.catalog import Catalog
 from repro.engine.executor import Executor, count_join_rows
@@ -35,9 +37,15 @@ class Database:
             (``"dp"``/``"greedy"``/``"random"``).
         use_views: whether the planner may answer from materialized views.
         cost_params: overrides for the cost-model constants (knob effects).
+        executor_mode: ``"vectorized"`` or ``"row"``; ``None`` reads the
+            ``REPRO_EXECUTOR_MODE`` environment variable and falls back to
+            ``"vectorized"``.
     """
 
-    def __init__(self, enumerator="dp", use_views=True, cost_params=None):
+    def __init__(self, enumerator="dp", use_views=True, cost_params=None,
+                 executor_mode=None):
+        if executor_mode is None:
+            executor_mode = os.environ.get("REPRO_EXECUTOR_MODE") or "vectorized"
         self.catalog = Catalog()
         self.cost_model = CostModel(cost_params)
         self.planner = Planner(
@@ -46,7 +54,8 @@ class Database:
             enumerator=enumerator,
             use_views=use_views,
         )
-        self.executor = Executor(self.catalog, self.cost_model)
+        self.executor = Executor(self.catalog, self.cost_model,
+                                 mode=executor_mode)
         self.rewriter = None  # callable(query) -> query, set by ai4db layers
         self.statement_hooks = []  # callables(db, sql_text) -> result or None
 

@@ -1,4 +1,4 @@
-"""Plan executor.
+"""Plan executor: a vectorized columnar engine plus a row interpreter.
 
 Interprets a physical plan over the catalog, producing rows *and* an exact
 work measurement. Work is computed with the same formulas as the analytic
@@ -9,15 +9,37 @@ cost model but on the **actual** cardinalities observed at run time, so:
   the damage done by cardinality misestimation — the quantity the learned
   optimizer experiments report.
 
+Two execution modes share the plan contract and the work accounting:
+
+* ``"vectorized"`` (the default) keeps every intermediate result columnar —
+  NumPy arrays end-to-end. Predicates compile to one boolean mask, joins
+  factorize their keys and gather matched row ids with fancy indexing,
+  aggregation groups with a stable argsort + ``reduceat``, sort/limit/
+  project operate on whole arrays.
+* ``"row"`` is the original tuple-at-a-time interpreter, kept for
+  differential testing and as an executable specification.
+
+The two modes are *observationally identical*: same rows, in the same
+order (vectorized operators deliberately reproduce the interpreter's
+output order, including hash-join probe order, group first-appearance
+order, stable sorts, and DISTINCT first-occurrence semantics), and the
+same ``work``/``operator_work`` numbers — work is charged from observed
+cardinalities, never from implementation details, which is what keeps
+"cost gap == misestimation damage" true in both modes.
+
 Results are fully materialized (these are analytics-scale experiments, not
 a streaming engine).
 """
 
 import operator
+import time
+
+import numpy as np
 
 from repro.common import ExecutionError
 from repro.engine import plans as P
 from repro.engine.optimizer.cost import CostModel
+from repro.engine.telemetry import ExecutionTelemetry
 
 _OPS = {
     "=": operator.eq,
@@ -27,6 +49,9 @@ _OPS = {
     ">": operator.gt,
     ">=": operator.ge,
 }
+
+#: Supported executor modes (first entry is the default).
+EXECUTOR_MODES = ("vectorized", "row")
 
 
 class Relation:
@@ -57,13 +82,178 @@ class Relation:
         return len(self.rows)
 
 
+class ColumnarRelation:
+    """An intermediate result carried as aligned NumPy column arrays.
+
+    The vectorized twin of :class:`Relation`: ``arrays[i]`` holds every
+    value of ``columns[i]``. Operators produce new ``ColumnarRelation``
+    batches via masks and fancy indexing; rows are only materialized when
+    the final result is converted with :meth:`to_relation`.
+    """
+
+    __slots__ = ("columns", "arrays", "_index", "_n")
+
+    def __init__(self, columns, arrays, n_rows=None):
+        self.columns = [(t.lower(), c.lower()) for t, c in columns]
+        self.arrays = list(arrays)
+        self._index = {tc: i for i, tc in enumerate(self.columns)}
+        if n_rows is not None:
+            self._n = int(n_rows)
+        else:
+            self._n = len(self.arrays[0]) if self.arrays else 0
+
+    def col_pos(self, table, column):
+        """Position of ``table.column`` in :attr:`arrays`."""
+        key = (table.lower(), column.lower())
+        if key not in self._index:
+            raise ExecutionError(
+                "intermediate result has no column %s.%s" % (table, column)
+            )
+        return self._index[key]
+
+    def take(self, selector):
+        """A new relation holding the rows picked by a mask or index array."""
+        arrays = [a[selector] for a in self.arrays]
+        return ColumnarRelation(self.columns, arrays)
+
+    def to_relation(self):
+        """Materialize as a row :class:`Relation` (Python scalar tuples)."""
+        if not self.arrays or self._n == 0:
+            return Relation(self.columns, [])
+        return Relation(
+            self.columns, list(zip(*(a.tolist() for a in self.arrays)))
+        )
+
+    def __len__(self):
+        return self._n
+
+
+# ----------------------------------------------------------------------
+# Vectorized kernels shared by the executor and count_join_rows
+# ----------------------------------------------------------------------
+def _factorize(columns):
+    """Dense int64 codes identifying each row's tuple over ``columns``.
+
+    Rows with equal key tuples receive equal codes; codes are compacted
+    after every column so multi-column keys cannot overflow.
+    """
+    codes = None
+    for arr in columns:
+        __, inv = np.unique(arr, return_inverse=True)
+        inv = np.ascontiguousarray(inv, dtype=np.int64).ravel()
+        if codes is None:
+            codes = inv
+        else:
+            width = int(inv.max()) + 1 if len(inv) else 1
+            codes = codes * width + inv
+            __, codes = np.unique(codes, return_inverse=True)
+            codes = np.ascontiguousarray(codes, dtype=np.int64).ravel()
+    return codes
+
+
+def _join_indices(left_cols, right_cols):
+    """Row-id pairs ``(il, ir)`` of the equi-join of two key-column sets.
+
+    Output order matches the row interpreter's hash join exactly: left
+    rows in order, and for each left row its right matches in original
+    right order (the stable argsort keeps within-key right order intact).
+    """
+    nl, nr = len(left_cols[0]), len(right_cols[0])
+    empty = np.empty(0, dtype=np.int64)
+    if nl == 0 or nr == 0:
+        return empty, empty.copy()
+    codes = _factorize(
+        [np.concatenate([l, r]) for l, r in zip(left_cols, right_cols)]
+    )
+    lc, rc = codes[:nl], codes[nl:]
+    order = np.argsort(rc, kind="stable")
+    rc_sorted = rc[order]
+    starts = np.searchsorted(rc_sorted, lc, side="left")
+    counts = np.searchsorted(rc_sorted, lc, side="right") - starts
+    total = int(counts.sum())
+    il = np.repeat(np.arange(nl, dtype=np.int64), counts)
+    if total == 0:
+        return il, empty.copy()
+    offsets = np.cumsum(counts) - counts
+    pos = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, counts)
+        + np.repeat(starts, counts)
+    )
+    return il, order[pos]
+
+
+def _cross_indices(nl, nr):
+    """Row-id pairs of the Cartesian product, left-major (row order)."""
+    il = np.repeat(np.arange(nl, dtype=np.int64), nr)
+    ir = np.tile(np.arange(nr, dtype=np.int64), nl)
+    return il, ir
+
+
+def _predicate_mask(relation, predicates):
+    """One boolean mask for a conjunction of predicates (vectorized)."""
+    n = len(relation)
+    mask = None
+    for p in predicates:
+        arr = relation.arrays[relation.col_pos(p.table, p.column)]
+        m = np.asarray(_OPS[p.op](arr, p.value))
+        if m.ndim == 0:  # incomparable types collapse to a scalar verdict
+            m = np.full(n, bool(m))
+        m = m.astype(bool, copy=False)
+        mask = m if mask is None else mask & m
+    return mask
+
+
+def _segment_reduce(func, sorted_vals, seg_starts, counts):
+    """Per-group reduction over values pre-sorted so groups are contiguous."""
+    if sorted_vals.dtype == object:
+        bounds = np.r_[seg_starts, len(sorted_vals)]
+        segments = [
+            sorted_vals[bounds[i]:bounds[i + 1]].tolist()
+            for i in range(len(seg_starts))
+        ]
+        if func == "sum":
+            vals = [sum(s) for s in segments]
+        elif func == "avg":
+            vals = [sum(s) / len(s) for s in segments]
+        elif func == "min":
+            vals = [min(s) for s in segments]
+        elif func == "max":
+            vals = [max(s) for s in segments]
+        else:
+            raise ExecutionError("unknown aggregate %r" % (func,))
+        out = np.empty(len(vals), dtype=object)
+        out[:] = vals
+        return out
+    if func == "sum":
+        return np.add.reduceat(sorted_vals, seg_starts)
+    if func == "avg":
+        return np.add.reduceat(sorted_vals, seg_starts) / counts
+    if func == "min":
+        return np.minimum.reduceat(sorted_vals, seg_starts)
+    if func == "max":
+        return np.maximum.reduceat(sorted_vals, seg_starts)
+    raise ExecutionError("unknown aggregate %r" % (func,))
+
+
+def _stable_sort_indices(key, descending):
+    """Stable sort permutation matching ``sorted(..., reverse=descending)``."""
+    n = len(key)
+    if not descending:
+        return np.argsort(key, kind="stable")
+    # Descending with ties in original order == stable ascending argsort of
+    # the reversed array, reversed and mapped back to original positions.
+    return (n - 1) - np.argsort(key[::-1], kind="stable")[::-1]
+
+
 class ExecutionResult:
     """Executor output: the result relation plus the work accounting."""
 
-    def __init__(self, relation, work, operator_work):
+    def __init__(self, relation, work, operator_work, telemetry=None):
         self.relation = relation
         self.work = work
         self.operator_work = operator_work
+        self.telemetry = telemetry
 
     @property
     def rows(self):
@@ -87,18 +277,35 @@ class Executor:
         cost_model: the :class:`CostModel` whose constants weight the work
             accounting (pass the knob-derived model so knob settings change
             measured work, closing the tuning feedback loop).
+        mode: ``"vectorized"`` (default, columnar NumPy batches) or
+            ``"row"`` (tuple-at-a-time interpreter). Both modes return the
+            same rows in the same order and charge identical work.
     """
 
-    def __init__(self, catalog, cost_model=None):
+    def __init__(self, catalog, cost_model=None, mode="vectorized"):
+        if mode not in EXECUTOR_MODES:
+            raise ExecutionError(
+                "executor mode must be one of %r, got %r"
+                % (EXECUTOR_MODES, mode)
+            )
         self.catalog = catalog
         self.cost_model = cost_model or CostModel()
+        self.mode = mode
 
     def execute(self, plan):
         """Run ``plan``; returns an :class:`ExecutionResult`."""
         self._work = 0.0
         self._op_work = {}
+        self._telemetry = ExecutionTelemetry(mode=self.mode)
+        self._child_seconds = [0.0]
+        start = time.perf_counter()
         relation = self._exec(plan)
-        return ExecutionResult(relation, self._work, dict(self._op_work))
+        if self.mode == "vectorized":
+            relation = relation.to_relation()
+        self._telemetry.total_seconds = time.perf_counter() - start
+        return ExecutionResult(
+            relation, self._work, dict(self._op_work), self._telemetry
+        )
 
     # ------------------------------------------------------------------
     def _charge(self, node, amount):
@@ -107,44 +314,31 @@ class Executor:
         self._op_work[key] = self._op_work.get(key, 0.0) + amount
 
     def _exec(self, node):
-        handler = getattr(self, "_exec_%s" % type(node).__name__.lower(), None)
+        prefix = "_vexec_" if self.mode == "vectorized" else "_exec_"
+        handler = getattr(self, prefix + type(node).__name__.lower(), None)
         if handler is None:
-            raise ExecutionError("executor does not support %r" % (node,))
-        return handler(node)
+            raise ExecutionError(
+                "executor does not support %r in %s mode" % (node, self.mode)
+            )
+        self._child_seconds.append(0.0)
+        t0 = time.perf_counter()
+        out = handler(node)
+        elapsed = time.perf_counter() - t0
+        child_time = self._child_seconds.pop()
+        self._child_seconds[-1] += elapsed
+        self._telemetry.record(
+            node.op_name, rows=len(out), seconds=elapsed - child_time
+        )
+        return out
 
-    # -- scans -----------------------------------------------------------
+    # -- shared helpers --------------------------------------------------
     def _table_relation(self, table_name):
         table = self.catalog.table(table_name)
         columns = [(table.name, c.name) for c in table.schema.columns]
         return table, columns
 
-    @staticmethod
-    def _eval_predicates(relation, predicates):
-        if not predicates:
-            return relation.rows
-        compiled = [
-            (relation.col_pos(p.table, p.column), _OPS[p.op], p.value)
-            for p in predicates
-        ]
-        out = []
-        for row in relation.rows:
-            ok = True
-            for pos, op, value in compiled:
-                if not op(row[pos], value):
-                    ok = False
-                    break
-            if ok:
-                out.append(row)
-        return out
-
-    def _exec_seqscan(self, node):
-        table, columns = self._table_relation(node.table)
-        self._charge(node, self.cost_model.seq_scan(table.n_rows))
-        relation = Relation(columns, table.rows())
-        rows = self._eval_predicates(relation, node.predicates)
-        return Relation(columns, rows)
-
-    def _exec_indexscan(self, node):
+    def _index_row_ids(self, node):
+        """Resolve an IndexScan's probe to a sorted NumPy row-id array."""
         idx = None
         for cand in self.catalog.indexes(node.table):
             if cand.name == node.index_name:
@@ -172,9 +366,57 @@ class Executor:
             row_ids = structure.range_search(low=pred.value, inclusive=(True, True))
         else:
             raise ExecutionError("index scan cannot evaluate %r" % (pred,))
+        return np.sort(np.asarray(row_ids, dtype=np.int64))
+
+    @staticmethod
+    def _eval_predicates(relation, predicates):
+        if not predicates:
+            return relation.rows
+        compiled = [
+            (relation.col_pos(p.table, p.column), _OPS[p.op], p.value)
+            for p in predicates
+        ]
+        out = []
+        for row in relation.rows:
+            ok = True
+            for pos, op, value in compiled:
+                if not op(row[pos], value):
+                    ok = False
+                    break
+            if ok:
+                out.append(row)
+        return out
+
+    def _join_keys(self, node, left, right):
+        left_index = left._index
+        left_pos, right_pos = [], []
+        for e in node.edges:
+            if (e.left_table.lower(), e.left_column.lower()) in left_index:
+                lp = left.col_pos(e.left_table, e.left_column)
+                rp = right.col_pos(e.right_table, e.right_column)
+            else:
+                lp = left.col_pos(e.right_table, e.right_column)
+                rp = right.col_pos(e.left_table, e.left_column)
+            left_pos.append(lp)
+            right_pos.append(rp)
+        return left_pos, right_pos
+
+    # ==================================================================
+    # Row interpreter
+    # ==================================================================
+    # -- scans -----------------------------------------------------------
+    def _exec_seqscan(self, node):
+        table, columns = self._table_relation(node.table)
+        self._charge(node, self.cost_model.seq_scan(table.n_rows))
+        relation = Relation(columns, table.rows())
+        rows = self._eval_predicates(relation, node.predicates)
+        return Relation(columns, rows)
+
+    def _exec_indexscan(self, node):
+        row_ids = self._index_row_ids(node)
         table, columns = self._table_relation(node.table)
         self._charge(node, self.cost_model.index_scan(len(row_ids)))
-        relation = Relation(columns, table.rows(sorted(row_ids)))
+        relation = Relation(columns, table.rows(row_ids))
         rows = self._eval_predicates(relation, node.residual)
         return Relation(columns, rows)
 
@@ -193,21 +435,6 @@ class Executor:
         return Relation(node.columns, [])
 
     # -- joins -----------------------------------------------------------
-    def _join_keys(self, node, left, right):
-        left_pos, right_pos = [], []
-        for e in node.edges:
-            if (e.left_table.lower(), e.left_column.lower()) in {
-                tc for tc in left.columns
-            }:
-                lp = left.col_pos(e.left_table, e.left_column)
-                rp = right.col_pos(e.right_table, e.right_column)
-            else:
-                lp = left.col_pos(e.right_table, e.right_column)
-                rp = right.col_pos(e.left_table, e.left_column)
-            left_pos.append(lp)
-            right_pos.append(rp)
-        return left_pos, right_pos
-
     def _exec_hashjoin(self, node):
         left = self._exec(node.children[0])
         right = self._exec(node.children[1])
@@ -326,22 +553,237 @@ class Executor:
         child = self._exec(node.children[0])
         return Relation(child.columns, child.rows[: node.n])
 
+    # ==================================================================
+    # Vectorized executor
+    # ==================================================================
+    # -- scans -----------------------------------------------------------
+    def _v_table_relation(self, table_name, row_ids=None):
+        table = self.catalog.table(table_name)
+        columns = [(table.name, c.name) for c in table.schema.columns]
+        data = table.column_arrays(row_ids)
+        arrays = [data[c.name.lower()] for c in table.schema.columns]
+        n = table.n_rows if row_ids is None else len(row_ids)
+        return table, ColumnarRelation(columns, arrays, n_rows=n)
+
+    def _vexec_seqscan(self, node):
+        table, rel = self._v_table_relation(node.table)
+        self._charge(node, self.cost_model.seq_scan(table.n_rows))
+        if node.predicates:
+            rel = rel.take(_predicate_mask(rel, node.predicates))
+        return rel
+
+    def _vexec_indexscan(self, node):
+        row_ids = self._index_row_ids(node)
+        __, rel = self._v_table_relation(node.table, row_ids)
+        self._charge(node, self.cost_model.index_scan(len(row_ids)))
+        if node.residual:
+            rel = rel.take(_predicate_mask(rel, node.residual))
+        return rel
+
+    def _vexec_viewscan(self, node):
+        view_table = node.view.table
+        columns = []
+        arrays = []
+        for name in view_table.schema.column_names:
+            t, __, c = name.partition("__")
+            columns.append((t, c))
+            arrays.append(view_table.column_array(name))
+        self._charge(node, self.cost_model.seq_scan(view_table.n_rows))
+        rel = ColumnarRelation(columns, arrays, n_rows=view_table.n_rows)
+        if node.residual:
+            rel = rel.take(_predicate_mask(rel, node.residual))
+        return rel
+
+    def _vexec_emptyresult(self, node):
+        arrays = [np.empty(0, dtype=object) for __ in node.columns]
+        return ColumnarRelation(node.columns, arrays, n_rows=0)
+
+    # -- joins -----------------------------------------------------------
+    def _v_join(self, node, charge):
+        left = self._exec(node.children[0])
+        right = self._exec(node.children[1])
+        left_pos, right_pos = self._join_keys(node, left, right)
+        il, ir = _join_indices(
+            [left.arrays[p] for p in left_pos],
+            [right.arrays[p] for p in right_pos],
+        )
+        out = ColumnarRelation(
+            left.columns + right.columns,
+            [a[il] for a in left.arrays] + [a[ir] for a in right.arrays],
+            n_rows=len(il),
+        )
+        self._charge(node, charge(len(left), len(right), len(out)))
+        return out
+
+    def _vexec_hashjoin(self, node):
+        return self._v_join(node, self.cost_model.hash_join)
+
+    def _vexec_nestedloopjoin(self, node):
+        # Same matches as the tuple interpreter; only the charge differs.
+        return self._v_join(node, self.cost_model.nested_loop_join)
+
+    def _vexec_crossjoin(self, node):
+        left = self._exec(node.children[0])
+        right = self._exec(node.children[1])
+        il, ir = _cross_indices(len(left), len(right))
+        out = ColumnarRelation(
+            left.columns + right.columns,
+            [a[il] for a in left.arrays] + [a[ir] for a in right.arrays],
+            n_rows=len(il),
+        )
+        self._charge(node, self.cost_model.cross_join(len(left), len(right)))
+        return out
+
+    # -- shaping ----------------------------------------------------------
+    def _vexec_filter(self, node):
+        child = self._exec(node.children[0])
+        self._charge(node, self.cost_model.params["cpu_tuple_cost"] * len(child))
+        if node.predicates:
+            child = child.take(_predicate_mask(child, node.predicates))
+        return child
+
+    def _vexec_project(self, node):
+        child = self._exec(node.children[0])
+        positions = [child.col_pos(t, c) for t, c in node.columns]
+        self._charge(node, self.cost_model.params["cpu_tuple_cost"] * len(child))
+        arrays = [child.arrays[p] for p in positions]
+        n = len(child)
+        if node.distinct and n:
+            codes = _factorize(arrays)
+            __, first = np.unique(codes, return_index=True)
+            keep = np.sort(first)  # first-occurrence order, like the dict dedup
+            arrays = [a[keep] for a in arrays]
+            n = len(keep)
+        return ColumnarRelation(node.columns, arrays, n_rows=n)
+
+    def _vexec_hashaggregate(self, node):
+        child = self._exec(node.children[0])
+        n = len(child)
+        key_pos = [child.col_pos(t, c) for t, c in node.group_by]
+        agg_pos = [
+            None if a.column is None else child.col_pos(a.table, a.column)
+            for a in node.aggregates
+        ]
+        columns = list(node.group_by) + [
+            ("agg", "%s_%d" % (a.func, i)) for i, a in enumerate(node.aggregates)
+        ]
+        if not key_pos:
+            # Global aggregate: always exactly one output row, even on empty
+            # input (count -> 0, other aggregates -> None).
+            values = []
+            for agg, pos in zip(node.aggregates, agg_pos):
+                values.append(
+                    self._global_aggregate(
+                        agg, None if pos is None else child.arrays[pos], n
+                    )
+                )
+            arrays = []
+            for v in values:
+                if v is None:
+                    a = np.empty(1, dtype=object)
+                    a[0] = None
+                else:
+                    a = np.asarray([v])
+                arrays.append(a)
+            self._charge(node, self.cost_model.aggregate(n, 1))
+            return ColumnarRelation(columns, arrays, n_rows=1)
+        if n == 0:
+            self._charge(node, self.cost_model.aggregate(0, 0))
+            arrays = [np.empty(0, dtype=object) for __ in columns]
+            return ColumnarRelation(columns, arrays, n_rows=0)
+        codes = _factorize([child.arrays[p] for p in key_pos])
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        seg_starts = np.flatnonzero(
+            np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
+        )
+        counts = np.diff(np.r_[seg_starts, n])
+        first_rows = order[seg_starts]  # stable sort -> global first occurrence
+        group_rank = np.argsort(first_rows, kind="stable")  # appearance order
+        key_arrays = [
+            child.arrays[p][first_rows[group_rank]] for p in key_pos
+        ]
+        agg_arrays = []
+        for agg, pos in zip(node.aggregates, agg_pos):
+            if agg.func == "count":
+                vals = counts
+            else:
+                vals = _segment_reduce(
+                    agg.func, child.arrays[pos][order], seg_starts, counts
+                )
+            agg_arrays.append(np.asarray(vals)[group_rank])
+        n_groups = len(counts)
+        self._charge(node, self.cost_model.aggregate(n, n_groups))
+        return ColumnarRelation(columns, key_arrays + agg_arrays, n_rows=n_groups)
+
+    @staticmethod
+    def _global_aggregate(agg, arr, n):
+        if agg.func == "count":
+            return n
+        if n == 0:
+            return None
+        if arr.dtype == object:
+            col = arr.tolist()
+            if agg.func == "sum":
+                return sum(col)
+            if agg.func == "avg":
+                return sum(col) / len(col)
+            if agg.func == "min":
+                return min(col)
+            if agg.func == "max":
+                return max(col)
+        else:
+            if agg.func == "sum":
+                return arr.sum()
+            if agg.func == "avg":
+                return arr.sum() / n
+            if agg.func == "min":
+                return arr.min()
+            if agg.func == "max":
+                return arr.max()
+        raise ExecutionError("unknown aggregate %r" % (agg.func,))
+
+    def _vexec_sort(self, node):
+        child = self._exec(node.children[0])
+        pos = child.col_pos(*node.key)
+        self._charge(node, self.cost_model.sort(len(child)))
+        if len(child) == 0:
+            return child
+        idx = _stable_sort_indices(child.arrays[pos], node.descending)
+        return child.take(idx)
+
+    def _vexec_limit(self, node):
+        child = self._exec(node.children[0])
+        if node.n >= len(child):
+            return child
+        return ColumnarRelation(
+            child.columns, [a[: node.n] for a in child.arrays], n_rows=node.n
+        )
+
 
 def count_join_rows(catalog, query, tables):
     """True cardinality of the filtered join over ``tables`` (oracle helper).
 
     Used by :class:`~repro.engine.optimizer.cardinality.TrueCardinalityEstimator`
-    and by tests. Executes with hash joins in a connectivity-respecting order
-    and does not charge any work accounting.
+    and by tests. Joins columnar batches with the vectorized kernels in a
+    connectivity-respecting order and does not charge any work accounting.
     """
-    names = [t for t in query.tables if t.lower() in {x.lower() for x in tables}]
+    wanted = {x.lower() for x in tables}
+    names = [t for t in query.tables if t.lower() in wanted]
     if not names:
         return 0
-    table0 = catalog.table(names[0])
-    columns = [(table0.name, c.name) for c in table0.schema.columns]
-    relation = Relation(columns, table0.rows())
-    rows = Executor._eval_predicates(relation, query.predicates_on(names[0]))
-    current = Relation(columns, rows)
+
+    def filtered(table_name):
+        tbl = catalog.table(table_name)
+        columns = [(tbl.name, c.name) for c in tbl.schema.columns]
+        arrays = [tbl.column_array(c.name) for c in tbl.schema.columns]
+        rel = ColumnarRelation(columns, arrays, n_rows=tbl.n_rows)
+        preds = query.predicates_on(table_name)
+        if preds:
+            rel = rel.take(_predicate_mask(rel, preds))
+        return rel
+
+    current = filtered(names[0])
     joined = [names[0]]
     remaining = names[1:]
     while remaining:
@@ -352,34 +794,29 @@ def count_join_rows(catalog, query, tables):
                 break
         if nxt is None:
             nxt = remaining[0]
-        tbl = catalog.table(nxt)
-        cols_t = [(tbl.name, c.name) for c in tbl.schema.columns]
-        rel_t = Relation(cols_t, tbl.rows())
-        rel_t = Relation(cols_t, Executor._eval_predicates(rel_t, query.predicates_on(nxt)))
+        rel_t = filtered(nxt)
         edges = query.edges_between(joined, nxt)
         if edges:
+            current_index = current._index
             left_pos, right_pos = [], []
             for e in edges:
-                in_left = (e.left_table.lower(), e.left_column.lower()) in {
-                    tc for tc in current.columns
-                }
-                if in_left:
+                if (e.left_table.lower(), e.left_column.lower()) in current_index:
                     left_pos.append(current.col_pos(e.left_table, e.left_column))
                     right_pos.append(rel_t.col_pos(e.right_table, e.right_column))
                 else:
                     left_pos.append(current.col_pos(e.right_table, e.right_column))
                     right_pos.append(rel_t.col_pos(e.left_table, e.left_column))
-            buckets = {}
-            for row in rel_t.rows:
-                buckets.setdefault(tuple(row[p] for p in right_pos), []).append(row)
-            out = []
-            for row in current.rows:
-                key = tuple(row[p] for p in left_pos)
-                for match in buckets.get(key, ()):
-                    out.append(row + match)
+            il, ir = _join_indices(
+                [current.arrays[p] for p in left_pos],
+                [rel_t.arrays[p] for p in right_pos],
+            )
         else:
-            out = [l + r for l in current.rows for r in rel_t.rows]
-        current = Relation(current.columns + rel_t.columns, out)
+            il, ir = _cross_indices(len(current), len(rel_t))
+        current = ColumnarRelation(
+            current.columns + rel_t.columns,
+            [a[il] for a in current.arrays] + [a[ir] for a in rel_t.arrays],
+            n_rows=len(il),
+        )
         joined.append(nxt)
         remaining.remove(nxt)
-    return len(current.rows)
+    return len(current)

@@ -3,11 +3,25 @@
 The B+Tree here is the *traditional* baseline the learned indexes in
 :mod:`repro.ai4db.design.learned_index` compete with, and also what the
 executor's IndexScan uses. Keys map to lists of row ids (duplicates allowed).
+Probe methods (``search``/``range_search``) return NumPy ``int64`` row-id
+arrays so the vectorized executor can gather columns without a Python-list
+round trip.
 """
 
 import bisect
 
+import numpy as np
+
 from repro.common import CatalogError
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+def _as_ids(row_ids):
+    """Row ids as an int64 array (copying, so callers may sort in place)."""
+    if not row_ids:
+        return _EMPTY_IDS.copy()
+    return np.asarray(row_ids, dtype=np.int64)
 
 
 class _LeafNode:
@@ -120,12 +134,12 @@ class BPlusTree:
         return node
 
     def search(self, key):
-        """Row ids for an exact key match (empty list when absent)."""
+        """Row ids for an exact key match (int64 array, empty when absent)."""
         leaf = self._find_leaf(key)
         i = bisect.bisect_left(leaf.keys, key)
         if i < len(leaf.keys) and leaf.keys[i] == key:
-            return list(leaf.values[i])
-        return []
+            return _as_ids(leaf.values[i])
+        return _EMPTY_IDS.copy()
 
     def range_search(self, low=None, high=None, inclusive=(True, True)):
         """Row ids for keys in ``[low, high]`` (bounds optional).
@@ -152,14 +166,14 @@ class BPlusTree:
                 k = leaf.keys[i]
                 if high is not None:
                     if hi_inc and k > high:
-                        return out
+                        return _as_ids(out)
                     if not hi_inc and k >= high:
-                        return out
+                        return _as_ids(out)
                 out.extend(leaf.values[i])
                 i += 1
             leaf = leaf.next
             i = 0
-        return out
+        return _as_ids(out)
 
     def _leftmost_leaf(self):
         node = self._root
@@ -216,8 +230,8 @@ class HashIndex:
         self._n_entries += 1
 
     def search(self, key):
-        """Row ids for an exact key match."""
-        return list(self._map.get(key, ()))
+        """Row ids for an exact key match (int64 array, empty when absent)."""
+        return _as_ids(self._map.get(key, ()))
 
     @property
     def n_keys(self):

@@ -229,3 +229,16 @@ def plan_signature(plan):
     for node in plan.walk():
         parts.append(node.describe())
     return tuple(parts)
+
+
+def operator_counts(plan):
+    """How many nodes of each operator type a plan contains.
+
+    Returns ``{op_name: count}`` — handy for cross-checking executor
+    telemetry (every node should contribute exactly one batch) and for
+    plan-shape features.
+    """
+    counts = {}
+    for node in plan.walk():
+        counts[node.op_name] = counts.get(node.op_name, 0) + 1
+    return counts

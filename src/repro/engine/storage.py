@@ -82,9 +82,35 @@ class Table:
     def rows(self, indices=None):
         """Materialize rows as a list of tuples (optionally a subset)."""
         arrays = [self._columns[c.name.lower()] for c in self.schema.columns]
-        if indices is None:
-            return list(zip(*(a.tolist() for a in arrays))) if arrays else []
-        return [tuple(a[i] for a in arrays) for i in indices]
+        if not arrays:
+            return []
+        if indices is not None:
+            idx = np.asarray(indices, dtype=np.int64)
+            arrays = [a[idx] for a in arrays]
+        return list(zip(*(a.tolist() for a in arrays)))
+
+    def column_arrays(self, row_ids=None, columns=None):
+        """Column arrays as ``{name: array}``, optionally gathered by row id.
+
+        Args:
+            row_ids: optional integer array/sequence selecting rows (one
+                fancy-indexing gather per column); ``None`` returns the
+                backing arrays themselves — callers must not mutate them.
+            columns: optional iterable of column names to restrict to.
+        """
+        if columns is None:
+            names = [c.name.lower() for c in self.schema.columns]
+        else:
+            names = [c.lower() for c in columns]
+        out = {}
+        if row_ids is None:
+            for name in names:
+                out[name] = self.column_array(name)
+            return out
+        idx = np.asarray(row_ids, dtype=np.int64)
+        for name in names:
+            out[name] = self.column_array(name)[idx]
+        return out
 
     def row(self, index):
         """One row as a tuple."""

@@ -10,11 +10,59 @@ Substrate for the monitoring experiments (E12):
   [51] consumes).
 * :func:`activity_stream` — a stream of database activities with hidden
   risk levels (what the bandit-based activity monitor [19] consumes).
+
+It also hosts :class:`ExecutionTelemetry`, the per-operator batch/row/time
+counters the executor fills in while running a plan.
 """
 
 import numpy as np
 
 from repro.common import ensure_rng
+
+
+class ExecutionTelemetry:
+    """Per-operator execution counters for one plan run.
+
+    Attributes:
+        mode: executor mode the plan ran under (``"vectorized"``/``"row"``).
+        operators: ``{op_name: {"batches": int, "rows": int, "seconds": float}}``
+            — one entry per operator type; ``batches`` counts operator
+            invocations (one batch per invocation in this engine),
+            ``rows`` sums output rows, ``seconds`` sums self-time (child
+            operator time excluded).
+        total_seconds: wall-clock time for the whole plan.
+    """
+
+    __slots__ = ("mode", "operators", "total_seconds")
+
+    def __init__(self, mode):
+        self.mode = mode
+        self.operators = {}
+        self.total_seconds = 0.0
+
+    def record(self, op_name, rows, seconds):
+        """Accumulate one operator invocation."""
+        entry = self.operators.setdefault(
+            op_name, {"batches": 0, "rows": 0, "seconds": 0.0}
+        )
+        entry["batches"] += 1
+        entry["rows"] += rows
+        entry["seconds"] += seconds
+
+    def summary(self):
+        """A plain-dict snapshot (JSON-friendly)."""
+        return {
+            "mode": self.mode,
+            "total_seconds": self.total_seconds,
+            "operators": {
+                k: dict(v) for k, v in sorted(self.operators.items())
+            },
+        }
+
+    def __repr__(self):
+        return "ExecutionTelemetry(mode=%r, operators=%d, total=%.6fs)" % (
+            self.mode, len(self.operators), self.total_seconds,
+        )
 
 #: KPI dimensions reported per incident.
 KPI_NAMES = [

@@ -13,8 +13,8 @@ class TestBPlusTreeBasics:
         tree = BPlusTree(order=4)
         for i, key in enumerate([5, 3, 8, 1, 9, 7]):
             tree.insert(key, i)
-        assert tree.search(8) == [2]
-        assert tree.search(42) == []
+        assert list(tree.search(8)) == [2]
+        assert len(tree.search(42)) == 0
 
     def test_duplicate_keys_accumulate(self):
         tree = BPlusTree(order=4)
@@ -49,7 +49,7 @@ class TestBPlusTreeBasics:
         assert tree.height > 1
         # Everything still findable after many splits.
         for i in range(100):
-            assert tree.search(i) == [i]
+            assert list(tree.search(i)) == [i]
 
     def test_order_validation(self):
         with pytest.raises(CatalogError):
@@ -64,7 +64,7 @@ class TestBPlusTreeBasics:
         tree = BPlusTree(order=4)
         for i, w in enumerate(["pear", "apple", "mango", "fig"]):
             tree.insert(w, i)
-        assert tree.search("apple") == [1]
+        assert list(tree.search("apple")) == [1]
         assert sorted(tree.range_search("apple", "mango")) == [1, 2, 3]
 
 
@@ -74,13 +74,27 @@ class TestHashIndex:
         idx.insert("k", 1)
         idx.insert("k", 2)
         assert sorted(idx.search("k")) == [1, 2]
-        assert idx.search("missing") == []
+        assert len(idx.search("missing")) == 0
         assert idx.n_keys == 1
         assert len(idx) == 2
 
     def test_bulk_load(self):
         idx = HashIndex.bulk_load([(i % 3, i) for i in range(9)])
         assert sorted(idx.search(0)) == [0, 3, 6]
+
+
+class TestProbeArrayReturns:
+    def test_btree_probes_return_int64_arrays(self):
+        tree = BPlusTree.bulk_load([(i, i) for i in range(10)], order=4)
+        for ids in (tree.search(3), tree.search(99), tree.range_search(2, 5)):
+            assert isinstance(ids, np.ndarray)
+            assert ids.dtype == np.int64
+
+    def test_hash_probes_return_int64_arrays(self):
+        idx = HashIndex.bulk_load([("a", 0), ("a", 1)])
+        for ids in (idx.search("a"), idx.search("zzz")):
+            assert isinstance(ids, np.ndarray)
+            assert ids.dtype == np.int64
 
 
 @settings(max_examples=50, deadline=None)
