@@ -1,0 +1,146 @@
+"""P2 benchmark: cold vs. warm planning through the staged query pipeline.
+
+Rebuilds the E8 clique schema + workload and runs it twice through
+``Database.run_query_object``: a cold pass (plan cache empty — every query
+pays parse/lower/rewrite/plan) and warm passes (every query is a plan-cache
+hit — planning collapses to a signature lookup). Execution work must be
+bit-identical between passes; the planning-seconds ratio is the cache's
+payoff.
+
+Run standalone to (re)generate ``BENCH_P2.json``::
+
+    PYTHONPATH=src python benchmarks/bench_p2_pipeline.py
+
+``REPRO_BENCH_FAST=1`` shrinks to E8's fast sizes; the committed JSON and
+the ≥5× acceptance gate use the full sizes.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.engine import datagen
+from repro.engine.database import Database
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+
+def build_workload(fast, seed=0):
+    """The E8 schema/workload (queries, not plans); returns ``(db, queries)``."""
+    db = Database()
+    names, edges = datagen.make_join_graph_schema(
+        db.catalog, "clique", n_tables=5,
+        rows_per_table=400 if fast else 600, seed=seed + 3, prefix="n",
+        correlated=True,
+    )
+    workload = datagen.join_graph_workload(
+        names, edges, n_queries=12 if fast else 18, seed=seed + 4,
+        min_tables=4,
+    )
+    return db, workload
+
+
+def run_pass(db, queries):
+    """One full-workload pass; returns ``(stats, total_work, wall_seconds)``."""
+    db.pipeline.reset_stats()
+    t0 = time.perf_counter()
+    total_work = sum(db.run_query_object(q).work for q in queries)
+    wall = time.perf_counter() - t0
+    return db.pipeline.stats(), total_work, wall
+
+
+def measure(fast, warm_rounds=3, seed=0):
+    """Cold pass, then best-of-``warm_rounds`` warm passes."""
+    db, queries = build_workload(fast, seed=seed)
+    db.pipeline.invalidate()
+    cold_stats, cold_work, cold_wall = run_pass(db, queries)
+    assert cold_stats["plan_cache"]["hits"] == 0
+
+    warm = None
+    for __ in range(warm_rounds):
+        stats, work, wall = run_pass(db, queries)
+        if warm is None or stats["planning_seconds"] < warm[0]["planning_seconds"]:
+            warm = (stats, work, wall)
+    warm_stats, warm_work, warm_wall = warm
+
+    assert warm_work == cold_work, "cached plans changed the executed work"
+    hits = warm_stats["plan_cache"]["hits"]
+    hit_rate = hits / max(1, hits + warm_stats["plan_cache"]["misses"])
+    return {
+        "workload": "E8 clique (rows_per_table=%d, queries=%d)"
+        % (400 if fast else 600, 12 if fast else 18),
+        "fast": fast,
+        "cold": {
+            "planning_seconds": cold_stats["planning_seconds"],
+            "execution_seconds": cold_stats["execution_seconds"],
+            "wall_seconds": cold_wall,
+            "cache_hits": cold_stats["plan_cache"]["hits"],
+            "cache_misses": cold_stats["plan_cache"]["misses"],
+        },
+        "warm": {
+            "planning_seconds": warm_stats["planning_seconds"],
+            "execution_seconds": warm_stats["execution_seconds"],
+            "wall_seconds": warm_wall,
+            "cache_hits": hits,
+            "cache_misses": warm_stats["plan_cache"]["misses"],
+            "hit_rate": hit_rate,
+        },
+        "total_work": cold_work,
+        "planning_speedup": cold_stats["planning_seconds"]
+        / max(warm_stats["planning_seconds"], 1e-12),
+    }
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_p2_cache_hits_on_warm_run():
+    """Warm pass is all hits, same total work (FAST sizes)."""
+    payload = measure(fast=True, warm_rounds=1)
+    assert payload["warm"]["hit_rate"] == 1.0
+    assert payload["warm"]["cache_misses"] == 0
+
+
+def test_p2_pipeline_benchmark(benchmark):
+    """Times cold+warm workload passes at (FAST-aware) E8 sizes."""
+    payload = benchmark.pedantic(
+        measure, args=(FAST,), kwargs={"warm_rounds": 1},
+        rounds=1, iterations=1,
+    )
+    assert payload["total_work"] > 0
+
+
+def test_p2_harness_smoke(harness_smoke):
+    """E8 runs end-to-end through the pipeline (fast harness invocation)."""
+    assert harness_smoke == 0
+
+
+@pytest.mark.slow
+def test_p2_warm_planning_speedup_full_size():
+    """Acceptance gate: ≥5× warm-vs-cold planning speedup at full sizes."""
+    payload = measure(fast=False, warm_rounds=2)
+    assert payload["planning_speedup"] >= 5.0, payload
+
+
+if __name__ == "__main__":
+    payload = {"bench": "P2 pipeline plan cache", "results": []}
+    for fast in (True, False):
+        result = measure(fast)
+        payload["results"].append(result)
+        print(
+            "%s: planning cold %.4fs warm %.4fs -> %.1fx (hit rate %.0f%%)"
+            % (
+                "fast" if fast else "full",
+                result["cold"]["planning_seconds"],
+                result["warm"]["planning_seconds"],
+                result["planning_speedup"],
+                100 * result["warm"]["hit_rate"],
+            )
+        )
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_P2.json")
+    with open(os.path.abspath(out_path), "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print("wrote BENCH_P2.json")

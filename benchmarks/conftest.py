@@ -28,6 +28,19 @@ def executor_mode(request):
     return request.param
 
 
+@pytest.fixture(scope="session")
+def harness_smoke():
+    """Runs ``python -m repro.harness E8 --fast`` once per session.
+
+    A cheap end-to-end smoke of the staged pipeline (parse → … → execute,
+    plan cache included) through the real harness CLI path; returns the
+    exit code so benchmark tests can assert on it.
+    """
+    from repro.harness.__main__ import main as harness_main
+
+    return harness_main(["E8", "--fast"])
+
+
 def run_experiment_benchmark(benchmark, exp_id, fast=None):
     """Benchmark one experiment regeneration and print its tables."""
     effective_fast = FAST if fast is None else fast

@@ -73,7 +73,8 @@ class LearnedRewriter:
         cost_cache = {}
 
         def cached_cost(q):
-            key = (q.signature(), q.limit)
+            # signature() covers the full query shape (incl. LIMIT).
+            key = q.signature()
             if key not in cost_cache:
                 cost_cache[key] = plan_cost(catalog, q)
             return cost_cache[key]

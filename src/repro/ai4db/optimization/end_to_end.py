@@ -15,6 +15,11 @@ Follows the NEO recipe (Marcus et al. [55]) at laptop scale:
 The payoff measured in E8: on schemas where the traditional estimator is
 badly wrong, NEO-lite's executed work approaches the true-cardinality
 optimum while the analytic optimizer keeps picking bad orders.
+
+Plan assembly goes through ``Database.run_query_object`` and therefore
+the staged query pipeline: re-executing a ``(query, order)`` pair the
+agent has tried before hits the plan cache instead of re-assembling the
+physical plan (the cache key includes the explicit order).
 """
 
 import numpy as np

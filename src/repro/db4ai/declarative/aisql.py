@@ -235,8 +235,14 @@ class AISQLExtension:
         self.registry = registry or ModelRegistry()
 
     def install(self, database):
-        """Register the statement hook; returns self for chaining."""
-        database.statement_hooks.append(self._hook)
+        """Register the statement hook on the database's query pipeline.
+
+        Returns self for chaining. Feature extraction for ``CREATE MODEL``
+        / ``PREDICT`` / ``EVALUATE`` then runs through the staged pipeline,
+        so repeated ``PREDICT`` statements over the same feature query hit
+        the plan cache instead of replanning.
+        """
+        database.pipeline.statement_hooks.append(self._hook)
         return self
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from repro.engine.query import Aggregate, ConjunctiveQuery, JoinEdge, Predicate
 from repro.engine.catalog import Catalog, IndexDef, ViewDef
 from repro.engine.indexes import BPlusTree, HashIndex
 from repro.engine.executor import ExecutionResult, Executor, Relation, count_join_rows
+from repro.engine.pipeline import PIPELINE_STAGES, PlanCache, QueryPipeline
 from repro.engine.database import Database
 from repro.engine.knobs import (
     KnobSpec,
@@ -54,6 +55,9 @@ __all__ = [
     "Executor",
     "Relation",
     "count_join_rows",
+    "PIPELINE_STAGES",
+    "PlanCache",
+    "QueryPipeline",
     "Database",
     "KnobSpec",
     "KnobResponseSimulator",

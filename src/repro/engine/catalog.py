@@ -111,13 +111,37 @@ class ViewDef:
 
 
 class Catalog:
-    """Holds all tables, statistics, indexes, and materialized views."""
+    """Holds all tables, statistics, indexes, and materialized views.
+
+    Every mutation that can change planning outcomes (DDL, statistics
+    refresh, view registration, and row inserts) advances the monotonic
+    :attr:`epoch` counter — the invalidation token the pipeline plan cache
+    stores with each entry.
+    """
 
     def __init__(self):
         self._tables = {}
         self._stats = {}
         self._indexes = {}
         self._views = {}
+        self._epoch = 0
+
+    @property
+    def epoch(self):
+        """Monotonic catalog version.
+
+        Explicit mutations (create/drop table, create/drop index, ANALYZE,
+        view registration) bump an internal counter; inserted rows are
+        folded in via the live row-count sum, so bulk loads that call
+        ``Table.insert_rows`` directly (the data generators) are also
+        covered without any notification protocol. ``drop_table`` adds the
+        dropped table's row count to the internal counter, which keeps the
+        total monotonic even though the row sum shrinks.
+        """
+        return self._epoch + sum(t.n_rows for t in self._tables.values())
+
+    def _bump_epoch(self, n=1):
+        self._epoch += n
 
     # ------------------------------------------------------------------
     # Tables
@@ -151,6 +175,7 @@ class Catalog:
                 )
         table = Table(TableSchema(name, cols))
         self._tables[key] = table
+        self._bump_epoch()
         return table
 
     def register_table(self, table):
@@ -159,6 +184,7 @@ class Catalog:
         if key in self._tables:
             raise CatalogError("table %r already exists" % (table.name,))
         self._tables[key] = table
+        self._bump_epoch()
         return table
 
     def drop_table(self, name):
@@ -166,6 +192,9 @@ class Catalog:
         key = name.lower()
         if key not in self._tables:
             raise CatalogError("no table named %r" % (name,))
+        # The dropped rows leave the epoch's row-count sum; compensate so
+        # the epoch stays monotonic.
+        self._bump_epoch(self._tables[key].n_rows + 1)
         del self._tables[key]
         self._stats.pop(key, None)
         for idx_name in [
@@ -200,6 +229,7 @@ class Catalog:
         table = self.table(name)
         stats = TableStats.build(table, n_buckets=n_buckets)
         self._stats[name.lower()] = stats
+        self._bump_epoch()
         return stats
 
     def stats(self, name):
@@ -231,6 +261,7 @@ class Catalog:
             hypothetical=hypothetical, structure=structure,
         )
         self._indexes[name] = idx
+        self._bump_epoch()
         return idx
 
     def drop_index(self, name):
@@ -238,6 +269,7 @@ class Catalog:
         for key in list(self._indexes):
             if key.lower() == name.lower():
                 del self._indexes[key]
+                self._bump_epoch()
                 return
         raise CatalogError("no index named %r" % (name,))
 
@@ -278,6 +310,7 @@ class Catalog:
         if key in self._views:
             raise CatalogError("view %r already exists" % (view.name,))
         self._views[key] = view
+        self._bump_epoch()
         return view
 
     def drop_view(self, name):
@@ -286,6 +319,7 @@ class Catalog:
         if key not in self._views:
             raise CatalogError("no view named %r" % (name,))
         del self._views[key]
+        self._bump_epoch()
 
     def views(self):
         """All materialized views."""

@@ -1,32 +1,31 @@
 """The :class:`Database` façade: SQL in, rows out.
 
 Ties the front end (parser + lowering), the optimizer (rewriter, planner)
-and the executor together, and exposes the extension points the AI4DB and
+and the executor together behind an explicit staged
+:class:`~repro.engine.pipeline.QueryPipeline`
+(parse → lower → rewrite → plan → execute, with a plan cache keyed on the
+full query signature + catalog epoch). The extension points the AI4DB and
 DB4AI layers use:
 
 * ``statement_hooks`` — callables that get the raw SQL text first; the
   AISQL declarative layer registers its ``CREATE MODEL``/``PREDICT``
-  handlers here.
-* ``planner`` attributes — estimator/enumerator/cost model are swappable.
-* ``rewriter`` — optional query rewriter applied before planning.
+  handlers here. (Back-compat shim for
+  ``db.pipeline.statement_hooks``.)
+* ``planner`` attributes — estimator/enumerator/cost model are swappable
+  (call ``db.pipeline.invalidate()`` after swapping them in place, since
+  the plan cache cannot observe such mutations).
+* ``rewriter`` — optional query rewriter applied in the pipeline's
+  rewrite stage. (Back-compat shim for ``db.pipeline.rewriter``.)
+* ``pipeline.add_stage_hook`` — observe/replace any stage's output.
 """
 
 import os
 
-from repro.common import ParseError
 from repro.engine.catalog import Catalog
 from repro.engine.executor import Executor, count_join_rows
 from repro.engine.optimizer.cost import CostModel
 from repro.engine.optimizer.planner import Planner
-from repro.engine.sql.ast_nodes import (
-    AnalyzeStmt,
-    CreateIndexStmt,
-    CreateTableStmt,
-    InsertStmt,
-    SelectStmt,
-)
-from repro.engine.sql.lowering import lower_select
-from repro.engine.sql.parser import parse_sql
+from repro.engine.pipeline import QueryPipeline
 
 
 class Database:
@@ -40,10 +39,11 @@ class Database:
         executor_mode: ``"vectorized"`` or ``"row"``; ``None`` reads the
             ``REPRO_EXECUTOR_MODE`` environment variable and falls back to
             ``"vectorized"``.
+        plan_cache_size: LRU capacity of the pipeline's plan cache.
     """
 
     def __init__(self, enumerator="dp", use_views=True, cost_params=None,
-                 executor_mode=None):
+                 executor_mode=None, plan_cache_size=256):
         if executor_mode is None:
             executor_mode = os.environ.get("REPRO_EXECUTOR_MODE") or "vectorized"
         self.catalog = Catalog()
@@ -56,67 +56,42 @@ class Database:
         )
         self.executor = Executor(self.catalog, self.cost_model,
                                  mode=executor_mode)
-        self.rewriter = None  # callable(query) -> query, set by ai4db layers
-        self.statement_hooks = []  # callables(db, sql_text) -> result or None
+        self.pipeline = QueryPipeline(self, plan_cache_size=plan_cache_size)
+
+    # -- back-compat shims onto the pipeline ---------------------------
+    @property
+    def rewriter(self):
+        """The pipeline's rewrite-stage callable (``None`` when unset)."""
+        return self.pipeline.rewriter
+
+    @rewriter.setter
+    def rewriter(self, fn):
+        self.pipeline.rewriter = fn
+
+    @property
+    def statement_hooks(self):
+        """The pipeline's raw-SQL intercept hooks (mutable list)."""
+        return self.pipeline.statement_hooks
+
+    @statement_hooks.setter
+    def statement_hooks(self, hooks):
+        self.pipeline.statement_hooks = list(hooks)
+
+    @property
+    def epoch(self):
+        """The catalog's monotonic version counter (cache invalidation)."""
+        return self.catalog.epoch
 
     # ------------------------------------------------------------------
     def execute(self, sql_text):
-        """Execute one SQL (or AISQL) statement.
+        """Execute one SQL (or AISQL) statement through the pipeline.
 
         Returns:
             For SELECT: an :class:`~repro.engine.executor.ExecutionResult`.
             For DDL/DML/ANALYZE: a status string.
             For hooked statements: whatever the hook returns.
         """
-        for hook in self.statement_hooks:
-            result = hook(self, sql_text)
-            if result is not None:
-                return result
-        stmt = parse_sql(sql_text)
-        if isinstance(stmt, SelectStmt):
-            return self._run_select(stmt)
-        if isinstance(stmt, CreateTableStmt):
-            self.catalog.create_table(stmt.name, stmt.columns)
-            return "CREATE TABLE"
-        if isinstance(stmt, CreateIndexStmt):
-            self.catalog.create_index(
-                stmt.name, stmt.table, stmt.column, kind=stmt.kind,
-                hypothetical=stmt.hypothetical,
-            )
-            return "CREATE INDEX"
-        if isinstance(stmt, InsertStmt):
-            table = self.catalog.table(stmt.table)
-            rows = stmt.rows
-            if stmt.columns:
-                positions = [
-                    table.schema.column_index(c) for c in stmt.columns
-                ]
-                width = len(table.schema.columns)
-                reordered = []
-                for r in rows:
-                    if len(r) != len(positions):
-                        raise ParseError(
-                            "INSERT row width %d != column list width %d"
-                            % (len(r), len(positions))
-                        )
-                    full = [None] * width
-                    for pos, v in zip(positions, r):
-                        full[pos] = v
-                    reordered.append(full)
-                rows = reordered
-            n = table.insert_rows(rows)
-            return "INSERT %d" % n
-        if isinstance(stmt, AnalyzeStmt):
-            self.catalog.analyze(stmt.table)
-            return "ANALYZE"
-        raise ParseError("unhandled statement %r" % (stmt,))
-
-    def _run_select(self, stmt):
-        query = lower_select(stmt, self.catalog)
-        if self.rewriter is not None:
-            query = self.rewriter(query)
-        plan = self.planner.plan(query)
-        return self.executor.execute(plan)
+        return self.pipeline.run_sql(sql_text)
 
     # ------------------------------------------------------------------
     def query(self, sql_text):
@@ -126,21 +101,11 @@ class Database:
 
     def explain(self, sql_text):
         """Return the physical plan text for a SELECT without executing it."""
-        stmt = parse_sql(sql_text)
-        if not isinstance(stmt, SelectStmt):
-            raise ParseError("EXPLAIN supports only SELECT statements")
-        query = lower_select(stmt, self.catalog)
-        if self.rewriter is not None:
-            query = self.rewriter(query)
-        plan = self.planner.plan(query)
-        return plan.pretty()
+        return self.pipeline.explain(sql_text)
 
     def run_query_object(self, query, order=None):
         """Plan and execute a structured :class:`ConjunctiveQuery` directly."""
-        if self.rewriter is not None:
-            query = self.rewriter(query)
-        plan = self.planner.plan(query, order=order)
-        return self.executor.execute(plan)
+        return self.pipeline.run_query(query, order=order)
 
     def true_cardinality(self, query, tables=None):
         """Oracle cardinality of (a subset of) a conjunctive query's join."""

@@ -1,0 +1,410 @@
+"""The staged query pipeline: parse → lower → rewrite → plan → execute.
+
+The AI4DB thesis is that every stage of the query lifecycle is a pluggable
+learning target. :class:`QueryPipeline` makes the lifecycle explicit: each
+stage is named, timed into a
+:class:`~repro.engine.telemetry.PipelineTelemetry` record, and carries a
+hook list so learned components can observe or replace a stage's output
+without subclassing the :class:`~repro.engine.database.Database` façade.
+
+Between the rewrite and plan stages sits a **plan cache**: an LRU map from
+``(query.signature(), explicit_order)`` to a physical plan, where every
+entry also stores the :attr:`Catalog.epoch
+<repro.engine.catalog.Catalog.epoch>` it was planned under. Any catalog
+mutation (CREATE/DROP TABLE, CREATE INDEX, INSERT, ANALYZE, view
+registration) advances the epoch, so a stale plan is never served — the
+entry is dropped and the query is replanned. Repeated workload queries
+(the experiment harness loops, the NEO-lite learning loop, AISQL
+``PREDICT``) therefore skip join enumeration entirely; repeated *SQL text*
+additionally skips parsing and lowering via a second epoch-guarded cache.
+
+Cache-key / epoch invariants:
+
+* the plan cache key is the **full** query signature (joins, predicates,
+  projections, aggregates, grouping, ordering, limit, distinct) plus the
+  explicit join order if one was supplied — queries differing in any of
+  those never share an entry;
+* keys are computed **after** the rewrite stage, so a changed rewriter
+  maps queries to different signatures and can never revive a plan for a
+  query it no longer produces;
+* an entry hits only while ``entry.epoch == catalog.epoch``; planning
+  re-reads the epoch after the planner runs, because planning itself may
+  lazily ANALYZE a table (which bumps the epoch);
+* registering a plan-stage hook or swapping the rewriter clears the cache
+  outright (hooks may transform plans statefully). Swapping planner
+  internals by hand (``db.planner.estimator = ...``) is the one mutation
+  the epoch cannot see — call :meth:`QueryPipeline.invalidate` after it.
+"""
+
+import time
+from collections import OrderedDict
+
+from repro.common import ParseError, PlanError
+from repro.engine.sql.ast_nodes import (
+    AnalyzeStmt,
+    CreateIndexStmt,
+    CreateTableStmt,
+    InsertStmt,
+    SelectStmt,
+)
+from repro.engine.sql.lowering import lower_select
+from repro.engine.sql.parser import parse_sql
+from repro.engine.telemetry import PipelineTelemetry
+
+#: Pipeline stage names, in execution order.
+PIPELINE_STAGES = ("parse", "lower", "rewrite", "plan", "execute")
+
+
+class _CacheEntry:
+    __slots__ = ("value", "epoch", "hits")
+
+    def __init__(self, value, epoch):
+        self.value = value
+        self.epoch = epoch
+        self.hits = 0
+
+
+class PlanCache:
+    """An LRU cache whose entries are invalidated by catalog-epoch drift.
+
+    Args:
+        capacity: maximum number of live entries; least-recently-used
+            entries are evicted beyond it.
+
+    Counters (``hits``/``misses``/``invalidations``) are cumulative until
+    :meth:`reset_counters`; entries survive counter resets and are dropped
+    only by epoch drift, LRU eviction, or :meth:`clear`.
+    """
+
+    def __init__(self, capacity=256):
+        if capacity < 1:
+            raise PlanError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, key, epoch):
+        """The cached value for ``key`` at ``epoch``, or ``None``.
+
+        An entry stored under a different epoch is stale: it is removed,
+        counted as an invalidation, and the lookup is a miss.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.epoch != epoch:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        self.hits += 1
+        return entry.value
+
+    def put(self, key, value, epoch):
+        """Insert/replace ``key``, evicting the LRU entry if over capacity."""
+        self._entries[key] = _CacheEntry(value, epoch)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self):
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def reset_counters(self):
+        """Zero the hit/miss/invalidation counters (entries are kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def stats(self):
+        """A plain-dict counter snapshot (JSON-friendly)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, key):
+        return key in self._entries
+
+    def __repr__(self):
+        return "PlanCache(size=%d/%d, hits=%d, misses=%d)" % (
+            len(self._entries), self.capacity, self.hits, self.misses,
+        )
+
+
+class QueryPipeline:
+    """The staged query lifecycle of one :class:`Database`.
+
+    Args:
+        database: the owning :class:`~repro.engine.database.Database`
+            (supplies catalog, planner, executor).
+        plan_cache_size: LRU capacity of the plan cache (and of the
+            SQL-text → lowered-query cache).
+
+    Extension points:
+
+    * ``statement_hooks`` — callables ``(db, sql_text) -> result or None``
+      that intercept raw SQL before parsing (the AISQL layer lives here).
+    * ``rewriter`` — a single ``callable(query) -> query`` applied in the
+      rewrite stage (the classic ``Database.rewriter`` attribute).
+    * :meth:`add_stage_hook` — per-stage transform hooks
+      ``callable(stage_output) -> replacement or None`` applied after the
+      stage runs ("parse" sees the AST, "lower"/"rewrite" the structured
+      query, "plan" the physical plan, "execute" the execution result).
+
+    Every run is timed per stage; :meth:`stats` reports the cumulative
+    planning-vs-execution split plus plan-cache hit/miss counters.
+    """
+
+    def __init__(self, database, plan_cache_size=256):
+        self.db = database
+        self.statement_hooks = []
+        self.stage_hooks = {stage: [] for stage in PIPELINE_STAGES}
+        self._rewriter = None
+        self.plan_cache = PlanCache(plan_cache_size)
+        self.query_cache = PlanCache(plan_cache_size)
+        self._runs = 0
+        self._stage_totals = {
+            stage: {"count": 0, "seconds": 0.0} for stage in PIPELINE_STAGES
+        }
+
+    # -- extension points --------------------------------------------------
+    @property
+    def rewriter(self):
+        """The rewrite-stage callable (``None`` when not installed)."""
+        return self._rewriter
+
+    @rewriter.setter
+    def rewriter(self, fn):
+        self._rewriter = fn
+        # Conservative: a different rewriter may map the same input query
+        # to different plans; start from a cold cache.
+        self.plan_cache.clear()
+
+    def add_stage_hook(self, stage, hook):
+        """Register a transform hook on one named stage.
+
+        The hook receives the stage's output and may return a replacement
+        (or ``None`` to leave it unchanged). Registering a hook clears the
+        plan cache, since cached plans were produced without it.
+        """
+        if stage not in self.stage_hooks:
+            raise PlanError(
+                "unknown pipeline stage %r (stages: %s)"
+                % (stage, ", ".join(PIPELINE_STAGES))
+            )
+        self.stage_hooks[stage].append(hook)
+        self.plan_cache.clear()
+        return hook
+
+    def _apply_hooks(self, stage, value):
+        for hook in self.stage_hooks[stage]:
+            out = hook(value)
+            if out is not None:
+                value = out
+        return value
+
+    # -- entry points ------------------------------------------------------
+    def run_sql(self, sql_text):
+        """Run one SQL (or hooked AISQL) statement through the pipeline.
+
+        Returns whatever the statement produces: an
+        :class:`~repro.engine.executor.ExecutionResult` for SELECT, a
+        status string for DDL/DML/ANALYZE, or the hook's result for
+        intercepted statements.
+        """
+        for hook in self.statement_hooks:
+            result = hook(self.db, sql_text)
+            if result is not None:
+                return result
+        telemetry = PipelineTelemetry()
+        # Warm SQL path: a previously lowered SELECT at the current epoch
+        # skips parse + lower entirely.
+        epoch = self.db.catalog.epoch
+        t0 = time.perf_counter()
+        query = self.query_cache.get(sql_text, epoch)
+        if query is not None:
+            telemetry.record_stage("lower", time.perf_counter() - t0)
+            return self._run_query(query, telemetry)
+        t0 = time.perf_counter()
+        stmt = parse_sql(sql_text)
+        telemetry.record_stage("parse", time.perf_counter() - t0)
+        stmt = self._apply_hooks("parse", stmt)
+        if isinstance(stmt, SelectStmt):
+            t0 = time.perf_counter()
+            query = lower_select(stmt, self.db.catalog)
+            query = self._apply_hooks("lower", query)
+            self.query_cache.put(sql_text, query, epoch)
+            telemetry.record_stage("lower", time.perf_counter() - t0)
+            return self._run_query(query, telemetry)
+        result = self._run_statement(stmt, telemetry)
+        self._accumulate(telemetry)
+        return result
+
+    def run_query(self, query, order=None):
+        """Run a structured :class:`ConjunctiveQuery` (rewrite → plan →
+        execute), optionally under an explicit left-deep join ``order``."""
+        return self._run_query(query, PipelineTelemetry(), order=order)
+
+    def explain(self, sql_text):
+        """Plan a SELECT (through the cache) without executing it."""
+        telemetry = PipelineTelemetry()
+        t0 = time.perf_counter()
+        stmt = parse_sql(sql_text)
+        telemetry.record_stage("parse", time.perf_counter() - t0)
+        if not isinstance(stmt, SelectStmt):
+            raise ParseError("EXPLAIN supports only SELECT statements")
+        t0 = time.perf_counter()
+        query = lower_select(stmt, self.db.catalog)
+        telemetry.record_stage("lower", time.perf_counter() - t0)
+        query = self._rewrite(query, telemetry)
+        plan = self._plan(query, telemetry, order=None)
+        self._accumulate(telemetry)
+        return plan.pretty()
+
+    # -- stages ------------------------------------------------------------
+    def _rewrite(self, query, telemetry):
+        t0 = time.perf_counter()
+        if self._rewriter is not None:
+            out = self._rewriter(query)
+            if out is not None:
+                query = out
+        query = self._apply_hooks("rewrite", query)
+        telemetry.record_stage("rewrite", time.perf_counter() - t0)
+        return query
+
+    def _plan(self, query, telemetry, order=None):
+        t0 = time.perf_counter()
+        key = (
+            query.signature(),
+            None if order is None else tuple(t.lower() for t in order),
+        )
+        plan = self.plan_cache.get(key, self.db.catalog.epoch)
+        telemetry.cache_hit = plan is not None
+        if plan is None:
+            plan = self.db.planner.plan(query, order=order)
+            plan = self._apply_hooks("plan", plan)
+            # Re-read the epoch: planning may lazily ANALYZE (epoch bump),
+            # and the entry must match the state the plan was built from.
+            self.plan_cache.put(key, plan, self.db.catalog.epoch)
+        telemetry.record_stage("plan", time.perf_counter() - t0)
+        return plan
+
+    def _run_query(self, query, telemetry, order=None):
+        query = self._rewrite(query, telemetry)
+        plan = self._plan(query, telemetry, order=order)
+        t0 = time.perf_counter()
+        result = self.db.executor.execute(plan)
+        telemetry.record_stage("execute", time.perf_counter() - t0)
+        result = self._apply_hooks("execute", result)
+        telemetry.execution = result.telemetry
+        result.pipeline_telemetry = telemetry
+        self._accumulate(telemetry)
+        return result
+
+    def _run_statement(self, stmt, telemetry):
+        """DDL/DML/ANALYZE: executed directly against the catalog."""
+        t0 = time.perf_counter()
+        try:
+            if isinstance(stmt, CreateTableStmt):
+                self.db.catalog.create_table(stmt.name, stmt.columns)
+                return "CREATE TABLE"
+            if isinstance(stmt, CreateIndexStmt):
+                self.db.catalog.create_index(
+                    stmt.name, stmt.table, stmt.column, kind=stmt.kind,
+                    hypothetical=stmt.hypothetical,
+                )
+                return "CREATE INDEX"
+            if isinstance(stmt, InsertStmt):
+                return "INSERT %d" % self._insert(stmt)
+            if isinstance(stmt, AnalyzeStmt):
+                self.db.catalog.analyze(stmt.table)
+                return "ANALYZE"
+            raise ParseError("unhandled statement %r" % (stmt,))
+        finally:
+            telemetry.record_stage("execute", time.perf_counter() - t0)
+
+    def _insert(self, stmt):
+        table = self.db.catalog.table(stmt.table)
+        rows = stmt.rows
+        if stmt.columns:
+            positions = [table.schema.column_index(c) for c in stmt.columns]
+            width = len(table.schema.columns)
+            reordered = []
+            for r in rows:
+                if len(r) != len(positions):
+                    raise ParseError(
+                        "INSERT row width %d != column list width %d"
+                        % (len(r), len(positions))
+                    )
+                full = [None] * width
+                for pos, v in zip(positions, r):
+                    full[pos] = v
+                reordered.append(full)
+            rows = reordered
+        return table.insert_rows(rows)
+
+    # -- telemetry ---------------------------------------------------------
+    def _accumulate(self, telemetry):
+        self._runs += 1
+        for stage, seconds in telemetry.stages.items():
+            entry = self._stage_totals[stage]
+            entry["count"] += 1
+            entry["seconds"] += seconds
+
+    def stats(self):
+        """Cumulative pipeline statistics since the last :meth:`reset_stats`.
+
+        Returns a JSON-friendly dict with the run count, per-stage
+        count/seconds, the planning-vs-execution wall-time split, and the
+        plan/query cache counters.
+        """
+        planning = sum(
+            self._stage_totals[s]["seconds"]
+            for s in ("parse", "lower", "rewrite", "plan")
+        )
+        return {
+            "runs": self._runs,
+            "stages": {
+                stage: dict(entry)
+                for stage, entry in self._stage_totals.items()
+                if entry["count"]
+            },
+            "planning_seconds": planning,
+            "execution_seconds": self._stage_totals["execute"]["seconds"],
+            "plan_cache": self.plan_cache.stats(),
+            "query_cache": self.query_cache.stats(),
+        }
+
+    def reset_stats(self):
+        """Zero stage timings and cache counters (cache entries are kept)."""
+        self._runs = 0
+        for entry in self._stage_totals.values():
+            entry["count"] = 0
+            entry["seconds"] = 0.0
+        self.plan_cache.reset_counters()
+        self.query_cache.reset_counters()
+
+    def invalidate(self):
+        """Drop every cached plan and lowered query.
+
+        Needed only for mutations the catalog epoch cannot observe, such
+        as swapping ``db.planner.estimator`` in place.
+        """
+        self.plan_cache.clear()
+        self.query_cache.clear()
+
+    def __repr__(self):
+        return "QueryPipeline(runs=%d, %r)" % (self._runs, self.plan_cache)

@@ -209,11 +209,36 @@ class ConjunctiveQuery:
         return len(seen) == len(graph)
 
     def signature(self):
-        """Hashable identity of the query's structure (for caching/featurizing)."""
+        """Hashable identity of the full query (for caching/featurizing).
+
+        Covers the join structure (tables, edges, predicates — all
+        order-insensitive) *and* the output shape: projections, aggregates,
+        grouping keys, ordering, limit, and distinct. Two queries that
+        differ only in, say, ``LIMIT`` or their aggregate list therefore
+        never share a signature — required by anything keyed on it, most
+        importantly the pipeline plan cache.
+        """
+        order_by = None
+        if self.order_by is not None:
+            (ot, oc), descending = self.order_by
+            order_by = ((ot.lower(), oc.lower()), bool(descending))
         return (
             tuple(sorted(t.lower() for t in self.tables)),
             tuple(sorted(e.key() for e in self.join_edges)),
             tuple(sorted(p.key() for p in self.predicates)),
+            tuple((t.lower(), c.lower()) for t, c in self.projections),
+            tuple(
+                (
+                    a.func,
+                    None if a.table is None else a.table.lower(),
+                    None if a.column is None else a.column.lower(),
+                )
+                for a in self.aggregates
+            ),
+            tuple((t.lower(), c.lower()) for t, c in self.group_by),
+            order_by,
+            self.limit,
+            self.distinct,
         )
 
     def __repr__(self):

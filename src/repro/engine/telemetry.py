@@ -64,6 +64,66 @@ class ExecutionTelemetry:
             self.mode, len(self.operators), self.total_seconds,
         )
 
+
+#: Pipeline stages counted as "planning" (everything before execution).
+PLANNING_STAGES = ("parse", "lower", "rewrite", "plan")
+
+
+class PipelineTelemetry:
+    """Per-stage timings for one trip through the query pipeline.
+
+    Extends the per-operator :class:`ExecutionTelemetry` with the
+    stage-level view: how long each named pipeline stage (parse, lower,
+    rewrite, plan, execute) took, whether the plan came from the plan
+    cache, and — via :attr:`execution` — the operator counters of the run
+    itself.
+
+    Attributes:
+        stages: ``{stage_name: seconds}`` for the stages that actually ran.
+        cache_hit: ``True``/``False`` once the plan stage ran (``None`` for
+            statements that never reach planning, e.g. DDL).
+        execution: the run's :class:`ExecutionTelemetry`, or ``None`` when
+            nothing was executed (EXPLAIN, DDL).
+    """
+
+    __slots__ = ("stages", "cache_hit", "execution")
+
+    def __init__(self):
+        self.stages = {}
+        self.cache_hit = None
+        self.execution = None
+
+    def record_stage(self, stage, seconds):
+        """Accumulate wall time for one pipeline stage."""
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    @property
+    def planning_seconds(self):
+        """Total time spent before execution (parse + lower + rewrite + plan)."""
+        return sum(self.stages.get(s, 0.0) for s in PLANNING_STAGES)
+
+    @property
+    def execution_seconds(self):
+        """Time spent in the execute stage."""
+        return self.stages.get("execute", 0.0)
+
+    def summary(self):
+        """A plain-dict snapshot (JSON-friendly)."""
+        return {
+            "stages": dict(self.stages),
+            "planning_seconds": self.planning_seconds,
+            "execution_seconds": self.execution_seconds,
+            "cache_hit": self.cache_hit,
+            "execution": None if self.execution is None
+            else self.execution.summary(),
+        }
+
+    def __repr__(self):
+        return "PipelineTelemetry(planning=%.6fs, execution=%.6fs, hit=%r)" % (
+            self.planning_seconds, self.execution_seconds, self.cache_hit,
+        )
+
+
 #: KPI dimensions reported per incident.
 KPI_NAMES = [
     "cpu_util", "mem_util", "io_read", "io_write", "lock_waits",

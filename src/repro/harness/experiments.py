@@ -581,7 +581,25 @@ def e8_end_to_end(seed=0, fast=False):
     for name in ("analytic", "neo", "oracle-dp"):
         mean = float(np.mean(rows[name]))
         table.add_row(name, mean, mean / oracle_mean)
-    return [table]
+
+    # Pipeline phase split: replay the held-out workload cold vs. warm
+    # through the staged pipeline. The warm pass hits the plan cache
+    # (keyed on query signature + catalog epoch), so its planning phase
+    # collapses while execution work stays identical.
+    split = ResultTable(
+        "E8b: pipeline planning-vs-execution split (plan cache cold/warm)",
+        ["pass", "planning_s", "execution_s", "cache_hits", "cache_misses",
+         "total_work"],
+    )
+    db.pipeline.invalidate()
+    for phase in ("cold", "warm"):
+        db.pipeline.reset_stats()
+        work = sum(db.run_query_object(q).work for q in test)
+        s = db.pipeline.stats()
+        split.add_row(phase, s["planning_seconds"], s["execution_seconds"],
+                      s["plan_cache"]["hits"], s["plan_cache"]["misses"],
+                      work)
+    return [table, split]
 
 
 # ----------------------------------------------------------------------
