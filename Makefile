@@ -1,0 +1,29 @@
+# Convenience entry points. All targets assume the baked-in python
+# toolchain; nothing here installs packages.
+
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test fuzz bench bench-json
+
+# Tier-1 suite (fast; slow-marked full-size benchmarks are deselected by
+# the pytest addopts default).
+test:
+	python -m pytest -x -q
+
+# Differential query fuzzer with a larger case budget than tier-1's ~200.
+# Override the budget: make fuzz FUZZ_CASES=5000
+FUZZ_CASES ?= 1000
+fuzz:
+	REPRO_FUZZ_CASES=$(FUZZ_CASES) python -m pytest \
+		tests/test_engine_fuzz_differential.py -q -m ''
+
+# Benchmark suite in fast mode (pytest-benchmark entry points).
+bench:
+	REPRO_BENCH_FAST=1 python -m pytest benchmarks -q -m 'not slow'
+
+# Regenerate the committed BENCH_P*.json artifacts at full size.
+bench-json:
+	python benchmarks/bench_p1_executor.py
+	python benchmarks/bench_p2_pipeline.py
+	python benchmarks/bench_p3_morsels.py

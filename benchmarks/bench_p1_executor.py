@@ -74,9 +74,10 @@ def measure(fast, repeats=3, seed=0):
             "total_rows": checks[mode][0],
             "total_work": checks[mode][1],
         }
-    assert checks["row"] == checks["vectorized"], (
-        "executor modes disagree: %r" % (checks,)
-    )
+    for mode in EXECUTOR_MODES:
+        assert checks[mode] == checks["row"], (
+            "executor modes disagree: %r" % (checks,)
+        )
     out["speedup"] = out["modes"]["row"]["seconds"] / max(
         out["modes"]["vectorized"]["seconds"], 1e-12
     )
@@ -96,9 +97,11 @@ def test_p1_executor_modes(benchmark, executor_mode):
 
 
 def test_p1_modes_agree_on_totals():
-    """Both modes produce the same rows and work on the FAST workload."""
+    """Every mode produces the same rows and work on the FAST workload."""
     db, plans = build_workload_plans(fast=True)
-    assert execute_all(db, plans, "row") == execute_all(db, plans, "vectorized")
+    baseline = execute_all(db, plans, "row")
+    for mode in EXECUTOR_MODES:
+        assert execute_all(db, plans, mode) == baseline, mode
 
 
 @pytest.mark.slow

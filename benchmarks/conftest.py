@@ -22,9 +22,9 @@ from repro.harness import run_experiment
 FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
 
 
-@pytest.fixture(params=["row", "vectorized"])
+@pytest.fixture(params=["row", "vectorized", "parallel"])
 def executor_mode(request):
-    """Parametrizes a benchmark over both executor modes."""
+    """Parametrizes a benchmark over every executor mode."""
     return request.param
 
 

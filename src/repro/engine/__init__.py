@@ -13,7 +13,14 @@ from repro.engine.stats import ColumnStats, EquiDepthHistogram, TableStats
 from repro.engine.query import Aggregate, ConjunctiveQuery, JoinEdge, Predicate
 from repro.engine.catalog import Catalog, IndexDef, ViewDef
 from repro.engine.indexes import BPlusTree, HashIndex
-from repro.engine.executor import ExecutionResult, Executor, Relation, count_join_rows
+from repro.engine.executor import (
+    EXECUTOR_MODES,
+    ExecutionResult,
+    Executor,
+    Relation,
+    count_join_rows,
+)
+from repro.engine.morsels import MorselPool, MorselQueue, morsel_slices
 from repro.engine.pipeline import PIPELINE_STAGES, PlanCache, QueryPipeline
 from repro.engine.database import Database
 from repro.engine.knobs import (
@@ -21,6 +28,8 @@ from repro.engine.knobs import (
     KnobResponseSimulator,
     WorkloadProfile,
     default_knobs,
+    executor_knobs,
+    executor_params,
     standard_workloads,
 )
 from repro.engine.txn import (
@@ -51,10 +60,14 @@ __all__ = [
     "ViewDef",
     "BPlusTree",
     "HashIndex",
+    "EXECUTOR_MODES",
     "ExecutionResult",
     "Executor",
     "Relation",
     "count_join_rows",
+    "MorselPool",
+    "MorselQueue",
+    "morsel_slices",
     "PIPELINE_STAGES",
     "PlanCache",
     "QueryPipeline",
@@ -63,6 +76,8 @@ __all__ = [
     "KnobResponseSimulator",
     "WorkloadProfile",
     "default_knobs",
+    "executor_knobs",
+    "executor_params",
     "standard_workloads",
     "Transaction",
     "LockTableSimulator",

@@ -36,14 +36,19 @@ class Database:
             (``"dp"``/``"greedy"``/``"random"``).
         use_views: whether the planner may answer from materialized views.
         cost_params: overrides for the cost-model constants (knob effects).
-        executor_mode: ``"vectorized"`` or ``"row"``; ``None`` reads the
-            ``REPRO_EXECUTOR_MODE`` environment variable and falls back to
-            ``"vectorized"``.
+        executor_mode: ``"vectorized"``, ``"parallel"``, or ``"row"``;
+            ``None`` reads the ``REPRO_EXECUTOR_MODE`` environment variable
+            and falls back to ``"vectorized"``.
         plan_cache_size: LRU capacity of the pipeline's plan cache.
+        morsel_rows: morsel size for parallel mode (``None`` reads
+            ``REPRO_MORSEL_SIZE``, default 16384 rows).
+        parallel_workers: worker count for parallel mode (``None`` reads
+            ``REPRO_PARALLEL_WORKERS``, default CPU-derived).
     """
 
     def __init__(self, enumerator="dp", use_views=True, cost_params=None,
-                 executor_mode=None, plan_cache_size=256):
+                 executor_mode=None, plan_cache_size=256, morsel_rows=None,
+                 parallel_workers=None):
         if executor_mode is None:
             executor_mode = os.environ.get("REPRO_EXECUTOR_MODE") or "vectorized"
         self.catalog = Catalog()
@@ -55,7 +60,9 @@ class Database:
             use_views=use_views,
         )
         self.executor = Executor(self.catalog, self.cost_model,
-                                 mode=executor_mode)
+                                 mode=executor_mode,
+                                 morsel_rows=morsel_rows,
+                                 n_workers=parallel_workers)
         self.pipeline = QueryPipeline(self, plan_cache_size=plan_cache_size)
 
     # -- back-compat shims onto the pipeline ---------------------------

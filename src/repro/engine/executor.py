@@ -9,35 +9,49 @@ cost model but on the **actual** cardinalities observed at run time, so:
   the damage done by cardinality misestimation — the quantity the learned
   optimizer experiments report.
 
-Two execution modes share the plan contract and the work accounting:
+Three execution modes share the plan contract and the work accounting:
 
 * ``"vectorized"`` (the default) keeps every intermediate result columnar —
   NumPy arrays end-to-end. Predicates compile to one boolean mask, joins
   factorize their keys and gather matched row ids with fancy indexing,
   aggregation groups with a stable argsort + ``reduceat``, sort/limit/
   project operate on whole arrays.
+* ``"parallel"`` is the vectorized engine with morsel-driven parallelism:
+  large batches are split into fixed-size morsels
+  (:mod:`repro.engine.morsels`) that a work-stealing thread pool evaluates
+  concurrently for filters, hash-join probes, partial aggregation, and
+  DISTINCT pre-deduplication; sort/limit/distinct-merge stay
+  single-threaded so output order is deterministic. Per-morsel results are
+  merged **in morsel order**, so scheduling never leaks into results.
 * ``"row"`` is the original tuple-at-a-time interpreter, kept for
   differential testing and as an executable specification.
 
-The two modes are *observationally identical*: same rows, in the same
+The modes are *observationally identical*: same rows, in the same
 order (vectorized operators deliberately reproduce the interpreter's
 output order, including hash-join probe order, group first-appearance
 order, stable sorts, and DISTINCT first-occurrence semantics), and the
 same ``work``/``operator_work`` numbers — work is charged from observed
 cardinalities, never from implementation details, which is what keeps
-"cost gap == misestimation damage" true in both modes.
+"cost gap == misestimation damage" true in every mode.
 
 Results are fully materialized (these are analytics-scale experiments, not
 a streaming engine).
 """
 
 import operator
+import threading
 import time
 
 import numpy as np
 
 from repro.common import ExecutionError
 from repro.engine import plans as P
+from repro.engine.morsels import (
+    MorselPool,
+    default_morsel_rows,
+    default_worker_count,
+    morsel_slices,
+)
 from repro.engine.optimizer.cost import CostModel
 from repro.engine.telemetry import ExecutionTelemetry
 
@@ -51,7 +65,7 @@ _OPS = {
 }
 
 #: Supported executor modes (first entry is the default).
-EXECUTOR_MODES = ("vectorized", "row")
+EXECUTOR_MODES = ("vectorized", "row", "parallel")
 
 
 class Relation:
@@ -131,6 +145,28 @@ class ColumnarRelation:
 # ----------------------------------------------------------------------
 # Vectorized kernels shared by the executor and count_join_rows
 # ----------------------------------------------------------------------
+def _column_codes(arr):
+    """Dense int64 codes for one column (equal values ⇒ equal codes).
+
+    Non-object dtypes use ``np.unique``. Object columns (TEXT, nullable)
+    use a first-appearance dict instead: sort-based ``np.unique`` would
+    try to order the values and raise ``TypeError`` on ``None`` or mixed
+    types, while dict equality matches the row interpreter's hash-based
+    semantics exactly (``None == None`` groups/joins, no ordering needed).
+    """
+    if arr.dtype == object:
+        codes = np.empty(len(arr), dtype=np.int64)
+        seen = {}
+        for i, value in enumerate(arr):
+            code = seen.get(value)
+            if code is None:
+                code = seen[value] = len(seen)
+            codes[i] = code
+        return codes
+    __, inv = np.unique(arr, return_inverse=True)
+    return np.ascontiguousarray(inv, dtype=np.int64).ravel()
+
+
 def _factorize(columns):
     """Dense int64 codes identifying each row's tuple over ``columns``.
 
@@ -139,8 +175,7 @@ def _factorize(columns):
     """
     codes = None
     for arr in columns:
-        __, inv = np.unique(arr, return_inverse=True)
-        inv = np.ascontiguousarray(inv, dtype=np.int64).ravel()
+        inv = _column_codes(arr)
         if codes is None:
             codes = inv
         else:
@@ -149,6 +184,48 @@ def _factorize(columns):
             __, codes = np.unique(codes, return_inverse=True)
             codes = np.ascontiguousarray(codes, dtype=np.int64).ravel()
     return codes
+
+
+def _join_build(left_cols, right_cols):
+    """Build phase of the factorized equi-join: shared key codes.
+
+    Factorizes the concatenated key columns once (so left and right codes
+    are consistent) and sorts the right side. Returns
+    ``(left_codes, right_codes_sorted, right_order)`` — everything a probe
+    needs; probes over disjoint left ranges are independent, which is what
+    the parallel executor exploits.
+    """
+    nl = len(left_cols[0])
+    codes = _factorize(
+        [np.concatenate([l, r]) for l, r in zip(left_cols, right_cols)]
+    )
+    lc, rc = codes[:nl], codes[nl:]
+    order = np.argsort(rc, kind="stable")
+    return lc, rc[order], order
+
+
+def _join_probe(lc, rc_sorted, order, base=0):
+    """Probe phase: row-id pairs for probe codes ``lc``.
+
+    ``base`` offsets the emitted left row ids, so a morsel covering
+    ``lc[start:stop]`` passes ``base=start`` and the concatenation of
+    per-morsel outputs (in morsel order) equals the monolithic probe.
+    """
+    nl = len(lc)
+    empty = np.empty(0, dtype=np.int64)
+    starts = np.searchsorted(rc_sorted, lc, side="left")
+    counts = np.searchsorted(rc_sorted, lc, side="right") - starts
+    total = int(counts.sum())
+    il = np.repeat(np.arange(base, base + nl, dtype=np.int64), counts)
+    if total == 0:
+        return il, empty
+    offsets = np.cumsum(counts) - counts
+    pos = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, counts)
+        + np.repeat(starts, counts)
+    )
+    return il, order[pos]
 
 
 def _join_indices(left_cols, right_cols):
@@ -162,25 +239,8 @@ def _join_indices(left_cols, right_cols):
     empty = np.empty(0, dtype=np.int64)
     if nl == 0 or nr == 0:
         return empty, empty.copy()
-    codes = _factorize(
-        [np.concatenate([l, r]) for l, r in zip(left_cols, right_cols)]
-    )
-    lc, rc = codes[:nl], codes[nl:]
-    order = np.argsort(rc, kind="stable")
-    rc_sorted = rc[order]
-    starts = np.searchsorted(rc_sorted, lc, side="left")
-    counts = np.searchsorted(rc_sorted, lc, side="right") - starts
-    total = int(counts.sum())
-    il = np.repeat(np.arange(nl, dtype=np.int64), counts)
-    if total == 0:
-        return il, empty.copy()
-    offsets = np.cumsum(counts) - counts
-    pos = (
-        np.arange(total, dtype=np.int64)
-        - np.repeat(offsets, counts)
-        + np.repeat(starts, counts)
-    )
-    return il, order[pos]
+    lc, rc_sorted, order = _join_build(left_cols, right_cols)
+    return _join_probe(lc, rc_sorted, order)
 
 
 def _cross_indices(nl, nr):
@@ -277,12 +337,20 @@ class Executor:
         cost_model: the :class:`CostModel` whose constants weight the work
             accounting (pass the knob-derived model so knob settings change
             measured work, closing the tuning feedback loop).
-        mode: ``"vectorized"`` (default, columnar NumPy batches) or
-            ``"row"`` (tuple-at-a-time interpreter). Both modes return the
-            same rows in the same order and charge identical work.
+        mode: ``"vectorized"`` (default, columnar NumPy batches),
+            ``"parallel"`` (morsel-driven vectorized execution on a
+            work-stealing thread pool), or ``"row"`` (tuple-at-a-time
+            interpreter). All modes return the same rows in the same order
+            and charge identical work.
+        morsel_rows: rows per morsel in parallel mode (``None`` reads
+            ``REPRO_MORSEL_SIZE``, default 16384). Inputs smaller than two
+            morsels run on the single-threaded vectorized path.
+        n_workers: worker count in parallel mode (``None`` reads
+            ``REPRO_PARALLEL_WORKERS``, default CPU-derived).
     """
 
-    def __init__(self, catalog, cost_model=None, mode="vectorized"):
+    def __init__(self, catalog, cost_model=None, mode="vectorized",
+                 morsel_rows=None, n_workers=None):
         if mode not in EXECUTOR_MODES:
             raise ExecutionError(
                 "executor mode must be one of %r, got %r"
@@ -291,6 +359,52 @@ class Executor:
         self.catalog = catalog
         self.cost_model = cost_model or CostModel()
         self.mode = mode
+        self.morsel_rows = (
+            default_morsel_rows() if morsel_rows is None else int(morsel_rows)
+        )
+        if self.morsel_rows < 1:
+            raise ExecutionError("morsel_rows must be >= 1")
+        self.n_workers = (
+            default_worker_count() if n_workers is None else int(n_workers)
+        )
+        self._pool = MorselPool(self.n_workers) if mode == "parallel" else None
+        # Per-run accounting lives in a thread-local so concurrent
+        # ``execute()`` calls on one shared Executor (the pipeline
+        # thread-safety tests do this) never mix their work counters.
+        self._tls = threading.local()
+
+    # -- per-run state (thread-local) -----------------------------------
+    @property
+    def _work(self):
+        return self._tls.work
+
+    @_work.setter
+    def _work(self, value):
+        self._tls.work = value
+
+    @property
+    def _op_work(self):
+        return self._tls.op_work
+
+    @_op_work.setter
+    def _op_work(self, value):
+        self._tls.op_work = value
+
+    @property
+    def _telemetry(self):
+        return self._tls.telemetry
+
+    @_telemetry.setter
+    def _telemetry(self, value):
+        self._tls.telemetry = value
+
+    @property
+    def _child_seconds(self):
+        return self._tls.child_seconds
+
+    @_child_seconds.setter
+    def _child_seconds(self, value):
+        self._tls.child_seconds = value
 
     def execute(self, plan):
         """Run ``plan``; returns an :class:`ExecutionResult`."""
@@ -300,7 +414,7 @@ class Executor:
         self._child_seconds = [0.0]
         start = time.perf_counter()
         relation = self._exec(plan)
-        if self.mode == "vectorized":
+        if self.mode != "row":
             relation = relation.to_relation()
         self._telemetry.total_seconds = time.perf_counter() - start
         return ExecutionResult(
@@ -313,9 +427,21 @@ class Executor:
         key = node.op_name
         self._op_work[key] = self._op_work.get(key, 0.0) + amount
 
+    def _handler(self, node):
+        name = type(node).__name__.lower()
+        if self.mode == "row":
+            return getattr(self, "_exec_" + name, None)
+        if self.mode == "parallel":
+            # Parallel handlers exist only for morsel-parallel operators;
+            # everything else (sort/limit/scan shells) falls back to the
+            # single-threaded vectorized implementation.
+            handler = getattr(self, "_pexec_" + name, None)
+            if handler is not None:
+                return handler
+        return getattr(self, "_vexec_" + name, None)
+
     def _exec(self, node):
-        prefix = "_vexec_" if self.mode == "vectorized" else "_exec_"
-        handler = getattr(self, prefix + type(node).__name__.lower(), None)
+        handler = self._handler(node)
         if handler is None:
             raise ExecutionError(
                 "executor does not support %r in %s mode" % (node, self.mode)
@@ -330,6 +456,49 @@ class Executor:
             node.op_name, rows=len(out), seconds=elapsed - child_time
         )
         return out
+
+    # -- morsel plumbing (parallel mode) --------------------------------
+    def _morsels(self, n_rows):
+        """This input's morsel ranges, or ``[]`` when not worth splitting.
+
+        Only parallel mode splits, and only when the input spans at least
+        two morsels — otherwise the caller uses the identical
+        single-threaded vectorized path, so tiny batches pay no overhead.
+        """
+        if self.mode != "parallel" or n_rows < 2:
+            return []
+        slices = morsel_slices(n_rows, self.morsel_rows)
+        return slices if len(slices) >= 2 else []
+
+    def _pmap(self, node, fn, n_tasks):
+        """Run ``fn(i)`` over morsel indices; results in morsel order."""
+        results, worker_stats = self._pool.run(fn, n_tasks)
+        self._telemetry.record_parallel(node.op_name, n_tasks, worker_stats)
+        return results
+
+    def _mask(self, node, relation, predicates):
+        """Conjunction mask, morsel-parallel when the batch is large."""
+        slices = self._morsels(len(relation))
+        if not slices or not node.morsel_parallel:
+            return _predicate_mask(relation, predicates)
+        compiled = [
+            (relation.arrays[relation.col_pos(p.table, p.column)],
+             _OPS[p.op], p.value)
+            for p in predicates
+        ]
+
+        def task(i):
+            start, stop = slices[i]
+            mask = None
+            for arr, op, value in compiled:
+                m = np.asarray(op(arr[start:stop], value))
+                if m.ndim == 0:
+                    m = np.full(stop - start, bool(m))
+                m = m.astype(bool, copy=False)
+                mask = m if mask is None else mask & m
+            return mask
+
+        return np.concatenate(self._pmap(node, task, len(slices)))
 
     # -- shared helpers --------------------------------------------------
     def _table_relation(self, table_name):
@@ -569,7 +738,7 @@ class Executor:
         table, rel = self._v_table_relation(node.table)
         self._charge(node, self.cost_model.seq_scan(table.n_rows))
         if node.predicates:
-            rel = rel.take(_predicate_mask(rel, node.predicates))
+            rel = rel.take(self._mask(node, rel, node.predicates))
         return rel
 
     def _vexec_indexscan(self, node):
@@ -577,7 +746,7 @@ class Executor:
         __, rel = self._v_table_relation(node.table, row_ids)
         self._charge(node, self.cost_model.index_scan(len(row_ids)))
         if node.residual:
-            rel = rel.take(_predicate_mask(rel, node.residual))
+            rel = rel.take(self._mask(node, rel, node.residual))
         return rel
 
     def _vexec_viewscan(self, node):
@@ -591,7 +760,7 @@ class Executor:
         self._charge(node, self.cost_model.seq_scan(view_table.n_rows))
         rel = ColumnarRelation(columns, arrays, n_rows=view_table.n_rows)
         if node.residual:
-            rel = rel.take(_predicate_mask(rel, node.residual))
+            rel = rel.take(self._mask(node, rel, node.residual))
         return rel
 
     def _vexec_emptyresult(self, node):
@@ -639,7 +808,7 @@ class Executor:
         child = self._exec(node.children[0])
         self._charge(node, self.cost_model.params["cpu_tuple_cost"] * len(child))
         if node.predicates:
-            child = child.take(_predicate_mask(child, node.predicates))
+            child = child.take(self._mask(node, child, node.predicates))
         return child
 
     def _vexec_project(self, node):
@@ -657,7 +826,10 @@ class Executor:
         return ColumnarRelation(node.columns, arrays, n_rows=n)
 
     def _vexec_hashaggregate(self, node):
-        child = self._exec(node.children[0])
+        return self._vagg_on(node, self._exec(node.children[0]))
+
+    def _vagg_on(self, node, child):
+        """Single-threaded grouped/global aggregation over ``child``."""
         n = len(child)
         key_pos = [child.col_pos(t, c) for t, c in node.group_by]
         agg_pos = [
@@ -759,6 +931,191 @@ class Executor:
         return ColumnarRelation(
             child.columns, [a[: node.n] for a in child.arrays], n_rows=node.n
         )
+
+    # ==================================================================
+    # Morsel-driven parallel executor
+    # ==================================================================
+    # Scans, filters, and view scans reuse the vectorized handlers — their
+    # predicate masks already go through ``_mask``, which is morsel-parallel
+    # in this mode. Sort/limit deliberately have no parallel handler: they
+    # are the single-threaded merge phase that pins down output order.
+    def _p_join(self, node, charge):
+        left = self._exec(node.children[0])
+        right = self._exec(node.children[1])
+        left_pos, right_pos = self._join_keys(node, left, right)
+        left_cols = [left.arrays[p] for p in left_pos]
+        right_cols = [right.arrays[p] for p in right_pos]
+        nl, nr = len(left), len(right)
+        slices = self._morsels(nl) if nr else []
+        if not slices:
+            il, ir = _join_indices(left_cols, right_cols)
+        else:
+            # Build once (shared key codes + sorted build side), probe
+            # per morsel; morsel-order concatenation reproduces the
+            # monolithic probe's left-major output order exactly.
+            lc, rc_sorted, order = _join_build(left_cols, right_cols)
+
+            def task(i):
+                start, stop = slices[i]
+                return _join_probe(lc[start:stop], rc_sorted, order,
+                                   base=start)
+
+            parts = self._pmap(node, task, len(slices))
+            il = np.concatenate([p[0] for p in parts])
+            ir = np.concatenate([p[1] for p in parts])
+        out = ColumnarRelation(
+            left.columns + right.columns,
+            [a[il] for a in left.arrays] + [a[ir] for a in right.arrays],
+            n_rows=len(il),
+        )
+        self._charge(node, charge(nl, nr, len(out)))
+        return out
+
+    def _pexec_hashjoin(self, node):
+        return self._p_join(node, self.cost_model.hash_join)
+
+    def _pexec_nestedloopjoin(self, node):
+        return self._p_join(node, self.cost_model.nested_loop_join)
+
+    def _pexec_project(self, node):
+        child = self._exec(node.children[0])
+        positions = [child.col_pos(t, c) for t, c in node.columns]
+        self._charge(node, self.cost_model.params["cpu_tuple_cost"] * len(child))
+        arrays = [child.arrays[p] for p in positions]
+        n = len(child)
+        slices = self._morsels(n) if node.distinct else []
+        if node.distinct and not slices and n:
+            codes = _factorize(arrays)
+            __, first = np.unique(codes, return_index=True)
+            keep = np.sort(first)
+            arrays = [a[keep] for a in arrays]
+            n = len(keep)
+        elif slices:
+            # Parallel partial dedup: each morsel keeps its local first
+            # occurrences; the single-threaded merge then walks the
+            # surviving candidates in global row order, so the final keep
+            # set is the global first occurrence per key — identical to
+            # the sequential dedup.
+            def local_firsts(i):
+                start, stop = slices[i]
+                codes = _factorize([a[start:stop] for a in arrays])
+                __, first = np.unique(codes, return_index=True)
+                return np.sort(first) + start
+
+            candidates = np.concatenate(
+                self._pmap(node, local_firsts, len(slices))
+            )
+            seen = set()
+            keep = []
+            candidate_rows = zip(
+                *(a[candidates].tolist() for a in arrays)
+            )
+            for idx, key in zip(candidates.tolist(), candidate_rows):
+                if key not in seen:
+                    seen.add(key)
+                    keep.append(idx)
+            keep = np.asarray(keep, dtype=np.int64)
+            arrays = [a[keep] for a in arrays]
+            n = len(keep)
+        return ColumnarRelation(node.columns, arrays, n_rows=n)
+
+    def _pexec_hashaggregate(self, node):
+        child = self._exec(node.children[0])
+        n = len(child)
+        key_pos = [child.col_pos(t, c) for t, c in node.group_by]
+        slices = self._morsels(n) if key_pos else []
+        if not slices:
+            # Global aggregates (always one output row) and sub-morsel
+            # inputs take the single-threaded path.
+            return self._vagg_on(node, child)
+        agg_pos = [
+            None if a.column is None else child.col_pos(a.table, a.column)
+            for a in node.aggregates
+        ]
+        key_cols = [child.arrays[p] for p in key_pos]
+        agg_cols = [None if p is None else child.arrays[p] for p in agg_pos]
+
+        def partial(i):
+            """Per-morsel partial aggregation, groups in appearance order."""
+            start, stop = slices[i]
+            keys = [k[start:stop] for k in key_cols]
+            codes = _factorize(keys)
+            order = np.argsort(codes, kind="stable")
+            sorted_codes = codes[order]
+            seg_starts = np.flatnonzero(
+                np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
+            )
+            counts = np.diff(np.r_[seg_starts, stop - start])
+            first_rows = order[seg_starts]
+            rank = np.argsort(first_rows, kind="stable")
+            group_keys = list(zip(
+                *(k[first_rows[rank]].tolist() for k in keys)
+            ))
+            states = []
+            for agg, col in zip(node.aggregates, agg_cols):
+                if agg.func == "count":
+                    states.append(counts[rank].tolist())
+                    continue
+                sorted_vals = col[start:stop][order]
+                if agg.func == "avg":
+                    sums = _segment_reduce("sum", sorted_vals, seg_starts,
+                                           counts)
+                    states.append(list(zip(
+                        np.asarray(sums)[rank].tolist(),
+                        counts[rank].tolist(),
+                    )))
+                else:
+                    vals = _segment_reduce(agg.func, sorted_vals, seg_starts,
+                                           counts)
+                    states.append(np.asarray(vals)[rank].tolist())
+            return group_keys, states
+
+        parts = self._pmap(node, partial, len(slices))
+        # Single-threaded merge, in morsel order: the first morsel that
+        # contains a key defines its output position, which equals the
+        # sequential first-appearance order.
+        group_index = {}
+        merged_keys = []
+        merged = [[] for __ in node.aggregates]
+        for group_keys, states in parts:
+            for local, key in enumerate(group_keys):
+                g = group_index.get(key)
+                if g is None:
+                    g = group_index[key] = len(merged_keys)
+                    merged_keys.append(key)
+                    for state, agg_states in zip(states, merged):
+                        agg_states.append(state[local])
+                    continue
+                for agg, state, agg_states in zip(
+                    node.aggregates, states, merged
+                ):
+                    if agg.func in ("count", "sum"):
+                        agg_states[g] = agg_states[g] + state[local]
+                    elif agg.func == "min":
+                        agg_states[g] = min(agg_states[g], state[local])
+                    elif agg.func == "max":
+                        agg_states[g] = max(agg_states[g], state[local])
+                    else:  # avg carries (sum, count) partials
+                        s, c = agg_states[g]
+                        ds, dc = state[local]
+                        agg_states[g] = (s + ds, c + dc)
+        n_groups = len(merged_keys)
+        key_arrays = [
+            np.asarray(col)
+            for col in ([list(c) for c in zip(*merged_keys)] or
+                        [[] for __ in key_pos])
+        ]
+        agg_arrays = []
+        for agg, agg_states in zip(node.aggregates, merged):
+            if agg.func == "avg":
+                agg_states = [s / c for s, c in agg_states]
+            agg_arrays.append(np.asarray(agg_states))
+        columns = list(node.group_by) + [
+            ("agg", "%s_%d" % (a.func, i)) for i, a in enumerate(node.aggregates)
+        ]
+        self._charge(node, self.cost_model.aggregate(n, n_groups))
+        return ColumnarRelation(columns, key_arrays + agg_arrays,
+                                n_rows=n_groups)
 
 
 def count_join_rows(catalog, query, tables):

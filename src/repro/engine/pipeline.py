@@ -36,6 +36,7 @@ Cache-key / epoch invariants:
   the epoch cannot see — call :meth:`QueryPipeline.invalidate` after it.
 """
 
+import threading
 import time
 from collections import OrderedDict
 
@@ -74,6 +75,11 @@ class PlanCache:
     Counters (``hits``/``misses``/``invalidations``) are cumulative until
     :meth:`reset_counters`; entries survive counter resets and are dropped
     only by epoch drift, LRU eviction, or :meth:`clear`.
+
+    Thread safety: every operation holds one internal lock, so concurrent
+    ``execute()`` calls (and a mutator bumping the catalog epoch between
+    them) see a consistent cache — lookup + stale-entry removal is atomic,
+    and counters never drift from the entries they describe.
     """
 
     def __init__(self, capacity=256):
@@ -81,6 +87,7 @@ class PlanCache:
             raise PlanError("plan cache capacity must be >= 1")
         self.capacity = capacity
         self._entries = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -91,46 +98,51 @@ class PlanCache:
         An entry stored under a different epoch is stale: it is removed,
         counted as an invalidation, and the lookup is a miss.
         """
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        if entry.epoch != epoch:
-            del self._entries[key]
-            self.invalidations += 1
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        entry.hits += 1
-        self.hits += 1
-        return entry.value
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            if entry.epoch != epoch:
+                del self._entries[key]
+                self.invalidations += 1
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.hits += 1
+            return entry.value
 
     def put(self, key, value, epoch):
         """Insert/replace ``key``, evicting the LRU entry if over capacity."""
-        self._entries[key] = _CacheEntry(value, epoch)
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = _CacheEntry(value, epoch)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self):
         """Drop every entry (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def reset_counters(self):
         """Zero the hit/miss/invalidation counters (entries are kept)."""
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.invalidations = 0
 
     def stats(self):
         """A plain-dict counter snapshot (JSON-friendly)."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
 
     def __len__(self):
         return len(self._entries)
@@ -176,6 +188,7 @@ class QueryPipeline:
         self.plan_cache = PlanCache(plan_cache_size)
         self.query_cache = PlanCache(plan_cache_size)
         self._runs = 0
+        self._stats_lock = threading.Lock()
         self._stage_totals = {
             stage: {"count": 0, "seconds": 0.0} for stage in PIPELINE_STAGES
         }
@@ -358,11 +371,12 @@ class QueryPipeline:
 
     # -- telemetry ---------------------------------------------------------
     def _accumulate(self, telemetry):
-        self._runs += 1
-        for stage, seconds in telemetry.stages.items():
-            entry = self._stage_totals[stage]
-            entry["count"] += 1
-            entry["seconds"] += seconds
+        with self._stats_lock:
+            self._runs += 1
+            for stage, seconds in telemetry.stages.items():
+                entry = self._stage_totals[stage]
+                entry["count"] += 1
+                entry["seconds"] += seconds
 
     def stats(self):
         """Cumulative pipeline statistics since the last :meth:`reset_stats`.

@@ -19,6 +19,11 @@ class PhysicalPlan:
         est_cost: optimizer's cumulative cost estimate for the subtree.
     """
 
+    #: Whether the parallel executor may split this operator's input into
+    #: morsels. Order-sensitive operators (Sort, Limit, CrossJoin) and
+    #: leaf shells keep it False and run single-threaded.
+    morsel_parallel = False
+
     def __init__(self, children=()):
         self.children = list(children)
         self.est_rows = None
@@ -71,6 +76,8 @@ class PhysicalPlan:
 class SeqScan(PhysicalPlan):
     """Full scan of a base table, applying pushed-down predicates."""
 
+    morsel_parallel = True
+
     def __init__(self, table, predicates=()):
         super().__init__()
         self.table = table
@@ -83,6 +90,8 @@ class SeqScan(PhysicalPlan):
 
 class IndexScan(PhysicalPlan):
     """Index lookup/range scan on one indexed predicate, plus residual filters."""
+
+    morsel_parallel = True
 
     def __init__(self, table, index_name, predicate, residual=()):
         super().__init__()
@@ -101,6 +110,8 @@ class IndexScan(PhysicalPlan):
 class ViewScan(PhysicalPlan):
     """Scan of a materialized view with residual predicates."""
 
+    morsel_parallel = True
+
     def __init__(self, view, residual=()):
         super().__init__()
         self.view = view
@@ -112,6 +123,8 @@ class ViewScan(PhysicalPlan):
 
 class NestedLoopJoin(PhysicalPlan):
     """Tuple-at-a-time nested loops over the join edges (equi only)."""
+
+    morsel_parallel = True  # probe side splits in parallel mode
 
     def __init__(self, left, right, edges):
         super().__init__([left, right])
@@ -125,6 +138,8 @@ class NestedLoopJoin(PhysicalPlan):
 
 class HashJoin(PhysicalPlan):
     """Hash join; the right child is the build side."""
+
+    morsel_parallel = True  # probe side splits in parallel mode
 
     def __init__(self, left, right, edges):
         super().__init__([left, right])
@@ -149,6 +164,8 @@ class CrossJoin(PhysicalPlan):
 class Filter(PhysicalPlan):
     """Standalone filter (predicates that could not be pushed into a scan)."""
 
+    morsel_parallel = True
+
     def __init__(self, child, predicates):
         super().__init__([child])
         self.predicates = list(predicates)
@@ -159,6 +176,8 @@ class Filter(PhysicalPlan):
 
 class Project(PhysicalPlan):
     """Column projection (and implicit dedup when ``distinct``)."""
+
+    morsel_parallel = True  # DISTINCT pre-dedup splits; the merge is serial
 
     def __init__(self, child, columns, distinct=False):
         super().__init__([child])
@@ -172,6 +191,8 @@ class Project(PhysicalPlan):
 
 class HashAggregate(PhysicalPlan):
     """Group-by + aggregate evaluation via hashing."""
+
+    morsel_parallel = True  # partial aggregates split; the merge is serial
 
     def __init__(self, child, group_by, aggregates):
         super().__init__([child])
@@ -229,6 +250,13 @@ def plan_signature(plan):
     for node in plan.walk():
         parts.append(node.describe())
     return tuple(parts)
+
+
+def parallel_operators(plan):
+    """Sorted op names in ``plan`` eligible for morsel-parallel execution."""
+    return sorted({
+        node.op_name for node in plan.walk() if node.morsel_parallel
+    })
 
 
 def operator_counts(plan):

@@ -7,6 +7,8 @@ independence across predicates — because those assumptions are exactly what
 the learned approaches the tutorial surveys were built to fix.
 """
 
+from collections import Counter
+
 import numpy as np
 
 from repro.common import CatalogError
@@ -171,10 +173,16 @@ class ColumnStats:
         """Collect stats from a column array."""
         n_rows = len(values)
         if dtype is DataType.TEXT:
-            uniq, counts = np.unique(np.asarray(values, dtype=object), return_counts=True)
-            order = np.argsort(-counts)
-            top = {str(uniq[i]): int(counts[i]) for i in order[:n_top]}
-            return cls(name, dtype, n_rows, len(uniq), histogram=None, top_values=top)
+            # Hash-based counting: nullable TEXT columns hold None, which
+            # sort-based np.unique cannot order. NULLs are excluded from
+            # the NDV and the MCV list, as in PostgreSQL's stats.
+            freq = Counter(v for v in values if v is not None)
+            top = {
+                str(v): int(c)
+                for v, c in sorted(freq.items(), key=lambda kv: -kv[1])[:n_top]
+            }
+            return cls(name, dtype, n_rows, len(freq), histogram=None,
+                       top_values=top)
         hist = EquiDepthHistogram.build(values, n_buckets=n_buckets)
         return cls(name, dtype, n_rows, hist.n_distinct, histogram=hist)
 

@@ -24,30 +24,58 @@ class ExecutionTelemetry:
     """Per-operator execution counters for one plan run.
 
     Attributes:
-        mode: executor mode the plan ran under (``"vectorized"``/``"row"``).
-        operators: ``{op_name: {"batches": int, "rows": int, "seconds": float}}``
-            — one entry per operator type; ``batches`` counts operator
-            invocations (one batch per invocation in this engine),
-            ``rows`` sums output rows, ``seconds`` sums self-time (child
-            operator time excluded).
+        mode: executor mode the plan ran under
+            (``"vectorized"``/``"row"``/``"parallel"``).
+        operators: ``{op_name: {"batches": int, "rows": int,
+            "seconds": float, "morsels": int}}`` — one entry per operator
+            type; ``batches`` counts operator invocations (one batch per
+            invocation in this engine), ``rows`` sums output rows,
+            ``seconds`` sums self-time (child operator time excluded), and
+            ``morsels`` counts morsels dispatched to the worker pool (0
+            outside parallel mode / below the split threshold).
+        workers: ``{worker_id: {"morsels": int, "steals": int,
+            "seconds": float}}`` — per-worker totals across every parallel
+            operator in the run (empty unless morsels were dispatched).
         total_seconds: wall-clock time for the whole plan.
     """
 
-    __slots__ = ("mode", "operators", "total_seconds")
+    __slots__ = ("mode", "operators", "workers", "total_seconds")
 
     def __init__(self, mode):
         self.mode = mode
         self.operators = {}
+        self.workers = {}
         self.total_seconds = 0.0
 
     def record(self, op_name, rows, seconds):
         """Accumulate one operator invocation."""
         entry = self.operators.setdefault(
-            op_name, {"batches": 0, "rows": 0, "seconds": 0.0}
+            op_name, {"batches": 0, "rows": 0, "seconds": 0.0, "morsels": 0}
         )
         entry["batches"] += 1
         entry["rows"] += rows
         entry["seconds"] += seconds
+
+    def record_parallel(self, op_name, n_morsels, worker_stats):
+        """Accumulate one morsel-parallel dispatch for ``op_name``.
+
+        Args:
+            op_name: operator the morsels belong to.
+            n_morsels: how many morsels were dispatched.
+            worker_stats: iterable of
+                :class:`repro.engine.morsels.WorkerStats`.
+        """
+        entry = self.operators.setdefault(
+            op_name, {"batches": 0, "rows": 0, "seconds": 0.0, "morsels": 0}
+        )
+        entry["morsels"] += n_morsels
+        for stats in worker_stats:
+            w = self.workers.setdefault(
+                stats.worker_id, {"morsels": 0, "steals": 0, "seconds": 0.0}
+            )
+            w["morsels"] += stats.morsels
+            w["steals"] += stats.steals
+            w["seconds"] += stats.seconds
 
     def summary(self):
         """A plain-dict snapshot (JSON-friendly)."""
@@ -56,6 +84,9 @@ class ExecutionTelemetry:
             "total_seconds": self.total_seconds,
             "operators": {
                 k: dict(v) for k, v in sorted(self.operators.items())
+            },
+            "workers": {
+                k: dict(v) for k, v in sorted(self.workers.items())
             },
         }
 

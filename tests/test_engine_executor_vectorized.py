@@ -1,9 +1,11 @@
-"""Differential tests: vectorized executor vs. the row interpreter.
+"""Differential tests: vectorized + parallel executors vs. the row interpreter.
 
-Every plan shape runs in both modes on seeded data; the two modes must
-return identical rows *in identical order* and charge identical
+Every plan shape runs in every mode on seeded data; all modes must return
+identical rows *in identical order* and charge identical
 ``work``/``operator_work`` (the work-parity invariant that keeps
 "cost gap == misestimation damage" true regardless of executor mode).
+Parallel runs use a deliberately tiny morsel size so the worker pool is
+actually exercised on these small fixtures.
 """
 
 import numpy as np
@@ -28,18 +30,28 @@ def _approx_rows(rows):
     ]
 
 
+#: Executor kwargs that force morsel splitting on small test fixtures.
+PARALLEL_KWARGS = {"morsel_rows": 64, "n_workers": 3}
+
+
 def run_both(catalog, plan, cost_model=None):
-    """Execute ``plan`` in both modes, assert parity, return the results."""
+    """Execute ``plan`` in every mode, assert parity, return the results."""
     results = {}
     for mode in EXECUTOR_MODES:
-        ex = Executor(catalog, cost_model, mode=mode)
+        kwargs = PARALLEL_KWARGS if mode == "parallel" else {}
+        ex = Executor(catalog, cost_model, mode=mode, **kwargs)
         results[mode] = ex.execute(plan)
-    row_res, vec_res = results["row"], results["vectorized"]
-    assert vec_res.columns == row_res.columns
-    assert vec_res.rows == _approx_rows(row_res.rows)
-    assert vec_res.work == row_res.work
-    assert vec_res.operator_work == row_res.operator_work
-    return row_res, vec_res
+    row_res = results["row"]
+    approx = _approx_rows(row_res.rows)
+    for mode in EXECUTOR_MODES:
+        if mode == "row":
+            continue
+        res = results[mode]
+        assert res.columns == row_res.columns, mode
+        assert res.rows == approx, mode
+        assert res.work == row_res.work, mode
+        assert res.operator_work == row_res.operator_work, mode
+    return row_res, results["vectorized"]
 
 
 @pytest.fixture
@@ -273,10 +285,29 @@ class TestSqlLevelDifferential:
     def _dual_dbs(self, build):
         dbs = {}
         for mode in EXECUTOR_MODES:
-            db = Database(executor_mode=mode)
+            kwargs = {}
+            if mode == "parallel":
+                kwargs = {
+                    "morsel_rows": PARALLEL_KWARGS["morsel_rows"],
+                    "parallel_workers": PARALLEL_KWARGS["n_workers"],
+                }
+            db = Database(executor_mode=mode, **kwargs)
             build(db)
             dbs[mode] = db
         return dbs
+
+    @staticmethod
+    def _assert_workload_parity(dbs, queries):
+        for q in queries:
+            res_r = dbs["row"].run_query_object(q)
+            approx = _approx_rows(res_r.rows)
+            for mode in EXECUTOR_MODES:
+                if mode == "row":
+                    continue
+                res = dbs[mode].run_query_object(q)
+                assert res.rows == approx, mode
+                assert res.work == res_r.work, mode
+                assert res.operator_work == res_r.operator_work, mode
 
     def test_star_workload_parity(self):
         def build(db):
@@ -286,12 +317,9 @@ class TestSqlLevelDifferential:
             )
 
         dbs = self._dual_dbs(build)
-        for q in datagen.star_workload(n_queries=12, seed=1):
-            res_r = dbs["row"].run_query_object(q)
-            res_v = dbs["vectorized"].run_query_object(q)
-            assert res_v.rows == _approx_rows(res_r.rows)
-            assert res_v.work == res_r.work
-            assert res_v.operator_work == res_r.operator_work
+        self._assert_workload_parity(
+            dbs, datagen.star_workload(n_queries=12, seed=1)
+        )
 
     def test_clique_workload_parity(self):
         schema = {}
@@ -308,11 +336,7 @@ class TestSqlLevelDifferential:
             schema["names"], schema["edges"], n_queries=8, seed=12,
             min_tables=3,
         )
-        for q in queries:
-            res_r = dbs["row"].run_query_object(q)
-            res_v = dbs["vectorized"].run_query_object(q)
-            assert res_v.rows == _approx_rows(res_r.rows)
-            assert res_v.work == res_r.work
+        self._assert_workload_parity(dbs, queries)
 
     def test_view_scan_parity(self):
         from repro.ai4db.config.view_advisor import (

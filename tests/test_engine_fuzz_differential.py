@@ -1,0 +1,350 @@
+"""Randomized differential query fuzzer across all executor modes.
+
+A seeded generator produces random catalogs (2–4 tables with INT/FLOAT/
+TEXT and nullable-TEXT columns) and random conjunctive queries over them
+(equi-joins, predicates, GROUP BY, aggregates, ORDER BY, LIMIT — including
+LIMIT 0 — and DISTINCT). Every query runs under ``mode="row"``,
+``mode="vectorized"``, and ``mode="parallel"`` (with a tiny morsel size so
+the worker pool really runs) and twice per mode, so the suite asserts:
+
+* identical rows in identical order across all three modes,
+* bit-identical ``work`` and ``operator_work`` (the mode-independence
+  invariant the cost-gap experiments rely on),
+* cold vs. warm plan cache parity (the second run must be a cache hit and
+  observationally identical).
+
+Everything is deterministic: catalogs and queries derive from fixed seeds,
+so a failure reproduces with its printed ``(catalog_seed, case_index)``.
+``REPRO_FUZZ_CASES`` scales the number of generated cases (default ~200;
+``make fuzz`` raises it).
+
+Value-generation rules that keep the oracle honest (not workarounds —
+engine-level NULL contracts): INT/FLOAT columns are never NULL (int64
+arrays cannot hold None; float NaN breaks equality), so NULLs live in a
+dedicated nullable TEXT column, which *is* exercised as a group-by /
+distinct / join key. Predicates, sort keys, and aggregate arguments stick
+to non-nullable columns, matching the comparison semantics both executors
+implement.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.executor import EXECUTOR_MODES
+from repro.engine.query import Aggregate, ConjunctiveQuery, JoinEdge, Predicate
+
+#: Total fuzz budget, split across catalog seeds.
+N_CASES = int(os.environ.get("REPRO_FUZZ_CASES", "200"))
+CATALOG_SEEDS = list(range(8))
+CASES_PER_CATALOG = max(1, N_CASES // len(CATALOG_SEEDS))
+
+#: Parallel-mode settings that force morsel splitting on fuzz-size tables.
+MORSEL_ROWS = 64
+N_WORKERS = 3
+
+AGG_FUNCS = ("count", "sum", "avg", "min", "max")
+CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+# ----------------------------------------------------------------------
+# Random catalog + query generation (pure functions of the seed)
+# ----------------------------------------------------------------------
+def _make_schema(rng):
+    """Random table specs: name -> (n_rows, k_domain)."""
+    n_tables = rng.randint(2, 4)
+    return {
+        "t%d" % i: (rng.randint(40, 150), rng.randint(3, 12))
+        for i in range(n_tables)
+    }
+
+
+def _build_db(mode, seed):
+    """One database per (mode, seed); data identical across modes."""
+    kwargs = {"executor_mode": mode}
+    if mode == "parallel":
+        kwargs.update(morsel_rows=MORSEL_ROWS, parallel_workers=N_WORKERS)
+    db = Database(**kwargs)
+    rng = random.Random(seed)
+    schema = _make_schema(rng)
+    for name, (n_rows, k_domain) in schema.items():
+        db.execute(
+            "CREATE TABLE %s (id INT, k INT, v FLOAT, tag TEXT, ntag TEXT)"
+            % name
+        )
+        rows = []
+        for i in range(n_rows):
+            rows.append((
+                i,
+                rng.randrange(k_domain),
+                round(rng.uniform(-10.0, 10.0), 6),
+                "tag%d" % rng.randrange(5),
+                None if rng.random() < 0.3 else "n%d" % rng.randrange(3),
+            ))
+        db.catalog.table(name).insert_rows(rows)
+    db.execute("ANALYZE")
+    return db, sorted(schema)
+
+
+def _random_query(rng, tables):
+    """One random conjunctive query over a connected subset of ``tables``."""
+    n = rng.randint(1, min(3, len(tables)))
+    chosen = rng.sample(tables, n)
+    edges = []
+    for prev, nxt in zip(chosen, chosen[1:]):
+        col = rng.choice(["k", "id"])
+        edges.append(JoinEdge(prev, col, nxt, col))
+    predicates = []
+    for __ in range(rng.randint(0, 2)):
+        t = rng.choice(chosen)
+        col, value = rng.choice([
+            ("k", rng.randrange(12)),
+            ("v", round(rng.uniform(-8.0, 8.0), 3)),
+            ("id", rng.randrange(150)),
+            ("tag", "tag%d" % rng.randrange(5)),
+        ])
+        predicates.append(Predicate(t, col, rng.choice(CMP_OPS), value))
+    shape = rng.random()
+    group_by, aggregates, projections = [], [], []
+    order_by, limit, distinct = None, None, False
+    if shape < 0.4:
+        # Aggregation query; ~half the time grouped, sometimes on the
+        # nullable column (the latent all-NULL-group-key class).
+        if rng.random() < 0.75:
+            t = rng.choice(chosen)
+            key = rng.choice(["k", "tag", "ntag", "ntag"])
+            group_by.append((t, key))
+        for __ in range(rng.randint(1, 3)):
+            func = rng.choice(AGG_FUNCS)
+            if func == "count":
+                aggregates.append(Aggregate("count"))
+            else:
+                t = rng.choice(chosen)
+                col = rng.choice(["k", "v", "id"])
+                aggregates.append(Aggregate(func, t, col))
+    else:
+        # Projection query over 1–3 random columns; DISTINCT may include
+        # the nullable column.
+        for __ in range(rng.randint(1, 3)):
+            t = rng.choice(chosen)
+            projections.append((t, rng.choice(["id", "k", "v", "tag", "ntag"])))
+        distinct = rng.random() < 0.4
+        if rng.random() < 0.5:
+            t, col = rng.choice(projections)
+            if col != "ntag":  # sort keys must be totally ordered
+                order_by = ((t, col), rng.random() < 0.5)
+        if rng.random() < 0.35:
+            limit = rng.choice([0, 1, 3, 10, 500])
+    return ConjunctiveQuery(
+        tables=chosen,
+        join_edges=edges,
+        predicates=predicates,
+        projections=projections,
+        aggregates=aggregates,
+        group_by=group_by,
+        order_by=order_by,
+        limit=limit,
+        distinct=distinct,
+    )
+
+
+def _approx_equal_rows(rows_a, rows_b):
+    """Row-list equality with float tolerance (sum association differs)."""
+    if len(rows_a) != len(rows_b):
+        return False
+    for ra, rb in zip(rows_a, rows_b):
+        if len(ra) != len(rb):
+            return False
+        for x, y in zip(ra, rb):
+            if isinstance(x, float) and isinstance(y, float):
+                if x != pytest.approx(y, rel=1e-9, abs=1e-12):
+                    return False
+            elif x != y:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# The fuzz loop
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("catalog_seed", CATALOG_SEEDS)
+def test_fuzz_differential(catalog_seed):
+    dbs = {}
+    tables = None
+    for mode in EXECUTOR_MODES:
+        dbs[mode], tables = _build_db(mode, catalog_seed)
+    rng = random.Random(10_000 + catalog_seed)
+    for case in range(CASES_PER_CATALOG):
+        query = _random_query(rng, tables)
+        label = "catalog_seed=%d case=%d query=%r" % (
+            catalog_seed, case, query
+        )
+        cold, warm = {}, {}
+        for mode in EXECUTOR_MODES:
+            cold[mode] = dbs[mode].run_query_object(query)
+            warm[mode] = dbs[mode].run_query_object(query)
+            # Cold vs. warm: second run must hit the plan cache and be
+            # observationally identical (same executor => exact equality).
+            assert warm[mode].pipeline_telemetry.cache_hit is True, label
+            assert warm[mode].rows == cold[mode].rows, label
+            assert warm[mode].work == cold[mode].work, label
+            assert warm[mode].operator_work == cold[mode].operator_work, label
+        base = cold["row"]
+        for mode in EXECUTOR_MODES:
+            if mode == "row":
+                continue
+            res = cold[mode]
+            assert res.columns == base.columns, label
+            assert _approx_equal_rows(res.rows, base.rows), (
+                "%s: %s rows diverge from row mode\nrow=%r\n%s=%r"
+                % (label, mode, base.rows[:10], mode, res.rows[:10])
+            )
+            assert res.work == base.work, label
+            assert res.operator_work == base.operator_work, label
+
+
+class TestEdgeCases:
+    """Targeted regressions for the edge cases the fuzzer hunts.
+
+    Two were real latent bugs fixed in this PR (both from sort-based
+    ``np.unique`` on object arrays containing ``None``): vectorized
+    group-by/DISTINCT/join on all-NULL or mixed-NULL keys crashed with
+    ``TypeError``, and ANALYZE on a nullable TEXT column crashed in
+    ``ColumnStats.build``. The rest pin down behaviour that must stay
+    identical across modes.
+    """
+
+    def _mode_dbs(self, build):
+        dbs = {}
+        for mode in EXECUTOR_MODES:
+            kwargs = {"executor_mode": mode}
+            if mode == "parallel":
+                kwargs.update(morsel_rows=MORSEL_ROWS,
+                              parallel_workers=N_WORKERS)
+            db = Database(**kwargs)
+            build(db)
+            dbs[mode] = db
+        return dbs
+
+    def _assert_parity(self, dbs, query):
+        base = dbs["row"].run_query_object(query)
+        for mode in EXECUTOR_MODES:
+            if mode == "row":
+                continue
+            res = dbs[mode].run_query_object(query)
+            assert res.columns == base.columns, mode
+            assert _approx_equal_rows(res.rows, base.rows), mode
+            assert res.work == base.work, mode
+            assert res.operator_work == base.operator_work, mode
+        return base
+
+    @staticmethod
+    def _null_build(db):
+        db.execute("CREATE TABLE e (id INT, k INT, ntag TEXT)")
+        db.catalog.table("e").insert_rows(
+            [(i, i % 3, None) for i in range(60)]
+        )
+        db.execute("CREATE TABLE f (id INT, k INT)")
+        db.execute("ANALYZE")
+
+    def test_empty_relation_join(self):
+        dbs = self._mode_dbs(self._null_build)
+        q = ConjunctiveQuery(
+            tables=["e", "f"],
+            join_edges=[JoinEdge("e", "k", "f", "k")],
+        )
+        base = self._assert_parity(dbs, q)
+        assert base.rows == []
+
+    def test_all_null_group_keys(self):
+        """Regression: all-NULL TEXT group key grouped via hash equality
+        (sort-based factorization used to raise TypeError)."""
+        dbs = self._mode_dbs(self._null_build)
+        q = ConjunctiveQuery(
+            tables=["e"],
+            group_by=[("e", "ntag")],
+            aggregates=[Aggregate("count"), Aggregate("sum", "e", "k")],
+        )
+        base = self._assert_parity(dbs, q)
+        assert base.rows == [(None, 60, 60)]
+
+    def test_distinct_over_all_null_column(self):
+        dbs = self._mode_dbs(self._null_build)
+        q = ConjunctiveQuery(
+            tables=["e"], projections=[("e", "ntag")], distinct=True
+        )
+        base = self._assert_parity(dbs, q)
+        assert base.rows == [(None,)]
+
+    def test_mixed_null_group_and_join_keys(self):
+        def build(db):
+            db.execute("CREATE TABLE g (id INT, ntag TEXT)")
+            db.catalog.table("g").insert_rows(
+                [(i, None if i % 2 else "x%d" % (i % 4)) for i in range(80)]
+            )
+            db.execute("CREATE TABLE h (id INT, ntag TEXT)")
+            db.catalog.table("h").insert_rows(
+                [(i, None if i % 3 else "x%d" % (i % 4)) for i in range(60)]
+            )
+            db.execute("ANALYZE")
+
+        dbs = self._mode_dbs(build)
+        q = ConjunctiveQuery(
+            tables=["g", "h"],
+            join_edges=[JoinEdge("g", "ntag", "h", "ntag")],
+            group_by=[("g", "ntag")],
+            aggregates=[Aggregate("count")],
+        )
+        base = self._assert_parity(dbs, q)
+        assert len(base.rows) > 0  # NULL == NULL joins, like the interpreter
+
+    def test_limit_zero_identical_in_all_modes(self):
+        dbs = self._mode_dbs(self._null_build)
+        q = ConjunctiveQuery(tables=["e"], projections=[("e", "id")], limit=0)
+        base = self._assert_parity(dbs, q)
+        assert base.rows == []
+
+    def test_raw_limit_zero_plan_node(self):
+        """LIMIT 0 as a raw plan node too (the planner usually folds it
+        into EmptyResult before the executor ever sees it)."""
+        from repro.engine import plans as P
+        from repro.engine.executor import Executor
+
+        dbs = self._mode_dbs(self._null_build)
+        results = {}
+        for mode, db in dbs.items():
+            ex = db.executor
+            plan = P.Limit(P.SeqScan("e"), 0)
+            results[mode] = ex.execute(plan)
+        for mode, res in results.items():
+            assert res.rows == [], mode
+            assert res.work == results["row"].work, mode
+
+    def test_analyze_nullable_text_column(self):
+        """Regression: ANALYZE over a nullable TEXT column must not crash
+        and must exclude NULLs from NDV/MCV stats."""
+        db = Database()
+        db.execute("CREATE TABLE n (id INT, ntag TEXT)")
+        db.catalog.table("n").insert_rows(
+            [(i, None if i % 2 else "v%d" % (i % 3)) for i in range(40)]
+        )
+        db.execute("ANALYZE")
+        stats = db.catalog.stats("n").column("ntag")
+        assert stats.n_distinct == 3
+        assert None not in stats.top_values
+        assert "None" not in stats.top_values
+
+
+def test_parallel_mode_actually_splits_morsels():
+    """Meta-check: the fuzz fixtures are big enough to dispatch morsels."""
+    db, tables = _build_db("parallel", 0)
+    rng = random.Random(99)
+    dispatched = 0
+    for __ in range(20):
+        res = db.run_query_object(_random_query(rng, tables))
+        dispatched += sum(
+            v["morsels"] for v in res.telemetry.operators.values()
+        )
+    assert dispatched > 0

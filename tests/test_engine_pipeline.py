@@ -232,7 +232,11 @@ class TestPlanCache:
 def _mode_dbs(build):
     dbs = {}
     for mode in EXECUTOR_MODES:
-        d = Database(executor_mode=mode)
+        kwargs = {}
+        if mode == "parallel":
+            # Tiny morsels so the worker pool runs on these small fixtures.
+            kwargs = {"morsel_rows": 64, "parallel_workers": 3}
+        d = Database(executor_mode=mode, **kwargs)
         build(d)
         dbs[mode] = d
     return dbs
@@ -273,10 +277,14 @@ class TestCachedPlanParity:
             d.execute(self.SQL)  # populate the cache
             results[mode] = d.execute(self.SQL)  # cached re-execution
             assert results[mode].pipeline_telemetry.cache_hit is True
-        row_res, vec_res = results["row"], results["vectorized"]
-        _approx_rows(vec_res.rows, row_res.rows)
-        assert vec_res.work == row_res.work
-        assert vec_res.operator_work == row_res.operator_work
+        row_res = results["row"]
+        for mode in EXECUTOR_MODES:
+            if mode == "row":
+                continue
+            res = results[mode]
+            _approx_rows(res.rows, row_res.rows)
+            assert res.work == row_res.work, mode
+            assert res.operator_work == row_res.operator_work, mode
 
     def test_structured_query_warm_parity(self):
         dbs = _mode_dbs(self._build)
@@ -290,8 +298,9 @@ class TestCachedPlanParity:
             d.run_query_object(q)
         warm = {m: d.run_query_object(q) for m, d in dbs.items()}
         assert all(r.pipeline_telemetry.cache_hit for r in warm.values())
-        assert warm["vectorized"].rows == warm["row"].rows
-        assert warm["vectorized"].work == warm["row"].work
+        for mode in EXECUTOR_MODES:
+            assert warm[mode].rows == warm["row"].rows, mode
+            assert warm[mode].work == warm["row"].work, mode
 
 
 class TestInvalidation:
