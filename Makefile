@@ -4,7 +4,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test fuzz bench bench-json
+.PHONY: test fuzz bench bench-fusion bench-json
 
 # Tier-1 suite (fast; slow-marked full-size benchmarks are deselected by
 # the pytest addopts default).
@@ -22,8 +22,13 @@ fuzz:
 bench:
 	REPRO_BENCH_FAST=1 python -m pytest benchmarks -q -m 'not slow'
 
+# Operator-fusion benchmark alone, including the slow ≥1.3x speedup gate.
+bench-fusion:
+	python -m pytest benchmarks/bench_p4_fusion.py -q -m ''
+
 # Regenerate the committed BENCH_P*.json artifacts at full size.
 bench-json:
 	python benchmarks/bench_p1_executor.py
 	python benchmarks/bench_p2_pipeline.py
 	python benchmarks/bench_p3_morsels.py
+	python benchmarks/bench_p4_fusion.py

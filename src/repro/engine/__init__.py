@@ -12,16 +12,23 @@ from repro.engine.storage import PAGE_BYTES, Table
 from repro.engine.stats import ColumnStats, EquiDepthHistogram, TableStats
 from repro.engine.query import Aggregate, ConjunctiveQuery, JoinEdge, Predicate
 from repro.engine.catalog import Catalog, IndexDef, ViewDef
+from repro.engine.config import EXECUTOR_MODES, EngineConfig
 from repro.engine.indexes import BPlusTree, HashIndex
 from repro.engine.executor import (
-    EXECUTOR_MODES,
     ExecutionResult,
     Executor,
     Relation,
     count_join_rows,
 )
+from repro.engine.fusion import fuse_plan
 from repro.engine.morsels import MorselPool, MorselQueue, morsel_slices
-from repro.engine.pipeline import PIPELINE_STAGES, PlanCache, QueryPipeline
+from repro.engine.pipeline import (
+    PIPELINE_STAGES,
+    ExplainResult,
+    PlanCache,
+    QueryPipeline,
+)
+from repro.engine.plans import FusedPipelineOp
 from repro.engine.database import Database
 from repro.engine.knobs import (
     KnobSpec,
@@ -61,10 +68,14 @@ __all__ = [
     "BPlusTree",
     "HashIndex",
     "EXECUTOR_MODES",
+    "EngineConfig",
     "ExecutionResult",
     "Executor",
+    "ExplainResult",
+    "FusedPipelineOp",
     "Relation",
     "count_join_rows",
+    "fuse_plan",
     "MorselPool",
     "MorselQueue",
     "morsel_slices",

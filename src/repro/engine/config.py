@@ -1,0 +1,180 @@
+"""The consolidated engine configuration surface.
+
+Three PRs of growth scattered the engine's knobs across ``Database``
+kwargs and ``REPRO_*`` environment variables read in three different
+modules. :class:`EngineConfig` is the single owner of every engine knob:
+a frozen dataclass whose instances fully determine how a
+:class:`~repro.engine.database.Database` is wired (executor mode, morsel
+size, worker count, plan-cache capacity, enumerator, view matching, cost
+constants, operator fusion), and :meth:`EngineConfig.from_env` is the one
+place in the engine that reads ``REPRO_*`` environment variables:
+
+======================== ============================ ====================
+environment variable      field                        default
+======================== ============================ ====================
+``REPRO_EXECUTOR_MODE``   ``executor_mode``            ``"vectorized"``
+``REPRO_MORSEL_SIZE``     ``morsel_rows``              16384 (floor 16)
+``REPRO_PARALLEL_WORKERS`` ``parallel_workers``        CPU-derived
+``REPRO_FUSION``          ``fusion_enabled``           on (``0``/``off``
+                                                       disables)
+======================== ============================ ====================
+
+This module sits at the bottom of the engine's import graph (it imports
+only :mod:`repro.common`), so :mod:`repro.engine.morsels` and
+:mod:`repro.engine.executor` can delegate their env-derived defaults here
+without cycles.
+"""
+
+import os
+from dataclasses import dataclass, field, replace
+
+from repro.common import ExecutionError, ReproError
+
+#: Supported executor modes (first entry is the default).
+EXECUTOR_MODES = ("vectorized", "row", "parallel")
+
+#: Supported join enumerators.
+ENUMERATORS = ("dp", "greedy", "random")
+
+#: Default morsel size, in rows (the HyPer paper's ballpark).
+DEFAULT_MORSEL_ROWS = 16384
+
+#: Hard floor on the morsel size knob — smaller morsels are all overhead.
+MIN_MORSEL_ROWS = 16
+
+#: Default LRU capacity of the pipeline's plan (and lowered-query) cache.
+DEFAULT_PLAN_CACHE_SIZE = 256
+
+#: Values of ``REPRO_FUSION`` that disable operator fusion.
+_FALSEY = {"0", "false", "off", "no"}
+
+
+def _env_int(name):
+    """Integer value of env var ``name``, or ``None`` when unset/empty."""
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ExecutionError("%s must be an integer, got %r" % (name, raw))
+
+
+def env_executor_mode():
+    """Executor mode from ``REPRO_EXECUTOR_MODE`` (default ``vectorized``)."""
+    return os.environ.get("REPRO_EXECUTOR_MODE") or EXECUTOR_MODES[0]
+
+
+def default_morsel_rows():
+    """Morsel size from ``REPRO_MORSEL_SIZE`` (default 16384 rows)."""
+    value = _env_int("REPRO_MORSEL_SIZE")
+    if value is None:
+        return DEFAULT_MORSEL_ROWS
+    return max(MIN_MORSEL_ROWS, value)
+
+
+def default_worker_count():
+    """Worker count from ``REPRO_PARALLEL_WORKERS`` (default: CPU-derived).
+
+    The default is ``min(8, max(2, cpu_count))`` so the parallel machinery
+    is always exercised (even on one core) without oversubscribing wide
+    hosts for the small batches this engine processes.
+    """
+    value = _env_int("REPRO_PARALLEL_WORKERS")
+    if value is not None:
+        return max(1, value)
+    return min(8, max(2, os.cpu_count() or 1))
+
+
+def default_fusion_enabled():
+    """Fusion gate from ``REPRO_FUSION`` (default on; ``0``/``off``/…)."""
+    raw = os.environ.get("REPRO_FUSION")
+    if raw is None or raw == "":
+        return True
+    return raw.strip().lower() not in _FALSEY
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every engine knob, in one immutable value.
+
+    ``Database(config=EngineConfig(...))`` is the primary constructor
+    surface; the legacy per-knob ``Database`` kwargs build one of these
+    under the hood, so both spellings construct identical engines.
+    Instances are frozen — derive variants with :meth:`with_changes`.
+
+    Attributes:
+        executor_mode: ``"vectorized"``, ``"row"``, or ``"parallel"``.
+        morsel_rows: rows per morsel in parallel mode.
+        parallel_workers: worker count in parallel mode.
+        plan_cache_size: LRU capacity of the pipeline's plan cache.
+        enumerator: join enumerator (``"dp"``/``"greedy"``/``"random"``).
+        use_views: whether the planner may answer from materialized views.
+        cost_params: overrides for cost-model constants (or ``None``).
+        fusion_enabled: whether the executor collapses
+            Filter→Project→Aggregate plan tails into a single
+            :class:`~repro.engine.plans.FusedPipelineOp` pass.
+    """
+
+    executor_mode: str = EXECUTOR_MODES[0]
+    morsel_rows: int = DEFAULT_MORSEL_ROWS
+    parallel_workers: int = 4
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
+    enumerator: str = "dp"
+    use_views: bool = True
+    cost_params: dict = field(default=None)
+    fusion_enabled: bool = True
+
+    def __post_init__(self):
+        if self.executor_mode not in EXECUTOR_MODES:
+            raise ExecutionError(
+                "executor mode must be one of %r, got %r"
+                % (EXECUTOR_MODES, self.executor_mode)
+            )
+        if self.enumerator not in ENUMERATORS:
+            raise ReproError(
+                "enumerator must be one of %r, got %r"
+                % (ENUMERATORS, self.enumerator)
+            )
+        if int(self.morsel_rows) < 1:
+            raise ExecutionError("morsel_rows must be >= 1")
+        if int(self.parallel_workers) < 1:
+            raise ExecutionError("parallel_workers must be >= 1")
+        if int(self.plan_cache_size) < 1:
+            raise ReproError("plan_cache_size must be >= 1")
+        if self.cost_params is not None:
+            # Copy so a caller-held dict cannot mutate a frozen config.
+            object.__setattr__(self, "cost_params", dict(self.cost_params))
+
+    @classmethod
+    def from_env(cls, **overrides):
+        """A config resolved from the ``REPRO_*`` environment variables.
+
+        This is the *only* place the engine reads its environment
+        configuration. Keyword ``overrides`` (ignored when ``None``) beat
+        the environment, which beats the dataclass defaults — the same
+        precedence the legacy ``Database`` kwargs always had.
+        """
+        values = {
+            "executor_mode": env_executor_mode(),
+            "morsel_rows": default_morsel_rows(),
+            "parallel_workers": default_worker_count(),
+            "fusion_enabled": default_fusion_enabled(),
+        }
+        for key, value in overrides.items():
+            if value is not None:
+                values[key] = value
+        return cls(**values)
+
+    def with_changes(self, **changes):
+        """A copy of this config with ``changes`` applied (frozen-safe)."""
+        return replace(self, **changes)
+
+    def executor_kwargs(self):
+        """The keyword arguments this config implies for ``Executor``."""
+        return {
+            "mode": self.executor_mode,
+            "morsel_rows": self.morsel_rows,
+            "n_workers": self.parallel_workers,
+            "fusion_enabled": self.fusion_enabled,
+        }

@@ -4,24 +4,32 @@ Ties the front end (parser + lowering), the optimizer (rewriter, planner)
 and the executor together behind an explicit staged
 :class:`~repro.engine.pipeline.QueryPipeline`
 (parse → lower → rewrite → plan → execute, with a plan cache keyed on the
-full query signature + catalog epoch). The extension points the AI4DB and
-DB4AI layers use:
+full query signature + catalog epoch). Construction is driven by one
+frozen :class:`~repro.engine.config.EngineConfig` — pass one via
+``Database(config=...)``, or pass the legacy per-knob keyword arguments
+and a config is built for you (both spellings wire identical engines).
 
-* ``statement_hooks`` — callables that get the raw SQL text first; the
-  AISQL declarative layer registers its ``CREATE MODEL``/``PREDICT``
-  handlers here. (Back-compat shim for
-  ``db.pipeline.statement_hooks``.)
+The extension points the AI4DB and DB4AI layers use:
+
+* ``pipeline.statement_hooks`` — callables that get the raw SQL text
+  first; the AISQL declarative layer registers its ``CREATE MODEL``/
+  ``PREDICT`` handlers here.
 * ``planner`` attributes — estimator/enumerator/cost model are swappable
   (call ``db.pipeline.invalidate()`` after swapping them in place, since
   the plan cache cannot observe such mutations).
-* ``rewriter`` — optional query rewriter applied in the pipeline's
-  rewrite stage. (Back-compat shim for ``db.pipeline.rewriter``.)
+* ``pipeline.rewriter`` — optional query rewriter applied in the
+  pipeline's rewrite stage.
 * ``pipeline.add_stage_hook`` — observe/replace any stage's output.
+
+``db.rewriter`` and ``db.statement_hooks`` remain as deprecated
+back-compat shims onto the pipeline; their setters warn.
 """
 
-import os
+import warnings
 
+from repro.common import ReproError
 from repro.engine.catalog import Catalog
+from repro.engine.config import EngineConfig
 from repro.engine.executor import Executor, count_join_rows
 from repro.engine.optimizer.cost import CostModel
 from repro.engine.optimizer.planner import Planner
@@ -32,40 +40,76 @@ class Database:
     """An in-memory database instance.
 
     Args:
+        config: an :class:`~repro.engine.config.EngineConfig` fully
+            describing the engine (the primary constructor surface).
+            Mutually exclusive with the per-knob keyword arguments.
         enumerator: join enumerator for the default planner
             (``"dp"``/``"greedy"``/``"random"``).
         use_views: whether the planner may answer from materialized views.
         cost_params: overrides for the cost-model constants (knob effects).
         executor_mode: ``"vectorized"``, ``"parallel"``, or ``"row"``;
-            ``None`` reads the ``REPRO_EXECUTOR_MODE`` environment variable
-            and falls back to ``"vectorized"``.
+            ``None`` reads ``REPRO_EXECUTOR_MODE`` (via
+            :meth:`EngineConfig.from_env`) and falls back to
+            ``"vectorized"``.
         plan_cache_size: LRU capacity of the pipeline's plan cache.
         morsel_rows: morsel size for parallel mode (``None`` reads
             ``REPRO_MORSEL_SIZE``, default 16384 rows).
         parallel_workers: worker count for parallel mode (``None`` reads
             ``REPRO_PARALLEL_WORKERS``, default CPU-derived).
+        fusion_enabled: whether the executor fuses eligible plan tails
+            (``None`` reads ``REPRO_FUSION``, default on).
     """
 
-    def __init__(self, enumerator="dp", use_views=True, cost_params=None,
-                 executor_mode=None, plan_cache_size=256, morsel_rows=None,
-                 parallel_workers=None):
-        if executor_mode is None:
-            executor_mode = os.environ.get("REPRO_EXECUTOR_MODE") or "vectorized"
+    def __init__(self, config=None, *, enumerator=None, use_views=None,
+                 cost_params=None, executor_mode=None, plan_cache_size=None,
+                 morsel_rows=None, parallel_workers=None,
+                 fusion_enabled=None):
+        overrides = {
+            "enumerator": enumerator,
+            "use_views": use_views,
+            "cost_params": cost_params,
+            "executor_mode": executor_mode,
+            "plan_cache_size": plan_cache_size,
+            "morsel_rows": morsel_rows,
+            "parallel_workers": parallel_workers,
+            "fusion_enabled": fusion_enabled,
+        }
+        passed = sorted(k for k, v in overrides.items() if v is not None)
+        if config is not None:
+            if passed:
+                raise ReproError(
+                    "pass engine knobs either via config= or as keyword "
+                    "arguments, not both (got config plus: %s)"
+                    % ", ".join(passed)
+                )
+            if not isinstance(config, EngineConfig):
+                raise ReproError(
+                    "config must be an EngineConfig, got %r" % (config,)
+                )
+        else:
+            config = EngineConfig.from_env(**overrides)
+        self._config = config
         self.catalog = Catalog()
-        self.cost_model = CostModel(cost_params)
+        self.cost_model = CostModel(config.cost_params)
         self.planner = Planner(
             self.catalog,
             cost_model=self.cost_model,
-            enumerator=enumerator,
-            use_views=use_views,
+            enumerator=config.enumerator,
+            use_views=config.use_views,
         )
-        self.executor = Executor(self.catalog, self.cost_model,
-                                 mode=executor_mode,
-                                 morsel_rows=morsel_rows,
-                                 n_workers=parallel_workers)
-        self.pipeline = QueryPipeline(self, plan_cache_size=plan_cache_size)
+        self.executor = Executor(
+            self.catalog, self.cost_model, **config.executor_kwargs()
+        )
+        self.pipeline = QueryPipeline(
+            self, plan_cache_size=config.plan_cache_size
+        )
 
-    # -- back-compat shims onto the pipeline ---------------------------
+    @property
+    def config(self):
+        """The frozen :class:`EngineConfig` this engine was built from."""
+        return self._config
+
+    # -- deprecated back-compat shims onto the pipeline -----------------
     @property
     def rewriter(self):
         """The pipeline's rewrite-stage callable (``None`` when unset)."""
@@ -73,6 +117,12 @@ class Database:
 
     @rewriter.setter
     def rewriter(self, fn):
+        warnings.warn(
+            "setting Database.rewriter is deprecated; use "
+            "db.pipeline.rewriter instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.pipeline.rewriter = fn
 
     @property
@@ -82,6 +132,12 @@ class Database:
 
     @statement_hooks.setter
     def statement_hooks(self, hooks):
+        warnings.warn(
+            "setting Database.statement_hooks is deprecated; use "
+            "db.pipeline.statement_hooks instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.pipeline.statement_hooks = list(hooks)
 
     @property
@@ -107,7 +163,13 @@ class Database:
         return result.rows
 
     def explain(self, sql_text):
-        """Return the physical plan text for a SELECT without executing it."""
+        """Plan a SELECT without executing it.
+
+        Returns an :class:`~repro.engine.pipeline.ExplainResult` whose
+        ``str()`` is the classic plan text and which additionally carries
+        the plan object, the ``fused_ops`` preview, and the cache-hit
+        flag.
+        """
         return self.pipeline.explain(sql_text)
 
     def run_query_object(self, query, order=None):

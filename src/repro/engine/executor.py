@@ -46,6 +46,11 @@ import numpy as np
 
 from repro.common import ExecutionError
 from repro.engine import plans as P
+from repro.engine.config import (  # noqa: F401 - EXECUTOR_MODES re-exported
+    EXECUTOR_MODES,
+    default_fusion_enabled,
+)
+from repro.engine.fusion import fuse_plan
 from repro.engine.morsels import (
     MorselPool,
     default_morsel_rows,
@@ -64,8 +69,9 @@ _OPS = {
     ">=": operator.ge,
 }
 
-#: Supported executor modes (first entry is the default).
-EXECUTOR_MODES = ("vectorized", "row", "parallel")
+#: Sentinel distinguishing "no value seen yet" from a stored ``None`` in
+#: the row-mode fused aggregation accumulators.
+_UNSET = object()
 
 
 class Relation:
@@ -306,6 +312,70 @@ def _stable_sort_indices(key, descending):
     return (n - 1) - np.argsort(key[::-1], kind="stable")[::-1]
 
 
+def _agg_input_columns(agg_node, source):
+    """``(labels, positions)`` of the columns an aggregate actually reads.
+
+    The fused path gathers only these through the predicate's surviving
+    row ids — the full-width filtered relation is never materialized.
+    """
+    seen = {}
+    for t, c in agg_node.group_by:
+        key = (t.lower(), c.lower())
+        if key not in seen:
+            seen[key] = source.col_pos(t, c)
+    for a in agg_node.aggregates:
+        if a.column is not None:
+            key = (a.table.lower(), a.column.lower())
+            if key not in seen:
+                seen[key] = source.col_pos(a.table, a.column)
+    return list(seen), list(seen.values())
+
+
+def _agg_partial(aggregates, keys, vals):
+    """One morsel's partial aggregation, groups in appearance order.
+
+    ``keys``/``vals`` are this morsel's (already masked) key and argument
+    arrays. Returns ``(group_keys, states)`` where ``group_keys`` lists
+    each group's key tuple and ``states[j][g]`` is aggregate ``j``'s
+    partial state for group ``g``: a count, a sum, a min/max, or a
+    ``(sum, count)`` pair for AVG — the carry that lets the merge stay
+    exact instead of averaging averages.
+    """
+    n = len(keys[0]) if keys else 0
+    if n == 0:
+        # A fused morsel can be filtered down to nothing; emit no groups.
+        return [], [[] for __ in aggregates]
+    codes = _factorize(keys)
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    seg_starts = np.flatnonzero(
+        np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
+    )
+    counts = np.diff(np.r_[seg_starts, n])
+    first_rows = order[seg_starts]
+    rank = np.argsort(first_rows, kind="stable")
+    group_keys = list(zip(
+        *(k[first_rows[rank]].tolist() for k in keys)
+    ))
+    states = []
+    for agg, col in zip(aggregates, vals):
+        if agg.func == "count":
+            states.append(counts[rank].tolist())
+            continue
+        sorted_vals = col[order]
+        if agg.func == "avg":
+            sums = _segment_reduce("sum", sorted_vals, seg_starts, counts)
+            states.append(list(zip(
+                np.asarray(sums)[rank].tolist(),
+                counts[rank].tolist(),
+            )))
+        else:
+            reduced = _segment_reduce(agg.func, sorted_vals, seg_starts,
+                                      counts)
+            states.append(np.asarray(reduced)[rank].tolist())
+    return group_keys, states
+
+
 class ExecutionResult:
     """Executor output: the result relation plus the work accounting."""
 
@@ -313,7 +383,14 @@ class ExecutionResult:
         self.relation = relation
         self.work = work
         self.operator_work = operator_work
-        self.telemetry = telemetry
+        self._telemetry = telemetry
+
+    @property
+    def telemetry(self):
+        """Per-run :class:`ExecutionTelemetry` (the supported accessor —
+        callers should read it here rather than reaching into the
+        executor's per-run state)."""
+        return self._telemetry
 
     @property
     def rows(self):
@@ -343,14 +420,21 @@ class Executor:
             interpreter). All modes return the same rows in the same order
             and charge identical work.
         morsel_rows: rows per morsel in parallel mode (``None`` reads
-            ``REPRO_MORSEL_SIZE``, default 16384). Inputs smaller than two
-            morsels run on the single-threaded vectorized path.
+            ``REPRO_MORSEL_SIZE`` via :mod:`repro.engine.config`, default
+            16384). Inputs smaller than two morsels run on the
+            single-threaded vectorized path.
         n_workers: worker count in parallel mode (``None`` reads
             ``REPRO_PARALLEL_WORKERS``, default CPU-derived).
+        fusion_enabled: whether ``execute`` collapses eligible
+            Filter→Project/Aggregate plan tails into one
+            :class:`~repro.engine.plans.FusedPipelineOp` pass (``None``
+            reads ``REPRO_FUSION``, default on). Fusion never changes
+            rows, order, or work accounting — only how many intermediate
+            relations get materialized.
     """
 
     def __init__(self, catalog, cost_model=None, mode="vectorized",
-                 morsel_rows=None, n_workers=None):
+                 morsel_rows=None, n_workers=None, fusion_enabled=None):
         if mode not in EXECUTOR_MODES:
             raise ExecutionError(
                 "executor mode must be one of %r, got %r"
@@ -366,6 +450,11 @@ class Executor:
             raise ExecutionError("morsel_rows must be >= 1")
         self.n_workers = (
             default_worker_count() if n_workers is None else int(n_workers)
+        )
+        self.fusion_enabled = (
+            default_fusion_enabled()
+            if fusion_enabled is None
+            else bool(fusion_enabled)
         )
         self._pool = MorselPool(self.n_workers) if mode == "parallel" else None
         # Per-run accounting lives in a thread-local so concurrent
@@ -407,10 +496,22 @@ class Executor:
         self._tls.child_seconds = value
 
     def execute(self, plan):
-        """Run ``plan``; returns an :class:`ExecutionResult`."""
+        """Run ``plan``; returns an :class:`ExecutionResult`.
+
+        When :attr:`fusion_enabled` is set, the plan's tail is first run
+        through :func:`~repro.engine.fusion.fuse_plan`. The rewrite is
+        per-execution (the caller's plan object — and any plan cache
+        holding it — is never mutated), and the fused pass charges work
+        through the original operator nodes, so results and accounting
+        are identical either way.
+        """
+        fused_ops = 0
+        if self.fusion_enabled:
+            plan, fused_ops = fuse_plan(plan)
         self._work = 0.0
         self._op_work = {}
         self._telemetry = ExecutionTelemetry(mode=self.mode)
+        self._telemetry.fused_ops = fused_ops
         self._child_seconds = [0.0]
         start = time.perf_counter()
         relation = self._exec(plan)
@@ -722,6 +823,125 @@ class Executor:
         child = self._exec(node.children[0])
         return Relation(child.columns, child.rows[: node.n])
 
+    # -- fused pipeline ---------------------------------------------------
+    def _exec_fusedpipelineop(self, node):
+        """Row-mode fused tail: one streaming pass over the source rows.
+
+        The accumulators fold values in row order starting from the same
+        identities the unfused interpreter's ``sum``/``min``/``max`` use,
+        so the outputs are bit-identical, and work is charged through the
+        absorbed operator nodes in the unfused charge order.
+        """
+        source = self._exec(node.children[0])
+        n0 = len(source.rows)
+        if node.filter_node is not None:
+            self._charge(
+                node.filter_node,
+                self.cost_model.params["cpu_tuple_cost"] * n0,
+            )
+        compiled = [
+            (source.col_pos(p.table, p.column), _OPS[p.op], p.value)
+            for p in node.predicates
+        ]
+
+        def passes(row):
+            for pos, op, value in compiled:
+                if not op(row[pos], value):
+                    return False
+            return True
+
+        limit = None if node.limit_node is None else node.limit_node.n
+        if node.agg_node is not None:
+            return self._row_fused_aggregate(node, source, passes, limit)
+        return self._row_fused_project(node, source, passes, limit)
+
+    def _row_fused_project(self, node, source, passes, limit):
+        proj = node.project_node
+        positions = [source.col_pos(t, c) for t, c in proj.columns]
+        out = []
+        seen = set() if proj.distinct else None
+        n1 = 0
+        for row in source.rows:
+            if not passes(row):
+                continue
+            n1 += 1
+            if limit is not None and len(out) >= limit:
+                continue  # keep counting survivors for the Project charge
+            projected = tuple(row[p] for p in positions)
+            if seen is not None:
+                if projected in seen:
+                    continue
+                seen.add(projected)
+            out.append(projected)
+        self._charge(proj, self.cost_model.params["cpu_tuple_cost"] * n1)
+        return Relation(proj.columns, out)
+
+    def _row_fused_aggregate(self, node, source, passes, limit):
+        agg = node.agg_node
+        key_pos = [source.col_pos(t, c) for t, c in agg.group_by]
+        agg_pos = [
+            None if a.column is None else source.col_pos(a.table, a.column)
+            for a in agg.aggregates
+        ]
+        groups = {}
+        n1 = 0
+        for row in source.rows:
+            if not passes(row):
+                continue
+            n1 += 1
+            key = tuple(row[p] for p in key_pos)
+            states = groups.get(key)
+            if states is None:
+                states = groups[key] = [
+                    0 if a.func in ("count", "sum")
+                    else ([0, 0] if a.func == "avg" else _UNSET)
+                    for a in agg.aggregates
+                ]
+            for j, (a, pos) in enumerate(zip(agg.aggregates, agg_pos)):
+                if a.func == "count":
+                    states[j] += 1
+                    continue
+                value = row[pos]
+                if a.func == "sum":
+                    states[j] = states[j] + value
+                elif a.func == "avg":
+                    states[j][0] += value
+                    states[j][1] += 1
+                elif a.func == "min":
+                    if states[j] is _UNSET or value < states[j]:
+                        states[j] = value
+                elif a.func == "max":
+                    if states[j] is _UNSET or value > states[j]:
+                        states[j] = value
+                else:
+                    raise ExecutionError(
+                        "unknown aggregate %r" % (a.func,)
+                    )
+        out = []
+        for key, states in groups.items():
+            values = []
+            for a, state in zip(agg.aggregates, states):
+                if a.func == "avg":
+                    values.append(state[0] / state[1])
+                elif state is _UNSET:
+                    values.append(None)
+                else:
+                    values.append(state)
+            out.append(key + tuple(values))
+        if not groups and not key_pos:
+            # Global aggregate over zero surviving rows: one output row.
+            out.append(tuple(
+                0 if a.func == "count" else None for a in agg.aggregates
+            ))
+        self._charge(agg, self.cost_model.aggregate(n1, len(out)))
+        columns = list(agg.group_by) + [
+            ("agg", "%s_%d" % (a.func, i))
+            for i, a in enumerate(agg.aggregates)
+        ]
+        if limit is not None:
+            out = out[: limit]
+        return Relation(columns, out)
+
     # ==================================================================
     # Vectorized executor
     # ==================================================================
@@ -932,6 +1152,84 @@ class Executor:
             child.columns, [a[: node.n] for a in child.arrays], n_rows=node.n
         )
 
+    # -- fused pipeline ---------------------------------------------------
+    def _vexec_fusedpipelineop(self, node):
+        return self._fused_tail(node, self._exec(node.children[0]))
+
+    def _fused_tail(self, node, source):
+        """Columnar fused tail: mask once, gather only what the tail reads.
+
+        Work is charged through the absorbed operator nodes with the same
+        cardinalities and in the same order as the unfused interpreters,
+        so ``work``/``operator_work`` are bit-identical with fusion on or
+        off. In parallel mode the mask still evaluates morsel-parallel
+        via ``_mask`` (``FusedPipelineOp`` is morsel-parallel).
+        """
+        n0 = len(source)
+        if node.filter_node is not None:
+            self._charge(
+                node.filter_node,
+                self.cost_model.params["cpu_tuple_cost"] * n0,
+            )
+        if node.predicates:
+            keep = np.flatnonzero(self._mask(node, source, node.predicates))
+            n1 = len(keep)
+        else:
+            keep, n1 = None, n0
+        if node.agg_node is not None:
+            return self._fused_aggregate(node, source, keep, n1)
+        return self._fused_project(node, source, keep, n1)
+
+    def _fused_aggregate(self, node, source, keep, n1):
+        agg = node.agg_node
+        labels, positions = _agg_input_columns(agg, source)
+        arrays = [
+            source.arrays[p] if keep is None else source.arrays[p][keep]
+            for p in positions
+        ]
+        sub = ColumnarRelation(labels, arrays, n_rows=n1)
+        return self._fused_limit(node, self._vagg_on(agg, sub))
+
+    def _fused_project(self, node, source, keep, n1):
+        proj = node.project_node
+        positions = [source.col_pos(t, c) for t, c in proj.columns]
+        self._charge(proj, self.cost_model.params["cpu_tuple_cost"] * n1)
+        if proj.distinct:
+            arrays = [
+                source.arrays[p] if keep is None else source.arrays[p][keep]
+                for p in positions
+            ]
+            n = n1
+            if n:
+                codes = _factorize(arrays)
+                __, first = np.unique(codes, return_index=True)
+                firsts = np.sort(first)  # first-occurrence order
+                arrays = [a[firsts] for a in arrays]
+                n = len(firsts)
+            return self._fused_limit(
+                node, ColumnarRelation(proj.columns, arrays, n_rows=n)
+            )
+        if keep is None:
+            out = ColumnarRelation(
+                proj.columns,
+                [source.arrays[p] for p in positions],
+                n_rows=n1,
+            )
+            return self._fused_limit(node, out)
+        limit = None if node.limit_node is None else node.limit_node.n
+        if limit is not None and limit < n1:
+            keep = keep[:limit]  # rows past the limit are never gathered
+        arrays = [source.arrays[p][keep] for p in positions]
+        return ColumnarRelation(proj.columns, arrays, n_rows=len(keep))
+
+    def _fused_limit(self, node, rel):
+        ln = node.limit_node
+        if ln is None or ln.n >= len(rel):
+            return rel
+        return ColumnarRelation(
+            rel.columns, [a[: ln.n] for a in rel.arrays], n_rows=ln.n
+        )
+
     # ==================================================================
     # Morsel-driven parallel executor
     # ==================================================================
@@ -1028,52 +1326,33 @@ class Executor:
             # Global aggregates (always one output row) and sub-morsel
             # inputs take the single-threaded path.
             return self._vagg_on(node, child)
-        agg_pos = [
-            None if a.column is None else child.col_pos(a.table, a.column)
+        key_cols = [child.arrays[p] for p in key_pos]
+        agg_cols = [
+            None if a.column is None
+            else child.arrays[child.col_pos(a.table, a.column)]
             for a in node.aggregates
         ]
-        key_cols = [child.arrays[p] for p in key_pos]
-        agg_cols = [None if p is None else child.arrays[p] for p in agg_pos]
 
         def partial(i):
-            """Per-morsel partial aggregation, groups in appearance order."""
             start, stop = slices[i]
-            keys = [k[start:stop] for k in key_cols]
-            codes = _factorize(keys)
-            order = np.argsort(codes, kind="stable")
-            sorted_codes = codes[order]
-            seg_starts = np.flatnonzero(
-                np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
+            return _agg_partial(
+                node.aggregates,
+                [k[start:stop] for k in key_cols],
+                [None if c is None else c[start:stop] for c in agg_cols],
             )
-            counts = np.diff(np.r_[seg_starts, stop - start])
-            first_rows = order[seg_starts]
-            rank = np.argsort(first_rows, kind="stable")
-            group_keys = list(zip(
-                *(k[first_rows[rank]].tolist() for k in keys)
-            ))
-            states = []
-            for agg, col in zip(node.aggregates, agg_cols):
-                if agg.func == "count":
-                    states.append(counts[rank].tolist())
-                    continue
-                sorted_vals = col[start:stop][order]
-                if agg.func == "avg":
-                    sums = _segment_reduce("sum", sorted_vals, seg_starts,
-                                           counts)
-                    states.append(list(zip(
-                        np.asarray(sums)[rank].tolist(),
-                        counts[rank].tolist(),
-                    )))
-                else:
-                    vals = _segment_reduce(agg.func, sorted_vals, seg_starts,
-                                           counts)
-                    states.append(np.asarray(vals)[rank].tolist())
-            return group_keys, states
 
         parts = self._pmap(node, partial, len(slices))
-        # Single-threaded merge, in morsel order: the first morsel that
-        # contains a key defines its output position, which equals the
-        # sequential first-appearance order.
+        return self._agg_merge(node, parts, n)
+
+    def _agg_merge(self, node, parts, n_input):
+        """Merge per-morsel partial aggregates, in morsel order.
+
+        The first morsel that contains a key defines its output position,
+        which equals the sequential first-appearance order. AVG partials
+        carry ``(sum, count)`` and divide once here. The aggregate charge
+        uses ``n_input`` — the operator's logical input cardinality — so
+        accounting is identical to the single-threaded paths.
+        """
         group_index = {}
         merged_keys = []
         merged = [[] for __ in node.aggregates]
@@ -1103,7 +1382,7 @@ class Executor:
         key_arrays = [
             np.asarray(col)
             for col in ([list(c) for c in zip(*merged_keys)] or
-                        [[] for __ in key_pos])
+                        [[] for __ in node.group_by])
         ]
         agg_arrays = []
         for agg, agg_states in zip(node.aggregates, merged):
@@ -1113,9 +1392,79 @@ class Executor:
         columns = list(node.group_by) + [
             ("agg", "%s_%d" % (a.func, i)) for i, a in enumerate(node.aggregates)
         ]
-        self._charge(node, self.cost_model.aggregate(n, n_groups))
+        self._charge(node, self.cost_model.aggregate(n_input, n_groups))
         return ColumnarRelation(columns, key_arrays + agg_arrays,
                                 n_rows=n_groups)
+
+    def _pexec_fusedpipelineop(self, node):
+        source = self._exec(node.children[0])
+        agg = node.agg_node
+        if agg is not None and agg.group_by:
+            slices = self._morsels(len(source))
+            if slices:
+                return self._pfused_aggregate(node, source, slices)
+        # Non-grouped tails: the mask still evaluates morsel-parallel via
+        # ``_mask``; gather/dedup/limit stay single-threaded, matching
+        # the unfused operators' merge phases.
+        return self._fused_tail(node, source)
+
+    def _pfused_aggregate(self, node, source, slices):
+        """Grouped fused tail, morsel-parallel: mask + partial per morsel.
+
+        Each morsel masks its slice of the *source* and partially
+        aggregates the survivors in one task — the filtered relation is
+        never materialized, not even per-morsel. The merge is the same
+        morsel-order merge as unfused parallel aggregation (including the
+        (sum, count) AVG carry); group order is the global
+        first-appearance order among surviving rows, so rows and order
+        match the other modes.
+        """
+        agg = node.agg_node
+        if node.filter_node is not None:
+            self._charge(
+                node.filter_node,
+                self.cost_model.params["cpu_tuple_cost"] * len(source),
+            )
+        key_cols = [
+            source.arrays[source.col_pos(t, c)] for t, c in agg.group_by
+        ]
+        agg_cols = [
+            None if a.column is None
+            else source.arrays[source.col_pos(a.table, a.column)]
+            for a in agg.aggregates
+        ]
+        compiled = [
+            (source.arrays[source.col_pos(p.table, p.column)],
+             _OPS[p.op], p.value)
+            for p in node.predicates
+        ]
+
+        def task(i):
+            start, stop = slices[i]
+            if compiled:
+                mask = None
+                for arr, op, value in compiled:
+                    m = np.asarray(op(arr[start:stop], value))
+                    if m.ndim == 0:
+                        m = np.full(stop - start, bool(m))
+                    m = m.astype(bool, copy=False)
+                    mask = m if mask is None else mask & m
+                keep = np.flatnonzero(mask) + start
+                keys = [k[keep] for k in key_cols]
+                vals = [None if c is None else c[keep] for c in agg_cols]
+                n_local = len(keep)
+            else:
+                keys = [k[start:stop] for k in key_cols]
+                vals = [
+                    None if c is None else c[start:stop] for c in agg_cols
+                ]
+                n_local = stop - start
+            return n_local, _agg_partial(agg.aggregates, keys, vals)
+
+        results = self._pmap(node, task, len(slices))
+        n1 = sum(r[0] for r in results)
+        out = self._agg_merge(agg, [r[1] for r in results], n1)
+        return self._fused_limit(node, out)
 
 
 def count_join_rows(catalog, query, tables):

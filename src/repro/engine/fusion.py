@@ -1,0 +1,121 @@
+"""Operator fusion: collapse a plan's tail into one pipelined pass.
+
+The planner emits plan tails of the shape ``Limit?(HashAggregate(src))``
+or ``Limit?(Project(Sort?(src)))`` where ``src`` is a scan (with pushed
+predicates) or a completed join subtree, optionally under a standalone
+``Filter``. Executing that tail operator-at-a-time materializes the full
+filtered relation just so the next operator can immediately narrow it to
+a handful of columns (or a handful of groups). :func:`fuse_plan` rewrites
+such a tail into a single :class:`~repro.engine.plans.FusedPipelineOp`
+that the executor evaluates in one pass — predicate mask, gather of only
+the columns the tail actually reads, aggregation/dedup/limit — without
+the intermediate relation ever existing.
+
+Fusion is an *execution-time* rewrite, applied by ``Executor.execute``
+when ``fusion_enabled`` is set. The plan cache, EXPLAIN cost annotations,
+and cost-model estimates all stay in terms of the unfused plan; the
+fused node keeps references to the original operator nodes so work
+accounting is charged under the same operator keys, in the same order,
+with the same cardinalities as the unfused interpreter — which is what
+lets the differential fuzzer race fused against unfused execution and
+demand identical ``work``/``operator_work`` numbers.
+
+The pass deliberately refuses anything order-sensitive or ambiguous:
+
+* a ``Sort`` anywhere in the tail (fused evaluation has no sort stage);
+* ``EmptyResult`` sources (nothing to fuse);
+* tails where *both* the source scan carries pushed predicates and a
+  standalone ``Filter`` sits above it (two mask stages — rare enough
+  that the general path is fine);
+* bare ``Project`` tails with no predicates, no DISTINCT, and no LIMIT
+  (fusion would only relabel the plan).
+"""
+
+from repro.engine import plans as P
+
+#: Node types a fused tail may consume directly.
+_SOURCE_TYPES = (
+    P.SeqScan,
+    P.IndexScan,
+    P.ViewScan,
+    P.HashJoin,
+    P.NestedLoopJoin,
+    P.CrossJoin,
+)
+
+
+def _lift_scan_predicates(node):
+    """``(bare_source, lifted_predicates)`` for a fused tail's source.
+
+    Pushed scan predicates move into the fused op so the scan emits raw
+    rows and the fused pass applies one mask over exactly the columns it
+    needs. Index probing stays in the scan (only the residual lifts) —
+    the index lookup is the point of an IndexScan. Estimates carry over
+    so plan featurization of the source stays stable.
+    """
+    if isinstance(node, P.SeqScan) and node.predicates:
+        bare = P.SeqScan(node.table, ())
+        lifted = list(node.predicates)
+    elif isinstance(node, P.IndexScan) and node.residual:
+        bare = P.IndexScan(node.table, node.index_name, node.predicate, ())
+        lifted = list(node.residual)
+    elif isinstance(node, P.ViewScan) and node.residual:
+        bare = P.ViewScan(node.view, ())
+        lifted = list(node.residual)
+    else:
+        return node, []
+    bare.est_rows = node.est_rows
+    bare.est_cost = node.est_cost
+    return bare, lifted
+
+
+def fuse_plan(plan):
+    """Rewrite ``plan``'s tail into a ``FusedPipelineOp`` when profitable.
+
+    Returns ``(plan, fused_ops)``: the (possibly rewritten) plan and the
+    number of pipeline stages the fused node absorbed (0 when the tail
+    does not match or fusion would not save a materialization).
+    """
+    node = plan
+    limit_node = None
+    if isinstance(node, P.Limit):
+        limit_node, node = node, node.children[0]
+    agg_node = None
+    project_node = None
+    if isinstance(node, P.HashAggregate):
+        agg_node, node = node, node.children[0]
+    elif isinstance(node, P.Project):
+        project_node, node = node, node.children[0]
+    else:
+        return plan, 0
+    filter_node = None
+    if isinstance(node, P.Filter):
+        filter_node, node = node, node.children[0]
+    if not isinstance(node, _SOURCE_TYPES):
+        return plan, 0
+    source, lifted = _lift_scan_predicates(node)
+    if filter_node is not None and lifted:
+        return plan, 0
+    predicates = (
+        list(filter_node.predicates) if filter_node is not None else lifted
+    )
+    worth_it = (
+        agg_node is not None
+        or bool(predicates)
+        or (project_node is not None and project_node.distinct)
+        or limit_node is not None
+    )
+    if not worth_it:
+        return plan, 0
+    fused = P.FusedPipelineOp(
+        source,
+        predicates=predicates,
+        filter_node=filter_node,
+        project_node=project_node,
+        agg_node=agg_node,
+        limit_node=limit_node,
+    )
+    top = limit_node or agg_node or project_node
+    fused.est_rows = top.est_rows
+    fused.est_cost = top.est_cost
+    return fused, fused.fused_ops

@@ -88,21 +88,31 @@ def executor_knobs():
     return [
         KnobSpec("morsel_size_rows", 1024, 262144, 16384, log_scale=True),
         KnobSpec("parallel_workers", 1, 32, 4),
+        KnobSpec("fusion_enabled", 0.0, 1.0, 1.0),
     ]
 
 
 def executor_params(unit_vector, knobs=None):
     """Map normalized executor-knob settings to ``Executor`` kwargs.
 
-    Returns ``{"morsel_rows": int, "n_workers": int}`` suitable for
-    ``Executor(...)`` / ``Database(morsel_rows=..., parallel_workers=...)``.
+    Returns ``{"morsel_rows": int, "n_workers": int,
+    "fusion_enabled": bool}`` suitable for ``Executor(...)`` /
+    ``Database(morsel_rows=..., parallel_workers=..., fusion_enabled=...)``.
+    Vectors shorter than the knob list (e.g. the pre-fusion 2-dim
+    tuning vectors) keep working: missing trailing knobs take their spec
+    defaults. The fusion knob is continuous for the tuners but maps to a
+    boolean at 0.5.
     """
     knobs = list(knobs) if knobs is not None else executor_knobs()
     raw = [k.denormalize(u) for k, u in zip(knobs, unit_vector)]
-    return {
+    raw += [k.default for k in knobs[len(raw):]]
+    params = {
         "morsel_rows": max(1, int(round(raw[0]))),
         "n_workers": max(1, int(round(raw[1]))),
     }
+    if len(raw) >= 3:
+        params["fusion_enabled"] = bool(raw[2] >= 0.5)
+    return params
 
 
 class WorkloadProfile:

@@ -17,55 +17,23 @@ supplies the three pieces the executor's ``"parallel"`` mode builds on:
   morsel, never where its output lands.
 
 Configuration resolves in this order: explicit argument, environment
-variable (``REPRO_MORSEL_SIZE`` / ``REPRO_PARALLEL_WORKERS``), default.
+variable (``REPRO_MORSEL_SIZE`` / ``REPRO_PARALLEL_WORKERS``, both read
+by :mod:`repro.engine.config` — the engine's single env-reading site),
+default.
 """
 
-import os
 import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.common import ExecutionError
-
-#: Default morsel size, in rows (the HyPer paper's ballpark).
-DEFAULT_MORSEL_ROWS = 16384
-
-#: Hard floor on the morsel size knob — smaller morsels are all overhead.
-MIN_MORSEL_ROWS = 16
-
-
-def default_morsel_rows():
-    """Morsel size from ``REPRO_MORSEL_SIZE`` (default 16384 rows)."""
-    raw = os.environ.get("REPRO_MORSEL_SIZE")
-    if not raw:
-        return DEFAULT_MORSEL_ROWS
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ExecutionError(
-            "REPRO_MORSEL_SIZE must be an integer, got %r" % (raw,)
-        )
-    return max(MIN_MORSEL_ROWS, value)
-
-
-def default_worker_count():
-    """Worker count from ``REPRO_PARALLEL_WORKERS`` (default: CPU-derived).
-
-    The default is ``min(8, max(2, cpu_count))`` so the parallel machinery
-    is always exercised (even on one core) without oversubscribing wide
-    hosts for the small batches this engine processes.
-    """
-    raw = os.environ.get("REPRO_PARALLEL_WORKERS")
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError:
-            raise ExecutionError(
-                "REPRO_PARALLEL_WORKERS must be an integer, got %r" % (raw,)
-            )
-        return max(1, value)
-    return min(8, max(2, os.cpu_count() or 1))
+from repro.engine.config import (  # noqa: F401 - re-exported compat names
+    DEFAULT_MORSEL_ROWS,
+    MIN_MORSEL_ROWS,
+    default_morsel_rows,
+    default_worker_count,
+)
 
 
 def morsel_slices(n_rows, morsel_rows):

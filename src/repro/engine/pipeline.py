@@ -41,6 +41,7 @@ import time
 from collections import OrderedDict
 
 from repro.common import ParseError, PlanError
+from repro.engine.fusion import fuse_plan
 from repro.engine.sql.ast_nodes import (
     AnalyzeStmt,
     CreateIndexStmt,
@@ -54,6 +55,53 @@ from repro.engine.telemetry import PipelineTelemetry
 
 #: Pipeline stage names, in execution order.
 PIPELINE_STAGES = ("parse", "lower", "rewrite", "plan", "execute")
+
+
+class ExplainResult:
+    """Structured EXPLAIN output.
+
+    ``str()`` of an ExplainResult is exactly the classic indented plan
+    text (and ``==`` / ``in`` defer to it), so callers that treated
+    ``Database.explain`` as returning a string keep working unchanged.
+    The structured fields are the supported surface for tools:
+
+    Attributes:
+        text: the plan rendered by ``plan.pretty()``.
+        plan: the (unfused) :class:`~repro.engine.plans.PhysicalPlan`.
+        fused_ops: how many tail stages the executor's fusion pass will
+            collapse when this plan is executed (0 when fusion is off or
+            the tail is not fusible).
+        cache_hit: whether the plan came from the plan cache.
+    """
+
+    __slots__ = ("text", "plan", "fused_ops", "cache_hit")
+
+    def __init__(self, text, plan, fused_ops=0, cache_hit=False):
+        self.text = text
+        self.plan = plan
+        self.fused_ops = fused_ops
+        self.cache_hit = cache_hit
+
+    def __str__(self):
+        return self.text
+
+    def __contains__(self, needle):
+        return needle in self.text
+
+    def __eq__(self, other):
+        if isinstance(other, ExplainResult):
+            return self.text == other.text
+        if isinstance(other, str):
+            return self.text == other
+        return NotImplemented
+
+    def __hash__(self):
+        return hash(self.text)
+
+    def __repr__(self):
+        return "ExplainResult(cache_hit=%r, fused_ops=%d)" % (
+            self.cache_hit, self.fused_ops,
+        )
 
 
 class _CacheEntry:
@@ -272,7 +320,12 @@ class QueryPipeline:
         return self._run_query(query, PipelineTelemetry(), order=order)
 
     def explain(self, sql_text):
-        """Plan a SELECT (through the cache) without executing it."""
+        """Plan a SELECT (through the cache) without executing it.
+
+        Returns an :class:`ExplainResult`; its ``str()`` is the plan
+        text, and ``fused_ops`` previews what the executor's fusion pass
+        will collapse at execution time.
+        """
         telemetry = PipelineTelemetry()
         t0 = time.perf_counter()
         stmt = parse_sql(sql_text)
@@ -284,8 +337,16 @@ class QueryPipeline:
         telemetry.record_stage("lower", time.perf_counter() - t0)
         query = self._rewrite(query, telemetry)
         plan = self._plan(query, telemetry, order=None)
+        fused_ops = 0
+        if self.db.executor.fusion_enabled:
+            __, fused_ops = fuse_plan(plan)
         self._accumulate(telemetry)
-        return plan.pretty()
+        return ExplainResult(
+            text=plan.pretty(),
+            plan=plan,
+            fused_ops=fused_ops,
+            cache_hit=bool(telemetry.cache_hit),
+        )
 
     # -- stages ------------------------------------------------------------
     def _rewrite(self, query, telemetry):

@@ -233,6 +233,68 @@ class Limit(PhysicalPlan):
         return "Limit(%d)" % self.n
 
 
+class FusedPipelineOp(PhysicalPlan):
+    """A fused Filter→Project/Aggregate(→Limit) plan tail.
+
+    Produced by :func:`repro.engine.fusion.fuse_plan` at execution time —
+    never by the planner, so cached plans and cost estimates stay in
+    terms of the unfused operators. The executor evaluates predicate
+    mask, projection/aggregation, and limit in one pass over the source's
+    column arrays without materializing the intermediate filtered (or
+    projected) relation.
+
+    Exactly one of ``project_node``/``agg_node`` is set. ``predicates``
+    is the *effective* predicate list: either lifted off the source scan
+    or taken from an absorbed standalone ``Filter`` (``filter_node`` is
+    then non-None so the executor can keep charging work under the
+    ``Filter`` operator key). The fusion pass refuses tails that have
+    both, so one mask stage always suffices.
+    """
+
+    morsel_parallel = True  # mask + partial aggregation split per-morsel
+
+    def __init__(self, source, predicates=(), filter_node=None,
+                 project_node=None, agg_node=None, limit_node=None):
+        super().__init__([source])
+        if (project_node is None) == (agg_node is None):
+            raise PlanError(
+                "FusedPipelineOp needs exactly one of project_node/agg_node"
+            )
+        if filter_node is not None and list(filter_node.predicates) != list(predicates):
+            raise PlanError(
+                "an absorbed Filter must supply the fused predicate list"
+            )
+        self.predicates = list(predicates)
+        self.filter_node = filter_node
+        self.project_node = project_node
+        self.agg_node = agg_node
+        self.limit_node = limit_node
+
+    @property
+    def stages(self):
+        """Names of the absorbed pipeline stages, in evaluation order."""
+        names = []
+        if self.predicates:
+            names.append("Filter")
+        if self.agg_node is not None:
+            names.append("Aggregate")
+        if self.project_node is not None:
+            names.append("Project")
+            if self.project_node.distinct:
+                names.append("Distinct")
+        if self.limit_node is not None:
+            names.append("Limit")
+        return names
+
+    @property
+    def fused_ops(self):
+        """How many pipeline stages this node absorbed."""
+        return len(self.stages)
+
+    def describe(self):
+        return "FusedPipelineOp(%s)" % "→".join(self.stages)
+
+
 class EmptyResult(PhysicalPlan):
     """Plan node producing no rows (e.g., contradictory predicates)."""
 

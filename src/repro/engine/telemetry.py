@@ -36,15 +36,20 @@ class ExecutionTelemetry:
         workers: ``{worker_id: {"morsels": int, "steals": int,
             "seconds": float}}`` — per-worker totals across every parallel
             operator in the run (empty unless morsels were dispatched).
+        fused_ops: how many pipeline stages the executor's fusion pass
+            collapsed into a single ``FusedPipelineOp`` for this run (0
+            when fusion is disabled or the plan tail did not match).
         total_seconds: wall-clock time for the whole plan.
     """
 
-    __slots__ = ("mode", "operators", "workers", "total_seconds")
+    __slots__ = ("mode", "operators", "workers", "fused_ops",
+                 "total_seconds")
 
     def __init__(self, mode):
         self.mode = mode
         self.operators = {}
         self.workers = {}
+        self.fused_ops = 0
         self.total_seconds = 0.0
 
     def record(self, op_name, rows, seconds):
@@ -82,6 +87,7 @@ class ExecutionTelemetry:
         return {
             "mode": self.mode,
             "total_seconds": self.total_seconds,
+            "fused_ops": self.fused_ops,
             "operators": {
                 k: dict(v) for k, v in sorted(self.operators.items())
             },

@@ -1,0 +1,71 @@
+"""API-surface regression test for the public ``repro.engine`` package.
+
+Guards two properties: every name in ``repro.engine.__all__`` actually
+resolves (no stale exports after refactors), and the names this PR's API
+redesign promises — ``EngineConfig``, ``ExplainResult``,
+``FusedPipelineOp``, ``fuse_plan`` — stay exported alongside the
+long-standing surface the AI4DB/DB4AI layers import.
+"""
+
+import inspect
+
+import repro.engine as engine
+
+#: Names that must stay in ``repro.engine.__all__``; a superset check so
+#: additive growth does not churn this test.
+REQUIRED_EXPORTS = {
+    # schema / storage / stats
+    "ColumnSchema", "DataType", "TableSchema", "Table", "PAGE_BYTES",
+    "ColumnStats", "EquiDepthHistogram", "TableStats",
+    # query model + catalog
+    "Aggregate", "ConjunctiveQuery", "JoinEdge", "Predicate",
+    "Catalog", "IndexDef", "ViewDef",
+    # indexes
+    "BPlusTree", "HashIndex",
+    # execution + configuration (this PR's redesigned surface)
+    "EXECUTOR_MODES", "EngineConfig", "ExecutionResult", "Executor",
+    "ExplainResult", "FusedPipelineOp", "Relation", "count_join_rows",
+    "fuse_plan",
+    # pipeline + parallelism
+    "MorselPool", "MorselQueue", "morsel_slices",
+    "PIPELINE_STAGES", "PlanCache", "QueryPipeline",
+    # façade
+    "Database",
+    # knobs + transactions + helpers
+    "KnobSpec", "KnobResponseSimulator", "WorkloadProfile",
+    "default_knobs", "executor_knobs", "executor_params",
+    "standard_workloads",
+    "Transaction", "LockTableSimulator", "ScheduleResult",
+    "hotspot_workload", "fifo_schedule", "cost_ordered_schedule",
+    "datagen", "telemetry",
+}
+
+
+def test_all_names_resolve():
+    for name in engine.__all__:
+        assert getattr(engine, name, None) is not None, (
+            "repro.engine.__all__ exports %r but the attribute is missing"
+            % name
+        )
+
+
+def test_all_has_no_duplicates():
+    assert len(engine.__all__) == len(set(engine.__all__))
+
+
+def test_required_surface_present():
+    missing = REQUIRED_EXPORTS - set(engine.__all__)
+    assert not missing, "missing from repro.engine.__all__: %s" % sorted(
+        missing
+    )
+
+
+def test_new_exports_are_the_right_kinds():
+    assert inspect.isclass(engine.EngineConfig)
+    assert inspect.isclass(engine.ExplainResult)
+    assert inspect.isclass(engine.FusedPipelineOp)
+    assert callable(engine.fuse_plan)
+    # EngineConfig is the documented primary Database ctor argument.
+    sig = inspect.signature(engine.Database.__init__)
+    assert "config" in sig.parameters
+    assert "fusion_enabled" in sig.parameters

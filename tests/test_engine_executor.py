@@ -193,7 +193,7 @@ class TestDatabaseFacade:
             calls.append(query)
             return query
 
-        tiny_db.rewriter = rewriter
+        tiny_db.pipeline.rewriter = rewriter
         tiny_db.query("SELECT name FROM users")
         assert len(calls) == 1
 

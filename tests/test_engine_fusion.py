@@ -1,0 +1,302 @@
+"""Tests for operator fusion + the consolidated EngineConfig surface.
+
+Covers the fusion pass as a unit (which tails fuse, which are refused,
+how scan predicates lift), the fused execution path end to end (rows,
+work parity, telemetry), the structured ``ExplainResult``, and the
+``EngineConfig`` dataclass — including the contract that
+``Database(config=...)`` and the legacy per-knob kwargs wire identical
+engines.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.common import ExecutionError, ReproError
+from repro.engine import Database, EngineConfig, fuse_plan
+from repro.engine import plans as P
+from repro.engine.config import default_fusion_enabled
+from repro.engine.plans import PlanError
+from repro.engine.query import Aggregate, ConjunctiveQuery, Predicate
+
+
+def _populated(**kwargs):
+    db = Database(**kwargs)
+    db.execute("CREATE TABLE t (id INT, k INT, v FLOAT, tag TEXT)")
+    rows = ", ".join(
+        "(%d, %d, %.3f, 'g%d')" % (i, i % 7, (i * 37 % 100) / 10.0, i % 3)
+        for i in range(200)
+    )
+    db.execute("INSERT INTO t VALUES " + rows)
+    db.execute("ANALYZE")
+    return db
+
+
+FUSIBLE_SQL = "SELECT tag, COUNT(*), SUM(v) FROM t WHERE k < 5 GROUP BY tag"
+
+
+# ----------------------------------------------------------------------
+# EngineConfig: validation, immutability, env resolution
+# ----------------------------------------------------------------------
+class TestEngineConfig:
+    def test_defaults_are_valid(self):
+        cfg = EngineConfig()
+        assert cfg.executor_mode == "vectorized"
+        assert cfg.fusion_enabled is True
+
+    def test_frozen(self):
+        cfg = EngineConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.executor_mode = "row"
+
+    def test_with_changes_derives_a_new_config(self):
+        cfg = EngineConfig()
+        other = cfg.with_changes(executor_mode="row", fusion_enabled=False)
+        assert other.executor_mode == "row"
+        assert other.fusion_enabled is False
+        assert cfg.executor_mode == "vectorized"  # original untouched
+
+    def test_cost_params_copied_defensively(self):
+        params = {"cpu_tuple_cost": 2.0}
+        cfg = EngineConfig(cost_params=params)
+        params["cpu_tuple_cost"] = 99.0
+        assert cfg.cost_params["cpu_tuple_cost"] == 2.0
+
+    @pytest.mark.parametrize("bad_kwargs,exc", [
+        ({"executor_mode": "turbo"}, ExecutionError),
+        ({"enumerator": "exhaustive"}, ReproError),
+        ({"morsel_rows": 0}, ExecutionError),
+        ({"parallel_workers": 0}, ExecutionError),
+        ({"plan_cache_size": 0}, ReproError),
+    ])
+    def test_validation_errors(self, bad_kwargs, exc):
+        with pytest.raises(exc):
+            EngineConfig(**bad_kwargs)
+
+    def test_from_env_reads_repro_vars(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR_MODE", "row")
+        monkeypatch.setenv("REPRO_MORSEL_SIZE", "128")
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "2")
+        monkeypatch.setenv("REPRO_FUSION", "0")
+        cfg = EngineConfig.from_env()
+        assert cfg.executor_mode == "row"
+        assert cfg.morsel_rows == 128
+        assert cfg.parallel_workers == 2
+        assert cfg.fusion_enabled is False
+
+    def test_from_env_overrides_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR_MODE", "row")
+        monkeypatch.setenv("REPRO_FUSION", "off")
+        cfg = EngineConfig.from_env(executor_mode="parallel",
+                                    fusion_enabled=True)
+        assert cfg.executor_mode == "parallel"
+        assert cfg.fusion_enabled is True
+
+    def test_from_env_none_overrides_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR_MODE", "row")
+        cfg = EngineConfig.from_env(executor_mode=None)
+        assert cfg.executor_mode == "row"
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("0", False), ("false", False), ("OFF", False), ("no", False),
+        ("1", True), ("on", True), ("", True),
+    ])
+    def test_fusion_env_values(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_FUSION", raw)
+        assert default_fusion_enabled() is expected
+
+    def test_executor_kwargs_shape(self):
+        cfg = EngineConfig(executor_mode="parallel", morsel_rows=64,
+                           parallel_workers=3, fusion_enabled=False)
+        assert cfg.executor_kwargs() == {
+            "mode": "parallel", "morsel_rows": 64, "n_workers": 3,
+            "fusion_enabled": False,
+        }
+
+
+# ----------------------------------------------------------------------
+# Database(config=...) vs. legacy kwargs
+# ----------------------------------------------------------------------
+class TestConfigEquivalence:
+    def test_config_and_kwargs_wire_identical_engines(self):
+        cfg = EngineConfig(
+            executor_mode="parallel", morsel_rows=64, parallel_workers=3,
+            plan_cache_size=17, enumerator="greedy", use_views=False,
+            cost_params={"cpu_tuple_cost": 2.0}, fusion_enabled=False,
+        )
+        via_config = Database(config=cfg)
+        via_kwargs = Database(
+            executor_mode="parallel", morsel_rows=64, parallel_workers=3,
+            plan_cache_size=17, enumerator="greedy", use_views=False,
+            cost_params={"cpu_tuple_cost": 2.0}, fusion_enabled=False,
+        )
+        for db in (via_config, via_kwargs):
+            assert db.executor.mode == "parallel"
+            assert db.executor.morsel_rows == 64
+            assert db.executor.n_workers == 3
+            assert db.executor.fusion_enabled is False
+            assert db.planner.enumerator == "greedy"
+            assert db.planner.use_views is False
+            assert db.pipeline.plan_cache.capacity == 17
+            assert db.cost_model.params["cpu_tuple_cost"] == 2.0
+        assert via_config.config == via_kwargs.config
+
+    def test_mixing_config_and_kwargs_is_an_error(self):
+        with pytest.raises(ReproError, match="not both"):
+            Database(config=EngineConfig(), executor_mode="row")
+
+    def test_config_must_be_engineconfig(self):
+        with pytest.raises(ReproError, match="EngineConfig"):
+            Database(config={"executor_mode": "row"})
+
+    def test_config_property_is_read_only(self):
+        db = Database()
+        with pytest.raises(AttributeError):
+            db.config = EngineConfig()
+
+    def test_default_database_exposes_config(self):
+        db = Database(executor_mode="row")
+        assert isinstance(db.config, EngineConfig)
+        assert db.config.executor_mode == "row"
+
+
+# ----------------------------------------------------------------------
+# fuse_plan as a unit: what fuses, what is refused
+# ----------------------------------------------------------------------
+class TestFusePlan:
+    def test_scan_predicates_lift_into_fused_op(self):
+        pred = Predicate("t", "k", "<", 5)
+        plan = P.HashAggregate(
+            P.SeqScan("t", (pred,)), [("t", "tag")], [Aggregate("count")]
+        )
+        fused, n = fuse_plan(plan)
+        assert isinstance(fused, P.FusedPipelineOp)
+        assert n == fused.fused_ops == 2  # Filter + Aggregate stages
+        assert list(fused.predicates) == [pred]
+        source = fused.children[0]
+        assert isinstance(source, P.SeqScan)
+        assert list(source.predicates) == []  # stripped: the fused op masks
+
+    def test_standalone_filter_absorbed(self):
+        pred = Predicate("t", "k", "<", 5)
+        plan = P.Limit(
+            P.Project(P.Filter(P.SeqScan("t"), (pred,)), [("t", "tag")]),
+            3,
+        )
+        fused, n = fuse_plan(plan)
+        assert isinstance(fused, P.FusedPipelineOp)
+        assert fused.stages == ["Filter", "Project", "Limit"]
+        assert n == 3
+
+    def test_sort_in_tail_refused(self):
+        plan = P.Project(
+            P.Sort(P.SeqScan("t"), ("t", "k")), [("t", "k")], distinct=True
+        )
+        out, n = fuse_plan(plan)
+        assert out is plan and n == 0
+
+    def test_bare_project_not_worth_it(self):
+        plan = P.Project(P.SeqScan("t"), [("t", "k")])
+        out, n = fuse_plan(plan)
+        assert out is plan and n == 0
+
+    def test_two_mask_stages_refused(self):
+        """Pushed scan predicates + a standalone Filter: refuse."""
+        plan = P.HashAggregate(
+            P.Filter(
+                P.SeqScan("t", (Predicate("t", "k", "<", 5),)),
+                (Predicate("t", "v", ">", 1.0),),
+            ),
+            [], [Aggregate("count")],
+        )
+        out, n = fuse_plan(plan)
+        assert out is plan and n == 0
+
+    def test_empty_result_refused(self):
+        plan = P.Limit(P.EmptyResult([("t", "k")]), 3)
+        out, n = fuse_plan(plan)
+        assert out is plan and n == 0
+
+    def test_join_source_fuses(self):
+        from repro.engine.query import JoinEdge
+
+        join = P.HashJoin(P.SeqScan("a"), P.SeqScan("b"),
+                          [JoinEdge("a", "k", "b", "k")])
+        plan = P.HashAggregate(join, [], [Aggregate("count")])
+        fused, n = fuse_plan(plan)
+        assert isinstance(fused, P.FusedPipelineOp)
+        assert fused.children[0] is join
+
+    def test_fused_node_ctor_validation(self):
+        scan = P.SeqScan("t")
+        with pytest.raises(PlanError):
+            P.FusedPipelineOp(scan)  # neither project nor aggregate
+        with pytest.raises(PlanError):
+            P.FusedPipelineOp(
+                scan,
+                project_node=P.Project(scan, [("t", "k")]),
+                agg_node=P.HashAggregate(scan, [], [Aggregate("count")]),
+            )
+
+
+# ----------------------------------------------------------------------
+# Fused execution end to end: rows, parity, telemetry, EXPLAIN
+# ----------------------------------------------------------------------
+class TestFusedExecution:
+    def test_fused_matches_unfused_rows_and_work(self):
+        fused_db = _populated(fusion_enabled=True)
+        plain_db = _populated(fusion_enabled=False)
+        for sql in (
+            FUSIBLE_SQL,
+            "SELECT MIN(v), MAX(v), AVG(v) FROM t WHERE tag = 'g1'",
+            "SELECT DISTINCT tag FROM t WHERE k != 3",
+            "SELECT id, v FROM t WHERE v > 5.0 LIMIT 7",
+        ):
+            a = fused_db.execute(sql)
+            b = plain_db.execute(sql)
+            assert a.rows == b.rows, sql
+            assert a.work == b.work, sql
+            assert a.operator_work == b.operator_work, sql
+            assert a.telemetry.fused_ops > 0, sql
+            assert b.telemetry.fused_ops == 0, sql
+
+    def test_telemetry_summary_has_fused_ops(self):
+        db = _populated(fusion_enabled=True)
+        res = db.execute(FUSIBLE_SQL)
+        assert res.telemetry.summary()["fused_ops"] == res.telemetry.fused_ops
+
+    def test_repro_fusion_env_gates_default_database(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FUSION", "0")
+        db = _populated()
+        assert db.executor.fusion_enabled is False
+        assert db.execute(FUSIBLE_SQL).telemetry.fused_ops == 0
+
+    def test_explain_result_structure(self):
+        db = _populated(fusion_enabled=True)
+        res = db.explain(FUSIBLE_SQL)
+        # Back-compat: behaves like the classic plan text.
+        assert str(res) == res.text
+        assert "SeqScan" in res
+        assert res == res.text
+        # The plan itself stays unfused; fusion is previewed as a count.
+        assert not any(
+            isinstance(n, P.FusedPipelineOp) for n in res.plan.walk()
+        )
+        assert res.fused_ops > 0
+        assert res.cache_hit is False
+        assert db.explain(FUSIBLE_SQL).cache_hit is True
+
+    def test_explain_fused_ops_zero_when_disabled(self):
+        db = _populated(fusion_enabled=False)
+        assert db.explain(FUSIBLE_SQL).fused_ops == 0
+
+    def test_plan_cache_stays_unfused(self):
+        """Fusion must not leak into cached plans: a warm run through the
+        cache still reports fused_ops (i.e. fusion re-applies per
+        execution, not per plan)."""
+        db = _populated(fusion_enabled=True)
+        cold = db.execute(FUSIBLE_SQL)
+        warm = db.execute(FUSIBLE_SQL)
+        assert warm.pipeline_telemetry.cache_hit is True
+        assert warm.telemetry.fused_ops == cold.telemetry.fused_ops > 0
+        assert warm.rows == cold.rows

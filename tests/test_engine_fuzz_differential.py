@@ -5,11 +5,13 @@ TEXT and nullable-TEXT columns) and random conjunctive queries over them
 (equi-joins, predicates, GROUP BY, aggregates, ORDER BY, LIMIT — including
 LIMIT 0 — and DISTINCT). Every query runs under ``mode="row"``,
 ``mode="vectorized"``, and ``mode="parallel"`` (with a tiny morsel size so
-the worker pool really runs) and twice per mode, so the suite asserts:
+the worker pool really runs), each with operator fusion **on and off** —
+six mode×fusion configurations — and twice per configuration, so the
+suite asserts:
 
-* identical rows in identical order across all three modes,
-* bit-identical ``work`` and ``operator_work`` (the mode-independence
-  invariant the cost-gap experiments rely on),
+* identical rows in identical order across all six configurations,
+* bit-identical ``work`` and ``operator_work`` (the mode- and
+  fusion-independence invariant the cost-gap experiments rely on),
 * cold vs. warm plan cache parity (the second run must be a cache hit and
   observationally identical).
 
@@ -45,6 +47,13 @@ CASES_PER_CATALOG = max(1, N_CASES // len(CATALOG_SEEDS))
 MORSEL_ROWS = 64
 N_WORKERS = 3
 
+#: Every executor mode raced with operator fusion off and on.  The
+#: (row, fusion-off) configuration is the oracle everything else must match.
+CONFIGS = [
+    (mode, fusion) for mode in EXECUTOR_MODES for fusion in (False, True)
+]
+BASE_CONFIG = ("row", False)
+
 AGG_FUNCS = ("count", "sum", "avg", "min", "max")
 CMP_OPS = ("=", "!=", "<", "<=", ">", ">=")
 
@@ -61,9 +70,9 @@ def _make_schema(rng):
     }
 
 
-def _build_db(mode, seed):
-    """One database per (mode, seed); data identical across modes."""
-    kwargs = {"executor_mode": mode}
+def _build_db(mode, seed, fusion=True):
+    """One database per (mode, fusion, seed); data identical across all."""
+    kwargs = {"executor_mode": mode, "fusion_enabled": fusion}
     if mode == "parallel":
         kwargs.update(morsel_rows=MORSEL_ROWS, parallel_workers=N_WORKERS)
     db = Database(**kwargs)
@@ -173,8 +182,8 @@ def _approx_equal_rows(rows_a, rows_b):
 def test_fuzz_differential(catalog_seed):
     dbs = {}
     tables = None
-    for mode in EXECUTOR_MODES:
-        dbs[mode], tables = _build_db(mode, catalog_seed)
+    for cfg in CONFIGS:
+        dbs[cfg], tables = _build_db(cfg[0], catalog_seed, fusion=cfg[1])
     rng = random.Random(10_000 + catalog_seed)
     for case in range(CASES_PER_CATALOG):
         query = _random_query(rng, tables)
@@ -182,25 +191,36 @@ def test_fuzz_differential(catalog_seed):
             catalog_seed, case, query
         )
         cold, warm = {}, {}
-        for mode in EXECUTOR_MODES:
-            cold[mode] = dbs[mode].run_query_object(query)
-            warm[mode] = dbs[mode].run_query_object(query)
+        for cfg in CONFIGS:
+            cold[cfg] = dbs[cfg].run_query_object(query)
+            warm[cfg] = dbs[cfg].run_query_object(query)
             # Cold vs. warm: second run must hit the plan cache and be
             # observationally identical (same executor => exact equality).
-            assert warm[mode].pipeline_telemetry.cache_hit is True, label
-            assert warm[mode].rows == cold[mode].rows, label
-            assert warm[mode].work == cold[mode].work, label
-            assert warm[mode].operator_work == cold[mode].operator_work, label
-        base = cold["row"]
-        for mode in EXECUTOR_MODES:
-            if mode == "row":
+            assert warm[cfg].pipeline_telemetry.cache_hit is True, label
+            assert warm[cfg].rows == cold[cfg].rows, label
+            assert warm[cfg].work == cold[cfg].work, label
+            assert warm[cfg].operator_work == cold[cfg].operator_work, label
+        base = cold[BASE_CONFIG]
+        for cfg in CONFIGS:
+            if cfg == BASE_CONFIG:
                 continue
-            res = cold[mode]
+            mode, fusion = cfg
+            res = cold[cfg]
             assert res.columns == base.columns, label
-            assert _approx_equal_rows(res.rows, base.rows), (
-                "%s: %s rows diverge from row mode\nrow=%r\n%s=%r"
-                % (label, mode, base.rows[:10], mode, res.rows[:10])
-            )
+            if mode == "row":
+                # Same interpreter, same fold order: fusion must be
+                # bit-identical, not just approximately equal.
+                assert res.rows == base.rows, (
+                    "%s: row-mode fusion diverges\nbase=%r\nfused=%r"
+                    % (label, base.rows[:10], res.rows[:10])
+                )
+            else:
+                assert _approx_equal_rows(res.rows, base.rows), (
+                    "%s: %s/fusion=%s rows diverge from row mode\n"
+                    "row=%r\n%s=%r"
+                    % (label, mode, fusion, base.rows[:10], mode,
+                       res.rows[:10])
+                )
             assert res.work == base.work, label
             assert res.operator_work == base.operator_work, label
 
@@ -218,26 +238,26 @@ class TestEdgeCases:
 
     def _mode_dbs(self, build):
         dbs = {}
-        for mode in EXECUTOR_MODES:
-            kwargs = {"executor_mode": mode}
+        for mode, fusion in CONFIGS:
+            kwargs = {"executor_mode": mode, "fusion_enabled": fusion}
             if mode == "parallel":
                 kwargs.update(morsel_rows=MORSEL_ROWS,
                               parallel_workers=N_WORKERS)
             db = Database(**kwargs)
             build(db)
-            dbs[mode] = db
+            dbs[(mode, fusion)] = db
         return dbs
 
     def _assert_parity(self, dbs, query):
-        base = dbs["row"].run_query_object(query)
-        for mode in EXECUTOR_MODES:
-            if mode == "row":
+        base = dbs[BASE_CONFIG].run_query_object(query)
+        for cfg in CONFIGS:
+            if cfg == BASE_CONFIG:
                 continue
-            res = dbs[mode].run_query_object(query)
-            assert res.columns == base.columns, mode
-            assert _approx_equal_rows(res.rows, base.rows), mode
-            assert res.work == base.work, mode
-            assert res.operator_work == base.operator_work, mode
+            res = dbs[cfg].run_query_object(query)
+            assert res.columns == base.columns, cfg
+            assert _approx_equal_rows(res.rows, base.rows), cfg
+            assert res.work == base.work, cfg
+            assert res.operator_work == base.operator_work, cfg
         return base
 
     @staticmethod
@@ -314,13 +334,13 @@ class TestEdgeCases:
 
         dbs = self._mode_dbs(self._null_build)
         results = {}
-        for mode, db in dbs.items():
+        for cfg, db in dbs.items():
             ex = db.executor
             plan = P.Limit(P.SeqScan("e"), 0)
-            results[mode] = ex.execute(plan)
-        for mode, res in results.items():
-            assert res.rows == [], mode
-            assert res.work == results["row"].work, mode
+            results[cfg] = ex.execute(plan)
+        for cfg, res in results.items():
+            assert res.rows == [], cfg
+            assert res.work == results[BASE_CONFIG].work, cfg
 
     def test_analyze_nullable_text_column(self):
         """Regression: ANALYZE over a nullable TEXT column must not crash
@@ -348,3 +368,16 @@ def test_parallel_mode_actually_splits_morsels():
             v["morsels"] for v in res.telemetry.operators.values()
         )
     assert dispatched > 0
+
+
+def test_fusion_actually_fires_on_fuzz_workload():
+    """Meta-check: the generated queries include fusible tails, so the
+    fusion=True half of the matrix is not vacuously equal to fusion=False."""
+    fused_hits = 0
+    for mode in EXECUTOR_MODES:
+        db, tables = _build_db(mode, 0, fusion=True)
+        rng = random.Random(4242)
+        for __ in range(20):
+            res = db.run_query_object(_random_query(rng, tables))
+            fused_hits += res.telemetry.fused_ops
+    assert fused_hits > 0

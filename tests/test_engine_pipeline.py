@@ -7,6 +7,8 @@ must be invalidated by every catalog mutation (INSERT / CREATE INDEX /
 ANALYZE / DDL) — no test may ever observe a stale plan.
 """
 
+import warnings
+
 import pytest
 
 from repro.common import PlanError
@@ -390,7 +392,8 @@ class TestShims:
             calls.append(query)
             return query
 
-        db.rewriter = rewriter
+        with pytest.warns(DeprecationWarning, match="db.pipeline.rewriter"):
+            db.rewriter = rewriter
         assert db.pipeline.rewriter is rewriter
         db.query("SELECT COUNT(*) FROM users")
         q = ConjunctiveQuery(tables=["users"],
@@ -401,8 +404,22 @@ class TestShims:
     def test_setting_rewriter_clears_plan_cache(self, db):
         db.query("SELECT COUNT(*) FROM users")
         assert len(db.pipeline.plan_cache) == 1
-        db.rewriter = lambda q: q
+        with pytest.warns(DeprecationWarning):
+            db.rewriter = lambda q: q
         assert len(db.pipeline.plan_cache) == 0
+
+    def test_statement_hooks_setter_warns_but_works(self, db):
+        hook = lambda d, text: None  # noqa: E731
+        with pytest.warns(
+            DeprecationWarning, match="db.pipeline.statement_hooks"
+        ):
+            db.statement_hooks = [hook]
+        assert db.pipeline.statement_hooks == [hook]
+        # Reading the shims (the common path) stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert db.statement_hooks == [hook]
+            assert db.rewriter is None
 
     def test_stage_hooks_observe_and_replace(self, db):
         seen = {stage: 0 for stage in PIPELINE_STAGES}

@@ -126,7 +126,7 @@ class TestEndToEndIntegration:
         )
 
         rules = default_rules()
-        star_db.rewriter = lambda q: apply_rules_fixed_order(
+        star_db.pipeline.rewriter = lambda q: apply_rules_fixed_order(
             q, rules, catalog=star_db.catalog
         )[0]
         q = star_workload[0]
