@@ -4,12 +4,17 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test fuzz bench bench-fusion bench-json
+.PHONY: test lint fuzz bench bench-fusion bench-feedback bench-json
 
 # Tier-1 suite (fast; slow-marked full-size benchmarks are deselected by
-# the pytest addopts default).
-test:
+# the pytest addopts default). Lints first — a lint finding fails the run.
+test: lint
 	python -m pytest -x -q
+
+# Static lint over the whole tree. Uses ruff/pyflakes when installed,
+# otherwise the bundled dependency-free AST checker in tools/lint.py.
+lint:
+	python tools/lint.py src tests benchmarks tools
 
 # Differential query fuzzer with a larger case budget than tier-1's ~200.
 # Override the budget: make fuzz FUZZ_CASES=5000
@@ -26,9 +31,16 @@ bench:
 bench-fusion:
 	python -m pytest benchmarks/bench_p4_fusion.py -q -m ''
 
+# Cardinality-feedback benchmark alone (q-error before/after feedback and
+# the drift-driven join-order replan), regenerating BENCH_P5.json.
+bench-feedback:
+	python -m pytest benchmarks/bench_p5_feedback.py -q -m ''
+	python benchmarks/bench_p5_feedback.py
+
 # Regenerate the committed BENCH_P*.json artifacts at full size.
 bench-json:
 	python benchmarks/bench_p1_executor.py
 	python benchmarks/bench_p2_pipeline.py
 	python benchmarks/bench_p3_morsels.py
 	python benchmarks/bench_p4_fusion.py
+	python benchmarks/bench_p5_feedback.py

@@ -17,7 +17,6 @@ advisors the tutorial cites ([30], [50], [65]) interact with the engine.
 
 import numpy as np
 
-from repro.common import ensure_rng
 from repro.engine.optimizer.planner import Planner
 from repro.ml import QLearningAgent, RandomForestClassifier
 

@@ -18,7 +18,6 @@ the "single column mostly" tradition the paper calls out.
 
 import numpy as np
 
-from repro.common import ensure_rng
 from repro.ml import QLearningAgent
 
 

@@ -7,9 +7,7 @@ the classic view-selection knapsack; Han et al. [21] attack it with deep
 RL for dynamic workloads, greedy benefit-per-byte is the static baseline.
 """
 
-import numpy as np
 
-from repro.common import ensure_rng
 from repro.engine.catalog import ViewDef
 from repro.engine.optimizer.planner import Planner
 from repro.engine.query import ConjunctiveQuery

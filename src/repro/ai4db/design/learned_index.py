@@ -16,7 +16,7 @@ import bisect
 
 import numpy as np
 
-from repro.common import ModelError, ensure_rng
+from repro.common import ModelError
 
 
 class BinarySearchIndex:

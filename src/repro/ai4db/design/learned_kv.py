@@ -22,7 +22,7 @@ import math
 
 import numpy as np
 
-from repro.common import ModelError, ensure_rng
+from repro.common import ModelError
 
 
 class KVWorkload:

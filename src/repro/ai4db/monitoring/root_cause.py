@@ -10,7 +10,7 @@ accuracy with a handful of labels where the rule baseline is fixed.
 
 import numpy as np
 
-from repro.common import ModelError, NotFittedError, ensure_rng
+from repro.common import NotFittedError, ensure_rng
 from repro.engine.telemetry import KPI_NAMES, ROOT_CAUSES
 from repro.ml import KMeans
 

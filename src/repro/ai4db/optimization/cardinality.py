@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.common import ModelError, NotFittedError, ensure_rng
 from repro.engine.optimizer.cardinality import CardinalityEstimator
+from repro.engine.optimizer.feedback import induced_subquery
 from repro.engine.query import ConjunctiveQuery, Predicate
 from repro.engine.types import DataType
 from repro.ml import MLPRegressor
@@ -123,16 +124,57 @@ class LearnedCardinalityEstimator(CardinalityEstimator):
         self.featurizer = featurizer
         self.model = MLPRegressor(hidden=hidden, epochs=epochs, lr=lr, seed=seed)
         self._fitted = False
+        self._base_queries = []
+        self._base_cards = []
 
-    def fit(self, queries, true_cardinalities):
-        """Train on queries with oracle (or executed) cardinalities."""
-        if len(queries) != len(true_cardinalities):
-            raise ModelError("queries and cardinalities must align")
+    def _fit(self, queries, true_cardinalities):
         X = np.stack([self.featurizer.featurize(q) for q in queries])
         y = np.log1p(np.maximum(np.asarray(true_cardinalities, dtype=float), 0.0))
         self.model.fit(X, y)
         self._fitted = True
+
+    def fit(self, queries, true_cardinalities):
+        """Train on queries with oracle (or executed) cardinalities.
+
+        The training set is stashed as the *base* corpus so later
+        :meth:`refit_from_feedback` calls can retrain on base + observed
+        pairs without the caller re-supplying the originals.
+        """
+        if len(queries) != len(true_cardinalities):
+            raise ModelError("queries and cardinalities must align")
+        self._base_queries = list(queries)
+        self._base_cards = list(true_cardinalities)
+        self._fit(self._base_queries, self._base_cards)
         return self
+
+    def refit_from_feedback(self, store):
+        """Retrain on the base corpus plus a feedback store's observations.
+
+        Args:
+            store: a :class:`~repro.engine.optimizer.feedback.
+                QueryFeedbackStore` whose remembered (sub-query → actual
+                cardinality) pairs extend the training set. Out-of-vocab
+                observations (tables the featurizer never saw) are
+                skipped.
+
+        Returns:
+            the number of feedback pairs actually used.
+        """
+        fb_queries, fb_cards = store.pairs()
+        used_q, used_c = [], []
+        for q, card in zip(fb_queries, fb_cards):
+            try:
+                self.featurizer.featurize(q)
+            except ModelError:
+                continue
+            used_q.append(q)
+            used_c.append(card)
+        if not used_q and not self._base_queries:
+            raise NotFittedError(
+                "refit_from_feedback needs a base fit or usable feedback"
+            )
+        self._fit(self._base_queries + used_q, self._base_cards + used_c)
+        return len(used_q)
 
     def predict(self, queries):
         """Estimated cardinalities for a list of queries."""
@@ -143,17 +185,8 @@ class LearnedCardinalityEstimator(CardinalityEstimator):
 
     # -- CardinalityEstimator contract ---------------------------------
     def _induced_subquery(self, query, tables):
-        subset = {t.lower() for t in tables}
-        sub_tables = [t for t in query.tables if t.lower() in subset]
-        sub_edges = [
-            e
-            for e in query.join_edges
-            if e.left_table.lower() in subset and e.right_table.lower() in subset
-        ]
-        sub_preds = [p for p in query.predicates if p.table.lower() in subset]
-        return ConjunctiveQuery(
-            tables=sub_tables, join_edges=sub_edges, predicates=sub_preds
-        )
+        # Shared with the feedback store so sub-query signatures agree.
+        return induced_subquery(query, tables)
 
     def estimate_table(self, query, table):
         return self.estimate_subset(query, [table])

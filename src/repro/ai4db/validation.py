@@ -24,9 +24,9 @@ questions this module answers concretely:
 
 import numpy as np
 
-from repro.common import ModelError, ensure_rng
+from repro.common import ModelError
 from repro.engine.optimizer.cardinality import CardinalityEstimator
-from repro.ml import q_error, q_error_summary
+from repro.ml import q_error_summary
 
 
 class ValidatedEstimator(CardinalityEstimator):

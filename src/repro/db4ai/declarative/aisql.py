@@ -23,12 +23,11 @@ import numpy as np
 
 from repro.common import ParseError
 from repro.engine.query import ConjunctiveQuery, Predicate
-from repro.engine.sql.lexer import Token, TokenType, tokenize
+from repro.engine.sql.lexer import TokenType, tokenize
 from repro.engine.types import DataType
 from repro.db4ai.training.registry import ModelRegistry
 from repro.ml import (
     LinearRegression,
-    LogisticRegression,
     MLPClassifier,
     MLPRegressor,
     StandardScaler,

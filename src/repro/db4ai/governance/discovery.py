@@ -15,7 +15,7 @@ import re
 import networkx as nx
 import numpy as np
 
-from repro.common import CatalogError, ensure_rng
+from repro.common import CatalogError
 from repro.engine.types import DataType
 
 _N_HASHES = 64

@@ -22,7 +22,7 @@ import numpy as np
 from repro.common import ReproError, ensure_rng
 from repro.engine.database import Database
 from repro.engine.datagen import zipf_integers
-from repro.engine.query import ConjunctiveQuery, Predicate
+from repro.engine.query import ConjunctiveQuery
 from repro.engine.storage import Table
 from repro.engine.types import ColumnSchema, DataType, TableSchema
 from repro.ml import LogisticRegression, MLPRegressor, StandardScaler

@@ -16,7 +16,7 @@ import copy
 
 import numpy as np
 
-from repro.common import ModelError, ensure_rng
+from repro.common import ModelError
 from repro.ml.mlp import MLP, Adam
 
 

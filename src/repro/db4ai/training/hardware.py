@@ -10,8 +10,6 @@ This analytic model reproduces those crossovers from first principles:
 ``time = layout-dependent scan + transfer + device compute``, per device.
 """
 
-import numpy as np
-
 from repro.common import ReproError
 
 

@@ -22,6 +22,16 @@ from repro.engine.executor import (
 )
 from repro.engine.fusion import fuse_plan
 from repro.engine.morsels import MorselPool, MorselQueue, morsel_slices
+from repro.engine.operators import (
+    ColumnarRelation,
+    PhysicalOperator,
+    operator_for,
+    registered_node_types,
+)
+from repro.engine.optimizer.feedback import (
+    FeedbackCorrectedEstimator,
+    QueryFeedbackStore,
+)
 from repro.engine.pipeline import (
     PIPELINE_STAGES,
     ExplainResult,
@@ -74,6 +84,12 @@ __all__ = [
     "ExplainResult",
     "FusedPipelineOp",
     "Relation",
+    "ColumnarRelation",
+    "PhysicalOperator",
+    "operator_for",
+    "registered_node_types",
+    "FeedbackCorrectedEstimator",
+    "QueryFeedbackStore",
     "count_join_rows",
     "fuse_plan",
     "MorselPool",

@@ -6,13 +6,11 @@ materialized views, ANALYZE refreshes the statistics the traditional
 optimizer estimates from.
 """
 
-import numpy as np
-
 from repro.common import CatalogError
 from repro.engine.indexes import BPlusTree, HashIndex
 from repro.engine.stats import TableStats
-from repro.engine.storage import VALUE_BYTES, Table
-from repro.engine.types import ColumnSchema, DataType, TableSchema
+from repro.engine.storage import Table
+from repro.engine.types import ColumnSchema, TableSchema
 
 
 class IndexDef:

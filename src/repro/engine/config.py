@@ -17,6 +17,8 @@ environment variable      field                        default
 ``REPRO_PARALLEL_WORKERS`` ``parallel_workers``        CPU-derived
 ``REPRO_FUSION``          ``fusion_enabled``           on (``0``/``off``
                                                        disables)
+``REPRO_FEEDBACK``        ``feedback_enabled``         off (``1``/``on``
+                                                       enables)
 ======================== ============================ ====================
 
 This module sits at the bottom of the engine's import graph (it imports
@@ -94,6 +96,21 @@ def default_fusion_enabled():
     return raw.strip().lower() not in _FALSEY
 
 
+def default_feedback_enabled():
+    """Cardinality-feedback gate from ``REPRO_FEEDBACK`` (default off).
+
+    Off by default because feedback deliberately changes planning over
+    time: observed actuals override estimates and drift bumps the plan
+    cache's feedback version. Experiments that assume frozen estimator
+    behavior (and the differential fuzzer's warm-cache assertions) stay
+    byte-stable unless feedback is opted into.
+    """
+    raw = os.environ.get("REPRO_FEEDBACK")
+    if raw is None or raw == "":
+        return False
+    return raw.strip().lower() not in _FALSEY
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Every engine knob, in one immutable value.
@@ -114,6 +131,12 @@ class EngineConfig:
         fusion_enabled: whether the executor collapses
             Filter→Project→Aggregate plan tails into a single
             :class:`~repro.engine.plans.FusedPipelineOp` pass.
+        feedback_enabled: whether the database closes the cardinality
+            feedback loop — ingesting per-node actual cardinalities into
+            a :class:`~repro.engine.optimizer.feedback.QueryFeedbackStore`
+            after each execution, correcting the planner's estimator
+            from observed actuals, and keying the plan cache on the
+            feedback version so drifted estimates trigger re-planning.
     """
 
     executor_mode: str = EXECUTOR_MODES[0]
@@ -124,6 +147,7 @@ class EngineConfig:
     use_views: bool = True
     cost_params: dict = field(default=None)
     fusion_enabled: bool = True
+    feedback_enabled: bool = False
 
     def __post_init__(self):
         if self.executor_mode not in EXECUTOR_MODES:
@@ -160,6 +184,7 @@ class EngineConfig:
             "morsel_rows": default_morsel_rows(),
             "parallel_workers": default_worker_count(),
             "fusion_enabled": default_fusion_enabled(),
+            "feedback_enabled": default_feedback_enabled(),
         }
         for key, value in overrides.items():
             if value is not None:

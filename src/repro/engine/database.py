@@ -32,6 +32,10 @@ from repro.engine.catalog import Catalog
 from repro.engine.config import EngineConfig
 from repro.engine.executor import Executor, count_join_rows
 from repro.engine.optimizer.cost import CostModel
+from repro.engine.optimizer.feedback import (
+    FeedbackCorrectedEstimator,
+    QueryFeedbackStore,
+)
 from repro.engine.optimizer.planner import Planner
 from repro.engine.pipeline import QueryPipeline
 
@@ -58,12 +62,15 @@ class Database:
             ``REPRO_PARALLEL_WORKERS``, default CPU-derived).
         fusion_enabled: whether the executor fuses eligible plan tails
             (``None`` reads ``REPRO_FUSION``, default on).
+        feedback_enabled: whether executed actual cardinalities feed back
+            into the planner's estimator and the plan cache's feedback
+            version (``None`` reads ``REPRO_FEEDBACK``, default off).
     """
 
     def __init__(self, config=None, *, enumerator=None, use_views=None,
                  cost_params=None, executor_mode=None, plan_cache_size=None,
                  morsel_rows=None, parallel_workers=None,
-                 fusion_enabled=None):
+                 fusion_enabled=None, feedback_enabled=None):
         overrides = {
             "enumerator": enumerator,
             "use_views": use_views,
@@ -73,6 +80,7 @@ class Database:
             "morsel_rows": morsel_rows,
             "parallel_workers": parallel_workers,
             "fusion_enabled": fusion_enabled,
+            "feedback_enabled": feedback_enabled,
         }
         passed = sorted(k for k, v in overrides.items() if v is not None)
         if config is not None:
@@ -100,6 +108,14 @@ class Database:
         self.executor = Executor(
             self.catalog, self.cost_model, **config.executor_kwargs()
         )
+        self.feedback = None
+        if config.feedback_enabled:
+            self.feedback = QueryFeedbackStore()
+            # The planner keeps its base estimator; the wrapper overrides
+            # estimates with observed actuals on exact sub-query hits.
+            self.planner.estimator = FeedbackCorrectedEstimator(
+                self.planner.estimator, self.feedback
+            )
         self.pipeline = QueryPipeline(
             self, plan_cache_size=config.plan_cache_size
         )
@@ -108,6 +124,16 @@ class Database:
     def config(self):
         """The frozen :class:`EngineConfig` this engine was built from."""
         return self._config
+
+    @property
+    def feedback_version(self):
+        """The feedback store's drift generation (0 when feedback is off).
+
+        Part of the plan cache's invalidation token: cached plans hit
+        only while both the catalog epoch and the feedback version they
+        were planned under are current.
+        """
+        return 0 if self.feedback is None else self.feedback.version
 
     # -- deprecated back-compat shims onto the pipeline -----------------
     @property
@@ -171,6 +197,17 @@ class Database:
         flag.
         """
         return self.pipeline.explain(sql_text)
+
+    def explain_analyze(self, sql_text):
+        """Execute a SELECT and report estimated vs actual rows per node.
+
+        Returns an :class:`~repro.engine.pipeline.ExplainResult` whose
+        text renders the plan with each node's planner-estimated rows,
+        executor-counted actual rows, and q-error, and whose
+        ``node_stats``/``result`` fields carry the structured records and
+        the :class:`~repro.engine.executor.ExecutionResult`.
+        """
+        return self.pipeline.explain_analyze(sql_text)
 
     def run_query_object(self, query, order=None):
         """Plan and execute a structured :class:`ConjunctiveQuery` directly."""

@@ -1,4 +1,4 @@
-"""Plan executor: a vectorized columnar engine plus a row interpreter.
+"""Plan executor: a thin driver over the physical-operator layer.
 
 Interprets a physical plan over the catalog, producing rows *and* an exact
 work measurement. Work is computed with the same formulas as the analytic
@@ -9,43 +9,45 @@ cost model but on the **actual** cardinalities observed at run time, so:
   the damage done by cardinality misestimation — the quantity the learned
   optimizer experiments report.
 
+The operator implementations live in :mod:`repro.engine.operators`, one
+module per operator family, each exposing up to three evaluation backends
+behind the uniform :class:`~repro.engine.operators.PhysicalOperator`
+interface. The executor resolves ``plan node → operator → backend`` and
+supplies the evaluation context: catalog, cost model, work accounting,
+per-node actual-row counters, and the morsel-parallel plumbing.
+
 Three execution modes share the plan contract and the work accounting:
 
 * ``"vectorized"`` (the default) keeps every intermediate result columnar —
-  NumPy arrays end-to-end. Predicates compile to one boolean mask, joins
-  factorize their keys and gather matched row ids with fancy indexing,
-  aggregation groups with a stable argsort + ``reduceat``, sort/limit/
-  project operate on whole arrays.
+  NumPy arrays end-to-end, via each operator's ``vectorized`` backend.
 * ``"parallel"`` is the vectorized engine with morsel-driven parallelism:
-  large batches are split into fixed-size morsels
-  (:mod:`repro.engine.morsels`) that a work-stealing thread pool evaluates
-  concurrently for filters, hash-join probes, partial aggregation, and
-  DISTINCT pre-deduplication; sort/limit/distinct-merge stay
-  single-threaded so output order is deterministic. Per-morsel results are
-  merged **in morsel order**, so scheduling never leaks into results.
+  operators' ``morsel`` backends split large batches into fixed-size
+  morsels (:mod:`repro.engine.morsels`) that a work-stealing thread pool
+  evaluates concurrently for filters, hash-join probes, partial
+  aggregation, and DISTINCT pre-deduplication; sort/limit/distinct-merge
+  stay single-threaded so output order is deterministic. Per-morsel
+  results are merged **in morsel order**, so scheduling never leaks into
+  results.
 * ``"row"`` is the original tuple-at-a-time interpreter, kept for
   differential testing and as an executable specification.
 
 The modes are *observationally identical*: same rows, in the same
-order (vectorized operators deliberately reproduce the interpreter's
-output order, including hash-join probe order, group first-appearance
-order, stable sorts, and DISTINCT first-occurrence semantics), and the
-same ``work``/``operator_work`` numbers — work is charged from observed
-cardinalities, never from implementation details, which is what keeps
-"cost gap == misestimation damage" true in every mode.
+order, the same ``work``/``operator_work`` numbers — work is charged from
+observed cardinalities, never from implementation details, which is what
+keeps "cost gap == misestimation damage" true in every mode — and the
+same per-node ``actual_rows`` counters, which feed the EXPLAIN ANALYZE
+view and the optimizer's cardinality-feedback loop.
 
 Results are fully materialized (these are analytics-scale experiments, not
 a streaming engine).
 """
 
-import operator
 import threading
 import time
 
 import numpy as np
 
 from repro.common import ExecutionError
-from repro.engine import plans as P
 from repro.engine.config import (  # noqa: F401 - EXECUTOR_MODES re-exported
     EXECUTOR_MODES,
     default_fusion_enabled,
@@ -57,323 +59,23 @@ from repro.engine.morsels import (
     default_worker_count,
     morsel_slices,
 )
+from repro.engine.operators import (  # noqa: F401 - relations re-exported
+    OPS,
+    ColumnarRelation,
+    Relation,
+    operator_for,
+)
+from repro.engine.operators.kernels import (
+    cross_indices,
+    join_indices,
+    predicate_mask,
+)
 from repro.engine.optimizer.cost import CostModel
-from repro.engine.telemetry import ExecutionTelemetry
+from repro.engine.telemetry import ExecutionTelemetry, q_error
 
-_OPS = {
-    "=": operator.eq,
-    "!=": operator.ne,
-    "<": operator.lt,
-    "<=": operator.le,
-    ">": operator.gt,
-    ">=": operator.ge,
-}
-
-#: Sentinel distinguishing "no value seen yet" from a stored ``None`` in
-#: the row-mode fused aggregation accumulators.
-_UNSET = object()
-
-
-class Relation:
-    """An intermediate result: column labels plus materialized rows.
-
-    Attributes:
-        columns: list of ``(table, column)`` labels (lowercased).
-        rows: list of tuples aligned with ``columns``.
-    """
-
-    __slots__ = ("columns", "rows", "_index")
-
-    def __init__(self, columns, rows):
-        self.columns = [(t.lower(), c.lower()) for t, c in columns]
-        self.rows = rows
-        self._index = {tc: i for i, tc in enumerate(self.columns)}
-
-    def col_pos(self, table, column):
-        """Position of ``table.column`` in each row tuple."""
-        key = (table.lower(), column.lower())
-        if key not in self._index:
-            raise ExecutionError(
-                "intermediate result has no column %s.%s" % (table, column)
-            )
-        return self._index[key]
-
-    def __len__(self):
-        return len(self.rows)
-
-
-class ColumnarRelation:
-    """An intermediate result carried as aligned NumPy column arrays.
-
-    The vectorized twin of :class:`Relation`: ``arrays[i]`` holds every
-    value of ``columns[i]``. Operators produce new ``ColumnarRelation``
-    batches via masks and fancy indexing; rows are only materialized when
-    the final result is converted with :meth:`to_relation`.
-    """
-
-    __slots__ = ("columns", "arrays", "_index", "_n")
-
-    def __init__(self, columns, arrays, n_rows=None):
-        self.columns = [(t.lower(), c.lower()) for t, c in columns]
-        self.arrays = list(arrays)
-        self._index = {tc: i for i, tc in enumerate(self.columns)}
-        if n_rows is not None:
-            self._n = int(n_rows)
-        else:
-            self._n = len(self.arrays[0]) if self.arrays else 0
-
-    def col_pos(self, table, column):
-        """Position of ``table.column`` in :attr:`arrays`."""
-        key = (table.lower(), column.lower())
-        if key not in self._index:
-            raise ExecutionError(
-                "intermediate result has no column %s.%s" % (table, column)
-            )
-        return self._index[key]
-
-    def take(self, selector):
-        """A new relation holding the rows picked by a mask or index array."""
-        arrays = [a[selector] for a in self.arrays]
-        return ColumnarRelation(self.columns, arrays)
-
-    def to_relation(self):
-        """Materialize as a row :class:`Relation` (Python scalar tuples)."""
-        if not self.arrays or self._n == 0:
-            return Relation(self.columns, [])
-        return Relation(
-            self.columns, list(zip(*(a.tolist() for a in self.arrays)))
-        )
-
-    def __len__(self):
-        return self._n
-
-
-# ----------------------------------------------------------------------
-# Vectorized kernels shared by the executor and count_join_rows
-# ----------------------------------------------------------------------
-def _column_codes(arr):
-    """Dense int64 codes for one column (equal values ⇒ equal codes).
-
-    Non-object dtypes use ``np.unique``. Object columns (TEXT, nullable)
-    use a first-appearance dict instead: sort-based ``np.unique`` would
-    try to order the values and raise ``TypeError`` on ``None`` or mixed
-    types, while dict equality matches the row interpreter's hash-based
-    semantics exactly (``None == None`` groups/joins, no ordering needed).
-    """
-    if arr.dtype == object:
-        codes = np.empty(len(arr), dtype=np.int64)
-        seen = {}
-        for i, value in enumerate(arr):
-            code = seen.get(value)
-            if code is None:
-                code = seen[value] = len(seen)
-            codes[i] = code
-        return codes
-    __, inv = np.unique(arr, return_inverse=True)
-    return np.ascontiguousarray(inv, dtype=np.int64).ravel()
-
-
-def _factorize(columns):
-    """Dense int64 codes identifying each row's tuple over ``columns``.
-
-    Rows with equal key tuples receive equal codes; codes are compacted
-    after every column so multi-column keys cannot overflow.
-    """
-    codes = None
-    for arr in columns:
-        inv = _column_codes(arr)
-        if codes is None:
-            codes = inv
-        else:
-            width = int(inv.max()) + 1 if len(inv) else 1
-            codes = codes * width + inv
-            __, codes = np.unique(codes, return_inverse=True)
-            codes = np.ascontiguousarray(codes, dtype=np.int64).ravel()
-    return codes
-
-
-def _join_build(left_cols, right_cols):
-    """Build phase of the factorized equi-join: shared key codes.
-
-    Factorizes the concatenated key columns once (so left and right codes
-    are consistent) and sorts the right side. Returns
-    ``(left_codes, right_codes_sorted, right_order)`` — everything a probe
-    needs; probes over disjoint left ranges are independent, which is what
-    the parallel executor exploits.
-    """
-    nl = len(left_cols[0])
-    codes = _factorize(
-        [np.concatenate([l, r]) for l, r in zip(left_cols, right_cols)]
-    )
-    lc, rc = codes[:nl], codes[nl:]
-    order = np.argsort(rc, kind="stable")
-    return lc, rc[order], order
-
-
-def _join_probe(lc, rc_sorted, order, base=0):
-    """Probe phase: row-id pairs for probe codes ``lc``.
-
-    ``base`` offsets the emitted left row ids, so a morsel covering
-    ``lc[start:stop]`` passes ``base=start`` and the concatenation of
-    per-morsel outputs (in morsel order) equals the monolithic probe.
-    """
-    nl = len(lc)
-    empty = np.empty(0, dtype=np.int64)
-    starts = np.searchsorted(rc_sorted, lc, side="left")
-    counts = np.searchsorted(rc_sorted, lc, side="right") - starts
-    total = int(counts.sum())
-    il = np.repeat(np.arange(base, base + nl, dtype=np.int64), counts)
-    if total == 0:
-        return il, empty
-    offsets = np.cumsum(counts) - counts
-    pos = (
-        np.arange(total, dtype=np.int64)
-        - np.repeat(offsets, counts)
-        + np.repeat(starts, counts)
-    )
-    return il, order[pos]
-
-
-def _join_indices(left_cols, right_cols):
-    """Row-id pairs ``(il, ir)`` of the equi-join of two key-column sets.
-
-    Output order matches the row interpreter's hash join exactly: left
-    rows in order, and for each left row its right matches in original
-    right order (the stable argsort keeps within-key right order intact).
-    """
-    nl, nr = len(left_cols[0]), len(right_cols[0])
-    empty = np.empty(0, dtype=np.int64)
-    if nl == 0 or nr == 0:
-        return empty, empty.copy()
-    lc, rc_sorted, order = _join_build(left_cols, right_cols)
-    return _join_probe(lc, rc_sorted, order)
-
-
-def _cross_indices(nl, nr):
-    """Row-id pairs of the Cartesian product, left-major (row order)."""
-    il = np.repeat(np.arange(nl, dtype=np.int64), nr)
-    ir = np.tile(np.arange(nr, dtype=np.int64), nl)
-    return il, ir
-
-
-def _predicate_mask(relation, predicates):
-    """One boolean mask for a conjunction of predicates (vectorized)."""
-    n = len(relation)
-    mask = None
-    for p in predicates:
-        arr = relation.arrays[relation.col_pos(p.table, p.column)]
-        m = np.asarray(_OPS[p.op](arr, p.value))
-        if m.ndim == 0:  # incomparable types collapse to a scalar verdict
-            m = np.full(n, bool(m))
-        m = m.astype(bool, copy=False)
-        mask = m if mask is None else mask & m
-    return mask
-
-
-def _segment_reduce(func, sorted_vals, seg_starts, counts):
-    """Per-group reduction over values pre-sorted so groups are contiguous."""
-    if sorted_vals.dtype == object:
-        bounds = np.r_[seg_starts, len(sorted_vals)]
-        segments = [
-            sorted_vals[bounds[i]:bounds[i + 1]].tolist()
-            for i in range(len(seg_starts))
-        ]
-        if func == "sum":
-            vals = [sum(s) for s in segments]
-        elif func == "avg":
-            vals = [sum(s) / len(s) for s in segments]
-        elif func == "min":
-            vals = [min(s) for s in segments]
-        elif func == "max":
-            vals = [max(s) for s in segments]
-        else:
-            raise ExecutionError("unknown aggregate %r" % (func,))
-        out = np.empty(len(vals), dtype=object)
-        out[:] = vals
-        return out
-    if func == "sum":
-        return np.add.reduceat(sorted_vals, seg_starts)
-    if func == "avg":
-        return np.add.reduceat(sorted_vals, seg_starts) / counts
-    if func == "min":
-        return np.minimum.reduceat(sorted_vals, seg_starts)
-    if func == "max":
-        return np.maximum.reduceat(sorted_vals, seg_starts)
-    raise ExecutionError("unknown aggregate %r" % (func,))
-
-
-def _stable_sort_indices(key, descending):
-    """Stable sort permutation matching ``sorted(..., reverse=descending)``."""
-    n = len(key)
-    if not descending:
-        return np.argsort(key, kind="stable")
-    # Descending with ties in original order == stable ascending argsort of
-    # the reversed array, reversed and mapped back to original positions.
-    return (n - 1) - np.argsort(key[::-1], kind="stable")[::-1]
-
-
-def _agg_input_columns(agg_node, source):
-    """``(labels, positions)`` of the columns an aggregate actually reads.
-
-    The fused path gathers only these through the predicate's surviving
-    row ids — the full-width filtered relation is never materialized.
-    """
-    seen = {}
-    for t, c in agg_node.group_by:
-        key = (t.lower(), c.lower())
-        if key not in seen:
-            seen[key] = source.col_pos(t, c)
-    for a in agg_node.aggregates:
-        if a.column is not None:
-            key = (a.table.lower(), a.column.lower())
-            if key not in seen:
-                seen[key] = source.col_pos(a.table, a.column)
-    return list(seen), list(seen.values())
-
-
-def _agg_partial(aggregates, keys, vals):
-    """One morsel's partial aggregation, groups in appearance order.
-
-    ``keys``/``vals`` are this morsel's (already masked) key and argument
-    arrays. Returns ``(group_keys, states)`` where ``group_keys`` lists
-    each group's key tuple and ``states[j][g]`` is aggregate ``j``'s
-    partial state for group ``g``: a count, a sum, a min/max, or a
-    ``(sum, count)`` pair for AVG — the carry that lets the merge stay
-    exact instead of averaging averages.
-    """
-    n = len(keys[0]) if keys else 0
-    if n == 0:
-        # A fused morsel can be filtered down to nothing; emit no groups.
-        return [], [[] for __ in aggregates]
-    codes = _factorize(keys)
-    order = np.argsort(codes, kind="stable")
-    sorted_codes = codes[order]
-    seg_starts = np.flatnonzero(
-        np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
-    )
-    counts = np.diff(np.r_[seg_starts, n])
-    first_rows = order[seg_starts]
-    rank = np.argsort(first_rows, kind="stable")
-    group_keys = list(zip(
-        *(k[first_rows[rank]].tolist() for k in keys)
-    ))
-    states = []
-    for agg, col in zip(aggregates, vals):
-        if agg.func == "count":
-            states.append(counts[rank].tolist())
-            continue
-        sorted_vals = col[order]
-        if agg.func == "avg":
-            sums = _segment_reduce("sum", sorted_vals, seg_starts, counts)
-            states.append(list(zip(
-                np.asarray(sums)[rank].tolist(),
-                counts[rank].tolist(),
-            )))
-        else:
-            reduced = _segment_reduce(agg.func, sorted_vals, seg_starts,
-                                      counts)
-            states.append(np.asarray(reduced)[rank].tolist())
-    return group_keys, states
+#: Executor mode → the PhysicalOperator backend it dispatches to.
+_MODE_BACKENDS = {"row": "row", "vectorized": "vectorized",
+                  "parallel": "morsel"}
 
 
 class ExecutionResult:
@@ -409,6 +111,12 @@ class ExecutionResult:
 class Executor:
     """Executes physical plans against a catalog.
 
+    The executor doubles as the *evaluation context* handed to every
+    :class:`~repro.engine.operators.PhysicalOperator` backend: operators
+    call :meth:`run` to evaluate children, :meth:`charge` for work
+    accounting, :meth:`count` for actual-row attribution, and
+    :meth:`mask`/:meth:`morsels`/:meth:`pmap` for morsel parallelism.
+
     Args:
         catalog: the :class:`~repro.engine.catalog.Catalog`.
         cost_model: the :class:`CostModel` whose constants weight the work
@@ -443,6 +151,7 @@ class Executor:
         self.catalog = catalog
         self.cost_model = cost_model or CostModel()
         self.mode = mode
+        self._backend = _MODE_BACKENDS[mode]
         self.morsel_rows = (
             default_morsel_rows() if morsel_rows is None else int(morsel_rows)
         )
@@ -495,6 +204,14 @@ class Executor:
     def _child_seconds(self, value):
         self._tls.child_seconds = value
 
+    @property
+    def _node_rows(self):
+        return self._tls.node_rows
+
+    @_node_rows.setter
+    def _node_rows(self, value):
+        self._tls.node_rows = value
+
     def execute(self, plan):
         """Run ``plan``; returns an :class:`ExecutionResult`.
 
@@ -504,7 +221,13 @@ class Executor:
         holding it — is never mutated), and the fused pass charges work
         through the original operator nodes, so results and accounting
         are identical either way.
+
+        After the run, per-node actual output cardinalities (attributed
+        to the *original* plan's nodes even under fusion) are folded into
+        the telemetry as ``node_stats`` — the est-vs-actual view behind
+        EXPLAIN ANALYZE and the optimizer's cardinality feedback.
         """
+        original = plan
         fused_ops = 0
         if self.fusion_enabled:
             plan, fused_ops = fuse_plan(plan)
@@ -513,53 +236,75 @@ class Executor:
         self._telemetry = ExecutionTelemetry(mode=self.mode)
         self._telemetry.fused_ops = fused_ops
         self._child_seconds = [0.0]
+        self._node_rows = {}
         start = time.perf_counter()
-        relation = self._exec(plan)
+        relation = self.run(plan)
         if self.mode != "row":
             relation = relation.to_relation()
         self._telemetry.total_seconds = time.perf_counter() - start
+        self._telemetry.set_node_stats(self._collect_node_stats(original))
         return ExecutionResult(
             relation, self._work, dict(self._op_work), self._telemetry
         )
 
-    # ------------------------------------------------------------------
-    def _charge(self, node, amount):
-        self._work += amount
-        key = node.op_name
-        self._op_work[key] = self._op_work.get(key, 0.0) + amount
+    def _collect_node_stats(self, original):
+        """Per-node ``{op, est_rows, actual_rows, q_error}`` in preorder."""
+        rows = self._node_rows
+        stats = []
+        for node in original.walk():
+            actual = rows.get(id(node))
+            est = node.est_rows
+            stats.append({
+                "op": node.op_name,
+                "est_rows": est,
+                "actual_rows": actual,
+                "q_error": q_error(est, actual),
+            })
+        return stats
 
-    def _handler(self, node):
-        name = type(node).__name__.lower()
-        if self.mode == "row":
-            return getattr(self, "_exec_" + name, None)
-        if self.mode == "parallel":
-            # Parallel handlers exist only for morsel-parallel operators;
-            # everything else (sort/limit/scan shells) falls back to the
-            # single-threaded vectorized implementation.
-            handler = getattr(self, "_pexec_" + name, None)
-            if handler is not None:
-                return handler
-        return getattr(self, "_vexec_" + name, None)
+    # -- evaluation context (called by operator backends) ----------------
+    def run(self, node):
+        """Evaluate ``node`` via its registered operator's backend.
 
-    def _exec(self, node):
-        handler = self._handler(node)
-        if handler is None:
-            raise ExecutionError(
-                "executor does not support %r in %s mode" % (node, self.mode)
-            )
+        Also times the node (self-time, excluding children) and
+        auto-records its actual output cardinality; fused pipelines then
+        override the counters of the operators they absorbed via
+        :meth:`count`, so every original plan node ends up with the
+        cardinality its unfused twin would have produced.
+        """
+        op = operator_for(node)
+        method = getattr(op, self._backend)
         self._child_seconds.append(0.0)
         t0 = time.perf_counter()
-        out = handler(node)
+        out = method(self, node)
         elapsed = time.perf_counter() - t0
         child_time = self._child_seconds.pop()
         self._child_seconds[-1] += elapsed
         self._telemetry.record(
             node.op_name, rows=len(out), seconds=elapsed - child_time
         )
+        self.count(node, len(out))
         return out
 
+    def charge(self, node, amount):
+        """Charge ``amount`` of work to ``node``'s operator family."""
+        self._work += amount
+        key = node.op_name
+        self._op_work[key] = self._op_work.get(key, 0.0) + amount
+
+    def count(self, node, n):
+        """Record ``node``'s actual output cardinality (assignment, not
+        accumulation — later, more specific attributions win).
+
+        Resolves the node's ``origin`` back-reference first, so counts
+        against the bare scan copies :func:`~repro.engine.fusion.fuse_plan`
+        creates land on the original plan's nodes.
+        """
+        origin = getattr(node, "origin", node)
+        self._node_rows[id(origin)] = int(n)
+
     # -- morsel plumbing (parallel mode) --------------------------------
-    def _morsels(self, n_rows):
+    def morsels(self, n_rows):
         """This input's morsel ranges, or ``[]`` when not worth splitting.
 
         Only parallel mode splits, and only when the input spans at least
@@ -571,20 +316,20 @@ class Executor:
         slices = morsel_slices(n_rows, self.morsel_rows)
         return slices if len(slices) >= 2 else []
 
-    def _pmap(self, node, fn, n_tasks):
+    def pmap(self, node, fn, n_tasks):
         """Run ``fn(i)`` over morsel indices; results in morsel order."""
         results, worker_stats = self._pool.run(fn, n_tasks)
         self._telemetry.record_parallel(node.op_name, n_tasks, worker_stats)
         return results
 
-    def _mask(self, node, relation, predicates):
+    def mask(self, node, relation, predicates):
         """Conjunction mask, morsel-parallel when the batch is large."""
-        slices = self._morsels(len(relation))
+        slices = self.morsels(len(relation))
         if not slices or not node.morsel_parallel:
-            return _predicate_mask(relation, predicates)
+            return predicate_mask(relation, predicates)
         compiled = [
             (relation.arrays[relation.col_pos(p.table, p.column)],
-             _OPS[p.op], p.value)
+             OPS[p.op], p.value)
             for p in predicates
         ]
 
@@ -599,872 +344,7 @@ class Executor:
                 mask = m if mask is None else mask & m
             return mask
 
-        return np.concatenate(self._pmap(node, task, len(slices)))
-
-    # -- shared helpers --------------------------------------------------
-    def _table_relation(self, table_name):
-        table = self.catalog.table(table_name)
-        columns = [(table.name, c.name) for c in table.schema.columns]
-        return table, columns
-
-    def _index_row_ids(self, node):
-        """Resolve an IndexScan's probe to a sorted NumPy row-id array."""
-        idx = None
-        for cand in self.catalog.indexes(node.table):
-            if cand.name == node.index_name:
-                idx = cand
-                break
-        if idx is None:
-            raise ExecutionError("index %r not found" % (node.index_name,))
-        if idx.hypothetical:
-            raise ExecutionError(
-                "cannot execute a plan using hypothetical index %r" % (idx.name,)
-            )
-        pred = node.predicate
-        structure = idx.structure
-        if pred.op == "=":
-            row_ids = structure.search(pred.value)
-        elif idx.kind == "hash":
-            raise ExecutionError("hash index supports only equality probes")
-        elif pred.op == "<":
-            row_ids = structure.range_search(high=pred.value, inclusive=(True, False))
-        elif pred.op == "<=":
-            row_ids = structure.range_search(high=pred.value, inclusive=(True, True))
-        elif pred.op == ">":
-            row_ids = structure.range_search(low=pred.value, inclusive=(False, True))
-        elif pred.op == ">=":
-            row_ids = structure.range_search(low=pred.value, inclusive=(True, True))
-        else:
-            raise ExecutionError("index scan cannot evaluate %r" % (pred,))
-        return np.sort(np.asarray(row_ids, dtype=np.int64))
-
-    @staticmethod
-    def _eval_predicates(relation, predicates):
-        if not predicates:
-            return relation.rows
-        compiled = [
-            (relation.col_pos(p.table, p.column), _OPS[p.op], p.value)
-            for p in predicates
-        ]
-        out = []
-        for row in relation.rows:
-            ok = True
-            for pos, op, value in compiled:
-                if not op(row[pos], value):
-                    ok = False
-                    break
-            if ok:
-                out.append(row)
-        return out
-
-    def _join_keys(self, node, left, right):
-        left_index = left._index
-        left_pos, right_pos = [], []
-        for e in node.edges:
-            if (e.left_table.lower(), e.left_column.lower()) in left_index:
-                lp = left.col_pos(e.left_table, e.left_column)
-                rp = right.col_pos(e.right_table, e.right_column)
-            else:
-                lp = left.col_pos(e.right_table, e.right_column)
-                rp = right.col_pos(e.left_table, e.left_column)
-            left_pos.append(lp)
-            right_pos.append(rp)
-        return left_pos, right_pos
-
-    # ==================================================================
-    # Row interpreter
-    # ==================================================================
-    # -- scans -----------------------------------------------------------
-    def _exec_seqscan(self, node):
-        table, columns = self._table_relation(node.table)
-        self._charge(node, self.cost_model.seq_scan(table.n_rows))
-        relation = Relation(columns, table.rows())
-        rows = self._eval_predicates(relation, node.predicates)
-        return Relation(columns, rows)
-
-    def _exec_indexscan(self, node):
-        row_ids = self._index_row_ids(node)
-        table, columns = self._table_relation(node.table)
-        self._charge(node, self.cost_model.index_scan(len(row_ids)))
-        relation = Relation(columns, table.rows(row_ids))
-        rows = self._eval_predicates(relation, node.residual)
-        return Relation(columns, rows)
-
-    def _exec_viewscan(self, node):
-        view_table = node.view.table
-        columns = []
-        for name in view_table.schema.column_names:
-            t, __, c = name.partition("__")
-            columns.append((t, c))
-        self._charge(node, self.cost_model.seq_scan(view_table.n_rows))
-        relation = Relation(columns, view_table.rows())
-        rows = self._eval_predicates(relation, node.residual)
-        return Relation(columns, rows)
-
-    def _exec_emptyresult(self, node):
-        return Relation(node.columns, [])
-
-    # -- joins -----------------------------------------------------------
-    def _exec_hashjoin(self, node):
-        left = self._exec(node.children[0])
-        right = self._exec(node.children[1])
-        left_pos, right_pos = self._join_keys(node, left, right)
-        buckets = {}
-        for row in right.rows:
-            key = tuple(row[p] for p in right_pos)
-            buckets.setdefault(key, []).append(row)
-        out = []
-        for row in left.rows:
-            key = tuple(row[p] for p in left_pos)
-            for match in buckets.get(key, ()):
-                out.append(row + match)
-        self._charge(
-            node, self.cost_model.hash_join(len(left.rows), len(right.rows), len(out))
-        )
-        return Relation(left.columns + right.columns, out)
-
-    def _exec_nestedloopjoin(self, node):
-        left = self._exec(node.children[0])
-        right = self._exec(node.children[1])
-        left_pos, right_pos = self._join_keys(node, left, right)
-        out = []
-        for lrow in left.rows:
-            lkey = tuple(lrow[p] for p in left_pos)
-            for rrow in right.rows:
-                if lkey == tuple(rrow[p] for p in right_pos):
-                    out.append(lrow + rrow)
-        self._charge(
-            node,
-            self.cost_model.nested_loop_join(
-                len(left.rows), len(right.rows), len(out)
-            ),
-        )
-        return Relation(left.columns + right.columns, out)
-
-    def _exec_crossjoin(self, node):
-        left = self._exec(node.children[0])
-        right = self._exec(node.children[1])
-        out = [l + r for l in left.rows for r in right.rows]
-        self._charge(node, self.cost_model.cross_join(len(left.rows), len(right.rows)))
-        return Relation(left.columns + right.columns, out)
-
-    # -- shaping ----------------------------------------------------------
-    def _exec_filter(self, node):
-        child = self._exec(node.children[0])
-        self._charge(node, self.cost_model.params["cpu_tuple_cost"] * len(child.rows))
-        rows = self._eval_predicates(child, node.predicates)
-        return Relation(child.columns, rows)
-
-    def _exec_project(self, node):
-        child = self._exec(node.children[0])
-        positions = [child.col_pos(t, c) for t, c in node.columns]
-        self._charge(node, self.cost_model.params["cpu_tuple_cost"] * len(child.rows))
-        rows = [tuple(row[p] for p in positions) for row in child.rows]
-        if node.distinct:
-            seen = set()
-            deduped = []
-            for row in rows:
-                if row not in seen:
-                    seen.add(row)
-                    deduped.append(row)
-            rows = deduped
-        return Relation(node.columns, rows)
-
-    def _exec_hashaggregate(self, node):
-        child = self._exec(node.children[0])
-        key_pos = [child.col_pos(t, c) for t, c in node.group_by]
-        agg_pos = []
-        for agg in node.aggregates:
-            if agg.column is None:
-                agg_pos.append(None)
-            else:
-                agg_pos.append(child.col_pos(agg.table, agg.column))
-        groups = {}
-        for row in child.rows:
-            key = tuple(row[p] for p in key_pos)
-            groups.setdefault(key, []).append(row)
-        if not groups and not node.group_by:
-            groups[()] = []
-        out = []
-        for key, rows in groups.items():
-            values = []
-            for agg, pos in zip(node.aggregates, agg_pos):
-                if agg.func == "count":
-                    values.append(len(rows))
-                    continue
-                col = [r[pos] for r in rows]
-                if not col:
-                    values.append(None)
-                elif agg.func == "sum":
-                    values.append(sum(col))
-                elif agg.func == "avg":
-                    values.append(sum(col) / len(col))
-                elif agg.func == "min":
-                    values.append(min(col))
-                elif agg.func == "max":
-                    values.append(max(col))
-                else:
-                    raise ExecutionError("unknown aggregate %r" % (agg.func,))
-            out.append(key + tuple(values))
-        self._charge(node, self.cost_model.aggregate(len(child.rows), len(out)))
-        columns = list(node.group_by) + [
-            ("agg", "%s_%d" % (a.func, i)) for i, a in enumerate(node.aggregates)
-        ]
-        return Relation(columns, out)
-
-    def _exec_sort(self, node):
-        child = self._exec(node.children[0])
-        pos = child.col_pos(*node.key)
-        self._charge(node, self.cost_model.sort(len(child.rows)))
-        rows = sorted(child.rows, key=lambda r: r[pos], reverse=node.descending)
-        return Relation(child.columns, rows)
-
-    def _exec_limit(self, node):
-        child = self._exec(node.children[0])
-        return Relation(child.columns, child.rows[: node.n])
-
-    # -- fused pipeline ---------------------------------------------------
-    def _exec_fusedpipelineop(self, node):
-        """Row-mode fused tail: one streaming pass over the source rows.
-
-        The accumulators fold values in row order starting from the same
-        identities the unfused interpreter's ``sum``/``min``/``max`` use,
-        so the outputs are bit-identical, and work is charged through the
-        absorbed operator nodes in the unfused charge order.
-        """
-        source = self._exec(node.children[0])
-        n0 = len(source.rows)
-        if node.filter_node is not None:
-            self._charge(
-                node.filter_node,
-                self.cost_model.params["cpu_tuple_cost"] * n0,
-            )
-        compiled = [
-            (source.col_pos(p.table, p.column), _OPS[p.op], p.value)
-            for p in node.predicates
-        ]
-
-        def passes(row):
-            for pos, op, value in compiled:
-                if not op(row[pos], value):
-                    return False
-            return True
-
-        limit = None if node.limit_node is None else node.limit_node.n
-        if node.agg_node is not None:
-            return self._row_fused_aggregate(node, source, passes, limit)
-        return self._row_fused_project(node, source, passes, limit)
-
-    def _row_fused_project(self, node, source, passes, limit):
-        proj = node.project_node
-        positions = [source.col_pos(t, c) for t, c in proj.columns]
-        out = []
-        seen = set() if proj.distinct else None
-        n1 = 0
-        for row in source.rows:
-            if not passes(row):
-                continue
-            n1 += 1
-            if limit is not None and len(out) >= limit:
-                continue  # keep counting survivors for the Project charge
-            projected = tuple(row[p] for p in positions)
-            if seen is not None:
-                if projected in seen:
-                    continue
-                seen.add(projected)
-            out.append(projected)
-        self._charge(proj, self.cost_model.params["cpu_tuple_cost"] * n1)
-        return Relation(proj.columns, out)
-
-    def _row_fused_aggregate(self, node, source, passes, limit):
-        agg = node.agg_node
-        key_pos = [source.col_pos(t, c) for t, c in agg.group_by]
-        agg_pos = [
-            None if a.column is None else source.col_pos(a.table, a.column)
-            for a in agg.aggregates
-        ]
-        groups = {}
-        n1 = 0
-        for row in source.rows:
-            if not passes(row):
-                continue
-            n1 += 1
-            key = tuple(row[p] for p in key_pos)
-            states = groups.get(key)
-            if states is None:
-                states = groups[key] = [
-                    0 if a.func in ("count", "sum")
-                    else ([0, 0] if a.func == "avg" else _UNSET)
-                    for a in agg.aggregates
-                ]
-            for j, (a, pos) in enumerate(zip(agg.aggregates, agg_pos)):
-                if a.func == "count":
-                    states[j] += 1
-                    continue
-                value = row[pos]
-                if a.func == "sum":
-                    states[j] = states[j] + value
-                elif a.func == "avg":
-                    states[j][0] += value
-                    states[j][1] += 1
-                elif a.func == "min":
-                    if states[j] is _UNSET or value < states[j]:
-                        states[j] = value
-                elif a.func == "max":
-                    if states[j] is _UNSET or value > states[j]:
-                        states[j] = value
-                else:
-                    raise ExecutionError(
-                        "unknown aggregate %r" % (a.func,)
-                    )
-        out = []
-        for key, states in groups.items():
-            values = []
-            for a, state in zip(agg.aggregates, states):
-                if a.func == "avg":
-                    values.append(state[0] / state[1])
-                elif state is _UNSET:
-                    values.append(None)
-                else:
-                    values.append(state)
-            out.append(key + tuple(values))
-        if not groups and not key_pos:
-            # Global aggregate over zero surviving rows: one output row.
-            out.append(tuple(
-                0 if a.func == "count" else None for a in agg.aggregates
-            ))
-        self._charge(agg, self.cost_model.aggregate(n1, len(out)))
-        columns = list(agg.group_by) + [
-            ("agg", "%s_%d" % (a.func, i))
-            for i, a in enumerate(agg.aggregates)
-        ]
-        if limit is not None:
-            out = out[: limit]
-        return Relation(columns, out)
-
-    # ==================================================================
-    # Vectorized executor
-    # ==================================================================
-    # -- scans -----------------------------------------------------------
-    def _v_table_relation(self, table_name, row_ids=None):
-        table = self.catalog.table(table_name)
-        columns = [(table.name, c.name) for c in table.schema.columns]
-        data = table.column_arrays(row_ids)
-        arrays = [data[c.name.lower()] for c in table.schema.columns]
-        n = table.n_rows if row_ids is None else len(row_ids)
-        return table, ColumnarRelation(columns, arrays, n_rows=n)
-
-    def _vexec_seqscan(self, node):
-        table, rel = self._v_table_relation(node.table)
-        self._charge(node, self.cost_model.seq_scan(table.n_rows))
-        if node.predicates:
-            rel = rel.take(self._mask(node, rel, node.predicates))
-        return rel
-
-    def _vexec_indexscan(self, node):
-        row_ids = self._index_row_ids(node)
-        __, rel = self._v_table_relation(node.table, row_ids)
-        self._charge(node, self.cost_model.index_scan(len(row_ids)))
-        if node.residual:
-            rel = rel.take(self._mask(node, rel, node.residual))
-        return rel
-
-    def _vexec_viewscan(self, node):
-        view_table = node.view.table
-        columns = []
-        arrays = []
-        for name in view_table.schema.column_names:
-            t, __, c = name.partition("__")
-            columns.append((t, c))
-            arrays.append(view_table.column_array(name))
-        self._charge(node, self.cost_model.seq_scan(view_table.n_rows))
-        rel = ColumnarRelation(columns, arrays, n_rows=view_table.n_rows)
-        if node.residual:
-            rel = rel.take(self._mask(node, rel, node.residual))
-        return rel
-
-    def _vexec_emptyresult(self, node):
-        arrays = [np.empty(0, dtype=object) for __ in node.columns]
-        return ColumnarRelation(node.columns, arrays, n_rows=0)
-
-    # -- joins -----------------------------------------------------------
-    def _v_join(self, node, charge):
-        left = self._exec(node.children[0])
-        right = self._exec(node.children[1])
-        left_pos, right_pos = self._join_keys(node, left, right)
-        il, ir = _join_indices(
-            [left.arrays[p] for p in left_pos],
-            [right.arrays[p] for p in right_pos],
-        )
-        out = ColumnarRelation(
-            left.columns + right.columns,
-            [a[il] for a in left.arrays] + [a[ir] for a in right.arrays],
-            n_rows=len(il),
-        )
-        self._charge(node, charge(len(left), len(right), len(out)))
-        return out
-
-    def _vexec_hashjoin(self, node):
-        return self._v_join(node, self.cost_model.hash_join)
-
-    def _vexec_nestedloopjoin(self, node):
-        # Same matches as the tuple interpreter; only the charge differs.
-        return self._v_join(node, self.cost_model.nested_loop_join)
-
-    def _vexec_crossjoin(self, node):
-        left = self._exec(node.children[0])
-        right = self._exec(node.children[1])
-        il, ir = _cross_indices(len(left), len(right))
-        out = ColumnarRelation(
-            left.columns + right.columns,
-            [a[il] for a in left.arrays] + [a[ir] for a in right.arrays],
-            n_rows=len(il),
-        )
-        self._charge(node, self.cost_model.cross_join(len(left), len(right)))
-        return out
-
-    # -- shaping ----------------------------------------------------------
-    def _vexec_filter(self, node):
-        child = self._exec(node.children[0])
-        self._charge(node, self.cost_model.params["cpu_tuple_cost"] * len(child))
-        if node.predicates:
-            child = child.take(self._mask(node, child, node.predicates))
-        return child
-
-    def _vexec_project(self, node):
-        child = self._exec(node.children[0])
-        positions = [child.col_pos(t, c) for t, c in node.columns]
-        self._charge(node, self.cost_model.params["cpu_tuple_cost"] * len(child))
-        arrays = [child.arrays[p] for p in positions]
-        n = len(child)
-        if node.distinct and n:
-            codes = _factorize(arrays)
-            __, first = np.unique(codes, return_index=True)
-            keep = np.sort(first)  # first-occurrence order, like the dict dedup
-            arrays = [a[keep] for a in arrays]
-            n = len(keep)
-        return ColumnarRelation(node.columns, arrays, n_rows=n)
-
-    def _vexec_hashaggregate(self, node):
-        return self._vagg_on(node, self._exec(node.children[0]))
-
-    def _vagg_on(self, node, child):
-        """Single-threaded grouped/global aggregation over ``child``."""
-        n = len(child)
-        key_pos = [child.col_pos(t, c) for t, c in node.group_by]
-        agg_pos = [
-            None if a.column is None else child.col_pos(a.table, a.column)
-            for a in node.aggregates
-        ]
-        columns = list(node.group_by) + [
-            ("agg", "%s_%d" % (a.func, i)) for i, a in enumerate(node.aggregates)
-        ]
-        if not key_pos:
-            # Global aggregate: always exactly one output row, even on empty
-            # input (count -> 0, other aggregates -> None).
-            values = []
-            for agg, pos in zip(node.aggregates, agg_pos):
-                values.append(
-                    self._global_aggregate(
-                        agg, None if pos is None else child.arrays[pos], n
-                    )
-                )
-            arrays = []
-            for v in values:
-                if v is None:
-                    a = np.empty(1, dtype=object)
-                    a[0] = None
-                else:
-                    a = np.asarray([v])
-                arrays.append(a)
-            self._charge(node, self.cost_model.aggregate(n, 1))
-            return ColumnarRelation(columns, arrays, n_rows=1)
-        if n == 0:
-            self._charge(node, self.cost_model.aggregate(0, 0))
-            arrays = [np.empty(0, dtype=object) for __ in columns]
-            return ColumnarRelation(columns, arrays, n_rows=0)
-        codes = _factorize([child.arrays[p] for p in key_pos])
-        order = np.argsort(codes, kind="stable")
-        sorted_codes = codes[order]
-        seg_starts = np.flatnonzero(
-            np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
-        )
-        counts = np.diff(np.r_[seg_starts, n])
-        first_rows = order[seg_starts]  # stable sort -> global first occurrence
-        group_rank = np.argsort(first_rows, kind="stable")  # appearance order
-        key_arrays = [
-            child.arrays[p][first_rows[group_rank]] for p in key_pos
-        ]
-        agg_arrays = []
-        for agg, pos in zip(node.aggregates, agg_pos):
-            if agg.func == "count":
-                vals = counts
-            else:
-                vals = _segment_reduce(
-                    agg.func, child.arrays[pos][order], seg_starts, counts
-                )
-            agg_arrays.append(np.asarray(vals)[group_rank])
-        n_groups = len(counts)
-        self._charge(node, self.cost_model.aggregate(n, n_groups))
-        return ColumnarRelation(columns, key_arrays + agg_arrays, n_rows=n_groups)
-
-    @staticmethod
-    def _global_aggregate(agg, arr, n):
-        if agg.func == "count":
-            return n
-        if n == 0:
-            return None
-        if arr.dtype == object:
-            col = arr.tolist()
-            if agg.func == "sum":
-                return sum(col)
-            if agg.func == "avg":
-                return sum(col) / len(col)
-            if agg.func == "min":
-                return min(col)
-            if agg.func == "max":
-                return max(col)
-        else:
-            if agg.func == "sum":
-                return arr.sum()
-            if agg.func == "avg":
-                return arr.sum() / n
-            if agg.func == "min":
-                return arr.min()
-            if agg.func == "max":
-                return arr.max()
-        raise ExecutionError("unknown aggregate %r" % (agg.func,))
-
-    def _vexec_sort(self, node):
-        child = self._exec(node.children[0])
-        pos = child.col_pos(*node.key)
-        self._charge(node, self.cost_model.sort(len(child)))
-        if len(child) == 0:
-            return child
-        idx = _stable_sort_indices(child.arrays[pos], node.descending)
-        return child.take(idx)
-
-    def _vexec_limit(self, node):
-        child = self._exec(node.children[0])
-        if node.n >= len(child):
-            return child
-        return ColumnarRelation(
-            child.columns, [a[: node.n] for a in child.arrays], n_rows=node.n
-        )
-
-    # -- fused pipeline ---------------------------------------------------
-    def _vexec_fusedpipelineop(self, node):
-        return self._fused_tail(node, self._exec(node.children[0]))
-
-    def _fused_tail(self, node, source):
-        """Columnar fused tail: mask once, gather only what the tail reads.
-
-        Work is charged through the absorbed operator nodes with the same
-        cardinalities and in the same order as the unfused interpreters,
-        so ``work``/``operator_work`` are bit-identical with fusion on or
-        off. In parallel mode the mask still evaluates morsel-parallel
-        via ``_mask`` (``FusedPipelineOp`` is morsel-parallel).
-        """
-        n0 = len(source)
-        if node.filter_node is not None:
-            self._charge(
-                node.filter_node,
-                self.cost_model.params["cpu_tuple_cost"] * n0,
-            )
-        if node.predicates:
-            keep = np.flatnonzero(self._mask(node, source, node.predicates))
-            n1 = len(keep)
-        else:
-            keep, n1 = None, n0
-        if node.agg_node is not None:
-            return self._fused_aggregate(node, source, keep, n1)
-        return self._fused_project(node, source, keep, n1)
-
-    def _fused_aggregate(self, node, source, keep, n1):
-        agg = node.agg_node
-        labels, positions = _agg_input_columns(agg, source)
-        arrays = [
-            source.arrays[p] if keep is None else source.arrays[p][keep]
-            for p in positions
-        ]
-        sub = ColumnarRelation(labels, arrays, n_rows=n1)
-        return self._fused_limit(node, self._vagg_on(agg, sub))
-
-    def _fused_project(self, node, source, keep, n1):
-        proj = node.project_node
-        positions = [source.col_pos(t, c) for t, c in proj.columns]
-        self._charge(proj, self.cost_model.params["cpu_tuple_cost"] * n1)
-        if proj.distinct:
-            arrays = [
-                source.arrays[p] if keep is None else source.arrays[p][keep]
-                for p in positions
-            ]
-            n = n1
-            if n:
-                codes = _factorize(arrays)
-                __, first = np.unique(codes, return_index=True)
-                firsts = np.sort(first)  # first-occurrence order
-                arrays = [a[firsts] for a in arrays]
-                n = len(firsts)
-            return self._fused_limit(
-                node, ColumnarRelation(proj.columns, arrays, n_rows=n)
-            )
-        if keep is None:
-            out = ColumnarRelation(
-                proj.columns,
-                [source.arrays[p] for p in positions],
-                n_rows=n1,
-            )
-            return self._fused_limit(node, out)
-        limit = None if node.limit_node is None else node.limit_node.n
-        if limit is not None and limit < n1:
-            keep = keep[:limit]  # rows past the limit are never gathered
-        arrays = [source.arrays[p][keep] for p in positions]
-        return ColumnarRelation(proj.columns, arrays, n_rows=len(keep))
-
-    def _fused_limit(self, node, rel):
-        ln = node.limit_node
-        if ln is None or ln.n >= len(rel):
-            return rel
-        return ColumnarRelation(
-            rel.columns, [a[: ln.n] for a in rel.arrays], n_rows=ln.n
-        )
-
-    # ==================================================================
-    # Morsel-driven parallel executor
-    # ==================================================================
-    # Scans, filters, and view scans reuse the vectorized handlers — their
-    # predicate masks already go through ``_mask``, which is morsel-parallel
-    # in this mode. Sort/limit deliberately have no parallel handler: they
-    # are the single-threaded merge phase that pins down output order.
-    def _p_join(self, node, charge):
-        left = self._exec(node.children[0])
-        right = self._exec(node.children[1])
-        left_pos, right_pos = self._join_keys(node, left, right)
-        left_cols = [left.arrays[p] for p in left_pos]
-        right_cols = [right.arrays[p] for p in right_pos]
-        nl, nr = len(left), len(right)
-        slices = self._morsels(nl) if nr else []
-        if not slices:
-            il, ir = _join_indices(left_cols, right_cols)
-        else:
-            # Build once (shared key codes + sorted build side), probe
-            # per morsel; morsel-order concatenation reproduces the
-            # monolithic probe's left-major output order exactly.
-            lc, rc_sorted, order = _join_build(left_cols, right_cols)
-
-            def task(i):
-                start, stop = slices[i]
-                return _join_probe(lc[start:stop], rc_sorted, order,
-                                   base=start)
-
-            parts = self._pmap(node, task, len(slices))
-            il = np.concatenate([p[0] for p in parts])
-            ir = np.concatenate([p[1] for p in parts])
-        out = ColumnarRelation(
-            left.columns + right.columns,
-            [a[il] for a in left.arrays] + [a[ir] for a in right.arrays],
-            n_rows=len(il),
-        )
-        self._charge(node, charge(nl, nr, len(out)))
-        return out
-
-    def _pexec_hashjoin(self, node):
-        return self._p_join(node, self.cost_model.hash_join)
-
-    def _pexec_nestedloopjoin(self, node):
-        return self._p_join(node, self.cost_model.nested_loop_join)
-
-    def _pexec_project(self, node):
-        child = self._exec(node.children[0])
-        positions = [child.col_pos(t, c) for t, c in node.columns]
-        self._charge(node, self.cost_model.params["cpu_tuple_cost"] * len(child))
-        arrays = [child.arrays[p] for p in positions]
-        n = len(child)
-        slices = self._morsels(n) if node.distinct else []
-        if node.distinct and not slices and n:
-            codes = _factorize(arrays)
-            __, first = np.unique(codes, return_index=True)
-            keep = np.sort(first)
-            arrays = [a[keep] for a in arrays]
-            n = len(keep)
-        elif slices:
-            # Parallel partial dedup: each morsel keeps its local first
-            # occurrences; the single-threaded merge then walks the
-            # surviving candidates in global row order, so the final keep
-            # set is the global first occurrence per key — identical to
-            # the sequential dedup.
-            def local_firsts(i):
-                start, stop = slices[i]
-                codes = _factorize([a[start:stop] for a in arrays])
-                __, first = np.unique(codes, return_index=True)
-                return np.sort(first) + start
-
-            candidates = np.concatenate(
-                self._pmap(node, local_firsts, len(slices))
-            )
-            seen = set()
-            keep = []
-            candidate_rows = zip(
-                *(a[candidates].tolist() for a in arrays)
-            )
-            for idx, key in zip(candidates.tolist(), candidate_rows):
-                if key not in seen:
-                    seen.add(key)
-                    keep.append(idx)
-            keep = np.asarray(keep, dtype=np.int64)
-            arrays = [a[keep] for a in arrays]
-            n = len(keep)
-        return ColumnarRelation(node.columns, arrays, n_rows=n)
-
-    def _pexec_hashaggregate(self, node):
-        child = self._exec(node.children[0])
-        n = len(child)
-        key_pos = [child.col_pos(t, c) for t, c in node.group_by]
-        slices = self._morsels(n) if key_pos else []
-        if not slices:
-            # Global aggregates (always one output row) and sub-morsel
-            # inputs take the single-threaded path.
-            return self._vagg_on(node, child)
-        key_cols = [child.arrays[p] for p in key_pos]
-        agg_cols = [
-            None if a.column is None
-            else child.arrays[child.col_pos(a.table, a.column)]
-            for a in node.aggregates
-        ]
-
-        def partial(i):
-            start, stop = slices[i]
-            return _agg_partial(
-                node.aggregates,
-                [k[start:stop] for k in key_cols],
-                [None if c is None else c[start:stop] for c in agg_cols],
-            )
-
-        parts = self._pmap(node, partial, len(slices))
-        return self._agg_merge(node, parts, n)
-
-    def _agg_merge(self, node, parts, n_input):
-        """Merge per-morsel partial aggregates, in morsel order.
-
-        The first morsel that contains a key defines its output position,
-        which equals the sequential first-appearance order. AVG partials
-        carry ``(sum, count)`` and divide once here. The aggregate charge
-        uses ``n_input`` — the operator's logical input cardinality — so
-        accounting is identical to the single-threaded paths.
-        """
-        group_index = {}
-        merged_keys = []
-        merged = [[] for __ in node.aggregates]
-        for group_keys, states in parts:
-            for local, key in enumerate(group_keys):
-                g = group_index.get(key)
-                if g is None:
-                    g = group_index[key] = len(merged_keys)
-                    merged_keys.append(key)
-                    for state, agg_states in zip(states, merged):
-                        agg_states.append(state[local])
-                    continue
-                for agg, state, agg_states in zip(
-                    node.aggregates, states, merged
-                ):
-                    if agg.func in ("count", "sum"):
-                        agg_states[g] = agg_states[g] + state[local]
-                    elif agg.func == "min":
-                        agg_states[g] = min(agg_states[g], state[local])
-                    elif agg.func == "max":
-                        agg_states[g] = max(agg_states[g], state[local])
-                    else:  # avg carries (sum, count) partials
-                        s, c = agg_states[g]
-                        ds, dc = state[local]
-                        agg_states[g] = (s + ds, c + dc)
-        n_groups = len(merged_keys)
-        key_arrays = [
-            np.asarray(col)
-            for col in ([list(c) for c in zip(*merged_keys)] or
-                        [[] for __ in node.group_by])
-        ]
-        agg_arrays = []
-        for agg, agg_states in zip(node.aggregates, merged):
-            if agg.func == "avg":
-                agg_states = [s / c for s, c in agg_states]
-            agg_arrays.append(np.asarray(agg_states))
-        columns = list(node.group_by) + [
-            ("agg", "%s_%d" % (a.func, i)) for i, a in enumerate(node.aggregates)
-        ]
-        self._charge(node, self.cost_model.aggregate(n_input, n_groups))
-        return ColumnarRelation(columns, key_arrays + agg_arrays,
-                                n_rows=n_groups)
-
-    def _pexec_fusedpipelineop(self, node):
-        source = self._exec(node.children[0])
-        agg = node.agg_node
-        if agg is not None and agg.group_by:
-            slices = self._morsels(len(source))
-            if slices:
-                return self._pfused_aggregate(node, source, slices)
-        # Non-grouped tails: the mask still evaluates morsel-parallel via
-        # ``_mask``; gather/dedup/limit stay single-threaded, matching
-        # the unfused operators' merge phases.
-        return self._fused_tail(node, source)
-
-    def _pfused_aggregate(self, node, source, slices):
-        """Grouped fused tail, morsel-parallel: mask + partial per morsel.
-
-        Each morsel masks its slice of the *source* and partially
-        aggregates the survivors in one task — the filtered relation is
-        never materialized, not even per-morsel. The merge is the same
-        morsel-order merge as unfused parallel aggregation (including the
-        (sum, count) AVG carry); group order is the global
-        first-appearance order among surviving rows, so rows and order
-        match the other modes.
-        """
-        agg = node.agg_node
-        if node.filter_node is not None:
-            self._charge(
-                node.filter_node,
-                self.cost_model.params["cpu_tuple_cost"] * len(source),
-            )
-        key_cols = [
-            source.arrays[source.col_pos(t, c)] for t, c in agg.group_by
-        ]
-        agg_cols = [
-            None if a.column is None
-            else source.arrays[source.col_pos(a.table, a.column)]
-            for a in agg.aggregates
-        ]
-        compiled = [
-            (source.arrays[source.col_pos(p.table, p.column)],
-             _OPS[p.op], p.value)
-            for p in node.predicates
-        ]
-
-        def task(i):
-            start, stop = slices[i]
-            if compiled:
-                mask = None
-                for arr, op, value in compiled:
-                    m = np.asarray(op(arr[start:stop], value))
-                    if m.ndim == 0:
-                        m = np.full(stop - start, bool(m))
-                    m = m.astype(bool, copy=False)
-                    mask = m if mask is None else mask & m
-                keep = np.flatnonzero(mask) + start
-                keys = [k[keep] for k in key_cols]
-                vals = [None if c is None else c[keep] for c in agg_cols]
-                n_local = len(keep)
-            else:
-                keys = [k[start:stop] for k in key_cols]
-                vals = [
-                    None if c is None else c[start:stop] for c in agg_cols
-                ]
-                n_local = stop - start
-            return n_local, _agg_partial(agg.aggregates, keys, vals)
-
-        results = self._pmap(node, task, len(slices))
-        n1 = sum(r[0] for r in results)
-        out = self._agg_merge(agg, [r[1] for r in results], n1)
-        return self._fused_limit(node, out)
+        return np.concatenate(self.pmap(node, task, len(slices)))
 
 
 def count_join_rows(catalog, query, tables):
@@ -1486,7 +366,7 @@ def count_join_rows(catalog, query, tables):
         rel = ColumnarRelation(columns, arrays, n_rows=tbl.n_rows)
         preds = query.predicates_on(table_name)
         if preds:
-            rel = rel.take(_predicate_mask(rel, preds))
+            rel = rel.take(predicate_mask(rel, preds))
         return rel
 
     current = filtered(names[0])
@@ -1512,12 +392,12 @@ def count_join_rows(catalog, query, tables):
                 else:
                     left_pos.append(current.col_pos(e.right_table, e.right_column))
                     right_pos.append(rel_t.col_pos(e.left_table, e.left_column))
-            il, ir = _join_indices(
+            il, ir = join_indices(
                 [current.arrays[p] for p in left_pos],
                 [rel_t.arrays[p] for p in right_pos],
             )
         else:
-            il, ir = _cross_indices(len(current), len(rel_t))
+            il, ir = cross_indices(len(current), len(rel_t))
         current = ColumnarRelation(
             current.columns + rel_t.columns,
             [a[il] for a in current.arrays] + [a[ir] for a in rel_t.arrays],

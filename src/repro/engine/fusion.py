@@ -66,6 +66,10 @@ def _lift_scan_predicates(node):
         return node, []
     bare.est_rows = node.est_rows
     bare.est_cost = node.est_cost
+    # Back-reference for actual-row attribution: counts recorded against
+    # the bare copy land on the original plan's scan node, so per-node
+    # telemetry is identical with fusion on or off.
+    bare.origin = getattr(node, "origin", node)
     return bare, lifted
 
 

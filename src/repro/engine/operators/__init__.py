@@ -1,0 +1,48 @@
+"""Physical-operator layer: one module per operator family.
+
+Each plan-node class maps to a stateless :class:`PhysicalOperator`
+singleton registered in this package's registry. Operators expose up to
+three evaluation backends — ``row`` (tuple-at-a-time interpreter),
+``vectorized`` (columnar NumPy batches), and ``morsel`` (morsel-driven
+parallel; defaults to the vectorized backend when an operator has no
+profitable parallel strategy). The executor stays a thin driver: it
+resolves node → operator → backend and supplies the evaluation context
+(catalog, cost model, work/row accounting, morsel plumbing).
+
+Layering: this package sits below the optimizer and must never import
+from :mod:`repro.ai4db` (guarded by a test).
+"""
+
+from repro.engine.operators.base import (
+    BACKENDS,
+    OPS,
+    UNSET,
+    ColumnarRelation,
+    PhysicalOperator,
+    Relation,
+    eval_predicates,
+    operator_for,
+    register,
+    registered_node_types,
+)
+
+# Importing the family modules registers their operators.
+from repro.engine.operators import scan  # noqa: F401  (registration)
+from repro.engine.operators import join  # noqa: F401  (registration)
+from repro.engine.operators import filter as filter_ops  # noqa: F401
+from repro.engine.operators import aggregate  # noqa: F401  (registration)
+from repro.engine.operators import sort  # noqa: F401  (registration)
+from repro.engine.operators import fused  # noqa: F401  (registration)
+
+__all__ = [
+    "BACKENDS",
+    "OPS",
+    "UNSET",
+    "ColumnarRelation",
+    "PhysicalOperator",
+    "Relation",
+    "eval_predicates",
+    "operator_for",
+    "register",
+    "registered_node_types",
+]

@@ -1,0 +1,249 @@
+"""HashAggregate: grouped and global aggregation in all three backends.
+
+The columnar helpers here (:func:`aggregate_columnar`,
+:func:`merge_partials`, :func:`global_aggregate`) are shared with the
+fused-pipeline operator, which runs the same aggregation over a
+filtered-but-never-materialized input. Both helpers record the
+aggregate node's actual output cardinality via ``ctx.count`` — the
+group count *before* any LIMIT — so per-node actual-row telemetry is
+identical whether the aggregate ran standalone or absorbed into a fused
+tail.
+
+Group output order is first-appearance order of each key among input
+rows, in every backend (the stable argsort recovers it vectorized; the
+morsel merge assigns positions in morsel order, which equals it).
+"""
+
+import numpy as np
+
+from repro.common import ExecutionError
+from repro.engine import plans as P
+from repro.engine.operators.base import (
+    ColumnarRelation,
+    PhysicalOperator,
+    Relation,
+    register,
+)
+from repro.engine.operators.kernels import agg_partial, factorize, segment_reduce
+
+
+def output_columns(node):
+    """Column labels of an aggregate's output relation."""
+    return list(node.group_by) + [
+        ("agg", "%s_%d" % (a.func, i)) for i, a in enumerate(node.aggregates)
+    ]
+
+
+def global_aggregate(agg, arr, n):
+    """One global aggregate value over a full column (or ``None``)."""
+    if agg.func == "count":
+        return n
+    if n == 0:
+        return None
+    if arr.dtype == object:
+        col = arr.tolist()
+        if agg.func == "sum":
+            return sum(col)
+        if agg.func == "avg":
+            return sum(col) / len(col)
+        if agg.func == "min":
+            return min(col)
+        if agg.func == "max":
+            return max(col)
+    else:
+        if agg.func == "sum":
+            return arr.sum()
+        if agg.func == "avg":
+            return arr.sum() / n
+        if agg.func == "min":
+            return arr.min()
+        if agg.func == "max":
+            return arr.max()
+    raise ExecutionError("unknown aggregate %r" % (agg.func,))
+
+
+def aggregate_columnar(ctx, node, child):
+    """Single-threaded grouped/global aggregation over ``child``."""
+    n = len(child)
+    key_pos = [child.col_pos(t, c) for t, c in node.group_by]
+    agg_pos = [
+        None if a.column is None else child.col_pos(a.table, a.column)
+        for a in node.aggregates
+    ]
+    columns = output_columns(node)
+    if not key_pos:
+        # Global aggregate: always exactly one output row, even on empty
+        # input (count -> 0, other aggregates -> None).
+        values = []
+        for agg, pos in zip(node.aggregates, agg_pos):
+            values.append(
+                global_aggregate(
+                    agg, None if pos is None else child.arrays[pos], n
+                )
+            )
+        arrays = []
+        for v in values:
+            if v is None:
+                a = np.empty(1, dtype=object)
+                a[0] = None
+            else:
+                a = np.asarray([v])
+            arrays.append(a)
+        ctx.charge(node, ctx.cost_model.aggregate(n, 1))
+        ctx.count(node, 1)
+        return ColumnarRelation(columns, arrays, n_rows=1)
+    if n == 0:
+        ctx.charge(node, ctx.cost_model.aggregate(0, 0))
+        ctx.count(node, 0)
+        arrays = [np.empty(0, dtype=object) for __ in columns]
+        return ColumnarRelation(columns, arrays, n_rows=0)
+    codes = factorize([child.arrays[p] for p in key_pos])
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    seg_starts = np.flatnonzero(
+        np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
+    )
+    counts = np.diff(np.r_[seg_starts, n])
+    first_rows = order[seg_starts]  # stable sort -> global first occurrence
+    group_rank = np.argsort(first_rows, kind="stable")  # appearance order
+    key_arrays = [
+        child.arrays[p][first_rows[group_rank]] for p in key_pos
+    ]
+    agg_arrays = []
+    for agg, pos in zip(node.aggregates, agg_pos):
+        if agg.func == "count":
+            vals = counts
+        else:
+            vals = segment_reduce(
+                agg.func, child.arrays[pos][order], seg_starts, counts
+            )
+        agg_arrays.append(np.asarray(vals)[group_rank])
+    n_groups = len(counts)
+    ctx.charge(node, ctx.cost_model.aggregate(n, n_groups))
+    ctx.count(node, n_groups)
+    return ColumnarRelation(columns, key_arrays + agg_arrays, n_rows=n_groups)
+
+
+def merge_partials(ctx, node, parts, n_input):
+    """Merge per-morsel partial aggregates, in morsel order.
+
+    The first morsel that contains a key defines its output position,
+    which equals the sequential first-appearance order. AVG partials
+    carry ``(sum, count)`` and divide once here. The aggregate charge
+    uses ``n_input`` — the operator's logical input cardinality — so
+    accounting is identical to the single-threaded paths.
+    """
+    group_index = {}
+    merged_keys = []
+    merged = [[] for __ in node.aggregates]
+    for group_keys, states in parts:
+        for local, key in enumerate(group_keys):
+            g = group_index.get(key)
+            if g is None:
+                g = group_index[key] = len(merged_keys)
+                merged_keys.append(key)
+                for state, agg_states in zip(states, merged):
+                    agg_states.append(state[local])
+                continue
+            for agg, state, agg_states in zip(
+                node.aggregates, states, merged
+            ):
+                if agg.func in ("count", "sum"):
+                    agg_states[g] = agg_states[g] + state[local]
+                elif agg.func == "min":
+                    agg_states[g] = min(agg_states[g], state[local])
+                elif agg.func == "max":
+                    agg_states[g] = max(agg_states[g], state[local])
+                else:  # avg carries (sum, count) partials
+                    s, c = agg_states[g]
+                    ds, dc = state[local]
+                    agg_states[g] = (s + ds, c + dc)
+    n_groups = len(merged_keys)
+    key_arrays = [
+        np.asarray(col)
+        for col in ([list(c) for c in zip(*merged_keys)] or
+                    [[] for __ in node.group_by])
+    ]
+    agg_arrays = []
+    for agg, agg_states in zip(node.aggregates, merged):
+        if agg.func == "avg":
+            agg_states = [s / c for s, c in agg_states]
+        agg_arrays.append(np.asarray(agg_states))
+    ctx.charge(node, ctx.cost_model.aggregate(n_input, n_groups))
+    ctx.count(node, n_groups)
+    return ColumnarRelation(output_columns(node), key_arrays + agg_arrays,
+                            n_rows=n_groups)
+
+
+@register(P.HashAggregate)
+class HashAggregateOp(PhysicalOperator):
+    """Group-by + aggregate evaluation via hashing."""
+
+    def row(self, ctx, node):
+        child = ctx.run(node.children[0])
+        key_pos = [child.col_pos(t, c) for t, c in node.group_by]
+        agg_pos = []
+        for agg in node.aggregates:
+            if agg.column is None:
+                agg_pos.append(None)
+            else:
+                agg_pos.append(child.col_pos(agg.table, agg.column))
+        groups = {}
+        for row in child.rows:
+            key = tuple(row[p] for p in key_pos)
+            groups.setdefault(key, []).append(row)
+        if not groups and not node.group_by:
+            groups[()] = []
+        out = []
+        for key, rows in groups.items():
+            values = []
+            for agg, pos in zip(node.aggregates, agg_pos):
+                if agg.func == "count":
+                    values.append(len(rows))
+                    continue
+                col = [r[pos] for r in rows]
+                if not col:
+                    values.append(None)
+                elif agg.func == "sum":
+                    values.append(sum(col))
+                elif agg.func == "avg":
+                    values.append(sum(col) / len(col))
+                elif agg.func == "min":
+                    values.append(min(col))
+                elif agg.func == "max":
+                    values.append(max(col))
+                else:
+                    raise ExecutionError("unknown aggregate %r" % (agg.func,))
+            out.append(key + tuple(values))
+        ctx.charge(node, ctx.cost_model.aggregate(len(child.rows), len(out)))
+        return Relation(output_columns(node), out)
+
+    def vectorized(self, ctx, node):
+        return aggregate_columnar(ctx, node, ctx.run(node.children[0]))
+
+    def morsel(self, ctx, node):
+        child = ctx.run(node.children[0])
+        n = len(child)
+        key_pos = [child.col_pos(t, c) for t, c in node.group_by]
+        slices = ctx.morsels(n) if key_pos else []
+        if not slices:
+            # Global aggregates (always one output row) and sub-morsel
+            # inputs take the single-threaded path.
+            return aggregate_columnar(ctx, node, child)
+        key_cols = [child.arrays[p] for p in key_pos]
+        agg_cols = [
+            None if a.column is None
+            else child.arrays[child.col_pos(a.table, a.column)]
+            for a in node.aggregates
+        ]
+
+        def partial(i):
+            start, stop = slices[i]
+            return agg_partial(
+                node.aggregates,
+                [k[start:stop] for k in key_cols],
+                [None if c is None else c[start:stop] for c in agg_cols],
+            )
+
+        parts = ctx.pmap(node, partial, len(slices))
+        return merge_partials(ctx, node, parts, n)

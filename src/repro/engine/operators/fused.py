@@ -1,0 +1,348 @@
+"""The fused Filter→Project/Aggregate(→Limit) pipeline operator.
+
+Evaluates a :class:`~repro.engine.plans.FusedPipelineOp` tail in one pass
+over the source relation: predicate mask, gather of only the columns the
+tail reads, aggregation/dedup/limit — without materializing the filtered
+intermediate. Work is charged through the absorbed operator nodes with
+the same cardinalities and in the same order as the unfused
+interpreters, so ``work``/``operator_work`` are bit-identical with
+fusion on or off.
+
+Actual-row attribution follows the same rule: every absorbed node is
+credited the output cardinality its unfused twin would have produced —
+the filter stage (or the source scan whose pushed predicates were lifted
+into the fused op) gets the survivor count, Project gets its pre-limit
+output (full dedup count under DISTINCT), HashAggregate gets the
+pre-limit group count, and Limit gets the final row count. The
+differential fuzzer compares these per-node counters across fused and
+unfused runs.
+"""
+
+import numpy as np
+
+from repro.common import ExecutionError
+from repro.engine import plans as P
+from repro.engine.operators.base import (
+    OPS,
+    UNSET,
+    ColumnarRelation,
+    PhysicalOperator,
+    Relation,
+    register,
+)
+from repro.engine.operators.kernels import agg_input_columns, agg_partial, factorize
+from repro.engine.operators.aggregate import (
+    aggregate_columnar,
+    merge_partials,
+    output_columns,
+)
+
+
+def _count_filter_stage(ctx, node, n1):
+    """Credit the mask's survivor count to the stage that owns it.
+
+    Either an absorbed standalone ``Filter`` or the source scan whose
+    pushed predicates were lifted into the fused op (``ctx.count``
+    resolves the bare scan copy back to the original plan node). With no
+    predicates at all the source's own auto-count is already right.
+    """
+    if node.filter_node is not None:
+        ctx.count(node.filter_node, n1)
+    elif node.predicates:
+        ctx.count(node.children[0], n1)
+
+
+def _fused_limit(ctx, node, rel):
+    """Apply (and credit) the absorbed Limit, if any."""
+    ln = node.limit_node
+    if ln is None:
+        return rel
+    if ln.n >= len(rel):
+        ctx.count(ln, len(rel))
+        return rel
+    ctx.count(ln, ln.n)
+    return ColumnarRelation(
+        rel.columns, [a[: ln.n] for a in rel.arrays], n_rows=ln.n
+    )
+
+
+def _fused_aggregate(ctx, node, source, keep, n1):
+    agg = node.agg_node
+    labels, positions = agg_input_columns(agg, source)
+    arrays = [
+        source.arrays[p] if keep is None else source.arrays[p][keep]
+        for p in positions
+    ]
+    sub = ColumnarRelation(labels, arrays, n_rows=n1)
+    return _fused_limit(ctx, node, aggregate_columnar(ctx, agg, sub))
+
+
+def _fused_project(ctx, node, source, keep, n1):
+    proj = node.project_node
+    positions = [source.col_pos(t, c) for t, c in proj.columns]
+    ctx.charge(proj, ctx.cost_model.params["cpu_tuple_cost"] * n1)
+    if proj.distinct:
+        arrays = [
+            source.arrays[p] if keep is None else source.arrays[p][keep]
+            for p in positions
+        ]
+        n = n1
+        if n:
+            codes = factorize(arrays)
+            __, first = np.unique(codes, return_index=True)
+            firsts = np.sort(first)  # first-occurrence order
+            arrays = [a[firsts] for a in arrays]
+            n = len(firsts)
+        ctx.count(proj, n)
+        return _fused_limit(
+            ctx, node, ColumnarRelation(proj.columns, arrays, n_rows=n)
+        )
+    ctx.count(proj, n1)
+    if keep is None:
+        out = ColumnarRelation(
+            proj.columns,
+            [source.arrays[p] for p in positions],
+            n_rows=n1,
+        )
+        return _fused_limit(ctx, node, out)
+    limit = None if node.limit_node is None else node.limit_node.n
+    if limit is not None and limit < n1:
+        keep = keep[:limit]  # rows past the limit are never gathered
+    arrays = [source.arrays[p][keep] for p in positions]
+    out = ColumnarRelation(proj.columns, arrays, n_rows=len(keep))
+    if node.limit_node is not None:
+        ctx.count(node.limit_node, len(out))
+    return out
+
+
+def fused_tail(ctx, node, source):
+    """Columnar fused tail: mask once, gather only what the tail reads.
+
+    In parallel mode the mask still evaluates morsel-parallel via
+    ``ctx.mask`` (``FusedPipelineOp`` is morsel-parallel).
+    """
+    n0 = len(source)
+    if node.filter_node is not None:
+        ctx.charge(
+            node.filter_node,
+            ctx.cost_model.params["cpu_tuple_cost"] * n0,
+        )
+    if node.predicates:
+        keep = np.flatnonzero(ctx.mask(node, source, node.predicates))
+        n1 = len(keep)
+    else:
+        keep, n1 = None, n0
+    _count_filter_stage(ctx, node, n1)
+    if node.agg_node is not None:
+        return _fused_aggregate(ctx, node, source, keep, n1)
+    return _fused_project(ctx, node, source, keep, n1)
+
+
+def _row_fused_project(ctx, node, source, passes, limit):
+    proj = node.project_node
+    positions = [source.col_pos(t, c) for t, c in proj.columns]
+    out = []
+    seen = set() if proj.distinct else None
+    n1 = 0
+    for row in source.rows:
+        if not passes(row):
+            continue
+        n1 += 1
+        if seen is None:
+            if limit is not None and len(out) >= limit:
+                continue  # keep counting survivors for the Project charge
+            out.append(tuple(row[p] for p in positions))
+            continue
+        # DISTINCT keeps deduplicating past the limit so the Project
+        # stage's actual-row count equals the unfused Project's full
+        # dedup output; only the append is limit-gated.
+        projected = tuple(row[p] for p in positions)
+        if projected in seen:
+            continue
+        seen.add(projected)
+        if limit is None or len(out) < limit:
+            out.append(projected)
+    ctx.charge(proj, ctx.cost_model.params["cpu_tuple_cost"] * n1)
+    _count_filter_stage(ctx, node, n1)
+    ctx.count(proj, n1 if seen is None else len(seen))
+    if node.limit_node is not None:
+        ctx.count(node.limit_node, len(out))
+    return Relation(proj.columns, out)
+
+
+def _row_fused_aggregate(ctx, node, source, passes, limit):
+    agg = node.agg_node
+    key_pos = [source.col_pos(t, c) for t, c in agg.group_by]
+    agg_pos = [
+        None if a.column is None else source.col_pos(a.table, a.column)
+        for a in agg.aggregates
+    ]
+    groups = {}
+    n1 = 0
+    for row in source.rows:
+        if not passes(row):
+            continue
+        n1 += 1
+        key = tuple(row[p] for p in key_pos)
+        states = groups.get(key)
+        if states is None:
+            states = groups[key] = [
+                0 if a.func in ("count", "sum")
+                else ([0, 0] if a.func == "avg" else UNSET)
+                for a in agg.aggregates
+            ]
+        for j, (a, pos) in enumerate(zip(agg.aggregates, agg_pos)):
+            if a.func == "count":
+                states[j] += 1
+                continue
+            value = row[pos]
+            if a.func == "sum":
+                states[j] = states[j] + value
+            elif a.func == "avg":
+                states[j][0] += value
+                states[j][1] += 1
+            elif a.func == "min":
+                if states[j] is UNSET or value < states[j]:
+                    states[j] = value
+            elif a.func == "max":
+                if states[j] is UNSET or value > states[j]:
+                    states[j] = value
+            else:
+                raise ExecutionError(
+                    "unknown aggregate %r" % (a.func,)
+                )
+    out = []
+    for key, states in groups.items():
+        values = []
+        for a, state in zip(agg.aggregates, states):
+            if a.func == "avg":
+                values.append(state[0] / state[1])
+            elif state is UNSET:
+                values.append(None)
+            else:
+                values.append(state)
+        out.append(key + tuple(values))
+    if not groups and not key_pos:
+        # Global aggregate over zero surviving rows: one output row.
+        out.append(tuple(
+            0 if a.func == "count" else None for a in agg.aggregates
+        ))
+    ctx.charge(agg, ctx.cost_model.aggregate(n1, len(out)))
+    _count_filter_stage(ctx, node, n1)
+    ctx.count(agg, len(out))
+    if limit is not None:
+        out = out[: limit]
+    if node.limit_node is not None:
+        ctx.count(node.limit_node, len(out))
+    return Relation(output_columns(agg), out)
+
+
+def _pfused_aggregate(ctx, node, source, slices):
+    """Grouped fused tail, morsel-parallel: mask + partial per morsel.
+
+    Each morsel masks its slice of the *source* and partially
+    aggregates the survivors in one task — the filtered relation is
+    never materialized, not even per-morsel. The merge is the same
+    morsel-order merge as unfused parallel aggregation (including the
+    (sum, count) AVG carry); group order is the global
+    first-appearance order among surviving rows, so rows and order
+    match the other modes.
+    """
+    agg = node.agg_node
+    if node.filter_node is not None:
+        ctx.charge(
+            node.filter_node,
+            ctx.cost_model.params["cpu_tuple_cost"] * len(source),
+        )
+    key_cols = [
+        source.arrays[source.col_pos(t, c)] for t, c in agg.group_by
+    ]
+    agg_cols = [
+        None if a.column is None
+        else source.arrays[source.col_pos(a.table, a.column)]
+        for a in agg.aggregates
+    ]
+    compiled = [
+        (source.arrays[source.col_pos(p.table, p.column)],
+         OPS[p.op], p.value)
+        for p in node.predicates
+    ]
+
+    def task(i):
+        start, stop = slices[i]
+        if compiled:
+            mask = None
+            for arr, op, value in compiled:
+                m = np.asarray(op(arr[start:stop], value))
+                if m.ndim == 0:
+                    m = np.full(stop - start, bool(m))
+                m = m.astype(bool, copy=False)
+                mask = m if mask is None else mask & m
+            keep = np.flatnonzero(mask) + start
+            keys = [k[keep] for k in key_cols]
+            vals = [None if c is None else c[keep] for c in agg_cols]
+            n_local = len(keep)
+        else:
+            keys = [k[start:stop] for k in key_cols]
+            vals = [
+                None if c is None else c[start:stop] for c in agg_cols
+            ]
+            n_local = stop - start
+        return n_local, agg_partial(agg.aggregates, keys, vals)
+
+    results = ctx.pmap(node, task, len(slices))
+    n1 = sum(r[0] for r in results)
+    _count_filter_stage(ctx, node, n1)
+    out = merge_partials(ctx, agg, [r[1] for r in results], n1)
+    return _fused_limit(ctx, node, out)
+
+
+@register(P.FusedPipelineOp)
+class FusedPipelineOpEval(PhysicalOperator):
+    """Evaluates a fused tail in all three backends."""
+
+    def row(self, ctx, node):
+        """Row-mode fused tail: one streaming pass over the source rows.
+
+        The accumulators fold values in row order starting from the same
+        identities the unfused interpreter's ``sum``/``min``/``max`` use,
+        so the outputs are bit-identical, and work is charged through the
+        absorbed operator nodes in the unfused charge order.
+        """
+        source = ctx.run(node.children[0])
+        n0 = len(source.rows)
+        if node.filter_node is not None:
+            ctx.charge(
+                node.filter_node,
+                ctx.cost_model.params["cpu_tuple_cost"] * n0,
+            )
+        compiled = [
+            (source.col_pos(p.table, p.column), OPS[p.op], p.value)
+            for p in node.predicates
+        ]
+
+        def passes(row):
+            for pos, op, value in compiled:
+                if not op(row[pos], value):
+                    return False
+            return True
+
+        limit = None if node.limit_node is None else node.limit_node.n
+        if node.agg_node is not None:
+            return _row_fused_aggregate(ctx, node, source, passes, limit)
+        return _row_fused_project(ctx, node, source, passes, limit)
+
+    def vectorized(self, ctx, node):
+        return fused_tail(ctx, node, ctx.run(node.children[0]))
+
+    def morsel(self, ctx, node):
+        source = ctx.run(node.children[0])
+        agg = node.agg_node
+        if agg is not None and agg.group_by:
+            slices = ctx.morsels(len(source))
+            if slices:
+                return _pfused_aggregate(ctx, node, source, slices)
+        # Non-grouped tails: the mask still evaluates morsel-parallel via
+        # ``ctx.mask``; gather/dedup/limit stay single-threaded, matching
+        # the unfused operators' merge phases.
+        return fused_tail(ctx, node, source)

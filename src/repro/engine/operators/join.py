@@ -1,0 +1,178 @@
+"""Join operators: HashJoin, NestedLoopJoin, CrossJoin.
+
+All joins emit rows in the row interpreter's order — left rows in order,
+each left row's right matches in original right order — so the three
+backends are interchangeable. The morsel backend builds once and probes
+per-morsel; morsel-order concatenation reproduces the monolithic probe.
+Work is charged from observed cardinalities via the cost-model formula
+matching the join algorithm, never from implementation details.
+"""
+
+import numpy as np
+
+from repro.engine import plans as P
+from repro.engine.operators.base import (
+    ColumnarRelation,
+    PhysicalOperator,
+    Relation,
+    register,
+)
+from repro.engine.operators.kernels import (
+    cross_indices,
+    join_build,
+    join_indices,
+    join_probe,
+)
+
+
+def join_keys(node, left, right):
+    """Positions of the join-key columns in the two child relations."""
+    left_index = left._index
+    left_pos, right_pos = [], []
+    for e in node.edges:
+        if (e.left_table.lower(), e.left_column.lower()) in left_index:
+            lp = left.col_pos(e.left_table, e.left_column)
+            rp = right.col_pos(e.right_table, e.right_column)
+        else:
+            lp = left.col_pos(e.right_table, e.right_column)
+            rp = right.col_pos(e.left_table, e.left_column)
+        left_pos.append(lp)
+        right_pos.append(rp)
+    return left_pos, right_pos
+
+
+def _v_join(ctx, node, charge):
+    """Single-threaded columnar equi-join shared by hash and NL charges."""
+    left = ctx.run(node.children[0])
+    right = ctx.run(node.children[1])
+    left_pos, right_pos = join_keys(node, left, right)
+    il, ir = join_indices(
+        [left.arrays[p] for p in left_pos],
+        [right.arrays[p] for p in right_pos],
+    )
+    out = ColumnarRelation(
+        left.columns + right.columns,
+        [a[il] for a in left.arrays] + [a[ir] for a in right.arrays],
+        n_rows=len(il),
+    )
+    ctx.charge(node, charge(len(left), len(right), len(out)))
+    return out
+
+
+def _p_join(ctx, node, charge):
+    """Morsel-parallel probe: build once, probe disjoint left ranges."""
+    left = ctx.run(node.children[0])
+    right = ctx.run(node.children[1])
+    left_pos, right_pos = join_keys(node, left, right)
+    left_cols = [left.arrays[p] for p in left_pos]
+    right_cols = [right.arrays[p] for p in right_pos]
+    nl, nr = len(left), len(right)
+    slices = ctx.morsels(nl) if nr else []
+    if not slices:
+        il, ir = join_indices(left_cols, right_cols)
+    else:
+        # Build once (shared key codes + sorted build side), probe
+        # per morsel; morsel-order concatenation reproduces the
+        # monolithic probe's left-major output order exactly.
+        lc, rc_sorted, order = join_build(left_cols, right_cols)
+
+        def task(i):
+            start, stop = slices[i]
+            return join_probe(lc[start:stop], rc_sorted, order, base=start)
+
+        parts = ctx.pmap(node, task, len(slices))
+        il = np.concatenate([p[0] for p in parts])
+        ir = np.concatenate([p[1] for p in parts])
+    out = ColumnarRelation(
+        left.columns + right.columns,
+        [a[il] for a in left.arrays] + [a[ir] for a in right.arrays],
+        n_rows=len(il),
+    )
+    ctx.charge(node, charge(nl, nr, len(out)))
+    return out
+
+
+@register(P.HashJoin)
+class HashJoinOp(PhysicalOperator):
+    """Hash join (right child is the build side)."""
+
+    def row(self, ctx, node):
+        left = ctx.run(node.children[0])
+        right = ctx.run(node.children[1])
+        left_pos, right_pos = join_keys(node, left, right)
+        buckets = {}
+        for row in right.rows:
+            key = tuple(row[p] for p in right_pos)
+            buckets.setdefault(key, []).append(row)
+        out = []
+        for row in left.rows:
+            key = tuple(row[p] for p in left_pos)
+            for match in buckets.get(key, ()):
+                out.append(row + match)
+        ctx.charge(
+            node,
+            ctx.cost_model.hash_join(len(left.rows), len(right.rows), len(out)),
+        )
+        return Relation(left.columns + right.columns, out)
+
+    def vectorized(self, ctx, node):
+        return _v_join(ctx, node, ctx.cost_model.hash_join)
+
+    def morsel(self, ctx, node):
+        return _p_join(ctx, node, ctx.cost_model.hash_join)
+
+
+@register(P.NestedLoopJoin)
+class NestedLoopJoinOp(PhysicalOperator):
+    """Nested loops over the join edges (equi only)."""
+
+    def row(self, ctx, node):
+        left = ctx.run(node.children[0])
+        right = ctx.run(node.children[1])
+        left_pos, right_pos = join_keys(node, left, right)
+        out = []
+        for lrow in left.rows:
+            lkey = tuple(lrow[p] for p in left_pos)
+            for rrow in right.rows:
+                if lkey == tuple(rrow[p] for p in right_pos):
+                    out.append(lrow + rrow)
+        ctx.charge(
+            node,
+            ctx.cost_model.nested_loop_join(
+                len(left.rows), len(right.rows), len(out)
+            ),
+        )
+        return Relation(left.columns + right.columns, out)
+
+    def vectorized(self, ctx, node):
+        # Same matches as the tuple interpreter; only the charge differs.
+        return _v_join(ctx, node, ctx.cost_model.nested_loop_join)
+
+    def morsel(self, ctx, node):
+        return _p_join(ctx, node, ctx.cost_model.nested_loop_join)
+
+
+@register(P.CrossJoin)
+class CrossJoinOp(PhysicalOperator):
+    """Cartesian product, left-major order; never morsel-split."""
+
+    def row(self, ctx, node):
+        left = ctx.run(node.children[0])
+        right = ctx.run(node.children[1])
+        out = [l + r for l in left.rows for r in right.rows]
+        ctx.charge(
+            node, ctx.cost_model.cross_join(len(left.rows), len(right.rows))
+        )
+        return Relation(left.columns + right.columns, out)
+
+    def vectorized(self, ctx, node):
+        left = ctx.run(node.children[0])
+        right = ctx.run(node.children[1])
+        il, ir = cross_indices(len(left), len(right))
+        out = ColumnarRelation(
+            left.columns + right.columns,
+            [a[il] for a in left.arrays] + [a[ir] for a in right.arrays],
+            n_rows=len(il),
+        )
+        ctx.charge(node, ctx.cost_model.cross_join(len(left), len(right)))
+        return out

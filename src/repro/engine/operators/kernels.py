@@ -1,0 +1,245 @@
+"""Vectorized NumPy kernels shared across operator families.
+
+These are the pure array routines the columnar backends are built from:
+factorization (dense key codes), the build/probe halves of the
+factorized equi-join, predicate masks, segmented reductions for grouped
+aggregation, and order-preserving sort permutations. They are also used
+by :func:`repro.engine.executor.count_join_rows` (the oracle cardinality
+helper), which is why they live apart from any single operator module.
+
+Every kernel is deterministic and order-preserving by construction —
+join probes emit left-major row order, groups surface in first-appearance
+order, sorts are stable — because the row interpreter defines the
+engine's observable semantics and the vectorized kernels must reproduce
+it bit-for-bit.
+"""
+
+import numpy as np
+
+from repro.common import ExecutionError
+from repro.engine.operators.base import OPS
+
+
+def column_codes(arr):
+    """Dense int64 codes for one column (equal values ⇒ equal codes).
+
+    Non-object dtypes use ``np.unique``. Object columns (TEXT, nullable)
+    use a first-appearance dict instead: sort-based ``np.unique`` would
+    try to order the values and raise ``TypeError`` on ``None`` or mixed
+    types, while dict equality matches the row interpreter's hash-based
+    semantics exactly (``None == None`` groups/joins, no ordering needed).
+    """
+    if arr.dtype == object:
+        codes = np.empty(len(arr), dtype=np.int64)
+        seen = {}
+        for i, value in enumerate(arr):
+            code = seen.get(value)
+            if code is None:
+                code = seen[value] = len(seen)
+            codes[i] = code
+        return codes
+    __, inv = np.unique(arr, return_inverse=True)
+    return np.ascontiguousarray(inv, dtype=np.int64).ravel()
+
+
+def factorize(columns):
+    """Dense int64 codes identifying each row's tuple over ``columns``.
+
+    Rows with equal key tuples receive equal codes; codes are compacted
+    after every column so multi-column keys cannot overflow.
+    """
+    codes = None
+    for arr in columns:
+        inv = column_codes(arr)
+        if codes is None:
+            codes = inv
+        else:
+            width = int(inv.max()) + 1 if len(inv) else 1
+            codes = codes * width + inv
+            __, codes = np.unique(codes, return_inverse=True)
+            codes = np.ascontiguousarray(codes, dtype=np.int64).ravel()
+    return codes
+
+
+def join_build(left_cols, right_cols):
+    """Build phase of the factorized equi-join: shared key codes.
+
+    Factorizes the concatenated key columns once (so left and right codes
+    are consistent) and sorts the right side. Returns
+    ``(left_codes, right_codes_sorted, right_order)`` — everything a probe
+    needs; probes over disjoint left ranges are independent, which is what
+    the parallel executor exploits.
+    """
+    nl = len(left_cols[0])
+    codes = factorize(
+        [np.concatenate([l, r]) for l, r in zip(left_cols, right_cols)]
+    )
+    lc, rc = codes[:nl], codes[nl:]
+    order = np.argsort(rc, kind="stable")
+    return lc, rc[order], order
+
+
+def join_probe(lc, rc_sorted, order, base=0):
+    """Probe phase: row-id pairs for probe codes ``lc``.
+
+    ``base`` offsets the emitted left row ids, so a morsel covering
+    ``lc[start:stop]`` passes ``base=start`` and the concatenation of
+    per-morsel outputs (in morsel order) equals the monolithic probe.
+    """
+    nl = len(lc)
+    empty = np.empty(0, dtype=np.int64)
+    starts = np.searchsorted(rc_sorted, lc, side="left")
+    counts = np.searchsorted(rc_sorted, lc, side="right") - starts
+    total = int(counts.sum())
+    il = np.repeat(np.arange(base, base + nl, dtype=np.int64), counts)
+    if total == 0:
+        return il, empty
+    offsets = np.cumsum(counts) - counts
+    pos = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(offsets, counts)
+        + np.repeat(starts, counts)
+    )
+    return il, order[pos]
+
+
+def join_indices(left_cols, right_cols):
+    """Row-id pairs ``(il, ir)`` of the equi-join of two key-column sets.
+
+    Output order matches the row interpreter's hash join exactly: left
+    rows in order, and for each left row its right matches in original
+    right order (the stable argsort keeps within-key right order intact).
+    """
+    nl, nr = len(left_cols[0]), len(right_cols[0])
+    empty = np.empty(0, dtype=np.int64)
+    if nl == 0 or nr == 0:
+        return empty, empty.copy()
+    lc, rc_sorted, order = join_build(left_cols, right_cols)
+    return join_probe(lc, rc_sorted, order)
+
+
+def cross_indices(nl, nr):
+    """Row-id pairs of the Cartesian product, left-major (row order)."""
+    il = np.repeat(np.arange(nl, dtype=np.int64), nr)
+    ir = np.tile(np.arange(nr, dtype=np.int64), nl)
+    return il, ir
+
+
+def predicate_mask(relation, predicates):
+    """One boolean mask for a conjunction of predicates (vectorized)."""
+    n = len(relation)
+    mask = None
+    for p in predicates:
+        arr = relation.arrays[relation.col_pos(p.table, p.column)]
+        m = np.asarray(OPS[p.op](arr, p.value))
+        if m.ndim == 0:  # incomparable types collapse to a scalar verdict
+            m = np.full(n, bool(m))
+        m = m.astype(bool, copy=False)
+        mask = m if mask is None else mask & m
+    return mask
+
+
+def segment_reduce(func, sorted_vals, seg_starts, counts):
+    """Per-group reduction over values pre-sorted so groups are contiguous."""
+    if sorted_vals.dtype == object:
+        bounds = np.r_[seg_starts, len(sorted_vals)]
+        segments = [
+            sorted_vals[bounds[i]:bounds[i + 1]].tolist()
+            for i in range(len(seg_starts))
+        ]
+        if func == "sum":
+            vals = [sum(s) for s in segments]
+        elif func == "avg":
+            vals = [sum(s) / len(s) for s in segments]
+        elif func == "min":
+            vals = [min(s) for s in segments]
+        elif func == "max":
+            vals = [max(s) for s in segments]
+        else:
+            raise ExecutionError("unknown aggregate %r" % (func,))
+        out = np.empty(len(vals), dtype=object)
+        out[:] = vals
+        return out
+    if func == "sum":
+        return np.add.reduceat(sorted_vals, seg_starts)
+    if func == "avg":
+        return np.add.reduceat(sorted_vals, seg_starts) / counts
+    if func == "min":
+        return np.minimum.reduceat(sorted_vals, seg_starts)
+    if func == "max":
+        return np.maximum.reduceat(sorted_vals, seg_starts)
+    raise ExecutionError("unknown aggregate %r" % (func,))
+
+
+def stable_sort_indices(key, descending):
+    """Stable sort permutation matching ``sorted(..., reverse=descending)``."""
+    n = len(key)
+    if not descending:
+        return np.argsort(key, kind="stable")
+    # Descending with ties in original order == stable ascending argsort of
+    # the reversed array, reversed and mapped back to original positions.
+    return (n - 1) - np.argsort(key[::-1], kind="stable")[::-1]
+
+
+def agg_input_columns(agg_node, source):
+    """``(labels, positions)`` of the columns an aggregate actually reads.
+
+    The fused path gathers only these through the predicate's surviving
+    row ids — the full-width filtered relation is never materialized.
+    """
+    seen = {}
+    for t, c in agg_node.group_by:
+        key = (t.lower(), c.lower())
+        if key not in seen:
+            seen[key] = source.col_pos(t, c)
+    for a in agg_node.aggregates:
+        if a.column is not None:
+            key = (a.table.lower(), a.column.lower())
+            if key not in seen:
+                seen[key] = source.col_pos(a.table, a.column)
+    return list(seen), list(seen.values())
+
+
+def agg_partial(aggregates, keys, vals):
+    """One morsel's partial aggregation, groups in appearance order.
+
+    ``keys``/``vals`` are this morsel's (already masked) key and argument
+    arrays. Returns ``(group_keys, states)`` where ``group_keys`` lists
+    each group's key tuple and ``states[j][g]`` is aggregate ``j``'s
+    partial state for group ``g``: a count, a sum, a min/max, or a
+    ``(sum, count)`` pair for AVG — the carry that lets the merge stay
+    exact instead of averaging averages.
+    """
+    n = len(keys[0]) if keys else 0
+    if n == 0:
+        # A fused morsel can be filtered down to nothing; emit no groups.
+        return [], [[] for __ in aggregates]
+    codes = factorize(keys)
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    seg_starts = np.flatnonzero(
+        np.r_[True, sorted_codes[1:] != sorted_codes[:-1]]
+    )
+    counts = np.diff(np.r_[seg_starts, n])
+    first_rows = order[seg_starts]
+    rank = np.argsort(first_rows, kind="stable")
+    group_keys = list(zip(
+        *(k[first_rows[rank]].tolist() for k in keys)
+    ))
+    states = []
+    for agg, col in zip(aggregates, vals):
+        if agg.func == "count":
+            states.append(counts[rank].tolist())
+            continue
+        sorted_vals = col[order]
+        if agg.func == "avg":
+            sums = segment_reduce("sum", sorted_vals, seg_starts, counts)
+            states.append(list(zip(
+                np.asarray(sums)[rank].tolist(),
+                counts[rank].tolist(),
+            )))
+        else:
+            reduced = segment_reduce(agg.func, sorted_vals, seg_starts,
+                                     counts)
+            states.append(np.asarray(reduced)[rank].tolist())
+    return group_keys, states

@@ -1,0 +1,150 @@
+"""Scan operators: SeqScan, IndexScan, ViewScan, EmptyResult.
+
+Scans are leaves — they read base-table (or materialized-view) storage
+into a relation and apply pushed-down predicates. The vectorized backend
+builds the predicate mask through ``ctx.mask``, which splits into morsels
+in parallel mode, so scans need no dedicated morsel backend.
+"""
+
+import numpy as np
+
+from repro.common import ExecutionError
+from repro.engine import plans as P
+from repro.engine.operators.base import (
+    ColumnarRelation,
+    PhysicalOperator,
+    Relation,
+    eval_predicates,
+    register,
+)
+
+
+def table_relation(ctx, table_name):
+    """``(table, column_labels)`` for a base table (row backend)."""
+    table = ctx.catalog.table(table_name)
+    columns = [(table.name, c.name) for c in table.schema.columns]
+    return table, columns
+
+
+def v_table_relation(ctx, table_name, row_ids=None):
+    """``(table, ColumnarRelation)`` of a base table's column arrays."""
+    table = ctx.catalog.table(table_name)
+    columns = [(table.name, c.name) for c in table.schema.columns]
+    data = table.column_arrays(row_ids)
+    arrays = [data[c.name.lower()] for c in table.schema.columns]
+    n = table.n_rows if row_ids is None else len(row_ids)
+    return table, ColumnarRelation(columns, arrays, n_rows=n)
+
+
+def index_row_ids(ctx, node):
+    """Resolve an IndexScan's probe to a sorted NumPy row-id array."""
+    idx = None
+    for cand in ctx.catalog.indexes(node.table):
+        if cand.name == node.index_name:
+            idx = cand
+            break
+    if idx is None:
+        raise ExecutionError("index %r not found" % (node.index_name,))
+    if idx.hypothetical:
+        raise ExecutionError(
+            "cannot execute a plan using hypothetical index %r" % (idx.name,)
+        )
+    pred = node.predicate
+    structure = idx.structure
+    if pred.op == "=":
+        row_ids = structure.search(pred.value)
+    elif idx.kind == "hash":
+        raise ExecutionError("hash index supports only equality probes")
+    elif pred.op == "<":
+        row_ids = structure.range_search(high=pred.value, inclusive=(True, False))
+    elif pred.op == "<=":
+        row_ids = structure.range_search(high=pred.value, inclusive=(True, True))
+    elif pred.op == ">":
+        row_ids = structure.range_search(low=pred.value, inclusive=(False, True))
+    elif pred.op == ">=":
+        row_ids = structure.range_search(low=pred.value, inclusive=(True, True))
+    else:
+        raise ExecutionError("index scan cannot evaluate %r" % (pred,))
+    return np.sort(np.asarray(row_ids, dtype=np.int64))
+
+
+@register(P.SeqScan)
+class SeqScanOp(PhysicalOperator):
+    """Full table scan applying pushed-down predicates."""
+
+    def row(self, ctx, node):
+        table, columns = table_relation(ctx, node.table)
+        ctx.charge(node, ctx.cost_model.seq_scan(table.n_rows))
+        relation = Relation(columns, table.rows())
+        rows = eval_predicates(relation, node.predicates)
+        return Relation(columns, rows)
+
+    def vectorized(self, ctx, node):
+        table, rel = v_table_relation(ctx, node.table)
+        ctx.charge(node, ctx.cost_model.seq_scan(table.n_rows))
+        if node.predicates:
+            rel = rel.take(ctx.mask(node, rel, node.predicates))
+        return rel
+
+
+@register(P.IndexScan)
+class IndexScanOp(PhysicalOperator):
+    """Index probe/range scan plus residual predicates."""
+
+    def row(self, ctx, node):
+        row_ids = index_row_ids(ctx, node)
+        table, columns = table_relation(ctx, node.table)
+        ctx.charge(node, ctx.cost_model.index_scan(len(row_ids)))
+        relation = Relation(columns, table.rows(row_ids))
+        rows = eval_predicates(relation, node.residual)
+        return Relation(columns, rows)
+
+    def vectorized(self, ctx, node):
+        row_ids = index_row_ids(ctx, node)
+        __, rel = v_table_relation(ctx, node.table, row_ids)
+        ctx.charge(node, ctx.cost_model.index_scan(len(row_ids)))
+        if node.residual:
+            rel = rel.take(ctx.mask(node, rel, node.residual))
+        return rel
+
+
+@register(P.ViewScan)
+class ViewScanOp(PhysicalOperator):
+    """Scan of a materialized view with residual predicates."""
+
+    def row(self, ctx, node):
+        view_table = node.view.table
+        columns = []
+        for name in view_table.schema.column_names:
+            t, __, c = name.partition("__")
+            columns.append((t, c))
+        ctx.charge(node, ctx.cost_model.seq_scan(view_table.n_rows))
+        relation = Relation(columns, view_table.rows())
+        rows = eval_predicates(relation, node.residual)
+        return Relation(columns, rows)
+
+    def vectorized(self, ctx, node):
+        view_table = node.view.table
+        columns = []
+        arrays = []
+        for name in view_table.schema.column_names:
+            t, __, c = name.partition("__")
+            columns.append((t, c))
+            arrays.append(view_table.column_array(name))
+        ctx.charge(node, ctx.cost_model.seq_scan(view_table.n_rows))
+        rel = ColumnarRelation(columns, arrays, n_rows=view_table.n_rows)
+        if node.residual:
+            rel = rel.take(ctx.mask(node, rel, node.residual))
+        return rel
+
+
+@register(P.EmptyResult)
+class EmptyResultOp(PhysicalOperator):
+    """Zero-row result (contradictory predicates, LIMIT 0)."""
+
+    def row(self, ctx, node):
+        return Relation(node.columns, [])
+
+    def vectorized(self, ctx, node):
+        arrays = [np.empty(0, dtype=object) for __ in node.columns]
+        return ColumnarRelation(node.columns, arrays, n_rows=0)

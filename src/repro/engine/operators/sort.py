@@ -1,0 +1,54 @@
+"""Sort and Limit operators.
+
+Both are order-defining, so they never split into morsels: in parallel
+mode they run their vectorized backends single-threaded (the engine-wide
+fallback), acting as the merge phase that pins down output order.
+"""
+
+from repro.engine import plans as P
+from repro.engine.operators.base import (
+    ColumnarRelation,
+    PhysicalOperator,
+    Relation,
+    register,
+)
+from repro.engine.operators.kernels import stable_sort_indices
+
+
+@register(P.Sort)
+class SortOp(PhysicalOperator):
+    """Stable sort on one key."""
+
+    def row(self, ctx, node):
+        child = ctx.run(node.children[0])
+        pos = child.col_pos(*node.key)
+        ctx.charge(node, ctx.cost_model.sort(len(child.rows)))
+        rows = sorted(child.rows, key=lambda r: r[pos],
+                      reverse=node.descending)
+        return Relation(child.columns, rows)
+
+    def vectorized(self, ctx, node):
+        child = ctx.run(node.children[0])
+        pos = child.col_pos(*node.key)
+        ctx.charge(node, ctx.cost_model.sort(len(child)))
+        if len(child) == 0:
+            return child
+        idx = stable_sort_indices(child.arrays[pos], node.descending)
+        return child.take(idx)
+
+
+@register(P.Limit)
+class LimitOp(PhysicalOperator):
+    """Truncate output to the first ``n`` rows (charge-free)."""
+
+    def row(self, ctx, node):
+        child = ctx.run(node.children[0])
+        return Relation(child.columns, child.rows[: node.n])
+
+    def vectorized(self, ctx, node):
+        child = ctx.run(node.children[0])
+        if node.n >= len(child):
+            return child
+        return ColumnarRelation(
+            child.columns, [a[: node.n] for a in child.arrays], n_rows=node.n
+        )

@@ -237,11 +237,29 @@ class TrueCardinalityEstimator(CardinalityEstimator):
 
     Wraps an executor callable ``count_fn(query, tables) -> int`` supplied by
     :mod:`repro.engine.executor` to avoid a circular import.
+
+    Args:
+        count_fn: ``(query, tables) -> int`` exact-count callable.
+        cache: memoize counts per (signature, table subset).
+        catalog: when given, the memo is stamped with ``catalog.epoch``
+            and dropped wholesale the moment the epoch moves — without
+            this, counts memoized before an INSERT/DDL would be served
+            stale forever.
     """
 
-    def __init__(self, count_fn, cache=True):
+    def __init__(self, count_fn, cache=True, catalog=None):
         self._count_fn = count_fn
         self._cache = {} if cache else None
+        self._catalog = catalog
+        self._cache_epoch = None if catalog is None else catalog.epoch
+
+    def _check_epoch(self):
+        if self._catalog is None:
+            return
+        epoch = self._catalog.epoch
+        if epoch != self._cache_epoch:
+            self._cache.clear()
+            self._cache_epoch = epoch
 
     def estimate_table(self, query, table):
         return self.estimate_subset(query, [table])
@@ -249,6 +267,7 @@ class TrueCardinalityEstimator(CardinalityEstimator):
     def estimate_subset(self, query, tables):
         key = None
         if self._cache is not None:
+            self._check_epoch()
             key = (query.signature(), tuple(sorted(t.lower() for t in tables)))
             if key in self._cache:
                 return self._cache[key]

@@ -7,7 +7,6 @@ the registry top-down once — the traditional behaviour the tutorial notes
 :mod:`repro.ai4db.config.sql_rewriter` searches over rule orderings.
 """
 
-from repro.common import PlanError
 from repro.engine.query import ConjunctiveQuery, Predicate
 
 

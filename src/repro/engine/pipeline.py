@@ -9,11 +9,13 @@ without subclassing the :class:`~repro.engine.database.Database` façade.
 
 Between the rewrite and plan stages sits a **plan cache**: an LRU map from
 ``(query.signature(), explicit_order)`` to a physical plan, where every
-entry also stores the :attr:`Catalog.epoch
-<repro.engine.catalog.Catalog.epoch>` it was planned under. Any catalog
-mutation (CREATE/DROP TABLE, CREATE INDEX, INSERT, ANALYZE, view
-registration) advances the epoch, so a stale plan is never served — the
-entry is dropped and the query is replanned. Repeated workload queries
+entry also stores the invalidation token — the :attr:`Catalog.epoch
+<repro.engine.catalog.Catalog.epoch>` paired with the feedback store's
+drift version — it was planned under. Any catalog mutation (CREATE/DROP
+TABLE, CREATE INDEX, INSERT, ANALYZE, view registration) advances the
+epoch, and (with feedback enabled) any observed cardinality drift bumps
+the feedback version, so a stale plan is never served — the entry is
+dropped and the query is replanned. Repeated workload queries
 (the experiment harness loops, the NEO-lite learning loop, AISQL
 ``PREDICT``) therefore skip join enumeration entirely; repeated *SQL text*
 additionally skips parsing and lowering via a second epoch-guarded cache.
@@ -42,6 +44,8 @@ from collections import OrderedDict
 
 from repro.common import ParseError, PlanError
 from repro.engine.fusion import fuse_plan
+from repro.engine.optimizer.feedback import ingest_execution
+from repro.engine.plans import pretty_analyze
 from repro.engine.sql.ast_nodes import (
     AnalyzeStmt,
     CreateIndexStmt,
@@ -72,15 +76,25 @@ class ExplainResult:
             collapse when this plan is executed (0 when fusion is off or
             the tail is not fusible).
         cache_hit: whether the plan came from the plan cache.
+        node_stats: for EXPLAIN ANALYZE only — the per-node
+            est-vs-actual records from the run's telemetry (plan
+            preorder); ``None`` for a plain EXPLAIN.
+        result: for EXPLAIN ANALYZE only — the
+            :class:`~repro.engine.executor.ExecutionResult` of the run;
+            ``None`` for a plain EXPLAIN.
     """
 
-    __slots__ = ("text", "plan", "fused_ops", "cache_hit")
+    __slots__ = ("text", "plan", "fused_ops", "cache_hit", "node_stats",
+                 "result")
 
-    def __init__(self, text, plan, fused_ops=0, cache_hit=False):
+    def __init__(self, text, plan, fused_ops=0, cache_hit=False,
+                 node_stats=None, result=None):
         self.text = text
         self.plan = plan
         self.fused_ops = fused_ops
         self.cache_hit = cache_hit
+        self.node_stats = node_stats
+        self.result = result
 
     def __str__(self):
         return self.text
@@ -348,6 +362,45 @@ class QueryPipeline:
             cache_hit=bool(telemetry.cache_hit),
         )
 
+    def explain_analyze(self, sql_text):
+        """Execute a SELECT and render est-vs-actual rows per plan node.
+
+        The EXPLAIN-ANALYZE view: the query runs for real (through the
+        plan cache, fusion, and — when enabled — feedback ingestion), and
+        the returned :class:`ExplainResult` renders each node of the
+        unfused plan with its estimated rows, executor-counted actual
+        rows, and q-error. ``result`` carries the run's
+        :class:`~repro.engine.executor.ExecutionResult` (rows included),
+        ``node_stats`` the structured per-node records.
+        """
+        telemetry = PipelineTelemetry()
+        t0 = time.perf_counter()
+        stmt = parse_sql(sql_text)
+        telemetry.record_stage("parse", time.perf_counter() - t0)
+        if not isinstance(stmt, SelectStmt):
+            raise ParseError("EXPLAIN ANALYZE supports only SELECT statements")
+        t0 = time.perf_counter()
+        query = lower_select(stmt, self.db.catalog)
+        telemetry.record_stage("lower", time.perf_counter() - t0)
+        query = self._rewrite(query, telemetry)
+        plan = self._plan(query, telemetry, order=None)
+        t0 = time.perf_counter()
+        result = self.db.executor.execute(plan)
+        telemetry.record_stage("execute", time.perf_counter() - t0)
+        telemetry.execution = result.telemetry
+        result.pipeline_telemetry = telemetry
+        self._ingest_feedback(query, plan, result)
+        self._accumulate(telemetry)
+        node_stats = result.telemetry.node_stats
+        return ExplainResult(
+            text=pretty_analyze(plan, node_stats),
+            plan=plan,
+            fused_ops=result.telemetry.fused_ops,
+            cache_hit=bool(telemetry.cache_hit),
+            node_stats=node_stats,
+            result=result,
+        )
+
     # -- stages ------------------------------------------------------------
     def _rewrite(self, query, telemetry):
         t0 = time.perf_counter()
@@ -359,20 +412,27 @@ class QueryPipeline:
         telemetry.record_stage("rewrite", time.perf_counter() - t0)
         return query
 
+    def _plan_token(self):
+        """The plan cache's invalidation token: catalog epoch paired with
+        the feedback store's drift version. Either moving (schema/data
+        change, or observed cardinality drift) drops cached plans so the
+        query replans against current state."""
+        return (self.db.catalog.epoch, getattr(self.db, "feedback_version", 0))
+
     def _plan(self, query, telemetry, order=None):
         t0 = time.perf_counter()
         key = (
             query.signature(),
             None if order is None else tuple(t.lower() for t in order),
         )
-        plan = self.plan_cache.get(key, self.db.catalog.epoch)
+        plan = self.plan_cache.get(key, self._plan_token())
         telemetry.cache_hit = plan is not None
         if plan is None:
             plan = self.db.planner.plan(query, order=order)
             plan = self._apply_hooks("plan", plan)
-            # Re-read the epoch: planning may lazily ANALYZE (epoch bump),
+            # Re-read the token: planning may lazily ANALYZE (epoch bump),
             # and the entry must match the state the plan was built from.
-            self.plan_cache.put(key, plan, self.db.catalog.epoch)
+            self.plan_cache.put(key, plan, self._plan_token())
         telemetry.record_stage("plan", time.perf_counter() - t0)
         return plan
 
@@ -385,8 +445,18 @@ class QueryPipeline:
         result = self._apply_hooks("execute", result)
         telemetry.execution = result.telemetry
         result.pipeline_telemetry = telemetry
+        self._ingest_feedback(query, plan, result)
         self._accumulate(telemetry)
         return result
+
+    def _ingest_feedback(self, query, plan, result):
+        """Close the cardinality loop: observed actuals → feedback store."""
+        store = getattr(self.db, "feedback", None)
+        if store is None or result.telemetry is None:
+            return
+        node_stats = result.telemetry.node_stats
+        if node_stats:
+            ingest_execution(store, query, plan, node_stats)
 
     def _run_statement(self, stmt, telemetry):
         """DDL/DML/ANALYZE: executed directly against the catalog."""

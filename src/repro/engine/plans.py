@@ -314,6 +314,39 @@ def plan_signature(plan):
     return tuple(parts)
 
 
+def pretty_analyze(plan, node_stats):
+    """Render a plan EXPLAIN-ANALYZE-style: estimated vs actual rows.
+
+    ``node_stats`` is the executor telemetry's per-node record list, in
+    the same preorder as ``plan.walk()`` (each entry carries ``est_rows``,
+    ``actual_rows`` and ``q_error``). Nodes the run never measured (e.g.
+    a plan that was not executed) render ``actual=?``.
+    """
+    stats = list(node_stats)
+    lines = []
+
+    def fmt(entry):
+        if entry is None:
+            return ""
+        est = entry.get("est_rows")
+        actual = entry.get("actual_rows")
+        q = entry.get("q_error")
+        return "  (rows=%s actual=%s%s)" % (
+            "?" if est is None else format(est, ".4g"),
+            "?" if actual is None else actual,
+            "" if q is None else " q=%s" % format(q, ".3g"),
+        )
+
+    def render(node, depth, it):
+        entry = next(it, None)
+        lines.append("  " * depth + node.describe() + fmt(entry))
+        for child in node.children:
+            render(child, depth + 1, it)
+
+    render(plan, 0, iter(stats))
+    return "\n".join(lines)
+
+
 def parallel_operators(plan):
     """Sorted op names in ``plan`` eligible for morsel-parallel execution."""
     return sorted({

@@ -20,6 +20,21 @@ import numpy as np
 from repro.common import ensure_rng
 
 
+def q_error(est_rows, actual_rows):
+    """The q-error of one cardinality estimate (symmetric ratio, >= 1).
+
+    ``max(est/actual, actual/est)`` with both sides floored at one row so
+    empty results and zero estimates stay finite — the standard metric of
+    the learned-cardinality literature. Returns ``None`` when either side
+    is unknown.
+    """
+    if est_rows is None or actual_rows is None:
+        return None
+    est = max(float(est_rows), 1.0)
+    actual = max(float(actual_rows), 1.0)
+    return max(est / actual, actual / est)
+
+
 class ExecutionTelemetry:
     """Per-operator execution counters for one plan run.
 
@@ -39,17 +54,23 @@ class ExecutionTelemetry:
         fused_ops: how many pipeline stages the executor's fusion pass
             collapsed into a single ``FusedPipelineOp`` for this run (0
             when fusion is disabled or the plan tail did not match).
+        node_stats: per-plan-node cardinality records in plan preorder —
+            ``[{"op", "est_rows", "actual_rows", "q_error"}]`` — attributed
+            to the *original* (pre-fusion) plan's nodes. This is the
+            est-vs-actual view EXPLAIN ANALYZE renders and the signal the
+            optimizer's cardinality-feedback loop ingests.
         total_seconds: wall-clock time for the whole plan.
     """
 
     __slots__ = ("mode", "operators", "workers", "fused_ops",
-                 "total_seconds")
+                 "node_stats", "total_seconds")
 
     def __init__(self, mode):
         self.mode = mode
         self.operators = {}
         self.workers = {}
         self.fused_ops = 0
+        self.node_stats = []
         self.total_seconds = 0.0
 
     def record(self, op_name, rows, seconds):
@@ -82,6 +103,26 @@ class ExecutionTelemetry:
             w["steals"] += stats.steals
             w["seconds"] += stats.seconds
 
+    def set_node_stats(self, stats):
+        """Attach the per-node est-vs-actual records (plan preorder)."""
+        self.node_stats = list(stats)
+
+    def actual_rows_by_operator(self):
+        """``{op_name: total actual output rows}`` over the node stats."""
+        totals = {}
+        for entry in self.node_stats:
+            if entry["actual_rows"] is None:
+                continue
+            op = entry["op"]
+            totals[op] = totals.get(op, 0) + entry["actual_rows"]
+        return totals
+
+    def max_q_error(self):
+        """Worst per-node q-error of the run (``None`` if unmeasured)."""
+        errors = [e["q_error"] for e in self.node_stats
+                  if e["q_error"] is not None]
+        return max(errors) if errors else None
+
     def summary(self):
         """A plain-dict snapshot (JSON-friendly)."""
         return {
@@ -94,6 +135,7 @@ class ExecutionTelemetry:
             "workers": {
                 k: dict(v) for k, v in sorted(self.workers.items())
             },
+            "node_stats": [dict(e) for e in self.node_stats],
         }
 
     def __repr__(self):

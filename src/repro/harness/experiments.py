@@ -6,7 +6,6 @@ uses the full settings. Everything is seeded, so tables are reproducible.
 """
 
 import os
-import time
 
 import numpy as np
 
@@ -563,7 +562,8 @@ def e8_end_to_end(seed=0, fast=False):
     neo.bootstrap(train, extra_random_orders=1 if fast else 2).train()
 
     oracle = TrueCardinalityEstimator(
-        lambda q, ts: count_join_rows(db.catalog, q, ts)
+        lambda q, ts: count_join_rows(db.catalog, q, ts),
+        catalog=db.catalog,
     )
     rows = {"analytic": [], "neo": [], "oracle-dp": []}
     for q in test:

@@ -10,7 +10,6 @@ adjacency, trained end-to-end with a linear readout per node. Everything is
 dense NumPy, which is fine at workload-graph scale (tens of nodes).
 """
 
-import networkx as nx
 import numpy as np
 
 from repro.common import ModelError, NotFittedError, ensure_rng

@@ -19,7 +19,6 @@ from repro.ai4db.config.knob_tuning import (
     GridSearchTuner,
     QTuneLite,
     RandomSearchTuner,
-    TuningResult,
     run_tuning_session,
 )
 from repro.ai4db.config.partitioner import (

@@ -20,7 +20,7 @@ from repro.engine import Database, datagen
 from repro.engine.catalog import Catalog
 from repro.engine.optimizer.cardinality import TraditionalEstimator
 from repro.engine.optimizer.cost import CostModel
-from repro.engine.optimizer.join_enum import dp_left_deep, order_cost
+from repro.engine.optimizer.join_enum import dp_left_deep
 from repro.engine.query import ConjunctiveQuery, Predicate
 from repro.ml import q_error_summary
 

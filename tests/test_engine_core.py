@@ -7,7 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.common import CatalogError, PlanError
 from repro.engine.catalog import Catalog, ViewDef
 from repro.engine.query import Aggregate, ConjunctiveQuery, JoinEdge, Predicate
-from repro.engine.stats import ColumnStats, EquiDepthHistogram, TableStats
+from repro.engine.stats import ColumnStats, EquiDepthHistogram
 from repro.engine.storage import Table
 from repro.engine.types import ColumnSchema, DataType, TableSchema
 

@@ -5,9 +5,9 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.common import CatalogError, ExecutionError, ParseError
-from repro.engine import Database, datagen
+from repro.engine import Database
 from repro.engine.executor import count_join_rows
-from repro.engine.query import Aggregate, ConjunctiveQuery, JoinEdge, Predicate
+from repro.engine.query import ConjunctiveQuery, Predicate
 
 
 class TestBasicExecution:

@@ -17,7 +17,7 @@ from repro.engine import Database, EngineConfig, fuse_plan
 from repro.engine import plans as P
 from repro.engine.config import default_fusion_enabled
 from repro.engine.plans import PlanError
-from repro.engine.query import Aggregate, ConjunctiveQuery, Predicate
+from repro.engine.query import Aggregate, Predicate
 
 
 def _populated(**kwargs):

@@ -12,6 +12,9 @@ suite asserts:
 * identical rows in identical order across all six configurations,
 * bit-identical ``work`` and ``operator_work`` (the mode- and
   fusion-independence invariant the cost-gap experiments rely on),
+* identical per-operator **actual_rows** (the executor's per-node output
+  counters, preorder over the unfused plan) — fused pipelines must
+  attribute counts to the original nodes they replace,
 * cold vs. warm plan cache parity (the second run must be a cache hit and
   observationally identical).
 
@@ -159,6 +162,13 @@ def _random_query(rng, tables):
     )
 
 
+def _node_counts(result):
+    """Preorder ``(op, actual_rows)`` pairs from the execution telemetry."""
+    return [
+        (e["op"], e["actual_rows"]) for e in result.telemetry.node_stats
+    ]
+
+
 def _approx_equal_rows(rows_a, rows_b):
     """Row-list equality with float tolerance (sum association differs)."""
     if len(rows_a) != len(rows_b):
@@ -201,12 +211,26 @@ def test_fuzz_differential(catalog_seed):
             assert warm[cfg].work == cold[cfg].work, label
             assert warm[cfg].operator_work == cold[cfg].operator_work, label
         base = cold[BASE_CONFIG]
+        base_counts = _node_counts(base)
+        # The oracle must have counted every node it executed.
+        assert base_counts, label
+        assert all(n is not None for __, n in base_counts), (
+            "%s: uncounted plan node(s) in %r" % (label, base_counts)
+        )
         for cfg in CONFIGS:
             if cfg == BASE_CONFIG:
                 continue
             mode, fusion = cfg
             res = cold[cfg]
             assert res.columns == base.columns, label
+            # Per-operator actual output cardinalities are part of the
+            # observational contract: every mode×fusion config must count
+            # the same rows out of the same (unfused) plan nodes.
+            assert _node_counts(res) == base_counts, (
+                "%s: %s/fusion=%s per-node actual_rows diverge\n"
+                "base=%r\nthis=%r"
+                % (label, mode, fusion, base_counts, _node_counts(res))
+            )
             if mode == "row":
                 # Same interpreter, same fold order: fusion must be
                 # bit-identical, not just approximately equal.

@@ -1,7 +1,6 @@
 """Tests for the optimizer: estimators, cost model, enumeration, rules,
 planner."""
 
-import numpy as np
 import pytest
 
 from repro.common import PlanError
@@ -130,6 +129,32 @@ class TestTrueEstimatorAndCache:
         est.estimate_subset(q, names[:2])
         est.estimate_subset(q, names[:2])
         assert len(calls) == 1
+
+    def test_cache_invalidated_on_epoch_change(self, chain_catalog):
+        # Regression: the memo must observe Catalog.epoch — counts cached
+        # before an INSERT/DDL were previously served stale forever.
+        catalog, names, edges = chain_catalog
+        est = TrueCardinalityEstimator(
+            lambda q, ts: count_join_rows(catalog, q, ts), catalog=catalog
+        )
+        q = ConjunctiveQuery(tables=[names[0]])
+        before = est.estimate_subset(q, [names[0]])
+        table = catalog.table(names[0])
+        table.insert_rows([(10**6 + i, 0, 0) for i in range(5)])
+        after = est.estimate_subset(q, [names[0]])
+        assert after == before + 5
+
+    def test_cache_stale_without_catalog(self, chain_catalog):
+        # Documents the legacy behavior the catalog kwarg exists to fix.
+        catalog, names, edges = chain_catalog
+        est = TrueCardinalityEstimator(
+            lambda q, ts: count_join_rows(catalog, q, ts)
+        )
+        q = ConjunctiveQuery(tables=[names[0]])
+        before = est.estimate_subset(q, [names[0]])
+        table = catalog.table(names[0])
+        table.insert_rows([(10**6 + i, 0, 0) for i in range(5)])
+        assert est.estimate_subset(q, [names[0]]) == before
 
 
 class TestCostModel:

@@ -6,8 +6,6 @@ from repro.common import ParseError
 from repro.engine.sql import (
     AggCall,
     AnalyzeStmt,
-    ColumnRef,
-    Comparison,
     CreateIndexStmt,
     CreateTableStmt,
     InsertStmt,

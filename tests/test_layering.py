@@ -1,0 +1,76 @@
+"""Import-layering guards.
+
+The dependency direction is one-way: ``repro.ai4db`` and ``repro.db4ai``
+build *on* the engine, never the other way around. In particular the
+physical-operator layer (``repro.engine.operators``) must stay free of
+AI-layer imports, or the differential fuzzer's oracle would depend on the
+models it is supposed to referee. Enforced two ways: a static AST scan of
+every engine module's import statements, and a runtime check that
+importing the engine pulls in no AI-layer module.
+"""
+
+import ast
+import os
+import subprocess
+import sys
+
+import repro.engine
+
+ENGINE_ROOT = os.path.dirname(repro.engine.__file__)
+FORBIDDEN_PREFIXES = ("repro.ai4db", "repro.db4ai")
+
+
+def _engine_modules():
+    for dirpath, dirnames, filenames in os.walk(ENGINE_ROOT):
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def _imported_modules(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            yield node.module, node.lineno
+
+
+def test_engine_never_imports_ai_layers_statically():
+    violations = []
+    for path in _engine_modules():
+        for module, lineno in _imported_modules(path):
+            if module.startswith(FORBIDDEN_PREFIXES):
+                violations.append("%s:%d imports %s" % (path, lineno, module))
+    assert not violations, "\n".join(violations)
+
+
+def test_operators_package_exists_and_is_scanned():
+    # Guard the guard: the scan must actually cover the operators package.
+    paths = list(_engine_modules())
+    assert any(os.sep + "operators" + os.sep in p for p in paths), paths
+
+
+def test_importing_operators_loads_no_ai_modules():
+    """Runtime check in a fresh interpreter: importing the engine (and
+    the operators package explicitly) must not load ai4db/db4ai."""
+    code = (
+        "import sys\n"
+        "import repro.engine\n"
+        "import repro.engine.operators\n"
+        "import repro.engine.optimizer.feedback\n"
+        "bad = [m for m in sys.modules"
+        "       if m.startswith(('repro.ai4db', 'repro.db4ai'))]\n"
+        "assert not bad, bad\n"
+    )
+    env = dict(os.environ)
+    src = os.path.abspath(os.path.join(ENGINE_ROOT, "..", ".."))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", code], env=env,
+        capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stderr

@@ -1,0 +1,235 @@
+#!/usr/bin/env python
+"""Dependency-free lint for the repo (``make lint``).
+
+Prefers a real linter when one is importable (``ruff``, then
+``pyflakes``); otherwise falls back to the bundled AST checker, which
+catches the high-signal pyflakes subset without installing anything:
+
+* syntax errors,
+* unused imports (F401) — suppressible with ``# noqa`` / ``# noqa: F401``
+  on the import line, and names exported via ``__all__`` count as used,
+* duplicate keys in dict literals (F601-style),
+* duplicate function/class definitions in one scope (F811-style).
+
+Usage::
+
+    python tools/lint.py [paths...]     # default: src tests benchmarks tools
+
+Exit status is non-zero when any finding is reported.
+"""
+
+import ast
+import os
+import subprocess
+import sys
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks", "tools")
+
+
+def iter_py_files(paths):
+    for path in paths:
+        if os.path.isfile(path) and path.endswith(".py"):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = [d for d in dirnames
+                           if d not in ("__pycache__", ".git")]
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def _noqa_lines(source, code):
+    """Line numbers whose ``# noqa`` comment suppresses ``code``."""
+    lines = set()
+    for i, line in enumerate(source.splitlines(), start=1):
+        if "# noqa" not in line:
+            continue
+        tail = line.split("# noqa", 1)[1].strip()
+        if not tail.startswith(":") or code in tail:
+            lines.add(i)
+    return lines
+
+
+class _ImportBinding:
+    __slots__ = ("name", "lineno", "statement")
+
+    def __init__(self, name, lineno, statement):
+        self.name = name
+        self.lineno = lineno
+        self.statement = statement
+
+
+def _collect_imports(tree):
+    """Module-level import bindings: what name the import introduces."""
+    bindings = []
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                bindings.append(_ImportBinding(bound, node.lineno, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                bindings.append(_ImportBinding(bound, node.lineno, alias.name))
+        elif isinstance(node, ast.Try):
+            # Guarded imports (try: import x / except ImportError) bind
+            # conditionally; still worth checking for usage.
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Import):
+                    for alias in sub.names:
+                        bound = alias.asname or alias.name.split(".")[0]
+                        bindings.append(
+                            _ImportBinding(bound, sub.lineno, alias.name)
+                        )
+                elif isinstance(sub, ast.ImportFrom):
+                    for alias in sub.names:
+                        if alias.name == "*":
+                            continue
+                        bound = alias.asname or alias.name
+                        bindings.append(
+                            _ImportBinding(bound, sub.lineno, alias.name)
+                        )
+    return bindings
+
+
+def _used_names(tree):
+    """Every identifier referenced anywhere (loads, attributes, exports)."""
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            pass  # the base Name is walked separately
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    for elt in ast.walk(node.value):
+                        if isinstance(elt, ast.Constant) and isinstance(
+                            elt.value, str
+                        ):
+                            used.add(elt.value)
+    return used
+
+
+def check_unused_imports(path, tree, source, findings):
+    suppressed = _noqa_lines(source, "F401")
+    used = _used_names(tree)
+    for binding in _collect_imports(tree):
+        if binding.lineno in suppressed:
+            continue
+        if binding.name not in used:
+            findings.append(
+                "%s:%d: F401 %r imported but unused"
+                % (path, binding.lineno, binding.statement)
+            )
+
+
+def check_duplicate_dict_keys(path, tree, findings):
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Dict):
+            continue
+        seen = set()
+        for key in node.keys:
+            if isinstance(key, ast.Constant):
+                try:
+                    marker = (type(key.value).__name__, key.value)
+                except TypeError:
+                    continue
+                if marker in seen:
+                    findings.append(
+                        "%s:%d: F601 duplicate dict key %r"
+                        % (path, key.lineno, key.value)
+                    )
+                seen.add(marker)
+
+
+def check_redefinitions(path, tree, findings):
+    scopes = [tree] + [
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+    ]
+    for scope in scopes:
+        body = scope.body if not isinstance(scope, ast.Module) else scope.body
+        defined = {}
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                prev = defined.get(stmt.name)
+                if prev is not None and not _is_decorated_pair(stmt):
+                    findings.append(
+                        "%s:%d: F811 redefinition of %r (first at line %d)"
+                        % (path, stmt.lineno, stmt.name, prev)
+                    )
+                defined[stmt.name] = stmt.lineno
+    return findings
+
+
+def _is_decorated_pair(stmt):
+    """``@property``/``@x.setter``-style stacks legitimately reuse names."""
+    for dec in stmt.decorator_list:
+        if isinstance(dec, ast.Attribute) and dec.attr in (
+            "setter", "getter", "deleter", "register",
+        ):
+            return True
+        if isinstance(dec, ast.Name) and dec.id in ("property", "overload"):
+            return True
+    return False
+
+
+def lint_file(path):
+    findings = []
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        findings.append("%s:%s: E999 %s" % (path, exc.lineno, exc.msg))
+        return findings
+    check_unused_imports(path, tree, source, findings)
+    check_duplicate_dict_keys(path, tree, findings)
+    check_redefinitions(path, tree, findings)
+    return findings
+
+
+def try_real_linter(paths):
+    """Delegate to ruff/pyflakes when available; ``None`` when not."""
+    for cmd in (["ruff", "check"], [sys.executable, "-m", "pyflakes"]):
+        probe = cmd[0] if cmd[0] != sys.executable else "pyflakes"
+        try:
+            if probe == "pyflakes":
+                __import__("pyflakes")
+            else:
+                subprocess.run([probe, "--version"], capture_output=True,
+                               check=True)
+        except Exception:
+            continue
+        proc = subprocess.run(cmd + list(paths))
+        return proc.returncode
+    return None
+
+
+def main(argv):
+    paths = [p for p in argv[1:] if not p.startswith("-")]
+    if not paths:
+        paths = [p for p in DEFAULT_PATHS if os.path.exists(p)]
+    if "--bundled" not in argv:
+        rc = try_real_linter(paths)
+        if rc is not None:
+            return rc
+    findings = []
+    n_files = 0
+    for path in iter_py_files(paths):
+        n_files += 1
+        findings.extend(lint_file(path))
+    for line in findings:
+        print(line)
+    print("lint: %d file(s), %d finding(s)" % (n_files, len(findings)),
+          file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
