@@ -4,7 +4,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test lint fuzz bench bench-fusion bench-feedback bench-json
+.PHONY: test lint fuzz bench bench-fusion bench-feedback bench-storage bench-json
 
 # Tier-1 suite (fast; slow-marked full-size benchmarks are deselected by
 # the pytest addopts default). Lints first — a lint finding fails the run.
@@ -37,6 +37,12 @@ bench-feedback:
 	python -m pytest benchmarks/bench_p5_feedback.py -q -m ''
 	python benchmarks/bench_p5_feedback.py
 
+# Segmented-storage benchmark alone, including the slow ≥2x scan/alloc
+# gates, regenerating BENCH_P6.json.
+bench-storage:
+	python -m pytest benchmarks/bench_p6_storage.py -q -m ''
+	python benchmarks/bench_p6_storage.py
+
 # Regenerate the committed BENCH_P*.json artifacts at full size.
 bench-json:
 	python benchmarks/bench_p1_executor.py
@@ -44,3 +50,4 @@ bench-json:
 	python benchmarks/bench_p3_morsels.py
 	python benchmarks/bench_p4_fusion.py
 	python benchmarks/bench_p5_feedback.py
+	python benchmarks/bench_p6_storage.py

@@ -8,7 +8,13 @@ substitution table in DESIGN.md.
 """
 
 from repro.engine.types import ColumnSchema, DataType, TableSchema
-from repro.engine.storage import PAGE_BYTES, Table
+from repro.engine.storage import PAGE_BYTES, RowGroup, Table
+from repro.engine.segments import (
+    DEFAULT_ENCODINGS,
+    ColumnSegment,
+    ZoneMap,
+    choose_encoding,
+)
 from repro.engine.stats import ColumnStats, EquiDepthHistogram, TableStats
 from repro.engine.query import Aggregate, ConjunctiveQuery, JoinEdge, Predicate
 from repro.engine.catalog import Catalog, IndexDef, ViewDef
@@ -64,7 +70,12 @@ __all__ = [
     "DataType",
     "TableSchema",
     "PAGE_BYTES",
+    "RowGroup",
     "Table",
+    "DEFAULT_ENCODINGS",
+    "ColumnSegment",
+    "ZoneMap",
+    "choose_encoding",
     "ColumnStats",
     "EquiDepthHistogram",
     "TableStats",

@@ -117,12 +117,17 @@ class Catalog:
     stores with each entry.
     """
 
-    def __init__(self):
+    def __init__(self, segment_rows=None, segment_encodings=None):
         self._tables = {}
         self._stats = {}
         self._indexes = {}
         self._views = {}
         self._epoch = 0
+        # Storage knobs applied to tables this catalog creates; ``None``
+        # means the Table defaults. Pre-built tables (register_table)
+        # keep whatever layout they were constructed with.
+        self.segment_rows = segment_rows
+        self.segment_encodings = segment_encodings
 
     @property
     def epoch(self):
@@ -171,7 +176,11 @@ class Catalog:
                         cname, ctype, sensitive=cname.lower() in sensitive_set
                     )
                 )
-        table = Table(TableSchema(name, cols))
+        table = Table(
+            TableSchema(name, cols),
+            segment_rows=self.segment_rows,
+            segment_encodings=self.segment_encodings,
+        )
         self._tables[key] = table
         self._bump_epoch()
         return table

@@ -19,6 +19,10 @@ environment variable      field                        default
                                                        disables)
 ``REPRO_FEEDBACK``        ``feedback_enabled``         off (``1``/``on``
                                                        enables)
+``REPRO_SEGMENT_ROWS``    ``segment_rows``             65536 (floor 16)
+``REPRO_SEGMENT_ENCODINGS`` ``segment_encodings``      ``dict,rle,plain``
+``REPRO_ZONE_MAP_PRUNING`` ``zone_map_pruning``        on (``0``/``off``
+                                                       disables)
 ======================== ============================ ====================
 
 This module sits at the bottom of the engine's import graph (it imports
@@ -46,6 +50,19 @@ MIN_MORSEL_ROWS = 16
 
 #: Default LRU capacity of the pipeline's plan (and lowered-query) cache.
 DEFAULT_PLAN_CACHE_SIZE = 256
+
+#: Default capacity of one sealed column segment, in rows.
+DEFAULT_SEGMENT_ROWS = 65536
+
+#: Hard floor on the segment size knob — smaller segments are all overhead.
+MIN_SEGMENT_ROWS = 16
+
+#: Encodings a segment may be sealed with (order is documentation only;
+#: the selection rules live in :func:`repro.engine.segments.choose_encoding`).
+SEGMENT_ENCODINGS = ("plain", "dict", "rle")
+
+#: Default encoding set offered to the encoder at seal time.
+DEFAULT_SEGMENT_ENCODINGS = ("dict", "rle", "plain")
 
 #: Values of ``REPRO_FUSION`` that disable operator fusion.
 _FALSEY = {"0", "false", "off", "no"}
@@ -96,6 +113,44 @@ def default_fusion_enabled():
     return raw.strip().lower() not in _FALSEY
 
 
+def default_segment_rows():
+    """Segment capacity from ``REPRO_SEGMENT_ROWS`` (default 65536 rows)."""
+    value = _env_int("REPRO_SEGMENT_ROWS")
+    if value is None:
+        return DEFAULT_SEGMENT_ROWS
+    return max(MIN_SEGMENT_ROWS, value)
+
+
+def default_segment_encodings():
+    """Allowed encodings from ``REPRO_SEGMENT_ENCODINGS`` (comma list).
+
+    Defaults to ``("dict", "rle", "plain")``. ``plain`` is always a
+    legal fallback at seal time even when left off the list — the knob
+    restricts what the encoder may *choose*, not what it can store.
+    """
+    raw = os.environ.get("REPRO_SEGMENT_ENCODINGS")
+    if raw is None or not raw.strip():
+        return DEFAULT_SEGMENT_ENCODINGS
+    names = tuple(
+        part.strip().lower() for part in raw.split(",") if part.strip()
+    )
+    unknown = set(names) - set(SEGMENT_ENCODINGS)
+    if unknown:
+        raise ExecutionError(
+            "REPRO_SEGMENT_ENCODINGS must name encodings among %r, got %r"
+            % (SEGMENT_ENCODINGS, sorted(unknown))
+        )
+    return names
+
+
+def default_zone_map_pruning():
+    """Pruning gate from ``REPRO_ZONE_MAP_PRUNING`` (default on)."""
+    raw = os.environ.get("REPRO_ZONE_MAP_PRUNING")
+    if raw is None or raw == "":
+        return True
+    return raw.strip().lower() not in _FALSEY
+
+
 def default_feedback_enabled():
     """Cardinality-feedback gate from ``REPRO_FEEDBACK`` (default off).
 
@@ -137,6 +192,16 @@ class EngineConfig:
             after each execution, correcting the planner's estimator
             from observed actuals, and keying the plan cache on the
             feedback version so drifted estimates trigger re-planning.
+        segment_rows: capacity of one sealed column segment, in rows.
+            Appends accumulate in a mutable tail that seals into an
+            immutable, encoded segment once it reaches this size.
+        segment_encodings: encodings the sealer may choose among
+            (subset of ``("plain", "dict", "rle")``); ``plain`` is
+            always a legal fallback even when omitted.
+        zone_map_pruning: whether scans consult per-segment zone maps
+            to skip segments that cannot satisfy pushed-down
+            predicates. Pruning never changes results — only the
+            ``segments_pruned`` / ``bytes_decoded`` telemetry.
     """
 
     executor_mode: str = EXECUTOR_MODES[0]
@@ -148,6 +213,9 @@ class EngineConfig:
     cost_params: dict = field(default=None)
     fusion_enabled: bool = True
     feedback_enabled: bool = False
+    segment_rows: int = DEFAULT_SEGMENT_ROWS
+    segment_encodings: tuple = DEFAULT_SEGMENT_ENCODINGS
+    zone_map_pruning: bool = True
 
     def __post_init__(self):
         if self.executor_mode not in EXECUTOR_MODES:
@@ -166,6 +234,16 @@ class EngineConfig:
             raise ExecutionError("parallel_workers must be >= 1")
         if int(self.plan_cache_size) < 1:
             raise ReproError("plan_cache_size must be >= 1")
+        if int(self.segment_rows) < 1:
+            raise ExecutionError("segment_rows must be >= 1")
+        encodings = tuple(self.segment_encodings)
+        unknown = set(encodings) - set(SEGMENT_ENCODINGS)
+        if unknown:
+            raise ExecutionError(
+                "segment_encodings must be among %r, got %r"
+                % (SEGMENT_ENCODINGS, sorted(unknown))
+            )
+        object.__setattr__(self, "segment_encodings", encodings)
         if self.cost_params is not None:
             # Copy so a caller-held dict cannot mutate a frozen config.
             object.__setattr__(self, "cost_params", dict(self.cost_params))
@@ -185,6 +263,9 @@ class EngineConfig:
             "parallel_workers": default_worker_count(),
             "fusion_enabled": default_fusion_enabled(),
             "feedback_enabled": default_feedback_enabled(),
+            "segment_rows": default_segment_rows(),
+            "segment_encodings": default_segment_encodings(),
+            "zone_map_pruning": default_zone_map_pruning(),
         }
         for key, value in overrides.items():
             if value is not None:
@@ -202,4 +283,5 @@ class EngineConfig:
             "morsel_rows": self.morsel_rows,
             "n_workers": self.parallel_workers,
             "fusion_enabled": self.fusion_enabled,
+            "pruning_enabled": self.zone_map_pruning,
         }

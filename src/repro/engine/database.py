@@ -65,12 +65,21 @@ class Database:
         feedback_enabled: whether executed actual cardinalities feed back
             into the planner's estimator and the plan cache's feedback
             version (``None`` reads ``REPRO_FEEDBACK``, default off).
+        segment_rows: sealed-segment capacity for tables this database
+            creates (``None`` reads ``REPRO_SEGMENT_ROWS``, default 64K).
+        segment_encodings: encodings the segment sealer may choose among
+            (``None`` reads ``REPRO_SEGMENT_ENCODINGS``, default
+            ``("dict", "rle", "plain")``).
+        zone_map_pruning: whether scans prune segments via zone maps
+            (``None`` reads ``REPRO_ZONE_MAP_PRUNING``, default on).
     """
 
     def __init__(self, config=None, *, enumerator=None, use_views=None,
                  cost_params=None, executor_mode=None, plan_cache_size=None,
                  morsel_rows=None, parallel_workers=None,
-                 fusion_enabled=None, feedback_enabled=None):
+                 fusion_enabled=None, feedback_enabled=None,
+                 segment_rows=None, segment_encodings=None,
+                 zone_map_pruning=None):
         overrides = {
             "enumerator": enumerator,
             "use_views": use_views,
@@ -81,6 +90,9 @@ class Database:
             "parallel_workers": parallel_workers,
             "fusion_enabled": fusion_enabled,
             "feedback_enabled": feedback_enabled,
+            "segment_rows": segment_rows,
+            "segment_encodings": segment_encodings,
+            "zone_map_pruning": zone_map_pruning,
         }
         passed = sorted(k for k, v in overrides.items() if v is not None)
         if config is not None:
@@ -97,7 +109,10 @@ class Database:
         else:
             config = EngineConfig.from_env(**overrides)
         self._config = config
-        self.catalog = Catalog()
+        self.catalog = Catalog(
+            segment_rows=config.segment_rows,
+            segment_encodings=config.segment_encodings,
+        )
         self.cost_model = CostModel(config.cost_params)
         self.planner = Planner(
             self.catalog,

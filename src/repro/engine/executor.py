@@ -51,6 +51,7 @@ from repro.common import ExecutionError
 from repro.engine.config import (  # noqa: F401 - EXECUTOR_MODES re-exported
     EXECUTOR_MODES,
     default_fusion_enabled,
+    default_zone_map_pruning,
 )
 from repro.engine.fusion import fuse_plan
 from repro.engine.morsels import (
@@ -139,10 +140,17 @@ class Executor:
             reads ``REPRO_FUSION``, default on). Fusion never changes
             rows, order, or work accounting — only how many intermediate
             relations get materialized.
+        pruning_enabled: whether scans may skip whole column segments
+            whose zone maps prove a pushed-down predicate matches no
+            (or every) row (``None`` reads ``REPRO_ZONE_MAP_PRUNING``,
+            default on). Pruning never changes rows, order, or work —
+            only wall time and the ``segments_pruned``/``bytes_decoded``
+            telemetry.
     """
 
     def __init__(self, catalog, cost_model=None, mode="vectorized",
-                 morsel_rows=None, n_workers=None, fusion_enabled=None):
+                 morsel_rows=None, n_workers=None, fusion_enabled=None,
+                 pruning_enabled=None):
         if mode not in EXECUTOR_MODES:
             raise ExecutionError(
                 "executor mode must be one of %r, got %r"
@@ -164,6 +172,11 @@ class Executor:
             default_fusion_enabled()
             if fusion_enabled is None
             else bool(fusion_enabled)
+        )
+        self.pruning_enabled = (
+            default_zone_map_pruning()
+            if pruning_enabled is None
+            else bool(pruning_enabled)
         )
         self._pool = MorselPool(self.n_workers) if mode == "parallel" else None
         # Per-run accounting lives in a thread-local so concurrent
@@ -302,6 +315,22 @@ class Executor:
         """
         origin = getattr(node, "origin", node)
         self._node_rows[id(origin)] = int(n)
+
+    def record_leaf(self, node, n):
+        """Book-keep a leaf a fused pipeline evaluated without ``run``.
+
+        The late-materializing fused path consumes a scan's segments
+        directly instead of recursing into :meth:`run`, so it records the
+        scan's telemetry row count (self-time is folded into the fused
+        operator) and cardinality here — exactly what ``run`` would have
+        recorded for the same output size.
+        """
+        self._telemetry.record(node.op_name, rows=int(n), seconds=0.0)
+        self.count(node, n)
+
+    def record_segments(self, total, pruned, bytes_decoded):
+        """Accumulate one scan's segment-pruning counters."""
+        self._telemetry.record_segments(total, pruned, bytes_decoded)
 
     # -- morsel plumbing (parallel mode) --------------------------------
     def morsels(self, n_rows):

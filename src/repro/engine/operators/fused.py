@@ -3,7 +3,11 @@
 Evaluates a :class:`~repro.engine.plans.FusedPipelineOp` tail in one pass
 over the source relation: predicate mask, gather of only the columns the
 tail reads, aggregation/dedup/limit — without materializing the filtered
-intermediate. Work is charged through the absorbed operator nodes with
+intermediate. When the source is a bare ``SeqScan`` the columnar
+backends go further and *late-materialize*: predicates are pushed into
+the table's row groups (zone-map pruning plus encoded-space masks) and
+only the columns the tail reads are decoded, only for surviving
+segments. Work is charged through the absorbed operator nodes with
 the same cardinalities and in the same order as the unfused
 interpreters, so ``work``/``operator_work`` are bit-identical with
 fusion on or off.
@@ -36,6 +40,7 @@ from repro.engine.operators.aggregate import (
     merge_partials,
     output_columns,
 )
+from repro.engine.operators.scan import gather_group, segment_filter
 
 
 def _count_filter_stage(ctx, node, n1):
@@ -297,6 +302,255 @@ def _pfused_aggregate(ctx, node, source, slices):
     return _fused_limit(ctx, node, out)
 
 
+def _lazy_scan_shape(table, n_rows):
+    """A column-labels-only relation standing in for a scan's output.
+
+    The late-materializing paths resolve column positions against this
+    shape (positions equal schema order, exactly like a real scan batch)
+    without decoding a single segment.
+    """
+    columns = [(table.name, c.name) for c in table.schema.columns]
+    return ColumnarRelation(columns, [None] * len(columns), n_rows=n_rows)
+
+
+def _lazy_filter_groups(ctx, node, table, parallel):
+    """Zone-classify and mask every row group against the fused predicates.
+
+    Returns ``(n_groups, survivors, n1, n_pruned)``; ``survivors`` is a
+    list of ``(group, ids)`` pairs in table order (``ids=None`` means the
+    whole group survives, proven by its zone maps alone).
+    """
+    groups = table.row_groups()
+    pruning = ctx.pruning_enabled
+    predicates = node.predicates
+
+    def eval_group(i):
+        return segment_filter(groups[i], predicates, pruning)
+
+    if parallel and len(groups) >= 2 and node.morsel_parallel:
+        results = ctx.pmap(node, eval_group, len(groups))
+    else:
+        results = [eval_group(i) for i in range(len(groups))]
+    survivors = []
+    n1 = 0
+    n_pruned = 0
+    for g, (ids, was_pruned) in zip(groups, results):
+        if was_pruned:
+            n_pruned += 1
+            continue
+        if ids is not None and len(ids) == 0:
+            continue
+        survivors.append((g, ids))
+        n1 += g.n_rows if ids is None else len(ids)
+    return len(groups), survivors, n1, n_pruned
+
+
+def _lazy_gather(table, survivors, keys):
+    """Concatenated arrays for ``keys`` over the surviving rows.
+
+    Decodes only the named columns, only within surviving groups, and
+    concatenates in table order — bit-identical to masking the flat
+    columns. Returns ``(arrays, bytes_decoded)``.
+    """
+    dtypes = {
+        c.name.lower(): c.dtype.numpy_dtype for c in table.schema.columns
+    }
+    parts = [[] for __ in keys]
+    nbytes = 0
+    for g, ids in survivors:
+        arrays, nb = gather_group(g, keys, ids)
+        nbytes += nb
+        for j, a in enumerate(arrays):
+            parts[j].append(a)
+    out = []
+    for k, p in zip(keys, parts):
+        if not p:
+            out.append(np.empty(0, dtype=dtypes[k]))
+        elif len(p) == 1:
+            out.append(p[0])
+        else:
+            out.append(np.concatenate(p))
+    return out, nbytes
+
+
+def _lazy_aggregate(ctx, node, table, survivors, n1):
+    agg = node.agg_node
+    shape = _lazy_scan_shape(table, n1)
+    labels, positions = agg_input_columns(agg, shape)
+    keys = [table.schema.columns[p].name.lower() for p in positions]
+    arrays, nbytes = _lazy_gather(table, survivors, keys)
+    sub = ColumnarRelation(labels, arrays, n_rows=n1)
+    out = _fused_limit(ctx, node, aggregate_columnar(ctx, agg, sub))
+    return out, nbytes
+
+
+def _lazy_project(ctx, node, table, survivors, n1):
+    proj = node.project_node
+    shape = _lazy_scan_shape(table, n1)
+    positions = [shape.col_pos(t, c) for t, c in proj.columns]
+    keys = [table.schema.columns[p].name.lower() for p in positions]
+    uniq = list(dict.fromkeys(keys))
+    ctx.charge(proj, ctx.cost_model.params["cpu_tuple_cost"] * n1)
+    if proj.distinct:
+        gathered, nbytes = _lazy_gather(table, survivors, uniq)
+        by_key = dict(zip(uniq, gathered))
+        arrays = [by_key[k] for k in keys]
+        n = n1
+        if n:
+            codes = factorize(arrays)
+            __, first = np.unique(codes, return_index=True)
+            firsts = np.sort(first)  # first-occurrence order
+            arrays = [a[firsts] for a in arrays]
+            n = len(firsts)
+        ctx.count(proj, n)
+        out = _fused_limit(
+            ctx, node, ColumnarRelation(proj.columns, arrays, n_rows=n)
+        )
+        return out, nbytes
+    ctx.count(proj, n1)
+    limit = None if node.limit_node is None else node.limit_node.n
+    take = survivors
+    n_out = n1
+    if limit is not None and limit < n1:
+        # Rows (and whole groups) past the limit are never gathered.
+        take = []
+        remaining = limit
+        for g, ids in survivors:
+            n_loc = g.n_rows if ids is None else len(ids)
+            if n_loc <= remaining:
+                take.append((g, ids))
+                remaining -= n_loc
+            else:
+                trimmed = (
+                    np.arange(remaining, dtype=np.int64)
+                    if ids is None else ids[:remaining]
+                )
+                take.append((g, trimmed))
+                remaining = 0
+            if remaining == 0:
+                break
+        n_out = limit
+    gathered, nbytes = _lazy_gather(table, take, uniq)
+    by_key = dict(zip(uniq, gathered))
+    arrays = [by_key[k] for k in keys]
+    out = ColumnarRelation(proj.columns, arrays, n_rows=n_out)
+    if node.limit_node is not None:
+        ctx.count(node.limit_node, len(out))
+    return out, nbytes
+
+
+def _lazy_tail(ctx, node, child, parallel):
+    """Late-materializing fused tail over a bare SeqScan's segments.
+
+    Instead of running the scan (which would decode every column of
+    every segment), the fused predicates are pushed all the way into the
+    row groups: zone maps skip whole segments, residual predicates
+    evaluate in encoded space, and only the columns the tail actually
+    reads are decoded — only for surviving rows. Charges and counts
+    replay the general path exactly (scan charge, scan row count, filter
+    charge, survivor attribution), so rows/order/work stay bit-identical
+    with late materialization on or off.
+    """
+    table = ctx.catalog.table(child.table)
+    n0 = table.n_rows
+    ctx.charge(child, ctx.cost_model.seq_scan(n0))
+    ctx.record_leaf(child, n0)
+    if node.filter_node is not None:
+        ctx.charge(
+            node.filter_node,
+            ctx.cost_model.params["cpu_tuple_cost"] * n0,
+        )
+    n_groups, survivors, n1, n_pruned = _lazy_filter_groups(
+        ctx, node, table, parallel
+    )
+    _count_filter_stage(ctx, node, n1)
+    if node.agg_node is not None:
+        out, nbytes = _lazy_aggregate(ctx, node, table, survivors, n1)
+    else:
+        out, nbytes = _lazy_project(ctx, node, table, survivors, n1)
+    ctx.record_segments(n_groups, n_pruned, nbytes)
+    return out
+
+
+def _plazy_aggregate(ctx, node, child):
+    """Grouped fused tail over segments, morsel-parallel.
+
+    Row groups are the morsel boundaries: each pool task zone-classifies
+    one group, masks it in encoded space, decodes only the key/value
+    columns of survivors, and partially aggregates them. The merge is
+    the same group-order merge as :func:`_pfused_aggregate` (partials
+    arrive in table order, so group first-appearance order is global).
+    """
+    agg = node.agg_node
+    table = ctx.catalog.table(child.table)
+    n0 = table.n_rows
+    ctx.charge(child, ctx.cost_model.seq_scan(n0))
+    ctx.record_leaf(child, n0)
+    if node.filter_node is not None:
+        ctx.charge(
+            node.filter_node,
+            ctx.cost_model.params["cpu_tuple_cost"] * n0,
+        )
+    shape = _lazy_scan_shape(table, n0)
+    key_keys = [
+        table.schema.columns[shape.col_pos(t, c)].name.lower()
+        for t, c in agg.group_by
+    ]
+    val_keys = [
+        None if a.column is None
+        else table.schema.columns[shape.col_pos(a.table, a.column)].name.lower()
+        for a in agg.aggregates
+    ]
+    need = list(dict.fromkeys(
+        key_keys + [k for k in val_keys if k is not None]
+    ))
+    groups = table.row_groups()
+    pruning = ctx.pruning_enabled
+    predicates = node.predicates
+
+    def task(i):
+        g = groups[i]
+        ids, was_pruned = segment_filter(g, predicates, pruning)
+        if was_pruned:
+            return 0, None, 0, True
+        if ids is not None and len(ids) == 0:
+            return 0, None, 0, False
+        n_local = g.n_rows if ids is None else len(ids)
+        arrays, nb = gather_group(g, need, ids)
+        by_key = dict(zip(need, arrays))
+        keys = [by_key[k] for k in key_keys]
+        vals = [None if k is None else by_key[k] for k in val_keys]
+        return n_local, agg_partial(agg.aggregates, keys, vals), nb, False
+
+    if len(groups) >= 2 and node.morsel_parallel:
+        results = ctx.pmap(node, task, len(groups))
+    else:
+        results = [task(i) for i in range(len(groups))]
+    ctx.record_segments(
+        len(groups),
+        sum(1 for r in results if r[3]),
+        sum(r[2] for r in results),
+    )
+    n1 = sum(r[0] for r in results)
+    _count_filter_stage(ctx, node, n1)
+    partials = [r[1] for r in results if r[1] is not None]
+    out = merge_partials(ctx, agg, partials, n1)
+    return _fused_limit(ctx, node, out)
+
+
+def _lazy_child(node):
+    """The fused tail's source scan when it is late-materializable.
+
+    Only a bare (predicate-free) ``SeqScan`` qualifies: index probes and
+    view scans have their own access paths, and a scan that still
+    carries pushed predicates was not absorbed by this fused op.
+    """
+    child = node.children[0]
+    if isinstance(child, P.SeqScan) and not child.predicates:
+        return child
+    return None
+
+
 @register(P.FusedPipelineOp)
 class FusedPipelineOpEval(PhysicalOperator):
     """Evaluates a fused tail in all three backends."""
@@ -333,11 +587,19 @@ class FusedPipelineOpEval(PhysicalOperator):
         return _row_fused_project(ctx, node, source, passes, limit)
 
     def vectorized(self, ctx, node):
+        child = _lazy_child(node)
+        if child is not None:
+            return _lazy_tail(ctx, node, child, parallel=False)
         return fused_tail(ctx, node, ctx.run(node.children[0]))
 
     def morsel(self, ctx, node):
-        source = ctx.run(node.children[0])
+        child = _lazy_child(node)
         agg = node.agg_node
+        if child is not None:
+            if agg is not None and agg.group_by:
+                return _plazy_aggregate(ctx, node, child)
+            return _lazy_tail(ctx, node, child, parallel=True)
+        source = ctx.run(node.children[0])
         if agg is not None and agg.group_by:
             slices = ctx.morsels(len(source))
             if slices:

@@ -139,9 +139,50 @@ def predicate_mask(relation, predicates):
     return mask
 
 
+def _coerce_numeric(sorted_vals, func):
+    """Numeric view of an object array of homogeneous Python scalars.
+
+    Returns ``None`` when the values are not uniformly ``int`` or
+    uniformly ``float`` (``bool`` is deliberately excluded — it is a
+    distinct type under Python's aggregate semantics), or when an int
+    sum could overflow int64; callers then keep the Python fallback.
+    """
+    if not len(sorted_vals):
+        return None
+    head = type(sorted_vals[0])
+    if head is int:
+        for v in sorted_vals:
+            if type(v) is not int:
+                return None
+        try:
+            vals = sorted_vals.astype(np.int64)
+        except (OverflowError, TypeError, ValueError):
+            return None
+        if func in ("sum", "avg"):
+            bound = max(abs(int(vals.min())), abs(int(vals.max())))
+            if bound * len(vals) >= 2 ** 63:
+                return None
+        return vals
+    if head is float:
+        for v in sorted_vals:
+            if type(v) is not float:
+                return None
+        return sorted_vals.astype(np.float64)
+    return None
+
+
 def segment_reduce(func, sorted_vals, seg_starts, counts):
-    """Per-group reduction over values pre-sorted so groups are contiguous."""
+    """Per-group reduction over values pre-sorted so groups are contiguous.
+
+    Object-dtype inputs holding uniformly ``int`` or uniformly ``float``
+    scalars are coerced to a numeric dtype so the reductions run through
+    ``np.ufunc.reduceat`` (int sums only when provably overflow-free);
+    genuinely mixed object values keep the per-group Python fallback.
+    """
     if sorted_vals.dtype == object:
+        coerced = _coerce_numeric(sorted_vals, func)
+        if coerced is not None:
+            return segment_reduce(func, coerced, seg_starts, counts)
         bounds = np.r_[seg_starts, len(sorted_vals)]
         segments = [
             sorted_vals[bounds[i]:bounds[i + 1]].tolist()

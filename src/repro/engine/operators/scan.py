@@ -1,9 +1,14 @@
 """Scan operators: SeqScan, IndexScan, ViewScan, EmptyResult.
 
 Scans are leaves — they read base-table (or materialized-view) storage
-into a relation and apply pushed-down predicates. The vectorized backend
-builds the predicate mask through ``ctx.mask``, which splits into morsels
-in parallel mode, so scans need no dedicated morsel backend.
+into a relation and apply pushed-down predicates. The vectorized SeqScan
+works segment-at-a-time: each row group's zone maps are classified
+against the pushed-down predicates (skipping groups that provably match
+nothing), surviving groups evaluate the predicates in *encoded* space
+(dictionary codes / run values), and only surviving rows are decoded. In
+parallel mode row groups are the natural morsel boundaries — each group
+is one pool task. Pruning never changes rows, order, or charged work;
+the flat-layout results are reproduced bit for bit.
 """
 
 import numpy as np
@@ -17,6 +22,7 @@ from repro.engine.operators.base import (
     eval_predicates,
     register,
 )
+from repro.engine.segments import PARTIAL, PRUNED
 
 
 def table_relation(ctx, table_name):
@@ -34,6 +40,64 @@ def v_table_relation(ctx, table_name, row_ids=None):
     arrays = [data[c.name.lower()] for c in table.schema.columns]
     n = table.n_rows if row_ids is None else len(row_ids)
     return table, ColumnarRelation(columns, arrays, n_rows=n)
+
+
+def segment_filter(group, predicates, pruning):
+    """Survivor row ids of one row group under a predicate conjunction.
+
+    Returns ``(ids, was_pruned)``: ``ids`` is ``None`` when every row
+    survives (no decoding needed to know that), otherwise an int64 array
+    of group-local row ids; ``was_pruned`` marks a zone-map skip. A group
+    is only skipped when no predicate is hazardous to leave unevaluated
+    (see :meth:`ZoneMap.range_hazard`) — hazardous predicates are always
+    evaluated so the segmented path raises exactly where the flat path
+    would.
+    """
+    residual = []
+    hazards = []
+    pruned = False
+    for p in predicates:
+        seg = group.segments[p.column.lower()]
+        zone = seg.zone_map
+        if zone.range_hazard(p.op, p.value):
+            residual.append(p)
+            hazards.append(p)
+            continue
+        if not pruning:
+            residual.append(p)
+            continue
+        verdict = zone.classify(p.op, p.value)
+        if verdict == PRUNED:
+            pruned = True
+        elif verdict == PARTIAL:
+            residual.append(p)
+        # FULL: every row provably passes — the predicate drops out.
+    if pruned:
+        for p in hazards:
+            group.segments[p.column.lower()].mask(p.op, p.value)
+        return np.empty(0, dtype=np.int64), True
+    mask = None
+    for p in residual:
+        m = group.segments[p.column.lower()].mask(p.op, p.value)
+        mask = m if mask is None else mask & m
+    if mask is None:
+        return None, False
+    return np.flatnonzero(mask), False
+
+
+def gather_group(group, keys, ids):
+    """Materialize ``keys`` columns of one group's surviving rows.
+
+    Returns ``(arrays, bytes_decoded)``; ``ids=None`` decodes the whole
+    group. ``bytes_decoded`` is the modeled encoded footprint of every
+    segment that was materialized.
+    """
+    segs = [group.segments[k] for k in keys]
+    if ids is None:
+        arrays = [s.decode() for s in segs]
+    else:
+        arrays = [s.take(ids) for s in segs]
+    return arrays, sum(s.encoded_bytes() for s in segs)
 
 
 def index_row_ids(ctx, node):
@@ -80,11 +144,47 @@ class SeqScanOp(PhysicalOperator):
         return Relation(columns, rows)
 
     def vectorized(self, ctx, node):
-        table, rel = v_table_relation(ctx, node.table)
+        table = ctx.catalog.table(node.table)
         ctx.charge(node, ctx.cost_model.seq_scan(table.n_rows))
-        if node.predicates:
-            rel = rel.take(ctx.mask(node, rel, node.predicates))
-        return rel
+        columns = [(table.name, c.name) for c in table.schema.columns]
+        keys = [c.name.lower() for c in table.schema.columns]
+        groups = table.row_groups()
+        pruning = ctx.pruning_enabled
+        predicates = node.predicates
+
+        def eval_group(i):
+            g = groups[i]
+            ids, was_pruned = segment_filter(g, predicates, pruning)
+            if was_pruned:
+                return 0, None, 0, True
+            if ids is not None and len(ids) == 0:
+                return 0, None, 0, False
+            n_out = g.n_rows if ids is None else len(ids)
+            arrays, nbytes = gather_group(g, keys, ids)
+            return n_out, arrays, nbytes, False
+
+        if (ctx.mode == "parallel" and len(groups) >= 2
+                and node.morsel_parallel):
+            results = ctx.pmap(node, eval_group, len(groups))
+        else:
+            results = [eval_group(i) for i in range(len(groups))]
+        ctx.record_segments(
+            len(groups),
+            sum(1 for r in results if r[3]),
+            sum(r[2] for r in results),
+        )
+        survivors = [r for r in results if r[1] is not None]
+        n = sum(r[0] for r in survivors)
+        arrays = []
+        for j, col in enumerate(table.schema.columns):
+            parts = [r[1][j] for r in survivors]
+            if not parts:
+                arrays.append(np.empty(0, dtype=col.dtype.numpy_dtype))
+            elif len(parts) == 1:
+                arrays.append(parts[0])
+            else:
+                arrays.append(np.concatenate(parts))
+        return ColumnarRelation(columns, arrays, n_rows=n)
 
 
 @register(P.IndexScan)

@@ -82,19 +82,30 @@ class ExplainResult:
         result: for EXPLAIN ANALYZE only — the
             :class:`~repro.engine.executor.ExecutionResult` of the run;
             ``None`` for a plain EXPLAIN.
+        segments_total: EXPLAIN ANALYZE only — row groups the run's
+            scans considered (0 for a plain EXPLAIN).
+        segments_pruned: EXPLAIN ANALYZE only — row groups skipped
+            entirely via zone maps.
+        bytes_decoded: EXPLAIN ANALYZE only — modeled encoded bytes of
+            the segments that were actually materialized.
     """
 
     __slots__ = ("text", "plan", "fused_ops", "cache_hit", "node_stats",
-                 "result")
+                 "result", "segments_total", "segments_pruned",
+                 "bytes_decoded")
 
     def __init__(self, text, plan, fused_ops=0, cache_hit=False,
-                 node_stats=None, result=None):
+                 node_stats=None, result=None, segments_total=0,
+                 segments_pruned=0, bytes_decoded=0):
         self.text = text
         self.plan = plan
         self.fused_ops = fused_ops
         self.cache_hit = cache_hit
         self.node_stats = node_stats
         self.result = result
+        self.segments_total = segments_total
+        self.segments_pruned = segments_pruned
+        self.bytes_decoded = bytes_decoded
 
     def __str__(self):
         return self.text
@@ -392,13 +403,24 @@ class QueryPipeline:
         self._ingest_feedback(query, plan, result)
         self._accumulate(telemetry)
         node_stats = result.telemetry.node_stats
+        run = result.telemetry
+        text = pretty_analyze(plan, node_stats)
+        if run.segments_total:
+            text += "\nSegments: %d scanned, %d pruned (%d bytes decoded)" % (
+                run.segments_total - run.segments_pruned,
+                run.segments_pruned,
+                run.bytes_decoded,
+            )
         return ExplainResult(
-            text=pretty_analyze(plan, node_stats),
+            text=text,
             plan=plan,
-            fused_ops=result.telemetry.fused_ops,
+            fused_ops=run.fused_ops,
             cache_hit=bool(telemetry.cache_hit),
             node_stats=node_stats,
             result=result,
+            segments_total=run.segments_total,
+            segments_pruned=run.segments_pruned,
+            bytes_decoded=run.bytes_decoded,
         )
 
     # -- stages ------------------------------------------------------------

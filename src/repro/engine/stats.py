@@ -186,6 +186,34 @@ class ColumnStats:
         hist = EquiDepthHistogram.build(values, n_buckets=n_buckets)
         return cls(name, dtype, n_rows, hist.n_distinct, histogram=hist)
 
+    @classmethod
+    def build_from_counts(cls, name, dtype, counts, n_buckets=32, n_top=10):
+        """Collect stats from a merged ``{value: count}`` map.
+
+        The incremental ANALYZE path: segment value counts (free for
+        dictionary segments, one pass over the runs for RLE) merge into
+        ``counts`` instead of re-scanning the decoded column. Results
+        are identical to :meth:`build` on the raw values — the merge
+        preserves first-appearance order, so TEXT most-common-value ties
+        resolve the same way, and numeric histograms are built from the
+        expanded multiset, which equals the raw column's multiset.
+        """
+        n_rows = sum(counts.values())
+        if dtype is DataType.TEXT:
+            freq = {v: c for v, c in counts.items() if v is not None}
+            top = {
+                str(v): int(c)
+                for v, c in sorted(freq.items(), key=lambda kv: -kv[1])[:n_top]
+            }
+            return cls(name, dtype, n_rows, len(freq), histogram=None,
+                       top_values=top)
+        values = np.repeat(
+            np.asarray(list(counts), dtype=float),
+            np.asarray(list(counts.values()), dtype=np.int64),
+        )
+        hist = EquiDepthHistogram.build(values, n_buckets=n_buckets)
+        return cls(name, dtype, n_rows, hist.n_distinct, histogram=hist)
+
     def selectivity(self, op, value):
         """Selectivity of ``column <op> value`` using histogram or NDV."""
         if self.n_rows == 0:
@@ -226,9 +254,26 @@ class TableStats:
 
     @classmethod
     def build(cls, table, n_buckets=32):
-        """Collect statistics from a :class:`repro.engine.storage.Table`."""
+        """Collect statistics from a :class:`repro.engine.storage.Table`.
+
+        Prefers the incremental per-segment path: each column's cached
+        segment value counts merge into one map
+        (:meth:`~repro.engine.storage.Table.column_value_counts`), so
+        ANALYZE never decodes a dictionary or RLE segment. Columns a
+        segment cannot count exactly (NaN-bearing FLOAT) fall back to
+        the decoded array; both paths produce identical statistics.
+        """
+        value_counts = getattr(table, "column_value_counts", None)
         col_stats = []
         for col in table.schema.columns:
+            counts = None if value_counts is None else value_counts(col.name)
+            if counts is not None:
+                col_stats.append(
+                    ColumnStats.build_from_counts(
+                        col.name, col.dtype, counts, n_buckets=n_buckets
+                    )
+                )
+                continue
             values = table.column_array(col.name)
             col_stats.append(
                 ColumnStats.build(col.name, col.dtype, values, n_buckets=n_buckets)

@@ -1,41 +1,85 @@
-"""Columnar in-memory storage with a page model.
+"""Columnar in-memory storage: segmented tables with a page model.
 
-Tables store each column as a NumPy array. A simple page model (rows per
-page, bytes per value) gives the cost model and the hardware-acceleration
-experiments something physical to reason about without real I/O.
+A :class:`Table` stores each column as a sequence of immutable, sealed
+:class:`~repro.engine.segments.ColumnSegment` stripes (shared row-group
+boundaries across columns) plus one mutable tail of Python lists.
+Appends go to the tail and seal into encoded segments at
+``segment_rows`` capacity, so batched inserts never re-copy already
+sealed data. The page model (rows per page, bytes per value) gives the
+cost model and the hardware-acceleration experiments something physical
+to reason about without real I/O; since segments are encoded, the page
+accounting reflects *encoded* bytes.
 """
 
 import numpy as np
 
 from repro.common import CatalogError
-from repro.engine.types import DataType, TableSchema
+from repro.engine.config import DEFAULT_SEGMENT_ROWS
+from repro.engine.segments import (
+    DEFAULT_ENCODINGS,
+    VALUE_BYTES,
+    ColumnSegment,
+)
+from repro.engine.types import TableSchema
 
 #: Logical page size used by the cost model, in bytes.
 PAGE_BYTES = 8192
 
-#: Modeled width of one value, in bytes, per data type.
-VALUE_BYTES = {DataType.INT: 8, DataType.FLOAT: 8, DataType.TEXT: 24}
+
+class RowGroup:
+    """One horizontal stripe of sealed column segments.
+
+    All segments in a group cover the same ``n_rows`` rows starting at
+    table offset ``start``; ``segments`` maps lower-cased column name to
+    its :class:`~repro.engine.segments.ColumnSegment`.
+    """
+
+    __slots__ = ("start", "n_rows", "segments")
+
+    def __init__(self, start, n_rows, segments):
+        self.start = int(start)
+        self.n_rows = int(n_rows)
+        self.segments = segments
+
+    def __len__(self):
+        return self.n_rows
+
+    def __repr__(self):
+        return "RowGroup(start=%d, rows=%d)" % (self.start, self.n_rows)
 
 
 class Table:
-    """An in-memory table: a :class:`TableSchema` plus column arrays.
+    """An in-memory table: a :class:`TableSchema` plus column segments.
 
     Rows can be appended (``insert_rows``) and read either row-wise
-    (``rows()``) or column-wise (``column_array``). The column arrays are
-    the canonical representation; row views are materialized on demand.
+    (``rows()``) or column-wise (``column_array``). Sealed segments are
+    the canonical representation; full decoded arrays and row views are
+    materialized on demand (and the decoded form is cached until the
+    next write).
     """
 
-    def __init__(self, schema, columns=None):
+    def __init__(self, schema, columns=None, segment_rows=None,
+                 segment_encodings=None):
         if not isinstance(schema, TableSchema):
             raise CatalogError("Table needs a TableSchema")
         self.schema = schema
-        if columns is None:
-            self._columns = {
-                c.name.lower(): np.empty(0, dtype=c.dtype.numpy_dtype)
-                for c in schema.columns
-            }
-            self._n_rows = 0
-        else:
+        self._segment_rows = (
+            int(segment_rows) if segment_rows else DEFAULT_SEGMENT_ROWS
+        )
+        if self._segment_rows < 1:
+            raise CatalogError("segment_rows must be >= 1")
+        self._segment_encodings = (
+            tuple(segment_encodings) if segment_encodings
+            else DEFAULT_ENCODINGS
+        )
+        self._dtypes = {c.name.lower(): c.dtype for c in schema.columns}
+        self._groups = []
+        self._tail = {c.name.lower(): [] for c in schema.columns}
+        self._tail_rows = 0
+        self._tail_group = None
+        self._n_rows = 0
+        self._decoded = {}
+        if columns is not None:
             normalized = {}
             n_rows = None
             for c in schema.columns:
@@ -57,8 +101,25 @@ class Table:
                         % (c.name, len(arr), n_rows)
                     )
                 normalized[key] = arr
-            self._columns = normalized
             self._n_rows = n_rows or 0
+            cap = self._segment_rows
+            sealed = (self._n_rows // cap) * cap
+            for start in range(0, sealed, cap):
+                segs = {}
+                for c in schema.columns:
+                    key = c.name.lower()
+                    segs[key] = ColumnSegment.encode(
+                        normalized[key][start:start + cap], c.dtype,
+                        self._segment_encodings,
+                    )
+                self._groups.append(RowGroup(start, cap, segs))
+            for c in schema.columns:
+                key = c.name.lower()
+                self._tail[key] = normalized[key][sealed:].tolist()
+            self._tail_rows = self._n_rows - sealed
+            # The caller's arrays double as the decoded cache, so
+            # column_array() stays zero-copy for freshly built tables.
+            self._decoded = normalized
 
     @property
     def name(self):
@@ -70,18 +131,78 @@ class Table:
         """Current row count."""
         return self._n_rows
 
-    def column_array(self, name):
-        """The NumPy array backing column ``name``."""
+    @property
+    def segment_rows(self):
+        """Capacity of one sealed segment, in rows."""
+        return self._segment_rows
+
+    @property
+    def segment_encodings(self):
+        """Encodings the sealer may choose among."""
+        return self._segment_encodings
+
+    def _column_key(self, name):
         key = name.lower()
-        if key not in self._columns:
+        if key not in self._tail:
             raise CatalogError(
                 "table %r has no column %r" % (self.name, name)
             )
-        return self._columns[key]
+        return key
+
+    def _tail_array(self, key):
+        return np.asarray(
+            self._tail[key], dtype=self._dtypes[key].numpy_dtype
+        )
+
+    # -- segment access ------------------------------------------------
+    def row_groups(self):
+        """All row groups in table order, the tail as a synthetic group.
+
+        The tail (when non-empty) is exposed as a plain-encoded group so
+        scans see one uniform sequence of segments; it is rebuilt lazily
+        after each write.
+        """
+        if not self._tail_rows:
+            return list(self._groups)
+        if self._tail_group is None:
+            segs = {}
+            for c in self.schema.columns:
+                key = c.name.lower()
+                segs[key] = ColumnSegment.encode(
+                    self._tail_array(key), c.dtype, ("plain",)
+                )
+            self._tail_group = RowGroup(
+                self._n_rows - self._tail_rows, self._tail_rows, segs
+            )
+        return list(self._groups) + [self._tail_group]
+
+    @property
+    def n_segments(self):
+        """Number of row groups, counting the non-empty tail as one."""
+        return len(self._groups) + (1 if self._tail_rows else 0)
+
+    # -- reads ---------------------------------------------------------
+    def column_array(self, name):
+        """Column ``name`` as one decoded NumPy array (cached)."""
+        key = self._column_key(name)
+        cached = self._decoded.get(key)
+        if cached is not None:
+            return cached
+        parts = [g.segments[key].decode() for g in self._groups]
+        if self._tail_rows:
+            parts.append(self._tail_array(key))
+        if not parts:
+            arr = np.empty(0, dtype=self._dtypes[key].numpy_dtype)
+        elif len(parts) == 1:
+            arr = parts[0]
+        else:
+            arr = np.concatenate(parts)
+        self._decoded[key] = arr
+        return arr
 
     def rows(self, indices=None):
         """Materialize rows as a list of tuples (optionally a subset)."""
-        arrays = [self._columns[c.name.lower()] for c in self.schema.columns]
+        arrays = [self.column_array(c.name) for c in self.schema.columns]
         if not arrays:
             return []
         if indices is not None:
@@ -95,7 +216,8 @@ class Table:
         Args:
             row_ids: optional integer array/sequence selecting rows (one
                 fancy-indexing gather per column); ``None`` returns the
-                backing arrays themselves — callers must not mutate them.
+                cached decoded arrays themselves — callers must not
+                mutate them.
             columns: optional iterable of column names to restrict to.
         """
         if columns is None:
@@ -117,11 +239,18 @@ class Table:
         if not 0 <= index < self._n_rows:
             raise IndexError("row index out of range")
         return tuple(
-            self._columns[c.name.lower()][index] for c in self.schema.columns
+            self.column_array(c.name)[index] for c in self.schema.columns
         )
 
+    # -- writes --------------------------------------------------------
     def insert_rows(self, rows):
-        """Append rows (iterable of sequences aligned with the schema)."""
+        """Append rows (iterable of sequences aligned with the schema).
+
+        Rows accumulate in the mutable tail; once the tail reaches
+        ``segment_rows`` it seals into encoded segments. Already sealed
+        segments are never touched, so N batched inserts are O(total
+        rows), not O(n²).
+        """
         rows = list(rows)
         if not rows:
             return 0
@@ -133,32 +262,126 @@ class Table:
                     % (len(r), width)
                 )
         for j, col in enumerate(self.schema.columns):
-            new_vals = np.asarray(
-                [col.dtype.coerce(r[j]) for r in rows],
-                dtype=col.dtype.numpy_dtype,
-            )
-            key = col.name.lower()
-            self._columns[key] = np.concatenate([self._columns[key], new_vals])
+            coerce = col.dtype.coerce
+            self._tail[col.name.lower()].extend(coerce(r[j]) for r in rows)
+        self._tail_rows += len(rows)
         self._n_rows += len(rows)
+        self._decoded = {}
+        self._tail_group = None
+        while self._tail_rows >= self._segment_rows:
+            self._seal_tail_chunk()
         return len(rows)
 
+    def _seal_tail_chunk(self):
+        cap = self._segment_rows
+        start = self._n_rows - self._tail_rows
+        segs = {}
+        for c in self.schema.columns:
+            key = c.name.lower()
+            tail = self._tail[key]
+            arr = np.asarray(tail[:cap], dtype=c.dtype.numpy_dtype)
+            segs[key] = ColumnSegment.encode(
+                arr, c.dtype, self._segment_encodings
+            )
+            del tail[:cap]
+        self._groups.append(RowGroup(start, cap, segs))
+        self._tail_rows -= cap
+
+    def replace_column(self, name, values):
+        """Replace one column's values wholesale (length must match).
+
+        Re-seals the column's segments along the existing row-group
+        boundaries; other columns are untouched.
+        """
+        key = self._column_key(name)
+        dtype = self._dtypes[key]
+        arr = np.asarray(values, dtype=dtype.numpy_dtype)
+        if len(arr) != self._n_rows:
+            raise CatalogError(
+                "column %r has %d rows, expected %d"
+                % (name, len(arr), self._n_rows)
+            )
+        for g in self._groups:
+            g.segments[key] = ColumnSegment.encode(
+                arr[g.start:g.start + g.n_rows], dtype,
+                self._segment_encodings,
+            )
+        self._tail[key] = arr[self._n_rows - self._tail_rows:].tolist()
+        self._tail_group = None
+        self._decoded.pop(key, None)
+        self._decoded[key] = arr
+
+    # -- statistics ----------------------------------------------------
+    def column_value_counts(self, name):
+        """Merged per-segment value counts, or ``None`` when unsound.
+
+        Returns ``{value: count}`` with keys in first-appearance order
+        (Python dicts preserve insertion order), merging each segment's
+        cached counts — the incremental path ANALYZE uses instead of
+        re-scanning the full column. ``None`` signals that some segment
+        could not count exactly (NaN-bearing FLOAT), so the caller must
+        fall back to the decoded column.
+        """
+        key = self._column_key(name)
+        merged = {}
+        for g in self.row_groups():
+            vc = g.segments[key].value_counts()
+            if vc is None:
+                return None
+            values, counts = vc
+            for v, c in zip(values.tolist(), counts.tolist()):
+                merged[v] = merged.get(v, 0) + c
+        return merged
+
+    # -- page / byte model ---------------------------------------------
+    def column_encoded_bytes(self, name):
+        """Modeled encoded bytes of one column (tail counted as plain)."""
+        key = self._column_key(name)
+        total = sum(g.segments[key].encoded_bytes() for g in self._groups)
+        return total + self._tail_rows * VALUE_BYTES[self._dtypes[key]]
+
+    def encoded_bytes(self):
+        """Modeled encoded bytes of the whole table."""
+        return sum(
+            self.column_encoded_bytes(c.name) for c in self.schema.columns
+        )
+
     def row_bytes(self):
-        """Modeled bytes per row."""
-        return sum(VALUE_BYTES[c.dtype] for c in self.schema.columns)
+        """Modeled bytes per row, averaged over encoded segments.
+
+        An integer whenever the average is integral (always true for
+        all-plain storage, where it equals the schema's value-width sum).
+        """
+        if not self._n_rows:
+            return sum(VALUE_BYTES[c.dtype] for c in self.schema.columns)
+        per_row = self.encoded_bytes() / self._n_rows
+        return int(per_row) if per_row == int(per_row) else per_row
 
     def n_pages(self):
-        """Modeled page count in a row-major layout."""
-        per_page = max(1, PAGE_BYTES // max(1, self.row_bytes()))
+        """Modeled page count in a row-major layout (encoded widths)."""
+        per_page = max(1, int(PAGE_BYTES // max(1, self.row_bytes())))
         return max(1, -(-self._n_rows // per_page)) if self._n_rows else 0
 
     def column_pages(self, name):
-        """Modeled page count for one column in a columnar layout."""
+        """Modeled page count for one column in a columnar layout.
+
+        Encoding shrinks a column's effective row count (encoded bytes
+        over the decoded value width); plain storage reproduces the
+        unencoded page math exactly.
+        """
         col = self.schema.column(name)
+        if not self._n_rows:
+            return 0
         per_page = max(1, PAGE_BYTES // VALUE_BYTES[col.dtype])
-        return max(1, -(-self._n_rows // per_page)) if self._n_rows else 0
+        effective_rows = (
+            self.column_encoded_bytes(name) / VALUE_BYTES[col.dtype]
+        )
+        return max(1, int(-(-effective_rows // per_page)))
 
     def __len__(self):
         return self._n_rows
 
     def __repr__(self):
-        return "Table(%r, rows=%d)" % (self.name, self._n_rows)
+        return "Table(%r, rows=%d, segments=%d)" % (
+            self.name, self._n_rows, self.n_segments
+        )

@@ -59,11 +59,19 @@ class ExecutionTelemetry:
             to the *original* (pre-fusion) plan's nodes. This is the
             est-vs-actual view EXPLAIN ANALYZE renders and the signal the
             optimizer's cardinality-feedback loop ingests.
+        segments_total: column-storage row groups the run's scans
+            considered (0 when no base-table scan ran).
+        segments_pruned: of those, how many a zone map proved irrelevant
+            to the pushed-down predicates — skipped without decoding.
+        bytes_decoded: modeled encoded bytes of the segments the scans
+            actually decoded (late materialization counts only the
+            columns read, only for surviving segments).
         total_seconds: wall-clock time for the whole plan.
     """
 
     __slots__ = ("mode", "operators", "workers", "fused_ops",
-                 "node_stats", "total_seconds")
+                 "node_stats", "segments_total", "segments_pruned",
+                 "bytes_decoded", "total_seconds")
 
     def __init__(self, mode):
         self.mode = mode
@@ -71,6 +79,9 @@ class ExecutionTelemetry:
         self.workers = {}
         self.fused_ops = 0
         self.node_stats = []
+        self.segments_total = 0
+        self.segments_pruned = 0
+        self.bytes_decoded = 0
         self.total_seconds = 0.0
 
     def record(self, op_name, rows, seconds):
@@ -103,6 +114,12 @@ class ExecutionTelemetry:
             w["steals"] += stats.steals
             w["seconds"] += stats.seconds
 
+    def record_segments(self, total, pruned, bytes_decoded):
+        """Accumulate one scan's segment counters (pruning telemetry)."""
+        self.segments_total += int(total)
+        self.segments_pruned += int(pruned)
+        self.bytes_decoded += int(bytes_decoded)
+
     def set_node_stats(self, stats):
         """Attach the per-node est-vs-actual records (plan preorder)."""
         self.node_stats = list(stats)
@@ -129,6 +146,9 @@ class ExecutionTelemetry:
             "mode": self.mode,
             "total_seconds": self.total_seconds,
             "fused_ops": self.fused_ops,
+            "segments_total": self.segments_total,
+            "segments_pruned": self.segments_pruned,
+            "bytes_decoded": self.bytes_decoded,
             "operators": {
                 k: dict(v) for k, v in sorted(self.operators.items())
             },

@@ -1311,7 +1311,7 @@ def e17_challenges(seed=0, fast=False):
     detector = DriftDetector(threshold=0.5).fit(catalog, ["facts"])
     before = len(detector.check(catalog))
     table = catalog.table("facts")
-    table._columns["a"] = table.column_array("a") + 200  # simulated update
+    table.replace_column("a", table.column_array("a") + 200)  # simulated update
     after = detector.check(catalog)
     t3 = ResultTable(
         "E17c: drift detection across a data update",

@@ -144,7 +144,7 @@ class TestDriftDetector:
         catalog = self._catalog()
         detector = DriftDetector(threshold=0.5).fit(catalog, ["facts"])
         table = catalog.table("facts")
-        table._columns["a"] = table.column_array("a") + 100
+        table.replace_column("a", table.column_array("a") + 100)
         drifted = detector.check(catalog)
         assert ("facts", "a") in drifted
         assert detector.needs_retraining(catalog)
@@ -153,7 +153,7 @@ class TestDriftDetector:
         catalog = self._catalog()
         detector = DriftDetector(threshold=0.5).fit(catalog, ["facts"])
         table = catalog.table("facts")
-        table._columns["a"] = table.column_array("a") + 1
+        table.replace_column("a", table.column_array("a") + 1)
         assert ("facts", "a") not in detector.check(catalog)
 
     def test_text_columns_skipped(self):

@@ -110,7 +110,7 @@ class TestEngineConfig:
                            parallel_workers=3, fusion_enabled=False)
         assert cfg.executor_kwargs() == {
             "mode": "parallel", "morsel_rows": 64, "n_workers": 3,
-            "fusion_enabled": False,
+            "fusion_enabled": False, "pruning_enabled": True,
         }
 
 

@@ -16,7 +16,11 @@ suite asserts:
   counters, preorder over the unfused plan) — fused pipelines must
   attribute counts to the original nodes they replace,
 * cold vs. warm plan cache parity (the second run must be a cache hit and
-  observationally identical).
+  observationally identical),
+* encoded-segment storage vs a plain-encoding twin database (small
+  ``segment_rows`` so every table seals several row groups): rows, order,
+  ``work`` and per-node counts must be bit-identical — zone-map pruning
+  and encoded-space predicate evaluation are pure optimizations.
 
 Everything is deterministic: catalogs and queries derive from fixed seeds,
 so a failure reproduces with its printed ``(catalog_seed, case_index)``.
@@ -50,6 +54,17 @@ CASES_PER_CATALOG = max(1, N_CASES // len(CATALOG_SEEDS))
 MORSEL_ROWS = 64
 N_WORKERS = 3
 
+#: Small segments so every fuzz table seals multiple row groups and the
+#: zone-map/encoding machinery is exercised by every case.
+SEGMENT_ROWS = 32
+
+#: Configs raced a third time against a plain-encoding twin database.
+#: Same segment boundaries, so even float aggregation is bit-identical —
+#: the twin runs are compared exactly, not approximately.
+ENCODING_RACE_CONFIGS = [
+    ("vectorized", False), ("vectorized", True), ("parallel", True),
+]
+
 #: Every executor mode raced with operator fusion off and on.  The
 #: (row, fusion-off) configuration is the oracle everything else must match.
 CONFIGS = [
@@ -73,9 +88,15 @@ def _make_schema(rng):
     }
 
 
-def _build_db(mode, seed, fusion=True):
+def _build_db(mode, seed, fusion=True, segment_encodings=None):
     """One database per (mode, fusion, seed); data identical across all."""
-    kwargs = {"executor_mode": mode, "fusion_enabled": fusion}
+    kwargs = {
+        "executor_mode": mode,
+        "fusion_enabled": fusion,
+        "segment_rows": SEGMENT_ROWS,
+    }
+    if segment_encodings is not None:
+        kwargs["segment_encodings"] = segment_encodings
     if mode == "parallel":
         kwargs.update(morsel_rows=MORSEL_ROWS, parallel_workers=N_WORKERS)
     db = Database(**kwargs)
@@ -191,9 +212,14 @@ def _approx_equal_rows(rows_a, rows_b):
 @pytest.mark.parametrize("catalog_seed", CATALOG_SEEDS)
 def test_fuzz_differential(catalog_seed):
     dbs = {}
+    plain_dbs = {}
     tables = None
     for cfg in CONFIGS:
         dbs[cfg], tables = _build_db(cfg[0], catalog_seed, fusion=cfg[1])
+    for cfg in ENCODING_RACE_CONFIGS:
+        plain_dbs[cfg], __ = _build_db(
+            cfg[0], catalog_seed, fusion=cfg[1], segment_encodings=("plain",)
+        )
     rng = random.Random(10_000 + catalog_seed)
     for case in range(CASES_PER_CATALOG):
         query = _random_query(rng, tables)
@@ -247,6 +273,21 @@ def test_fuzz_differential(catalog_seed):
                 )
             assert res.work == base.work, label
             assert res.operator_work == base.operator_work, label
+        # Encoded segments vs a plain-encoding twin: identical segment
+        # boundaries mean identical morsel/partial boundaries, so the
+        # comparison is exact — rows, order, work, per-node counts.
+        for cfg in ENCODING_RACE_CONFIGS:
+            enc = cold[cfg]
+            plain = plain_dbs[cfg].run_query_object(query)
+            assert plain.columns == enc.columns, label
+            assert plain.rows == enc.rows, (
+                "%s: %s/fusion=%s encoded vs plain rows diverge\n"
+                "plain=%r\nencoded=%r"
+                % (label, cfg[0], cfg[1], plain.rows[:10], enc.rows[:10])
+            )
+            assert plain.work == enc.work, label
+            assert plain.operator_work == enc.operator_work, label
+            assert _node_counts(plain) == _node_counts(enc), label
 
 
 class TestEdgeCases:
