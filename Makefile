@@ -4,7 +4,8 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test lint fuzz bench bench-fusion bench-feedback bench-storage bench-json
+.PHONY: test lint fuzz bench bench-fusion bench-feedback bench-storage \
+	bench-snapshots bench-json
 
 # Tier-1 suite (fast; slow-marked full-size benchmarks are deselected by
 # the pytest addopts default). Lints first — a lint finding fails the run.
@@ -43,6 +44,12 @@ bench-storage:
 	python -m pytest benchmarks/bench_p6_storage.py -q -m ''
 	python benchmarks/bench_p6_storage.py
 
+# Per-table version-vector benchmark alone (warm-plan hit rate and
+# latency, global epoch vs scoped tokens), regenerating BENCH_P7.json.
+bench-snapshots:
+	python -m pytest benchmarks/bench_p7_snapshots.py -q -m ''
+	python benchmarks/bench_p7_snapshots.py
+
 # Regenerate the committed BENCH_P*.json artifacts at full size.
 bench-json:
 	python benchmarks/bench_p1_executor.py
@@ -51,3 +58,4 @@ bench-json:
 	python benchmarks/bench_p4_fusion.py
 	python benchmarks/bench_p5_feedback.py
 	python benchmarks/bench_p6_storage.py
+	python benchmarks/bench_p7_snapshots.py

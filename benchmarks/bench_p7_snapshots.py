@@ -1,0 +1,218 @@
+"""P7 benchmark: per-table plan-cache scoping vs. the global epoch.
+
+A writer hammers one hot table (INSERT + ANALYZE every round) while a
+read workload keeps re-running warmed 3-way join queries over the *cold*
+tables. Under
+the legacy ``cache_scope="global"`` token every write anywhere drifts
+every cached plan, so each cold query replans every round (hit rate ~0);
+under the default per-table version vector the cold queries' tokens
+never move, so they stay warm (~100% hits) and skip join enumeration
+entirely. The benchmark records both hit rates and the p50/p95 per-query
+latency, plus the cost of pinning a ``db.snapshot()`` across the whole
+catalog (the MVCC read path PR 7 adds).
+
+Run standalone to (re)generate ``BENCH_P7.json``::
+
+    PYTHONPATH=src python benchmarks/bench_p7_snapshots.py
+
+``REPRO_BENCH_FAST=1`` shrinks the workload. The acceptance gates run at
+full size and are marked slow (PR 3 convention).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.engine.database import Database
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "0") == "1"
+
+#: Rows appended to the hot table per writer round.
+WRITE_BATCH = 50
+
+
+def _sizes(fast):
+    """(n_cold_tables, rows_per_table, rounds)."""
+    return (6, 2_000, 30) if fast else (12, 5_000, 100)
+
+
+def _build(scope, fast, seed=0):
+    """One database: ``hot`` plus N cold tables, all analyzed."""
+    n_tables, n_rows, __ = _sizes(fast)
+    db = Database(cache_scope=scope)
+    names = ["hot"] + ["cold%02d" % i for i in range(n_tables)]
+    for name in names:
+        db.execute("CREATE TABLE %s (id INT, k INT, v FLOAT)" % name)
+        db.catalog.table(name).insert_rows([
+            (i, (i * 7 + seed) % 13, float(i % 97)) for i in range(n_rows)
+        ])
+    db.execute("ANALYZE")
+    return db, names[1:]
+
+
+def _cold_queries(cold_tables):
+    """One 3-table join per consecutive triple of cold tables.
+
+    Joins make the replan cost real: a cache miss pays join enumeration
+    and per-subset estimation, which is what the per-table scope saves
+    the cold readers from (a warmed 3-way join replans ~3.5x slower than
+    it hits).
+    """
+    out = []
+    for i in range(len(cold_tables) - 2):
+        a, b, c = cold_tables[i], cold_tables[i + 1], cold_tables[i + 2]
+        out.append(
+            "SELECT COUNT(*) FROM %s, %s, %s "
+            "WHERE %s.id = %s.id AND %s.id = %s.id AND %s.id < 200"
+            % (a, b, c, a, b, b, c, a)
+        )
+    return out
+
+
+def _percentile(sorted_values, q):
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1)))
+    return sorted_values[idx]
+
+
+def run_scope(scope, fast, seed=0):
+    """The hot-writer/cold-reader race under one cache scope.
+
+    Returns the plan-cache counters over the raced phase plus per-query
+    latency percentiles (seconds) for the cold-table reads.
+    """
+    db, cold_tables = _build(scope, fast, seed=seed)
+    __, __, rounds = _sizes(fast)
+    queries = _cold_queries(cold_tables)
+    baseline = [db.execute(sql).rows for sql in queries]  # warm every plan
+    db.pipeline.plan_cache.reset_counters()
+    latencies = []
+    for r in range(rounds):
+        db.catalog.table("hot").insert_rows([
+            (r * WRITE_BATCH + i, i % 13, float(i)) for i in range(WRITE_BATCH)
+        ])
+        db.execute("ANALYZE hot")
+        for sql, expected in zip(queries, baseline):
+            t0 = time.perf_counter()
+            rows = db.execute(sql).rows
+            latencies.append(time.perf_counter() - t0)
+            assert rows == expected  # cold tables never change
+    stats = db.pipeline.plan_cache.stats()
+    lookups = stats["hits"] + stats["misses"]
+    latencies.sort()
+    return {
+        "cache_scope": scope,
+        "rounds": rounds,
+        "cold_tables": len(cold_tables),
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "invalidations": stats["invalidations"],
+        "hit_rate": stats["hits"] / max(1, lookups),
+        "p50_seconds": _percentile(latencies, 0.50),
+        "p95_seconds": _percentile(latencies, 0.95),
+        "total_seconds": sum(latencies),
+    }
+
+
+def snapshot_costs(fast, repeats=5, seed=0):
+    """Cost of pinning one whole-catalog snapshot, and of reading it."""
+    db, cold_tables = _build("table", fast, seed=seed)
+    best_pin = float("inf")
+    for __ in range(repeats):
+        t0 = time.perf_counter()
+        snap = db.snapshot()
+        best_pin = min(best_pin, time.perf_counter() - t0)
+    sql = _cold_queries(cold_tables)[0]
+    live = db.execute(sql).rows
+    t0 = time.perf_counter()
+    pinned = snap.query(sql)
+    read_seconds = time.perf_counter() - t0
+    assert pinned == live
+    return {
+        "tables": len(cold_tables) + 1,
+        "pin_seconds": best_pin,
+        "pinned_read_seconds": read_seconds,
+    }
+
+
+def measure(fast, seed=0):
+    """Global-epoch vs per-table scoping under one hot writer."""
+    out = {
+        "workload": "1 hot writer + %d cold readers, %d rounds, "
+        "%d rows/table" % (_sizes(fast)[0], _sizes(fast)[2], _sizes(fast)[1]),
+        "fast": fast,
+        "configs": {},
+    }
+    for scope in ("global", "table"):
+        out["configs"][scope] = run_scope(scope, fast, seed=seed)
+    g, t = out["configs"]["global"], out["configs"]["table"]
+    out["hit_rate_global"] = g["hit_rate"]
+    out["hit_rate_table"] = t["hit_rate"]
+    out["p95_speedup"] = g["p95_seconds"] / max(t["p95_seconds"], 1e-12)
+    out["total_speedup"] = g["total_seconds"] / max(t["total_seconds"], 1e-12)
+    out["snapshot"] = snapshot_costs(fast, seed=seed)
+    return out
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_p7_per_table_scope_keeps_cold_plans_warm():
+    """The headline contrast, at fast size: a writer on ``hot`` leaves
+    every cold-table plan at 100% hits under per-table scoping and at 0%
+    under the legacy global epoch."""
+    table = run_scope("table", fast=True)
+    assert table["hit_rate"] == 1.0, table
+    assert table["invalidations"] == 0, table
+    glob = run_scope("global", fast=True)
+    assert glob["hit_rate"] == 0.0, glob
+    assert glob["invalidations"] == glob["misses"], glob
+
+
+def test_p7_snapshot_pin_is_cheap_and_correct():
+    costs = snapshot_costs(fast=True)
+    assert costs["pin_seconds"] < 1.0, costs
+
+
+def test_p7_snapshots_benchmark(benchmark):
+    """Times the full FAST-aware measurement (both scopes + snapshot)."""
+    payload = benchmark.pedantic(
+        measure, args=(FAST,), rounds=1, iterations=1,
+    )
+    assert payload["hit_rate_table"] > payload["hit_rate_global"]
+
+
+@pytest.mark.slow
+def test_p7_gates_full_size():
+    """Acceptance gates at full size: cold plans ~100% warm vs ~0%, and
+    skipping the replan shows up in the tail latency."""
+    payload = measure(fast=False)
+    assert payload["hit_rate_table"] >= 0.99, payload
+    assert payload["hit_rate_global"] <= 0.01, payload
+    assert payload["p95_speedup"] >= 1.3, payload
+    assert payload["total_speedup"] >= 1.3, payload
+
+
+if __name__ == "__main__":
+    payload = {"bench": "P7 per-table versions & snapshots", "results": []}
+    for fast in (True, False):
+        result = measure(fast)
+        payload["results"].append(result)
+        print("%s: hit rate table=%.0f%% global=%.0f%%; p95 %.2fx, "
+              "total %.2fx; snapshot pin %.1fus over %d tables" % (
+                  "fast" if fast else "full",
+                  100.0 * result["hit_rate_table"],
+                  100.0 * result["hit_rate_global"],
+                  result["p95_speedup"],
+                  result["total_speedup"],
+                  1e6 * result["snapshot"]["pin_seconds"],
+                  result["snapshot"]["tables"],
+              ))
+    out_path = os.path.join(os.path.dirname(__file__), "..", "BENCH_P7.json")
+    with open(os.path.abspath(out_path), "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print("wrote BENCH_P7.json")

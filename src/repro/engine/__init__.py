@@ -8,17 +8,18 @@ substitution table in DESIGN.md.
 """
 
 from repro.engine.types import ColumnSchema, DataType, TableSchema
-from repro.engine.storage import PAGE_BYTES, RowGroup, Table
+from repro.engine.storage import PAGE_BYTES, RowGroup, Table, TableSnapshot
 from repro.engine.segments import (
     DEFAULT_ENCODINGS,
     ColumnSegment,
     ZoneMap,
     choose_encoding,
+    merge_value_counts,
 )
 from repro.engine.stats import ColumnStats, EquiDepthHistogram, TableStats
 from repro.engine.query import Aggregate, ConjunctiveQuery, JoinEdge, Predicate
-from repro.engine.catalog import Catalog, IndexDef, ViewDef
-from repro.engine.config import EXECUTOR_MODES, EngineConfig
+from repro.engine.catalog import Catalog, CatalogSnapshot, IndexDef, ViewDef
+from repro.engine.config import CACHE_SCOPES, EXECUTOR_MODES, EngineConfig
 from repro.engine.indexes import BPlusTree, HashIndex
 from repro.engine.executor import (
     ExecutionResult,
@@ -45,7 +46,7 @@ from repro.engine.pipeline import (
     QueryPipeline,
 )
 from repro.engine.plans import FusedPipelineOp
-from repro.engine.database import Database
+from repro.engine.database import Database, DatabaseSnapshot
 from repro.engine.knobs import (
     KnobSpec,
     KnobResponseSimulator,
@@ -72,10 +73,12 @@ __all__ = [
     "PAGE_BYTES",
     "RowGroup",
     "Table",
+    "TableSnapshot",
     "DEFAULT_ENCODINGS",
     "ColumnSegment",
     "ZoneMap",
     "choose_encoding",
+    "merge_value_counts",
     "ColumnStats",
     "EquiDepthHistogram",
     "TableStats",
@@ -84,10 +87,12 @@ __all__ = [
     "JoinEdge",
     "Predicate",
     "Catalog",
+    "CatalogSnapshot",
     "IndexDef",
     "ViewDef",
     "BPlusTree",
     "HashIndex",
+    "CACHE_SCOPES",
     "EXECUTOR_MODES",
     "EngineConfig",
     "ExecutionResult",
@@ -110,6 +115,7 @@ __all__ = [
     "PlanCache",
     "QueryPipeline",
     "Database",
+    "DatabaseSnapshot",
     "KnobSpec",
     "KnobResponseSimulator",
     "WorkloadProfile",

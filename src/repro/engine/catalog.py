@@ -111,10 +111,17 @@ class ViewDef:
 class Catalog:
     """Holds all tables, statistics, indexes, and materialized views.
 
-    Every mutation that can change planning outcomes (DDL, statistics
-    refresh, view registration, and row inserts) advances the monotonic
-    :attr:`epoch` counter — the invalidation token the pipeline plan cache
-    stores with each entry.
+    Every mutation that can change planning outcomes advances a
+    **per-table** monotonic version (:meth:`version` /
+    :meth:`version_vector`): DDL, ANALYZE, index and view changes bump it
+    explicitly, and a write hook installed on every table covers direct
+    ``Table.insert_rows`` bulk loads (the data generators) without any
+    polling of row counts. The derived global :attr:`epoch` — the sum of
+    all per-table bumps — is maintained as its own O(1) counter, and a
+    coarser :attr:`schema_epoch` moves only when the set of tables
+    changes (what SQL-text lowering depends on). Caches key on the
+    version vector restricted to the tables they cover, so a hot writer
+    on one table never invalidates plans over the others.
     """
 
     def __init__(self, segment_rows=None, segment_encodings=None):
@@ -122,7 +129,12 @@ class Catalog:
         self._stats = {}
         self._indexes = {}
         self._views = {}
+        # Per-table versions survive drop_table (the entry is the floor a
+        # re-created table of the same name continues from), keeping
+        # every published version — and the derived epoch — monotonic.
+        self._versions = {}
         self._epoch = 0
+        self._schema_epoch = 0
         # Storage knobs applied to tables this catalog creates; ``None``
         # means the Table defaults. Pre-built tables (register_table)
         # keep whatever layout they were constructed with.
@@ -131,20 +143,48 @@ class Catalog:
 
     @property
     def epoch(self):
-        """Monotonic catalog version.
+        """Derived global version: total bumps across all tables.
 
-        Explicit mutations (create/drop table, create/drop index, ANALYZE,
-        view registration) bump an internal counter; inserted rows are
-        folded in via the live row-count sum, so bulk loads that call
-        ``Table.insert_rows`` directly (the data generators) are also
-        covered without any notification protocol. ``drop_table`` adds the
-        dropped table's row count to the internal counter, which keeps the
-        total monotonic even though the row sum shrinks.
+        Kept as its own counter updated alongside every per-table bump,
+        so reading it is O(1) — the plan cache's hot path never scans
+        tables or sums row counts. Strictly monotonic: drops keep their
+        table's version entry as a floor.
         """
-        return self._epoch + sum(t.n_rows for t in self._tables.values())
+        return self._epoch
 
-    def _bump_epoch(self, n=1):
+    @property
+    def schema_epoch(self):
+        """Version of the *table set* alone (create/drop table).
+
+        Inserts, ANALYZE, and index/view changes leave it untouched — it
+        invalidates only what depends on name resolution, such as the
+        pipeline's SQL-text → lowered-query cache.
+        """
+        return self._schema_epoch
+
+    def _bump_table(self, name, n=1):
+        key = name.lower()
+        self._versions[key] = self._versions.get(key, 0) + n
         self._epoch += n
+
+    def _on_table_write(self, table):
+        self._bump_table(table.name)
+
+    def version(self, name):
+        """The monotonic version of one table (0 if never seen)."""
+        return self._versions.get(name.lower(), 0)
+
+    def version_vector(self, tables=None):
+        """Sorted ``((name, version), ...)`` over ``tables`` (or all).
+
+        The restriction of the catalog's version state to a query's
+        table set — the invalidation token caches store per entry.
+        """
+        if tables is None:
+            names = sorted(self._versions)
+        else:
+            names = sorted({t.lower() for t in tables})
+        return tuple((n, self._versions.get(n, 0)) for n in names)
 
     # ------------------------------------------------------------------
     # Tables
@@ -182,7 +222,9 @@ class Catalog:
             segment_encodings=self.segment_encodings,
         )
         self._tables[key] = table
-        self._bump_epoch()
+        table.add_write_hook(self._on_table_write)
+        self._bump_table(key)
+        self._schema_epoch += 1
         return table
 
     def register_table(self, table):
@@ -191,23 +233,29 @@ class Catalog:
         if key in self._tables:
             raise CatalogError("table %r already exists" % (table.name,))
         self._tables[key] = table
-        self._bump_epoch()
+        table.add_write_hook(self._on_table_write)
+        self._bump_table(key)
+        self._schema_epoch += 1
         return table
 
     def drop_table(self, name):
-        """Drop a table and its dependent stats and indexes."""
+        """Drop a table and its dependent stats and indexes.
+
+        The table's version entry is kept (and bumped): a later table of
+        the same name continues from it, so versions never move backward.
+        """
         key = name.lower()
         if key not in self._tables:
             raise CatalogError("no table named %r" % (name,))
-        # The dropped rows leave the epoch's row-count sum; compensate so
-        # the epoch stays monotonic.
-        self._bump_epoch(self._tables[key].n_rows + 1)
+        self._tables[key].remove_write_hook(self._on_table_write)
         del self._tables[key]
         self._stats.pop(key, None)
         for idx_name in [
             n for n, d in self._indexes.items() if d.table.lower() == key
         ]:
             del self._indexes[idx_name]
+        self._bump_table(key)
+        self._schema_epoch += 1
 
     def table(self, name):
         """Look up a table by name."""
@@ -236,7 +284,7 @@ class Catalog:
         table = self.table(name)
         stats = TableStats.build(table, n_buckets=n_buckets)
         self._stats[name.lower()] = stats
-        self._bump_epoch()
+        self._bump_table(name)
         return stats
 
     def stats(self, name):
@@ -268,15 +316,16 @@ class Catalog:
             hypothetical=hypothetical, structure=structure,
         )
         self._indexes[name] = idx
-        self._bump_epoch()
+        self._bump_table(idx.table)
         return idx
 
     def drop_index(self, name):
         """Drop an index by name."""
         for key in list(self._indexes):
             if key.lower() == name.lower():
+                table = self._indexes[key].table
                 del self._indexes[key]
-                self._bump_epoch()
+                self._bump_table(table)
                 return
         raise CatalogError("no index named %r" % (name,))
 
@@ -317,7 +366,10 @@ class Catalog:
         if key in self._views:
             raise CatalogError("view %r already exists" % (view.name,))
         self._views[key] = view
-        self._bump_epoch()
+        # A view changes planning for queries over its base tables (the
+        # planner may now answer from it), so those are what it bumps.
+        for t in view.query.tables:
+            self._bump_table(t)
         return view
 
     def drop_view(self, name):
@@ -325,8 +377,9 @@ class Catalog:
         key = name.lower()
         if key not in self._views:
             raise CatalogError("no view named %r" % (name,))
-        del self._views[key]
-        self._bump_epoch()
+        view = self._views.pop(key)
+        for t in view.query.tables:
+            self._bump_table(t)
 
     def views(self):
         """All materialized views."""
@@ -349,6 +402,19 @@ class Catalog:
     def view_size_total(self):
         """Total modeled bytes across all materialized views."""
         return sum(v.size_bytes() for v in self._views.values())
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self):
+        """An immutable :class:`CatalogSnapshot` of the current state.
+
+        Cost is O(sum of tail rows) — sealed storage is shared by
+        reference. Readers holding the snapshot see this exact catalog
+        (tables, stats, indexes, views, versions) no matter what writers
+        do to the live one afterwards.
+        """
+        return CatalogSnapshot(self)
 
     # ------------------------------------------------------------------
     def total_data_bytes(self):
@@ -377,3 +443,127 @@ class Catalog:
         for v in self.views():
             lines.append("view %s rows=%d" % (v.name, v.n_rows))
         return "\n".join(lines)
+
+
+class CatalogSnapshot:
+    """An immutable point-in-time view of a :class:`Catalog`.
+
+    MVCC-style read surface: pins a :class:`~repro.engine.storage.
+    TableSnapshot` per table plus the statistics, index, and view
+    definitions as of snapshot time, stamped with the version vector they
+    were taken at. The executor runs plans against one of these exactly
+    as against the live catalog (same ``table``/``indexes``/``stats``
+    lookup surface); mutating methods simply do not exist, so any write
+    attempt fails loudly rather than corrupting the pinned state.
+
+    Two pinning caveats, both loud rather than silent: an index created
+    *after* the snapshot is absent here, so a plan probing it raises
+    (plans are built against the live catalog); and view definitions
+    embed their live materialized table — views are immutable after
+    registration in this engine, so the pinned definition cannot drift.
+    """
+
+    __slots__ = ("_tables", "_stats", "_indexes", "_views", "_versions",
+                 "_epoch", "_schema_epoch")
+
+    def __init__(self, catalog):
+        self._tables = {
+            key: table.snapshot() for key, table in catalog._tables.items()
+        }
+        self._stats = dict(catalog._stats)
+        self._indexes = dict(catalog._indexes)
+        self._views = dict(catalog._views)
+        self._versions = dict(catalog._versions)
+        self._epoch = catalog.epoch
+        self._schema_epoch = catalog.schema_epoch
+
+    @property
+    def epoch(self):
+        """The derived global version at snapshot time."""
+        return self._epoch
+
+    @property
+    def schema_epoch(self):
+        """The table-set version at snapshot time."""
+        return self._schema_epoch
+
+    def version(self, name):
+        """One table's version at snapshot time (0 if never seen)."""
+        return self._versions.get(name.lower(), 0)
+
+    def version_vector(self, tables=None):
+        """Sorted ``((name, version), ...)`` pinned at snapshot time."""
+        if tables is None:
+            names = sorted(self._versions)
+        else:
+            names = sorted({t.lower() for t in tables})
+        return tuple((n, self._versions.get(n, 0)) for n in names)
+
+    # -- the executor/planner-facing read surface ----------------------
+    def table(self, name):
+        """Look up a pinned :class:`TableSnapshot` by name."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError("no table named %r" % (name,))
+
+    def has_table(self, name):
+        """Whether the table existed at snapshot time."""
+        return name.lower() in self._tables
+
+    def table_names(self):
+        """All pinned table names (sorted)."""
+        return sorted(t.name for t in self._tables.values())
+
+    def stats(self, name):
+        """Statistics for a table, computed lazily over the *pinned* data.
+
+        Lazy computation caches locally in the snapshot — the live
+        catalog (and its versions) never observes a snapshot read.
+        """
+        key = name.lower()
+        if key not in self._stats:
+            self._stats[key] = TableStats.build(self.table(name))
+        return self._stats[key]
+
+    def indexes(self, table=None):
+        """Indexes pinned at snapshot time, optionally for one table."""
+        out = list(self._indexes.values())
+        if table is not None:
+            out = [i for i in out if i.table.lower() == table.lower()]
+        return out
+
+    def index_on(self, table, column, include_hypothetical=True):
+        """The pinned index on ``table.column`` if any, else ``None``."""
+        for idx in self._indexes.values():
+            if (
+                idx.table.lower() == table.lower()
+                and idx.column.lower() == column.lower()
+                and (include_hypothetical or not idx.hypothetical)
+            ):
+                return idx
+        return None
+
+    def views(self):
+        """Materialized views pinned at snapshot time."""
+        return list(self._views.values())
+
+    def matching_view(self, query):
+        """``(view, residual_predicates)`` answering ``query``, if any."""
+        best = None
+        for view in self._views.values():
+            residual = view.matches(query)
+            if residual is None:
+                continue
+            if best is None or view.n_rows < best[0].n_rows:
+                best = (view, residual)
+        return best
+
+    def snapshot(self):
+        """Snapshots are already immutable; return self."""
+        return self
+
+    def __repr__(self):
+        return "CatalogSnapshot(tables=%d, epoch=%d)" % (
+            len(self._tables), self._epoch
+        )

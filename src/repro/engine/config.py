@@ -23,6 +23,7 @@ environment variable      field                        default
 ``REPRO_SEGMENT_ENCODINGS`` ``segment_encodings``      ``dict,rle,plain``
 ``REPRO_ZONE_MAP_PRUNING`` ``zone_map_pruning``        on (``0``/``off``
                                                        disables)
+``REPRO_CACHE_SCOPE``     ``cache_scope``              ``"table"``
 ======================== ============================ ====================
 
 This module sits at the bottom of the engine's import graph (it imports
@@ -63,6 +64,9 @@ SEGMENT_ENCODINGS = ("plain", "dict", "rle")
 
 #: Default encoding set offered to the encoder at seal time.
 DEFAULT_SEGMENT_ENCODINGS = ("dict", "rle", "plain")
+
+#: Supported plan-cache invalidation scopes (first entry is the default).
+CACHE_SCOPES = ("table", "global")
 
 #: Values of ``REPRO_FUSION`` that disable operator fusion.
 _FALSEY = {"0", "false", "off", "no"}
@@ -151,6 +155,27 @@ def default_zone_map_pruning():
     return raw.strip().lower() not in _FALSEY
 
 
+def default_cache_scope():
+    """Plan-cache invalidation scope from ``REPRO_CACHE_SCOPE``.
+
+    ``"table"`` (the default) keys cached plans on the catalog's version
+    vector restricted to the tables a query touches, so a hot writer on
+    one table never evicts plans over others. ``"global"`` restores the
+    legacy single-epoch token (any write anywhere invalidates every
+    plan) — kept as a benchmark baseline and an escape hatch.
+    """
+    raw = os.environ.get("REPRO_CACHE_SCOPE")
+    if raw is None or not raw.strip():
+        return CACHE_SCOPES[0]
+    value = raw.strip().lower()
+    if value not in CACHE_SCOPES:
+        raise ReproError(
+            "REPRO_CACHE_SCOPE must be one of %r, got %r"
+            % (CACHE_SCOPES, raw)
+        )
+    return value
+
+
 def default_feedback_enabled():
     """Cardinality-feedback gate from ``REPRO_FEEDBACK`` (default off).
 
@@ -202,6 +227,11 @@ class EngineConfig:
             to skip segments that cannot satisfy pushed-down
             predicates. Pruning never changes results — only the
             ``segments_pruned`` / ``bytes_decoded`` telemetry.
+        cache_scope: plan-cache invalidation scope — ``"table"`` keys
+            entries on the per-table version vector restricted to the
+            tables the query touches (writers on other tables leave them
+            warm); ``"global"`` restores the legacy single-epoch token.
+            Never changes results — only hit rates and warm latency.
     """
 
     executor_mode: str = EXECUTOR_MODES[0]
@@ -216,8 +246,14 @@ class EngineConfig:
     segment_rows: int = DEFAULT_SEGMENT_ROWS
     segment_encodings: tuple = DEFAULT_SEGMENT_ENCODINGS
     zone_map_pruning: bool = True
+    cache_scope: str = CACHE_SCOPES[0]
 
     def __post_init__(self):
+        if self.cache_scope not in CACHE_SCOPES:
+            raise ReproError(
+                "cache_scope must be one of %r, got %r"
+                % (CACHE_SCOPES, self.cache_scope)
+            )
         if self.executor_mode not in EXECUTOR_MODES:
             raise ExecutionError(
                 "executor mode must be one of %r, got %r"
@@ -266,6 +302,7 @@ class EngineConfig:
             "segment_rows": default_segment_rows(),
             "segment_encodings": default_segment_encodings(),
             "zone_map_pruning": default_zone_map_pruning(),
+            "cache_scope": default_cache_scope(),
         }
         for key, value in overrides.items():
             if value is not None:

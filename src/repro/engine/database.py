@@ -72,6 +72,11 @@ class Database:
             ``("dict", "rle", "plain")``).
         zone_map_pruning: whether scans prune segments via zone maps
             (``None`` reads ``REPRO_ZONE_MAP_PRUNING``, default on).
+        cache_scope: plan-cache invalidation scope — ``"table"``
+            (default) keys entries on the per-table version vector of the
+            tables the query touches; ``"global"`` restores the legacy
+            whole-catalog epoch token (``None`` reads
+            ``REPRO_CACHE_SCOPE``).
     """
 
     def __init__(self, config=None, *, enumerator=None, use_views=None,
@@ -79,7 +84,7 @@ class Database:
                  morsel_rows=None, parallel_workers=None,
                  fusion_enabled=None, feedback_enabled=None,
                  segment_rows=None, segment_encodings=None,
-                 zone_map_pruning=None):
+                 zone_map_pruning=None, cache_scope=None):
         overrides = {
             "enumerator": enumerator,
             "use_views": use_views,
@@ -93,6 +98,7 @@ class Database:
             "segment_rows": segment_rows,
             "segment_encodings": segment_encodings,
             "zone_map_pruning": zone_map_pruning,
+            "cache_scope": cache_scope,
         }
         passed = sorted(k for k, v in overrides.items() if v is not None)
         if config is not None:
@@ -183,8 +189,28 @@ class Database:
 
     @property
     def epoch(self):
-        """The catalog's monotonic version counter (cache invalidation)."""
+        """The catalog's derived global version counter.
+
+        A shim over :attr:`Catalog.epoch` — the sum of every per-table
+        version bump, kept O(1). Callers that need precision should use
+        ``db.catalog.version_vector(tables)`` instead; one global number
+        cannot say *what* changed.
+        """
         return self.catalog.epoch
+
+    def version_vector(self, tables=None):
+        """Per-table catalog versions, optionally restricted to ``tables``."""
+        return self.catalog.version_vector(tables)
+
+    def snapshot(self):
+        """An immutable read session pinned to the current catalog state.
+
+        Returns a :class:`DatabaseSnapshot`: SELECTs run through this
+        database's pipeline (sharing its warm plan cache) but execute
+        against a pinned :class:`~repro.engine.catalog.CatalogSnapshot`,
+        so concurrent writers never change what the session reads.
+        """
+        return DatabaseSnapshot(self)
 
     # ------------------------------------------------------------------
     def execute(self, sql_text):
@@ -232,4 +258,58 @@ class Database:
         """Oracle cardinality of (a subset of) a conjunctive query's join."""
         return count_join_rows(
             self.catalog, query, tables if tables is not None else query.tables
+        )
+
+
+class DatabaseSnapshot:
+    """A read-only, point-in-time session over one :class:`Database`.
+
+    MVCC-style snapshot isolation for readers: the catalog (tables,
+    statistics, indexes, views, versions) is pinned at construction, so
+    every query this session runs sees exactly that state — bit-identical
+    results no matter how many rows writers append to the live database
+    in the meantime. Planning still flows through the owning database's
+    pipeline (and shares its warm plan cache); only *execution* is pinned,
+    via the executor's per-run catalog override. Feedback ingestion is
+    skipped for snapshot runs, and non-SELECT statements are rejected.
+
+    Cheap enough to take per query: construction cost is O(unsealed tail
+    rows) across tables, since sealed storage is immutable and shared.
+    """
+
+    def __init__(self, database):
+        self._db = database
+        self.catalog = database.catalog.snapshot()
+
+    @property
+    def epoch(self):
+        """The derived global version pinned at snapshot time."""
+        return self.catalog.epoch
+
+    def version_vector(self, tables=None):
+        """The pinned per-table versions (what this session reads)."""
+        return self.catalog.version_vector(tables)
+
+    def execute(self, sql_text):
+        """Run one SELECT against the pinned state.
+
+        Returns an :class:`~repro.engine.executor.ExecutionResult`;
+        anything but SELECT raises
+        :class:`~repro.common.ExecutionError`.
+        """
+        return self._db.pipeline.run_sql(sql_text, snapshot=self.catalog)
+
+    def query(self, sql_text):
+        """Run one SELECT against the pinned state; returns just the rows."""
+        return self.execute(sql_text).rows
+
+    def run_query_object(self, query, order=None):
+        """Plan and execute a structured query against the pinned state."""
+        return self._db.pipeline.run_query(
+            query, order=order, snapshot=self.catalog
+        )
+
+    def __repr__(self):
+        return "DatabaseSnapshot(epoch=%d, tables=%d)" % (
+            self.catalog.epoch, len(self.catalog.table_names())
         )

@@ -156,7 +156,7 @@ class Executor:
                 "executor mode must be one of %r, got %r"
                 % (EXECUTOR_MODES, mode)
             )
-        self.catalog = catalog
+        self._catalog = catalog
         self.cost_model = cost_model or CostModel()
         self.mode = mode
         self._backend = _MODE_BACKENDS[mode]
@@ -185,6 +185,23 @@ class Executor:
         self._tls = threading.local()
 
     # -- per-run state (thread-local) -----------------------------------
+    @property
+    def catalog(self):
+        """The catalog operators read from — per-run overridable.
+
+        Normally the live :class:`~repro.engine.catalog.Catalog` the
+        executor was built with; during an ``execute(plan, catalog=...)``
+        run it resolves (per thread) to the caller-supplied
+        :class:`~repro.engine.catalog.CatalogSnapshot`, which is how
+        snapshot-pinned reads execute through the shared operator layer.
+        """
+        override = getattr(self._tls, "catalog", None)
+        return self._catalog if override is None else override
+
+    @catalog.setter
+    def catalog(self, value):
+        self._catalog = value
+
     @property
     def _work(self):
         return self._tls.work
@@ -225,7 +242,7 @@ class Executor:
     def _node_rows(self, value):
         self._tls.node_rows = value
 
-    def execute(self, plan):
+    def execute(self, plan, catalog=None):
         """Run ``plan``; returns an :class:`ExecutionResult`.
 
         When :attr:`fusion_enabled` is set, the plan's tail is first run
@@ -235,30 +252,43 @@ class Executor:
         through the original operator nodes, so results and accounting
         are identical either way.
 
+        ``catalog`` pins this one run to a different read surface —
+        typically a :class:`~repro.engine.catalog.CatalogSnapshot` — via
+        a thread-local override of :attr:`catalog`, so concurrent runs on
+        a shared executor can mix live and snapshot reads freely.
+
         After the run, per-node actual output cardinalities (attributed
         to the *original* plan's nodes even under fusion) are folded into
         the telemetry as ``node_stats`` — the est-vs-actual view behind
-        EXPLAIN ANALYZE and the optimizer's cardinality feedback.
+        EXPLAIN ANALYZE and the optimizer's cardinality feedback — along
+        with the version vector of the catalog state the run read.
         """
         original = plan
         fused_ops = 0
         if self.fusion_enabled:
             plan, fused_ops = fuse_plan(plan)
-        self._work = 0.0
-        self._op_work = {}
-        self._telemetry = ExecutionTelemetry(mode=self.mode)
-        self._telemetry.fused_ops = fused_ops
-        self._child_seconds = [0.0]
-        self._node_rows = {}
-        start = time.perf_counter()
-        relation = self.run(plan)
-        if self.mode != "row":
-            relation = relation.to_relation()
-        self._telemetry.total_seconds = time.perf_counter() - start
-        self._telemetry.set_node_stats(self._collect_node_stats(original))
-        return ExecutionResult(
-            relation, self._work, dict(self._op_work), self._telemetry
-        )
+        self._tls.catalog = catalog
+        try:
+            self._work = 0.0
+            self._op_work = {}
+            self._telemetry = ExecutionTelemetry(mode=self.mode)
+            self._telemetry.fused_ops = fused_ops
+            self._child_seconds = [0.0]
+            self._node_rows = {}
+            start = time.perf_counter()
+            relation = self.run(plan)
+            if self.mode != "row":
+                relation = relation.to_relation()
+            self._telemetry.total_seconds = time.perf_counter() - start
+            self._telemetry.set_node_stats(self._collect_node_stats(original))
+            version_vector = getattr(self.catalog, "version_vector", None)
+            if version_vector is not None:
+                self._telemetry.catalog_versions = dict(version_vector())
+            return ExecutionResult(
+                relation, self._work, dict(self._op_work), self._telemetry
+            )
+        finally:
+            self._tls.catalog = None
 
     def _collect_node_stats(self, original):
         """Per-node ``{op, est_rows, actual_rows, q_error}`` in preorder."""

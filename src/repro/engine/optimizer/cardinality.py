@@ -241,37 +241,36 @@ class TrueCardinalityEstimator(CardinalityEstimator):
     Args:
         count_fn: ``(query, tables) -> int`` exact-count callable.
         cache: memoize counts per (signature, table subset).
-        catalog: when given, the memo is stamped with ``catalog.epoch``
-            and dropped wholesale the moment the epoch moves — without
-            this, counts memoized before an INSERT/DDL would be served
-            stale forever.
+        catalog: when given, each memo entry is stamped with the
+            catalog's version vector restricted to the entry's table
+            subset and re-counted the moment any of *those* tables moves
+            — a write to an unrelated table leaves the entry warm.
+            Without a catalog, counts memoized before an INSERT/DDL
+            would be served stale forever.
     """
 
     def __init__(self, count_fn, cache=True, catalog=None):
         self._count_fn = count_fn
         self._cache = {} if cache else None
         self._catalog = catalog
-        self._cache_epoch = None if catalog is None else catalog.epoch
 
-    def _check_epoch(self):
+    def _token(self, tables):
         if self._catalog is None:
-            return
-        epoch = self._catalog.epoch
-        if epoch != self._cache_epoch:
-            self._cache.clear()
-            self._cache_epoch = epoch
+            return None
+        return self._catalog.version_vector(tables)
 
     def estimate_table(self, query, table):
         return self.estimate_subset(query, [table])
 
     def estimate_subset(self, query, tables):
-        key = None
+        key = token = None
         if self._cache is not None:
-            self._check_epoch()
             key = (query.signature(), tuple(sorted(t.lower() for t in tables)))
-            if key in self._cache:
-                return self._cache[key]
+            token = self._token(tables)
+            entry = self._cache.get(key)
+            if entry is not None and entry[1] == token:
+                return entry[0]
         value = float(self._count_fn(query, list(tables)))
         if self._cache is not None:
-            self._cache[key] = value
+            self._cache[key] = (value, token)
         return value

@@ -65,9 +65,15 @@ class QueryFeedbackStore:
         capacity: maximum remembered signatures (LRU-evicted beyond it).
 
     Attributes:
-        version: feedback generation; starts at 0 and bumps on drift.
+        version: global feedback generation; starts at 0, bumps on drift.
         observations: total :meth:`observe` calls.
         drifts: how many observations bumped the version.
+
+    Drift is also tracked **per table**: a drifting observation bumps the
+    drift version of every base table its sub-query covers, and
+    :meth:`version_vector` restricts that state to a table set — the
+    scoped invalidation token the plan cache pairs with the catalog's,
+    so drift on one table's estimates never evicts plans over others.
     """
 
     def __init__(self, drift_threshold=2.0, capacity=4096):
@@ -81,6 +87,7 @@ class QueryFeedbackStore:
         self.version = 0
         self.observations = 0
         self.drifts = 0
+        self._table_versions = {}
 
     def observe(self, query, tables, est_rows, actual_rows):
         """Record one node's actual output cardinality.
@@ -118,8 +125,26 @@ class QueryFeedbackStore:
         if novel and err is not None and err >= self.drift_threshold:
             self.version += 1
             self.drifts += 1
+            for t in tables:
+                key_t = t.lower()
+                self._table_versions[key_t] = (
+                    self._table_versions.get(key_t, 0) + 1
+                )
             return True
         return False
+
+    def table_version(self, name):
+        """One table's drift generation (0 when it never drifted)."""
+        return self._table_versions.get(name.lower(), 0)
+
+    def version_vector(self, tables):
+        """Sorted ``((name, drift_version), ...)`` over ``tables``.
+
+        The feedback half of a scoped plan-cache token: it moves exactly
+        when an estimate covering one of these tables drifts.
+        """
+        names = sorted({t.lower() for t in tables})
+        return tuple((n, self._table_versions.get(n, 0)) for n in names)
 
     def lookup(self, query, tables):
         """The remembered actual for this sub-query, or ``None``."""
@@ -147,6 +172,7 @@ class QueryFeedbackStore:
             "observations": self.observations,
             "drifts": self.drifts,
             "drift_threshold": self.drift_threshold,
+            "table_versions": dict(self._table_versions),
         }
 
     def __len__(self):

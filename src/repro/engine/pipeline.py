@@ -9,18 +9,24 @@ without subclassing the :class:`~repro.engine.database.Database` façade.
 
 Between the rewrite and plan stages sits a **plan cache**: an LRU map from
 ``(query.signature(), explicit_order)`` to a physical plan, where every
-entry also stores the invalidation token — the :attr:`Catalog.epoch
-<repro.engine.catalog.Catalog.epoch>` paired with the feedback store's
-drift version — it was planned under. Any catalog mutation (CREATE/DROP
-TABLE, CREATE INDEX, INSERT, ANALYZE, view registration) advances the
-epoch, and (with feedback enabled) any observed cardinality drift bumps
-the feedback version, so a stale plan is never served — the entry is
-dropped and the query is replanned. Repeated workload queries
-(the experiment harness loops, the NEO-lite learning loop, AISQL
-``PREDICT``) therefore skip join enumeration entirely; repeated *SQL text*
-additionally skips parsing and lowering via a second epoch-guarded cache.
+entry also stores the invalidation token it was planned under. The token
+is **scoped to the tables the query touches**: the catalog's
+:meth:`~repro.engine.catalog.Catalog.version_vector` restricted to the
+query's table set, paired with the feedback store's per-table drift
+vector over the same set. A mutation (CREATE/DROP TABLE, CREATE INDEX,
+INSERT, ANALYZE, view registration) bumps only the affected tables'
+versions, so a hot writer on ``orders`` drops cached plans over
+``orders`` while plans over ``customers`` keep hitting — under the
+legacy ``cache_scope="global"`` config the token collapses to the single
+derived epoch and any write anywhere invalidates everything. Repeated
+workload queries (the experiment harness loops, the NEO-lite learning
+loop, AISQL ``PREDICT``) therefore skip join enumeration entirely;
+repeated *SQL text* additionally skips parsing and lowering via a second
+cache guarded by the coarser :attr:`~repro.engine.catalog.Catalog.
+schema_epoch` (lowering depends only on name resolution, so inserts and
+ANALYZE leave warm SQL text warm).
 
-Cache-key / epoch invariants:
+Cache-key / token invariants:
 
 * the plan cache key is the **full** query signature (joins, predicates,
   projections, aggregates, grouping, ordering, limit, distinct) plus the
@@ -29,20 +35,30 @@ Cache-key / epoch invariants:
 * keys are computed **after** the rewrite stage, so a changed rewriter
   maps queries to different signatures and can never revive a plan for a
   query it no longer produces;
-* an entry hits only while ``entry.epoch == catalog.epoch``; planning
-  re-reads the epoch after the planner runs, because planning itself may
-  lazily ANALYZE a table (which bumps the epoch);
+* an entry hits only while its stored token equals the current one;
+  planning re-reads the token after the planner runs, because planning
+  itself may lazily ANALYZE a table (which bumps that table's version);
+* a stale entry's token is diffed against the current one to report the
+  **invalidation cause** (``table:<name>`` / ``feedback:<name>``) in
+  pipeline telemetry and EXPLAIN ANALYZE;
 * registering a plan-stage hook or swapping the rewriter clears the cache
   outright (hooks may transform plans statefully). Swapping planner
   internals by hand (``db.planner.estimator = ...``) is the one mutation
-  the epoch cannot see — call :meth:`QueryPipeline.invalidate` after it.
+  the token cannot see — call :meth:`QueryPipeline.invalidate` after it.
+
+Snapshot reads: :meth:`run_sql`/:meth:`run_query` accept an immutable
+:class:`~repro.engine.catalog.CatalogSnapshot`. Planning (and the warm
+plan cache) stays shared with the live database, but execution is pinned
+to the snapshot via the executor's per-run catalog override, feedback
+ingestion is skipped (actuals reflect pinned data), and only SELECT is
+allowed — the ``db.snapshot()`` read API.
 """
 
 import threading
 import time
 from collections import OrderedDict
 
-from repro.common import ParseError, PlanError
+from repro.common import ExecutionError, ParseError, PlanError
 from repro.engine.fusion import fuse_plan
 from repro.engine.optimizer.feedback import ingest_execution
 from repro.engine.plans import pretty_analyze
@@ -59,6 +75,29 @@ from repro.engine.telemetry import PipelineTelemetry
 
 #: Pipeline stage names, in execution order.
 PIPELINE_STAGES = ("parse", "lower", "rewrite", "plan", "execute")
+
+
+def _invalidation_cause(stale, current):
+    """Name the token component that invalidated a cached plan.
+
+    Diffs a stale ``(catalog_pairs, feedback_pairs)`` token against the
+    current one: a catalog-version mismatch reports ``"table:<name>"``
+    (under the global scope, ``"table:*"``), a feedback-drift mismatch
+    ``"feedback:<name>"``, and a shape change (e.g. the cache scope was
+    reconfigured mid-flight) falls back to ``"token"``.
+    """
+    try:
+        stale_cat, stale_fb = dict(stale[0]), dict(stale[1])
+        cur_cat, cur_fb = dict(current[0]), dict(current[1])
+    except (TypeError, ValueError, IndexError):
+        return "token"
+    for name in sorted(set(stale_cat) | set(cur_cat)):
+        if stale_cat.get(name) != cur_cat.get(name):
+            return "table:%s" % name
+    for name in sorted(set(stale_fb) | set(cur_fb)):
+        if stale_fb.get(name) != cur_fb.get(name):
+            return "feedback:%s" % name
+    return "token"
 
 
 class ExplainResult:
@@ -88,15 +127,25 @@ class ExplainResult:
             entirely via zone maps.
         bytes_decoded: EXPLAIN ANALYZE only — modeled encoded bytes of
             the segments that were actually materialized.
+        version_vector: the per-table catalog versions the plan stage
+            keyed on — ``((table, version), ...)`` restricted to the
+            query's tables (``None`` when planning never ran).
+        cache_outcome: the plan-cache lookup's verdict — ``"hit"``,
+            ``"miss"``, or ``"invalidated"`` (``None`` when unknown).
+        invalidation_cause: for ``"invalidated"`` — which token component
+            moved (``"table:<name>"`` / ``"feedback:<name>"``), else
+            ``None``.
     """
 
     __slots__ = ("text", "plan", "fused_ops", "cache_hit", "node_stats",
                  "result", "segments_total", "segments_pruned",
-                 "bytes_decoded")
+                 "bytes_decoded", "version_vector", "cache_outcome",
+                 "invalidation_cause")
 
     def __init__(self, text, plan, fused_ops=0, cache_hit=False,
                  node_stats=None, result=None, segments_total=0,
-                 segments_pruned=0, bytes_decoded=0):
+                 segments_pruned=0, bytes_decoded=0, version_vector=None,
+                 cache_outcome=None, invalidation_cause=None):
         self.text = text
         self.plan = plan
         self.fused_ops = fused_ops
@@ -106,6 +155,9 @@ class ExplainResult:
         self.segments_total = segments_total
         self.segments_pruned = segments_pruned
         self.bytes_decoded = bytes_decoded
+        self.version_vector = version_vector
+        self.cache_outcome = cache_outcome
+        self.invalidation_cause = invalidation_cause
 
     def __str__(self):
         return self.text
@@ -139,7 +191,12 @@ class _CacheEntry:
 
 
 class PlanCache:
-    """An LRU cache whose entries are invalidated by catalog-epoch drift.
+    """An LRU cache whose entries are invalidated by token drift.
+
+    The token is an arbitrary hashable compared by equality — the
+    pipeline stores per-table version vectors, the legacy global epoch
+    works just as well (and the concurrency suite hammers it with plain
+    integers).
 
     Args:
         capacity: maximum number of live entries; least-recently-used
@@ -166,25 +223,38 @@ class PlanCache:
         self.invalidations = 0
 
     def get(self, key, epoch):
-        """The cached value for ``key`` at ``epoch``, or ``None``.
+        """The cached value for ``key`` at token ``epoch``, or ``None``.
 
-        An entry stored under a different epoch is stale: it is removed,
+        An entry stored under a different token is stale: it is removed,
         counted as an invalidation, and the lookup is a miss.
+        """
+        return self.lookup(key, epoch)[0]
+
+    def lookup(self, key, token):
+        """Like :meth:`get`, but reports what happened and why.
+
+        Returns ``(value, outcome, stale_token)``: ``outcome`` is
+        ``"hit"``, ``"miss"`` (never cached), or ``"invalidated"`` (the
+        entry's token drifted — it is dropped and counted); for
+        ``"invalidated"`` the ``stale_token`` the dropped entry was
+        stored under comes back so the caller can diff it against the
+        current token and name the cause.
         """
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
-                return None
-            if entry.epoch != epoch:
+                return None, "miss", None
+            if entry.epoch != token:
+                stale = entry.epoch
                 del self._entries[key]
                 self.invalidations += 1
                 self.misses += 1
-                return None
+                return None, "invalidated", stale
             self._entries.move_to_end(key)
             entry.hits += 1
             self.hits += 1
-            return entry.value
+            return entry.value, "hit", None
 
     def put(self, key, value, epoch):
         """Insert/replace ``key``, evicting the LRU entry if over capacity."""
@@ -303,27 +373,35 @@ class QueryPipeline:
         return value
 
     # -- entry points ------------------------------------------------------
-    def run_sql(self, sql_text):
+    def run_sql(self, sql_text, snapshot=None):
         """Run one SQL (or hooked AISQL) statement through the pipeline.
 
         Returns whatever the statement produces: an
         :class:`~repro.engine.executor.ExecutionResult` for SELECT, a
         status string for DDL/DML/ANALYZE, or the hook's result for
         intercepted statements.
+
+        With ``snapshot`` (a :class:`~repro.engine.catalog.
+        CatalogSnapshot`), only SELECT is accepted, statement hooks are
+        bypassed (they may mutate), and execution reads the pinned
+        snapshot instead of the live catalog.
         """
-        for hook in self.statement_hooks:
-            result = hook(self.db, sql_text)
-            if result is not None:
-                return result
+        if snapshot is None:
+            for hook in self.statement_hooks:
+                result = hook(self.db, sql_text)
+                if result is not None:
+                    return result
         telemetry = PipelineTelemetry()
-        # Warm SQL path: a previously lowered SELECT at the current epoch
-        # skips parse + lower entirely.
-        epoch = self.db.catalog.epoch
+        # Warm SQL path: a previously lowered SELECT under the current
+        # table set skips parse + lower entirely. The token is the coarse
+        # schema_epoch, not the full version vector — lowering depends
+        # only on name resolution, so inserts/ANALYZE keep this cache hot.
+        schema_epoch = self.db.catalog.schema_epoch
         t0 = time.perf_counter()
-        query = self.query_cache.get(sql_text, epoch)
+        query = self.query_cache.get(sql_text, schema_epoch)
         if query is not None:
             telemetry.record_stage("lower", time.perf_counter() - t0)
-            return self._run_query(query, telemetry)
+            return self._run_query(query, telemetry, snapshot=snapshot)
         t0 = time.perf_counter()
         stmt = parse_sql(sql_text)
         telemetry.record_stage("parse", time.perf_counter() - t0)
@@ -332,17 +410,26 @@ class QueryPipeline:
             t0 = time.perf_counter()
             query = lower_select(stmt, self.db.catalog)
             query = self._apply_hooks("lower", query)
-            self.query_cache.put(sql_text, query, epoch)
+            self.query_cache.put(sql_text, query, schema_epoch)
             telemetry.record_stage("lower", time.perf_counter() - t0)
-            return self._run_query(query, telemetry)
+            return self._run_query(query, telemetry, snapshot=snapshot)
+        if snapshot is not None:
+            raise ExecutionError(
+                "snapshot sessions are read-only: only SELECT is allowed, "
+                "got %r" % (sql_text.strip().split(None, 1)[0] if
+                            sql_text.strip() else sql_text,)
+            )
         result = self._run_statement(stmt, telemetry)
         self._accumulate(telemetry)
         return result
 
-    def run_query(self, query, order=None):
+    def run_query(self, query, order=None, snapshot=None):
         """Run a structured :class:`ConjunctiveQuery` (rewrite → plan →
-        execute), optionally under an explicit left-deep join ``order``."""
-        return self._run_query(query, PipelineTelemetry(), order=order)
+        execute), optionally under an explicit left-deep join ``order``
+        and/or pinned to a ``snapshot``."""
+        return self._run_query(
+            query, PipelineTelemetry(), order=order, snapshot=snapshot
+        )
 
     def explain(self, sql_text):
         """Plan a SELECT (through the cache) without executing it.
@@ -371,6 +458,9 @@ class QueryPipeline:
             plan=plan,
             fused_ops=fused_ops,
             cache_hit=bool(telemetry.cache_hit),
+            version_vector=telemetry.plan_versions,
+            cache_outcome=telemetry.cache_outcome,
+            invalidation_cause=telemetry.invalidation_cause,
         )
 
     def explain_analyze(self, sql_text):
@@ -411,6 +501,14 @@ class QueryPipeline:
                 run.segments_pruned,
                 run.bytes_decoded,
             )
+        if telemetry.plan_versions:
+            text += "\nVersions: " + ", ".join(
+                "%s=%s" % pair for pair in telemetry.plan_versions
+            )
+        if telemetry.cache_outcome:
+            text += "\nPlan cache: %s" % telemetry.cache_outcome
+            if telemetry.invalidation_cause:
+                text += " (%s)" % telemetry.invalidation_cause
         return ExplainResult(
             text=text,
             plan=plan,
@@ -421,6 +519,9 @@ class QueryPipeline:
             segments_total=run.segments_total,
             segments_pruned=run.segments_pruned,
             bytes_decoded=run.bytes_decoded,
+            version_vector=telemetry.plan_versions,
+            cache_outcome=telemetry.cache_outcome,
+            invalidation_cause=telemetry.invalidation_cause,
         )
 
     # -- stages ------------------------------------------------------------
@@ -434,12 +535,28 @@ class QueryPipeline:
         telemetry.record_stage("rewrite", time.perf_counter() - t0)
         return query
 
-    def _plan_token(self):
-        """The plan cache's invalidation token: catalog epoch paired with
-        the feedback store's drift version. Either moving (schema/data
-        change, or observed cardinality drift) drops cached plans so the
-        query replans against current state."""
-        return (self.db.catalog.epoch, getattr(self.db, "feedback_version", 0))
+    def _plan_token(self, query):
+        """The plan cache's invalidation token for ``query``.
+
+        Scoped (the ``"table"`` cache scope, the default): the catalog's
+        version vector restricted to the query's tables, paired with the
+        feedback store's per-table drift vector over the same set — only
+        a change touching one of *these* tables moves the token. Under
+        the legacy ``"global"`` scope both halves collapse to single
+        counters keyed ``"*"``, so any change anywhere moves it. Both
+        shapes are ``(catalog_pairs, feedback_pairs)``, which is what
+        lets :func:`_invalidation_cause` diff them uniformly.
+        """
+        catalog = self.db.catalog
+        config = getattr(self.db, "config", None)
+        if getattr(config, "cache_scope", "table") == "global":
+            return (
+                (("*", catalog.epoch),),
+                (("*", getattr(self.db, "feedback_version", 0)),),
+            )
+        store = getattr(self.db, "feedback", None)
+        feedback = () if store is None else store.version_vector(query.tables)
+        return (catalog.version_vector(query.tables), feedback)
 
     def _plan(self, query, telemetry, order=None):
         t0 = time.perf_counter()
@@ -447,27 +564,35 @@ class QueryPipeline:
             query.signature(),
             None if order is None else tuple(t.lower() for t in order),
         )
-        plan = self.plan_cache.get(key, self._plan_token())
+        token = self._plan_token(query)
+        plan, outcome, stale = self.plan_cache.lookup(key, token)
         telemetry.cache_hit = plan is not None
+        telemetry.cache_outcome = outcome
+        telemetry.plan_versions = token[0]
+        if outcome == "invalidated":
+            telemetry.invalidation_cause = _invalidation_cause(stale, token)
         if plan is None:
             plan = self.db.planner.plan(query, order=order)
             plan = self._apply_hooks("plan", plan)
-            # Re-read the token: planning may lazily ANALYZE (epoch bump),
-            # and the entry must match the state the plan was built from.
-            self.plan_cache.put(key, plan, self._plan_token())
+            # Re-read the token: planning may lazily ANALYZE (a version
+            # bump), and the entry must match the state it was built from.
+            self.plan_cache.put(key, plan, self._plan_token(query))
         telemetry.record_stage("plan", time.perf_counter() - t0)
         return plan
 
-    def _run_query(self, query, telemetry, order=None):
+    def _run_query(self, query, telemetry, order=None, snapshot=None):
         query = self._rewrite(query, telemetry)
         plan = self._plan(query, telemetry, order=order)
         t0 = time.perf_counter()
-        result = self.db.executor.execute(plan)
+        result = self.db.executor.execute(plan, catalog=snapshot)
         telemetry.record_stage("execute", time.perf_counter() - t0)
         result = self._apply_hooks("execute", result)
         telemetry.execution = result.telemetry
         result.pipeline_telemetry = telemetry
-        self._ingest_feedback(query, plan, result)
+        if snapshot is None:
+            # Snapshot runs skip feedback: their actuals describe pinned
+            # data and would poison estimates for the live tables.
+            self._ingest_feedback(query, plan, result)
         self._accumulate(telemetry)
         return result
 

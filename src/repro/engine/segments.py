@@ -474,3 +474,25 @@ class ColumnSegment:
         return "ColumnSegment(%s, rows=%d, bytes=%d)" % (
             self.encoding, self.n_rows, self.encoded_bytes()
         )
+
+
+def merge_value_counts(segments):
+    """Merged exact value counts across ``segments``, or ``None``.
+
+    Returns ``{value: count}`` with keys in first-appearance order
+    (Python dicts preserve insertion order) — the incremental statistics
+    path ANALYZE uses instead of re-scanning a full column. ``None``
+    signals that some segment could not count exactly (NaN-bearing
+    FLOAT), so the caller must fall back to the decoded column. Shared by
+    :class:`~repro.engine.storage.Table` and
+    :class:`~repro.engine.storage.TableSnapshot`.
+    """
+    merged = {}
+    for seg in segments:
+        vc = seg.value_counts()
+        if vc is None:
+            return None
+        values, counts = vc
+        for v, c in zip(values.tolist(), counts.tolist()):
+            merged[v] = merged.get(v, 0) + c
+    return merged

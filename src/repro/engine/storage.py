@@ -19,6 +19,7 @@ from repro.engine.segments import (
     DEFAULT_ENCODINGS,
     VALUE_BYTES,
     ColumnSegment,
+    merge_value_counts,
 )
 from repro.engine.types import TableSchema
 
@@ -79,6 +80,8 @@ class Table:
         self._tail_group = None
         self._n_rows = 0
         self._decoded = {}
+        self._version = 0
+        self._write_hooks = []
         if columns is not None:
             normalized = {}
             n_rows = None
@@ -140,6 +143,38 @@ class Table:
     def segment_encodings(self):
         """Encodings the sealer may choose among."""
         return self._segment_encodings
+
+    @property
+    def version(self):
+        """Monotonic write counter: one bump per mutating call.
+
+        Rows loaded through the constructor count as version 0 — the
+        table is born at that state; every ``insert_rows`` /
+        ``replace_column`` afterwards advances it by one.
+        """
+        return self._version
+
+    def add_write_hook(self, hook):
+        """Register ``hook(table)``, called after every mutating call.
+
+        The catalog installs one of these so direct ``Table.insert_rows``
+        bulk loads (the data generators) advance the per-table catalog
+        version without any polling of row counts.
+        """
+        self._write_hooks.append(hook)
+        return hook
+
+    def remove_write_hook(self, hook):
+        """Unregister a previously added write hook (missing is a no-op)."""
+        try:
+            self._write_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def _notify_write(self):
+        self._version += 1
+        for hook in list(self._write_hooks):
+            hook(self)
 
     def _column_key(self, name):
         key = name.lower()
@@ -270,6 +305,7 @@ class Table:
         self._tail_group = None
         while self._tail_rows >= self._segment_rows:
             self._seal_tail_chunk()
+        self._notify_write()
         return len(rows)
 
     def _seal_tail_chunk(self):
@@ -291,7 +327,10 @@ class Table:
         """Replace one column's values wholesale (length must match).
 
         Re-seals the column's segments along the existing row-group
-        boundaries; other columns are untouched.
+        boundaries; other columns are untouched. Fresh :class:`RowGroup`
+        objects are built rather than mutated in place, so row groups a
+        :class:`TableSnapshot` pinned before the replace keep serving the
+        old values.
         """
         key = self._column_key(name)
         dtype = self._dtypes[key]
@@ -301,15 +340,20 @@ class Table:
                 "column %r has %d rows, expected %d"
                 % (name, len(arr), self._n_rows)
             )
+        new_groups = []
         for g in self._groups:
-            g.segments[key] = ColumnSegment.encode(
+            segments = dict(g.segments)
+            segments[key] = ColumnSegment.encode(
                 arr[g.start:g.start + g.n_rows], dtype,
                 self._segment_encodings,
             )
+            new_groups.append(RowGroup(g.start, g.n_rows, segments))
+        self._groups = new_groups
         self._tail[key] = arr[self._n_rows - self._tail_rows:].tolist()
         self._tail_group = None
         self._decoded.pop(key, None)
         self._decoded[key] = arr
+        self._notify_write()
 
     # -- statistics ----------------------------------------------------
     def column_value_counts(self, name):
@@ -323,15 +367,7 @@ class Table:
         fall back to the decoded column.
         """
         key = self._column_key(name)
-        merged = {}
-        for g in self.row_groups():
-            vc = g.segments[key].value_counts()
-            if vc is None:
-                return None
-            values, counts = vc
-            for v, c in zip(values.tolist(), counts.tolist()):
-                merged[v] = merged.get(v, 0) + c
-        return merged
+        return merge_value_counts(g.segments[key] for g in self.row_groups())
 
     # -- page / byte model ---------------------------------------------
     def column_encoded_bytes(self, name):
@@ -378,10 +414,140 @@ class Table:
         )
         return max(1, int(-(-effective_rows // per_page)))
 
+    # -- snapshots -----------------------------------------------------
+    def snapshot(self):
+        """An immutable :class:`TableSnapshot` of the current state.
+
+        Cost is O(tail rows): sealed row groups are immutable and shared
+        by reference; only the mutable tail is frozen into a plain-encoded
+        group (the same lazy group ``row_groups`` builds, so a snapshot
+        right after a scan is free).
+        """
+        return TableSnapshot(self)
+
     def __len__(self):
         return self._n_rows
 
     def __repr__(self):
         return "Table(%r, rows=%d, segments=%d)" % (
             self.name, self._n_rows, self.n_segments
+        )
+
+
+class TableSnapshot:
+    """An immutable point-in-time view of a :class:`Table`.
+
+    Pins the table's sealed row groups by reference — they are never
+    mutated after sealing (``replace_column`` builds fresh groups) — plus
+    the frozen plain-encoded tail group, so a writer appending to (or
+    re-sealing) the live table never disturbs readers holding the
+    snapshot. Implements the executor-facing read surface of ``Table``
+    (``row_groups``/``column_array``/``rows``/``column_arrays``/
+    ``column_value_counts``/``schema``/``n_rows``), so scans and fused
+    pipelines run against one exactly as against the live table.
+    """
+
+    __slots__ = ("schema", "version", "_groups", "_n_rows", "_dtypes",
+                 "_decoded")
+
+    def __init__(self, table):
+        self.schema = table.schema
+        self.version = table.version
+        self._groups = table.row_groups()
+        self._n_rows = table.n_rows
+        self._dtypes = {c.name.lower(): c.dtype for c in table.schema.columns}
+        self._decoded = {}
+
+    @property
+    def name(self):
+        """Table name from the schema."""
+        return self.schema.name
+
+    @property
+    def n_rows(self):
+        """Row count at snapshot time."""
+        return self._n_rows
+
+    @property
+    def n_segments(self):
+        """Number of pinned row groups (the frozen tail counts as one)."""
+        return len(self._groups)
+
+    def row_groups(self):
+        """The pinned row groups, in table order."""
+        return list(self._groups)
+
+    def _column_key(self, name):
+        key = name.lower()
+        if key not in self._dtypes:
+            raise CatalogError(
+                "table %r has no column %r" % (self.name, name)
+            )
+        return key
+
+    def column_array(self, name):
+        """Column ``name`` as one decoded NumPy array (cached)."""
+        key = self._column_key(name)
+        cached = self._decoded.get(key)
+        if cached is not None:
+            return cached
+        parts = [g.segments[key].decode() for g in self._groups]
+        if not parts:
+            arr = np.empty(0, dtype=self._dtypes[key].numpy_dtype)
+        elif len(parts) == 1:
+            arr = parts[0]
+        else:
+            arr = np.concatenate(parts)
+        self._decoded[key] = arr
+        return arr
+
+    def rows(self, indices=None):
+        """Materialize rows as a list of tuples (optionally a subset)."""
+        arrays = [self.column_array(c.name) for c in self.schema.columns]
+        if not arrays:
+            return []
+        if indices is not None:
+            idx = np.asarray(indices, dtype=np.int64)
+            arrays = [a[idx] for a in arrays]
+        return list(zip(*(a.tolist() for a in arrays)))
+
+    def column_arrays(self, row_ids=None, columns=None):
+        """Column arrays as ``{name: array}``, optionally gathered by id."""
+        if columns is None:
+            names = [c.name.lower() for c in self.schema.columns]
+        else:
+            names = [c.lower() for c in columns]
+        out = {}
+        if row_ids is None:
+            for name in names:
+                out[name] = self.column_array(name)
+            return out
+        idx = np.asarray(row_ids, dtype=np.int64)
+        for name in names:
+            out[name] = self.column_array(name)[idx]
+        return out
+
+    def row(self, index):
+        """One row as a tuple."""
+        if not 0 <= index < self._n_rows:
+            raise IndexError("row index out of range")
+        return tuple(
+            self.column_array(c.name)[index] for c in self.schema.columns
+        )
+
+    def column_value_counts(self, name):
+        """Merged per-segment value counts (see ``Table``), or ``None``."""
+        key = self._column_key(name)
+        return merge_value_counts(g.segments[key] for g in self._groups)
+
+    def snapshot(self):
+        """Snapshots are already immutable; return self."""
+        return self
+
+    def __len__(self):
+        return self._n_rows
+
+    def __repr__(self):
+        return "TableSnapshot(%r, rows=%d, version=%d)" % (
+            self.name, self._n_rows, self.version
         )

@@ -66,12 +66,16 @@ class ExecutionTelemetry:
         bytes_decoded: modeled encoded bytes of the segments the scans
             actually decoded (late materialization counts only the
             columns read, only for surviving segments).
+        catalog_versions: ``{table: version}`` of the catalog state the
+            run read — the live catalog's current versions, or the pinned
+            vector when the run executed against a
+            :class:`~repro.engine.catalog.CatalogSnapshot`.
         total_seconds: wall-clock time for the whole plan.
     """
 
     __slots__ = ("mode", "operators", "workers", "fused_ops",
                  "node_stats", "segments_total", "segments_pruned",
-                 "bytes_decoded", "total_seconds")
+                 "bytes_decoded", "catalog_versions", "total_seconds")
 
     def __init__(self, mode):
         self.mode = mode
@@ -82,6 +86,7 @@ class ExecutionTelemetry:
         self.segments_total = 0
         self.segments_pruned = 0
         self.bytes_decoded = 0
+        self.catalog_versions = {}
         self.total_seconds = 0.0
 
     def record(self, op_name, rows, seconds):
@@ -149,6 +154,7 @@ class ExecutionTelemetry:
             "segments_total": self.segments_total,
             "segments_pruned": self.segments_pruned,
             "bytes_decoded": self.bytes_decoded,
+            "catalog_versions": dict(self.catalog_versions),
             "operators": {
                 k: dict(v) for k, v in sorted(self.operators.items())
             },
@@ -181,15 +187,30 @@ class PipelineTelemetry:
         stages: ``{stage_name: seconds}`` for the stages that actually ran.
         cache_hit: ``True``/``False`` once the plan stage ran (``None`` for
             statements that never reach planning, e.g. DDL).
+        cache_outcome: what the plan-cache lookup concluded — ``"hit"``,
+            ``"miss"`` (never cached), or ``"invalidated"`` (a cached
+            plan's version token went stale); ``None`` before planning.
+        invalidation_cause: for ``"invalidated"`` only — which token
+            component moved: ``"table:<name>"`` (that table's catalog
+            version), ``"feedback:<name>"`` (cardinality drift on that
+            table), or ``"token"`` (scope/shape change). ``None``
+            otherwise.
+        plan_versions: the catalog half of the token the plan stage keyed
+            on — ``((table, version), ...)`` restricted to the query's
+            tables (``None`` before planning).
         execution: the run's :class:`ExecutionTelemetry`, or ``None`` when
             nothing was executed (EXPLAIN, DDL).
     """
 
-    __slots__ = ("stages", "cache_hit", "execution")
+    __slots__ = ("stages", "cache_hit", "cache_outcome",
+                 "invalidation_cause", "plan_versions", "execution")
 
     def __init__(self):
         self.stages = {}
         self.cache_hit = None
+        self.cache_outcome = None
+        self.invalidation_cause = None
+        self.plan_versions = None
         self.execution = None
 
     def record_stage(self, stage, seconds):
@@ -213,6 +234,10 @@ class PipelineTelemetry:
             "planning_seconds": self.planning_seconds,
             "execution_seconds": self.execution_seconds,
             "cache_hit": self.cache_hit,
+            "cache_outcome": self.cache_outcome,
+            "invalidation_cause": self.invalidation_cause,
+            "plan_versions": None if self.plan_versions is None
+            else [list(p) for p in self.plan_versions],
             "execution": None if self.execution is None
             else self.execution.summary(),
         }

@@ -38,6 +38,7 @@ implement.
 
 import os
 import random
+import threading
 
 import pytest
 
@@ -288,6 +289,82 @@ def test_fuzz_differential(catalog_seed):
             assert plain.work == enc.work, label
             assert plain.operator_work == enc.operator_work, label
             assert _node_counts(plain) == _node_counts(enc), label
+
+
+#: Queries per config in the snapshot-isolation race below.
+SNAPSHOT_RACE_CASES = 12
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_fuzz_snapshot_isolation(config):
+    """A reader pinned to a snapshot races a writer appending to every
+    table; its results must be bit-identical to a frozen copy.
+
+    The frozen copy is an identically-seeded twin database that is never
+    written — same data, same statistics, same segment boundaries, so
+    within one mode×fusion config the comparison is exact, not
+    approximate. The exact leg executes one shared plan against both the
+    pinned snapshot and the twin (rows, work, and per-node counts must
+    match bit-for-bit); the full-pipeline leg runs through
+    ``snapshot.run_query_object`` and compares row *multisets*, since the
+    planner reads live table sizes and may legitimately pick a different
+    join order mid-race — the values it returns still may not drift.
+    """
+    mode, fusion = config
+    db, tables = _build_db(mode, 0, fusion=fusion)
+    frozen, __ = _build_db(mode, 0, fusion=fusion)
+    snap = db.snapshot()
+    stop = threading.Event()
+    errors = []
+
+    def writer():
+        try:
+            wrng = random.Random(777)
+            while not stop.is_set():
+                t = wrng.choice(tables)
+                db.catalog.table(t).insert_rows([(
+                    wrng.randrange(10_000),
+                    wrng.randrange(12),
+                    round(wrng.uniform(-10.0, 10.0), 6),
+                    "tag%d" % wrng.randrange(5),
+                    None if wrng.random() < 0.3 else "n%d" % wrng.randrange(3),
+                ) for __ in range(5)])
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+
+    wt = threading.Thread(target=writer)
+    wt.start()
+    try:
+        rng = random.Random(31_337)
+        for case in range(SNAPSHOT_RACE_CASES):
+            query = _random_query(rng, tables)
+            label = "config=%r case=%d query=%r" % (config, case, query)
+            # Exact leg: one plan, two catalogs (pinned vs frozen twin).
+            plan = db.planner.plan(query)
+            pinned = db.executor.execute(plan, catalog=snap.catalog)
+            oracle = frozen.executor.execute(plan)
+            assert pinned.rows == oracle.rows, (
+                "%s: pinned vs frozen rows diverge\npinned=%r\nfrozen=%r"
+                % (label, pinned.rows[:10], oracle.rows[:10])
+            )
+            assert pinned.work == oracle.work, label
+            assert _node_counts(pinned) == _node_counts(oracle), label
+            # Pipeline leg: plan may differ (live stats move), values not.
+            piped = snap.run_query_object(query)
+            assert (sorted(map(repr, piped.rows))
+                    == sorted(map(repr, oracle.rows))), label
+    finally:
+        stop.set()
+        wt.join()
+    assert not errors, errors[0]
+    # The writer must actually have raced the reader, and the snapshot's
+    # row counts must have stayed pinned at the frozen copy's.
+    assert sum(db.catalog.table(t).n_rows for t in tables) > sum(
+        frozen.catalog.table(t).n_rows for t in tables
+    )
+    for t in tables:
+        assert (snap.catalog.table(t).n_rows
+                == frozen.catalog.table(t).n_rows), t
 
 
 class TestEdgeCases:

@@ -112,6 +112,82 @@ class TestConcurrentExecution:
         assert db.query("SELECT COUNT(*) FROM a")[0][0] == 401
 
 
+class TestPerTableIsolation:
+    """The PR 7 contract: a writer hammering table ``b`` must never evict
+    cached plans for queries that touch only table ``a``."""
+
+    @pytest.mark.parametrize("mode", EXECUTOR_MODES)
+    def test_writer_on_b_never_evicts_plans_for_a(self, mode):
+        db = _build_db(mode)
+        # Warm every a-only plan, then zero the counters so the assertion
+        # window covers exactly the raced phase.
+        for sql, __ in QUERIES:
+            db.execute(sql)
+        db.pipeline.plan_cache.reset_counters()
+
+        errors = []
+        stop = threading.Event()
+
+        def query_loop():
+            try:
+                for i in range(ROUNDS_PER_THREAD):
+                    sql, expected = QUERIES[i % len(QUERIES)]
+                    res = db.execute(sql)
+                    assert res.rows == expected, (sql, res.rows)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def mutation_loop():
+            while not stop.is_set():
+                db.catalog.table("b").insert_rows([(999,)])
+                db.execute("ANALYZE b")
+
+        threads = [threading.Thread(target=query_loop)
+                   for __ in range(N_THREADS)]
+        mutator = threading.Thread(target=mutation_loop)
+        for t in threads:
+            t.start()
+        mutator.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        mutator.join()
+        assert not errors, errors[0]
+        stats = db.pipeline.plan_cache.stats()
+        # Every raced query ran against a warm plan: the writer on b bumps
+        # only b's version, so a-scoped tokens never drift.
+        assert stats["invalidations"] == 0, stats
+        assert stats["misses"] == 0, stats
+        assert stats["hits"] == N_THREADS * ROUNDS_PER_THREAD, stats
+
+    def test_global_scope_shows_the_old_behaviour(self):
+        """Control: under ``cache_scope="global"`` the same writer *does*
+        invalidate a-only plans — the contrast the benchmark measures."""
+        db = _build_db("vectorized")
+        gdb = Database(executor_mode="vectorized", cache_scope="global")
+        gdb.execute("CREATE TABLE a (id INT, k INT, v FLOAT)")
+        gdb.catalog.table("a").insert_rows(
+            [(i, i % 7, float(i % 11)) for i in range(400)]
+        )
+        gdb.execute("CREATE TABLE b (id INT)")
+        gdb.execute("ANALYZE")
+        sql = QUERIES[0][0]
+        gdb.execute(sql)
+        gdb.pipeline.plan_cache.reset_counters()
+        gdb.catalog.table("b").insert_rows([(1,)])
+        gdb.execute(sql)
+        assert gdb.pipeline.plan_cache.stats()["invalidations"] == 1
+        # ... while the default per-table scope keeps the plan warm.
+        db.execute(sql)
+        db.pipeline.plan_cache.reset_counters()
+        db.catalog.table("b").insert_rows([(1,)])
+        db.execute(sql)
+        assert db.pipeline.plan_cache.stats()["invalidations"] == 0
+        assert db.pipeline.plan_cache.stats()["hits"] == 1
+
+
 class TestPlanCacheHammer:
     """Raw PlanCache under concurrent get/put/clear from many threads."""
 

@@ -1,0 +1,430 @@
+"""Per-table version vectors and MVCC-style catalog snapshots (PR 7).
+
+Covers the versioning contract (which mutations bump which table's
+version, the O(1) derived epoch, monotonicity across drop/create), the
+snapshot pinning contract (``TableSnapshot``/``CatalogSnapshot``/
+``DatabaseSnapshot`` keep serving the state they were taken at while
+writers move the live objects), and the scoped cache contract (plan
+cache and SQL-text cache key on exactly the versions they depend on,
+and report what invalidated them).
+"""
+
+import pytest
+
+from repro.common import CatalogError, ExecutionError, ReproError
+from repro.engine import (
+    CatalogSnapshot,
+    Database,
+    DatabaseSnapshot,
+    EngineConfig,
+    Table,
+    TableSnapshot,
+)
+from repro.engine.catalog import Catalog
+from repro.engine.query import Aggregate, ConjunctiveQuery, Predicate
+from repro.engine.types import ColumnSchema, TableSchema
+
+
+def _small_db(**kwargs):
+    db = Database(**kwargs)
+    db.execute("CREATE TABLE a (id INT, k INT)")
+    db.catalog.table("a").insert_rows([(i, i % 5) for i in range(100)])
+    db.execute("CREATE TABLE b (id INT, k INT)")
+    db.catalog.table("b").insert_rows([(i, i % 3) for i in range(60)])
+    db.execute("ANALYZE")
+    return db
+
+
+class TestPerTableVersions:
+    def test_insert_bumps_only_its_table(self):
+        db = _small_db()
+        before_a = db.catalog.version("a")
+        before_b = db.catalog.version("b")
+        db.catalog.table("a").insert_rows([(500, 1)])
+        assert db.catalog.version("a") == before_a + 1
+        assert db.catalog.version("b") == before_b
+
+    def test_sql_insert_and_analyze_bump(self):
+        db = _small_db()
+        v = db.catalog.version("a")
+        db.execute("INSERT INTO a VALUES (900, 2)")
+        assert db.catalog.version("a") == v + 1
+        db.execute("ANALYZE a")
+        assert db.catalog.version("a") == v + 2
+
+    def test_index_and_view_bump_their_base_tables(self):
+        db = _small_db()
+        va, vb = db.catalog.version("a"), db.catalog.version("b")
+        db.catalog.create_index("idx_a_k", "a", "k")
+        assert db.catalog.version("a") == va + 1
+        assert db.catalog.version("b") == vb
+        db.catalog.drop_index("idx_a_k")
+        assert db.catalog.version("a") == va + 2
+
+    def test_version_vector_restriction(self):
+        db = _small_db()
+        vec = db.catalog.version_vector(["a"])
+        assert [name for name, __ in vec] == ["a"]
+        full = dict(db.catalog.version_vector())
+        assert set(full) == {"a", "b"}
+        assert dict(vec)["a"] == full["a"]
+        # Unknown tables appear with version 0, keeping the token total.
+        assert dict(db.catalog.version_vector(["nope"]))["nope"] == 0
+
+    def test_epoch_is_sum_of_bumps(self):
+        db = _small_db()
+        epoch = db.epoch
+        db.catalog.table("a").insert_rows([(1, 1)])
+        db.catalog.table("b").insert_rows([(1, 1)])
+        assert db.epoch == epoch + 2
+        assert db.epoch == sum(v for __, v in db.catalog.version_vector())
+
+    def test_epoch_read_never_scans_tables(self):
+        """Regression for the O(#tables) hot path: ``Catalog.epoch`` used
+        to sum every table's row count on every plan-cache lookup. Now it
+        must be a stored counter — reading it may not touch ``n_rows``."""
+        catalog = Catalog()
+
+        class ExplodingTable(Table):
+            @property
+            def n_rows(self):
+                raise AssertionError("epoch read touched Table.n_rows")
+
+        for i in range(5):
+            catalog.register_table(ExplodingTable(
+                TableSchema("t%d" % i, [ColumnSchema("id", "INT")])
+            ))
+        for __ in range(3):
+            assert catalog.epoch == 5  # one bump per registration
+        assert catalog.version("t0") == 1
+
+    def test_drop_create_keeps_versions_monotonic(self):
+        """Satellite (a): a re-created table continues from the dropped
+        one's version floor, and the derived epoch never moves backward."""
+        db = _small_db()
+        observed_versions = [db.catalog.version("a")]
+        observed_epochs = [db.epoch]
+        for __ in range(3):
+            db.catalog.drop_table("a")
+            observed_epochs.append(db.epoch)
+            db.execute("CREATE TABLE a (id INT, k INT)")
+            db.catalog.table("a").insert_rows([(1, 1)])
+            observed_versions.append(db.catalog.version("a"))
+            observed_epochs.append(db.epoch)
+        assert observed_versions == sorted(set(observed_versions))
+        assert observed_epochs == sorted(set(observed_epochs))
+
+    def test_table_write_hook_fires_and_removes(self):
+        t = Table(TableSchema("t", [ColumnSchema("id", "INT")]))
+        seen = []
+        hook = t.add_write_hook(lambda tbl: seen.append(tbl.version))
+        t.insert_rows([(1,)])
+        t.replace_column("id", [7])
+        assert seen == [1, 2]
+        t.remove_write_hook(hook)
+        t.insert_rows([(2,)])
+        assert seen == [1, 2]
+
+
+class TestTableSnapshot:
+    def _table(self, n=10, segment_rows=4):
+        t = Table(
+            TableSchema("t", [ColumnSchema("id", "INT")]),
+            segment_rows=segment_rows,
+        )
+        t.insert_rows([(i,) for i in range(n)])
+        return t
+
+    def test_pinned_under_appends(self):
+        t = self._table()
+        snap = t.snapshot()
+        t.insert_rows([(i,) for i in range(10, 30)])
+        assert snap.n_rows == 10
+        assert t.n_rows == 30
+        assert snap.rows() == [(i,) for i in range(10)]
+        assert snap.column_array("id").tolist() == list(range(10))
+
+    def test_pinned_under_tail_seal(self):
+        """Appends that seal the old tail into an encoded segment must not
+        disturb a snapshot holding the frozen plain tail group."""
+        t = self._table(n=6, segment_rows=4)  # one sealed group + 2 tail
+        snap = t.snapshot()
+        t.insert_rows([(i,) for i in range(6, 14)])  # seals past the tail
+        assert snap.rows() == [(i,) for i in range(6)]
+        assert snap.n_segments == 2
+
+    def test_pinned_under_replace_column(self):
+        t = self._table()
+        snap = t.snapshot()
+        t.replace_column("id", [i * 100 for i in range(10)])
+        assert snap.column_array("id").tolist() == list(range(10))
+        assert t.column_array("id").tolist()[1] == 100
+
+    def test_read_surface_matches_table(self):
+        t = self._table()
+        snap = t.snapshot()
+        assert isinstance(snap, TableSnapshot)
+        assert snap.name == t.name
+        assert len(snap) == len(t)
+        assert snap.row(3) == t.row(3)
+        assert snap.rows([2, 5]) == t.rows([2, 5])
+        assert (snap.column_arrays(row_ids=[1, 2])["id"].tolist()
+                == t.column_arrays(row_ids=[1, 2])["id"].tolist())
+        assert snap.column_value_counts("id") == t.column_value_counts("id")
+        assert snap.snapshot() is snap
+        with pytest.raises(CatalogError):
+            snap.column_array("nope")
+
+    def test_version_stamped(self):
+        t = self._table()
+        assert t.snapshot().version == 1
+        t.insert_rows([(99,)])
+        assert t.snapshot().version == 2
+
+
+class TestCatalogSnapshot:
+    def test_pins_tables_stats_and_versions(self):
+        db = _small_db()
+        snap = db.catalog.snapshot()
+        assert isinstance(snap, CatalogSnapshot)
+        pinned_vec = snap.version_vector()
+        pinned_ndv = snap.stats("a").column("k").n_distinct
+        db.catalog.table("a").insert_rows([(i, i) for i in range(200)])
+        db.execute("ANALYZE a")
+        assert snap.table("a").n_rows == 100
+        assert snap.version_vector() == pinned_vec
+        assert snap.stats("a").column("k").n_distinct == pinned_ndv
+        assert db.catalog.stats("a").column("k").n_distinct > pinned_ndv
+
+    def test_pins_table_set(self):
+        db = _small_db()
+        snap = db.catalog.snapshot()
+        db.catalog.drop_table("b")
+        db.execute("CREATE TABLE c (id INT)")
+        assert snap.has_table("b")
+        assert not snap.has_table("c")
+        assert snap.table_names() == ["a", "b"]
+        with pytest.raises(CatalogError):
+            snap.table("c")
+
+    def test_pins_indexes(self):
+        db = _small_db()
+        db.catalog.create_index("idx_a_k", "a", "k")
+        snap = db.catalog.snapshot()
+        db.catalog.drop_index("idx_a_k")
+        assert snap.index_on("a", "k") is not None
+        assert db.catalog.index_on("a", "k") is None
+        assert [i.name for i in snap.indexes("a")] == ["idx_a_k"]
+
+    def test_lazy_stats_do_not_touch_live_catalog(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INT)")
+        db.catalog.table("t").insert_rows([(i,) for i in range(10)])
+        snap = db.catalog.snapshot()  # no ANALYZE has run
+        epoch = db.epoch
+        assert snap.stats("t").n_rows == 10  # computed over pinned data
+        assert db.epoch == epoch  # the live catalog never observed it
+
+    def test_snapshot_is_idempotent(self):
+        db = _small_db()
+        snap = db.catalog.snapshot()
+        assert snap.snapshot() is snap
+
+
+class TestDatabaseSnapshot:
+    def test_reads_pinned_while_live_moves(self):
+        db = _small_db()
+        snap = db.snapshot()
+        assert isinstance(snap, DatabaseSnapshot)
+        before = snap.query("SELECT COUNT(*) FROM a")
+        db.catalog.table("a").insert_rows([(i, 0) for i in range(50)])
+        assert snap.query("SELECT COUNT(*) FROM a") == before == [(100,)]
+        assert db.query("SELECT COUNT(*) FROM a") == [(150,)]
+
+    def test_aggregates_and_joins_pinned(self):
+        db = _small_db()
+        snap = db.snapshot()
+        q = "SELECT COUNT(*) FROM a, b WHERE a.k = b.k"
+        before = snap.query(q)
+        db.catalog.table("b").insert_rows([(i, i % 3) for i in range(40)])
+        assert snap.query(q) == before
+        assert db.query(q) != before
+
+    def test_rejects_writes(self):
+        db = _small_db()
+        snap = db.snapshot()
+        for sql in (
+            "INSERT INTO a VALUES (1, 1)",
+            "CREATE TABLE z (id INT)",
+            "ANALYZE a",
+        ):
+            with pytest.raises(ExecutionError, match="read-only"):
+                snap.execute(sql)
+
+    def test_shares_live_plan_cache(self):
+        db = _small_db()
+        db.query("SELECT COUNT(*) FROM a")  # warm the plan
+        snap = db.snapshot()
+        res = snap.execute("SELECT COUNT(*) FROM a")
+        assert res.pipeline_telemetry.cache_outcome == "hit"
+
+    def test_run_query_object_pinned(self):
+        db = _small_db()
+        snap = db.snapshot()
+        q = ConjunctiveQuery(tables=["a"], aggregates=[Aggregate("count")])
+        assert snap.run_query_object(q).rows == [(100,)]
+        db.catalog.table("a").insert_rows([(1, 1)])
+        assert snap.run_query_object(q).rows == [(100,)]
+
+    def test_snapshot_does_not_feed_feedback(self):
+        db = Database(feedback_enabled=True)
+        db.execute("CREATE TABLE t (id INT, k INT)")
+        db.catalog.table("t").insert_rows([(i, i % 4) for i in range(80)])
+        db.execute("ANALYZE")
+        snap = db.snapshot()
+        db.catalog.table("t").insert_rows([(i, 0) for i in range(400)])
+        observed = db.feedback.stats()["observations"]
+        snap.query("SELECT COUNT(*) FROM t WHERE k = 1")
+        assert db.feedback.stats()["observations"] == observed
+
+    def test_epoch_and_vector_pinned(self):
+        db = _small_db()
+        snap = db.snapshot()
+        epoch, vec = snap.epoch, snap.version_vector(["a"])
+        db.catalog.table("a").insert_rows([(1, 1)])
+        assert snap.epoch == epoch
+        assert snap.version_vector(["a"]) == vec
+        assert db.epoch == epoch + 1
+        assert "DatabaseSnapshot" in repr(snap)
+
+
+class TestScopedPlanCache:
+    def test_writer_on_b_keeps_plans_for_a(self):
+        db = _small_db()
+        db.query("SELECT COUNT(*) FROM a")
+        db.pipeline.plan_cache.reset_counters()
+        for __ in range(5):
+            db.catalog.table("b").insert_rows([(1, 1)])
+            db.query("SELECT COUNT(*) FROM a")
+        stats = db.pipeline.plan_cache.stats()
+        assert stats["hits"] == 5
+        assert stats["invalidations"] == 0
+
+    def test_writer_on_a_invalidates_plans_for_a(self):
+        db = _small_db()
+        db.query("SELECT COUNT(*) FROM a")
+        db.catalog.table("a").insert_rows([(1, 1)])
+        res = db.execute("SELECT COUNT(*) FROM a")
+        tele = res.pipeline_telemetry
+        assert tele.cache_outcome == "invalidated"
+        assert tele.invalidation_cause == "table:a"
+        assert dict(tele.plan_versions)["a"] == db.catalog.version("a")
+
+    def test_global_scope_invalidates_across_tables(self):
+        db = _small_db(cache_scope="global")
+        db.query("SELECT COUNT(*) FROM a")
+        db.catalog.table("b").insert_rows([(1, 1)])
+        res = db.execute("SELECT COUNT(*) FROM a")
+        tele = res.pipeline_telemetry
+        assert tele.cache_outcome == "invalidated"
+        assert tele.invalidation_cause == "table:*"
+
+    def test_cache_scope_config_validation(self):
+        assert EngineConfig(cache_scope="global").cache_scope == "global"
+        with pytest.raises(ReproError, match="cache_scope"):
+            EngineConfig(cache_scope="per-row")
+
+    def test_join_invalidated_by_either_table(self):
+        db = _small_db()
+        sql = "SELECT COUNT(*) FROM a, b WHERE a.k = b.k"
+        db.query(sql)
+        db.catalog.table("b").insert_rows([(1, 1)])
+        res = db.execute(sql)
+        assert res.pipeline_telemetry.cache_outcome == "invalidated"
+        assert res.pipeline_telemetry.invalidation_cause == "table:b"
+
+    def test_explain_analyze_reports_versions_and_outcome(self):
+        db = _small_db()
+        sql = "SELECT COUNT(*) FROM a WHERE k = 1"
+        db.query(sql)
+        db.catalog.table("a").insert_rows([(1, 1)])
+        out = db.explain_analyze(sql)
+        assert out.cache_outcome == "invalidated"
+        assert out.invalidation_cause == "table:a"
+        assert dict(out.version_vector)["a"] == db.catalog.version("a")
+        assert "Versions: a=%d" % db.catalog.version("a") in out.text
+        assert "Plan cache: invalidated (table:a)" in out.text
+        warm = db.explain_analyze(sql)
+        assert warm.cache_outcome == "hit"
+        assert "Plan cache: hit" in warm.text
+
+
+class TestSqlTextCache:
+    def test_inserts_keep_sql_text_warm(self):
+        """Lowering depends only on name resolution, so the SQL-text cache
+        keys on schema_epoch and survives inserts and ANALYZE."""
+        db = _small_db()
+        sql = "SELECT COUNT(*) FROM a"
+        db.query(sql)
+        db.pipeline.query_cache.reset_counters()
+        db.catalog.table("a").insert_rows([(1, 1)])
+        db.execute("ANALYZE a")
+        db.query(sql)
+        stats = db.pipeline.query_cache.stats()
+        assert stats["hits"] == 1
+        assert stats["invalidations"] == 0
+
+    def test_ddl_invalidates_sql_text(self):
+        db = _small_db()
+        sql = "SELECT COUNT(*) FROM a"
+        db.query(sql)
+        epoch = db.catalog.schema_epoch
+        db.execute("CREATE TABLE z (id INT)")
+        assert db.catalog.schema_epoch == epoch + 1
+        db.pipeline.query_cache.reset_counters()
+        db.query(sql)
+        assert db.pipeline.query_cache.stats()["invalidations"] == 1
+
+
+class TestScopedEstimatorMemos:
+    def test_true_cardinality_memo_scoped_per_table(self):
+        from repro.engine import count_join_rows
+        from repro.engine.optimizer.cardinality import TrueCardinalityEstimator
+
+        db = _small_db()
+        est = TrueCardinalityEstimator(
+            lambda q, ts: count_join_rows(db.catalog, q, ts),
+            catalog=db.catalog,
+        )
+        qa = ConjunctiveQuery(
+            tables=["a"], predicates=[Predicate("a", "k", "=", 1)]
+        )
+        qb = ConjunctiveQuery(
+            tables=["b"], predicates=[Predicate("b", "k", "=", 1)]
+        )
+        est.estimate_subset(qa, ["a"])
+        est.estimate_subset(qb, ["b"])
+        before_b = est.estimate_subset(qb, ["b"])
+        # Writing a must invalidate only a's memo entries.
+        db.catalog.table("a").insert_rows([(i, 1) for i in range(10)])
+        assert est.estimate_subset(qa, ["a"]) == 30
+        assert est.estimate_subset(qb, ["b"]) == before_b
+
+    def test_feedback_drift_scoped_per_table(self):
+        db = Database(feedback_enabled=True)
+        db.execute("CREATE TABLE a (id INT, k INT)")
+        db.catalog.table("a").insert_rows([(i, i % 5) for i in range(100)])
+        db.execute("CREATE TABLE b (id INT, k INT)")
+        db.catalog.table("b").insert_rows([(i, i % 3) for i in range(60)])
+        db.execute("ANALYZE")
+        store = db.feedback
+        db.query("SELECT COUNT(*) FROM a WHERE k = 2")
+        va = store.version_vector(["a"])
+        vb = store.version_vector(["b"])
+        db.query("SELECT COUNT(*) FROM a WHERE k = 3")
+        # a's estimates drifted (or not) — b's vector must be untouched.
+        assert store.version_vector(["b"]) == vb
+        assert store.version_vector(["a", "b"]) == tuple(
+            sorted(store.version_vector(["a"]) + vb)
+        )
+        assert isinstance(va, tuple)
