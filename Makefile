@@ -4,8 +4,8 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test lint fuzz bench bench-fusion bench-feedback bench-storage \
-	bench-snapshots bench-json
+.PHONY: test test-concurrency lint fuzz bench bench-fusion bench-feedback \
+	bench-storage bench-snapshots bench-server bench-json
 
 # Tier-1 suite (fast; slow-marked full-size benchmarks are deselected by
 # the pytest addopts default). Lints first — a lint finding fails the run.
@@ -16,6 +16,18 @@ test: lint
 # otherwise the bundled dependency-free AST checker in tools/lint.py.
 lint:
 	python tools/lint.py src tests benchmarks tools
+
+# The concurrency battery at full size (slow variants included): server
+# admission properties, no-torn-reads races, plan-cache hammering, and
+# the server-mode fuzzer. PYTHONFAULTHANDLER + the per-test watchdog
+# (tests/conftest.py) make a deadlock dump stacks and fail instead of
+# hanging CI.
+test-concurrency:
+	PYTHONFAULTHANDLER=1 REPRO_TEST_TIMEOUT=120 python -m pytest \
+		tests/test_engine_server.py \
+		tests/test_engine_server_concurrency.py \
+		tests/test_engine_pipeline_concurrency.py \
+		tests/test_engine_fuzz_differential.py -q -m ''
 
 # Differential query fuzzer with a larger case budget than tier-1's ~200.
 # Override the budget: make fuzz FUZZ_CASES=5000
@@ -50,6 +62,13 @@ bench-snapshots:
 	python -m pytest benchmarks/bench_p7_snapshots.py -q -m ''
 	python benchmarks/bench_p7_snapshots.py
 
+# Multi-tenant serving benchmark alone (snapshot isolation at 8+
+# sessions, fair-share interference, Zipf traffic), regenerating
+# BENCH_P8.json.
+bench-server:
+	python -m pytest benchmarks/bench_p8_server.py -q -m ''
+	python benchmarks/bench_p8_server.py
+
 # Regenerate the committed BENCH_P*.json artifacts at full size.
 bench-json:
 	python benchmarks/bench_p1_executor.py
@@ -59,3 +78,4 @@ bench-json:
 	python benchmarks/bench_p5_feedback.py
 	python benchmarks/bench_p6_storage.py
 	python benchmarks/bench_p7_snapshots.py
+	python benchmarks/bench_p8_server.py

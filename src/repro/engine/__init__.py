@@ -47,6 +47,16 @@ from repro.engine.pipeline import (
 )
 from repro.engine.plans import FusedPipelineOp
 from repro.engine.database import Database, DatabaseSnapshot
+from repro.engine.server import (
+    AdmissionController,
+    AdmissionError,
+    QueryServer,
+    Session,
+    TokenBucket,
+    run_traffic,
+)
+from repro.engine.config import ADMISSION_POLICIES
+from repro.engine.telemetry import ServingRollup
 from repro.engine.knobs import (
     KnobSpec,
     KnobResponseSimulator,
@@ -116,6 +126,14 @@ __all__ = [
     "QueryPipeline",
     "Database",
     "DatabaseSnapshot",
+    "ADMISSION_POLICIES",
+    "AdmissionController",
+    "AdmissionError",
+    "QueryServer",
+    "ServingRollup",
+    "Session",
+    "TokenBucket",
+    "run_traffic",
     "KnobSpec",
     "KnobResponseSimulator",
     "WorkloadProfile",

@@ -24,6 +24,10 @@ environment variable      field                        default
 ``REPRO_ZONE_MAP_PRUNING`` ``zone_map_pruning``        on (``0``/``off``
                                                        disables)
 ``REPRO_CACHE_SCOPE``     ``cache_scope``              ``"table"``
+``REPRO_ADMISSION_POLICY`` ``admission_policy``        ``"fifo"``
+``REPRO_TENANT_QUOTA``    ``tenant_quota``             200000 work units
+``REPRO_QUOTA_REFILL``    ``quota_refill_rate``        100000 work/s
+``REPRO_ADMISSION_QUEUE_DEPTH`` ``admission_queue_depth`` 256
 ======================== ============================ ====================
 
 This module sits at the bottom of the engine's import graph (it imports
@@ -68,6 +72,23 @@ DEFAULT_SEGMENT_ENCODINGS = ("dict", "rle", "plain")
 #: Supported plan-cache invalidation scopes (first entry is the default).
 CACHE_SCOPES = ("table", "global")
 
+#: Admission policies the query server's controller supports (first entry
+#: is the default): ``fifo`` queues over-quota queries in strict arrival
+#: order, ``fair-share`` queues per tenant and grants round-robin so one
+#: flooding tenant cannot starve the rest, ``shed`` rejects immediately
+#: and never blocks.
+ADMISSION_POLICIES = ("fifo", "fair-share", "shed")
+
+#: Default per-tenant token-bucket capacity, in work units (the executor's
+#: deterministic ``work`` measurement is the admission currency).
+DEFAULT_TENANT_QUOTA = 200_000.0
+
+#: Default token-bucket refill rate, in work units per second.
+DEFAULT_QUOTA_REFILL = 100_000.0
+
+#: Default bound on queries waiting for admission across all tenants.
+DEFAULT_ADMISSION_QUEUE_DEPTH = 256
+
 #: Values of ``REPRO_FUSION`` that disable operator fusion.
 _FALSEY = {"0", "false", "off", "no"}
 
@@ -81,6 +102,17 @@ def _env_int(name):
         return int(raw)
     except ValueError:
         raise ExecutionError("%s must be an integer, got %r" % (name, raw))
+
+
+def _env_float(name):
+    """Float value of env var ``name``, or ``None`` when unset/empty."""
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise ExecutionError("%s must be a number, got %r" % (name, raw))
 
 
 def env_executor_mode():
@@ -176,6 +208,48 @@ def default_cache_scope():
     return value
 
 
+def default_admission_policy():
+    """Admission policy from ``REPRO_ADMISSION_POLICY`` (default ``fifo``)."""
+    raw = os.environ.get("REPRO_ADMISSION_POLICY")
+    if raw is None or not raw.strip():
+        return ADMISSION_POLICIES[0]
+    value = raw.strip().lower()
+    if value not in ADMISSION_POLICIES:
+        raise ReproError(
+            "REPRO_ADMISSION_POLICY must be one of %r, got %r"
+            % (ADMISSION_POLICIES, raw)
+        )
+    return value
+
+
+def default_tenant_quota():
+    """Per-tenant quota from ``REPRO_TENANT_QUOTA`` (work units)."""
+    value = _env_float("REPRO_TENANT_QUOTA")
+    if value is None:
+        return DEFAULT_TENANT_QUOTA
+    if value <= 0:
+        raise ExecutionError("REPRO_TENANT_QUOTA must be > 0")
+    return value
+
+
+def default_quota_refill():
+    """Refill rate from ``REPRO_QUOTA_REFILL`` (work units per second)."""
+    value = _env_float("REPRO_QUOTA_REFILL")
+    if value is None:
+        return DEFAULT_QUOTA_REFILL
+    if value < 0:
+        raise ExecutionError("REPRO_QUOTA_REFILL must be >= 0")
+    return value
+
+
+def default_admission_queue_depth():
+    """Queue bound from ``REPRO_ADMISSION_QUEUE_DEPTH`` (default 256)."""
+    value = _env_int("REPRO_ADMISSION_QUEUE_DEPTH")
+    if value is None:
+        return DEFAULT_ADMISSION_QUEUE_DEPTH
+    return max(1, value)
+
+
 def default_feedback_enabled():
     """Cardinality-feedback gate from ``REPRO_FEEDBACK`` (default off).
 
@@ -232,6 +306,17 @@ class EngineConfig:
             tables the query touches (writers on other tables leave them
             warm); ``"global"`` restores the legacy single-epoch token.
             Never changes results — only hit rates and warm latency.
+        admission_policy: how the query server treats over-quota
+            queries — ``"fifo"`` (queue in arrival order), ``"fair-share"``
+            (queue per tenant, grant round-robin), or ``"shed"`` (reject
+            immediately, never block).
+        tenant_quota: per-tenant token-bucket capacity in work units —
+            the deterministic executor ``work`` each admitted query
+            charges its cost estimate against.
+        quota_refill_rate: token-bucket refill rate, work units/second.
+        admission_queue_depth: bound on queries waiting for admission
+            across all tenants; arrivals beyond it are shed even under
+            queueing policies.
     """
 
     executor_mode: str = EXECUTOR_MODES[0]
@@ -247,6 +332,10 @@ class EngineConfig:
     segment_encodings: tuple = DEFAULT_SEGMENT_ENCODINGS
     zone_map_pruning: bool = True
     cache_scope: str = CACHE_SCOPES[0]
+    admission_policy: str = ADMISSION_POLICIES[0]
+    tenant_quota: float = DEFAULT_TENANT_QUOTA
+    quota_refill_rate: float = DEFAULT_QUOTA_REFILL
+    admission_queue_depth: int = DEFAULT_ADMISSION_QUEUE_DEPTH
 
     def __post_init__(self):
         if self.cache_scope not in CACHE_SCOPES:
@@ -254,6 +343,17 @@ class EngineConfig:
                 "cache_scope must be one of %r, got %r"
                 % (CACHE_SCOPES, self.cache_scope)
             )
+        if self.admission_policy not in ADMISSION_POLICIES:
+            raise ReproError(
+                "admission_policy must be one of %r, got %r"
+                % (ADMISSION_POLICIES, self.admission_policy)
+            )
+        if float(self.tenant_quota) <= 0:
+            raise ExecutionError("tenant_quota must be > 0")
+        if float(self.quota_refill_rate) < 0:
+            raise ExecutionError("quota_refill_rate must be >= 0")
+        if int(self.admission_queue_depth) < 1:
+            raise ExecutionError("admission_queue_depth must be >= 1")
         if self.executor_mode not in EXECUTOR_MODES:
             raise ExecutionError(
                 "executor mode must be one of %r, got %r"
@@ -303,6 +403,10 @@ class EngineConfig:
             "segment_encodings": default_segment_encodings(),
             "zone_map_pruning": default_zone_map_pruning(),
             "cache_scope": default_cache_scope(),
+            "admission_policy": default_admission_policy(),
+            "tenant_quota": default_tenant_quota(),
+            "quota_refill_rate": default_quota_refill(),
+            "admission_queue_depth": default_admission_queue_depth(),
         }
         for key, value in overrides.items():
             if value is not None:

@@ -280,6 +280,7 @@ class Executor:
             if self.mode != "row":
                 relation = relation.to_relation()
             self._telemetry.total_seconds = time.perf_counter() - start
+            self._telemetry.total_work = self._work
             self._telemetry.set_node_stats(self._collect_node_stats(original))
             version_vector = getattr(self.catalog, "version_vector", None)
             if version_vector is not None:

@@ -181,6 +181,52 @@ class ExplainResult:
         )
 
 
+class PreparedQuery:
+    """A planned-but-not-executed SELECT: the admission-control handle.
+
+    Produced by :meth:`QueryPipeline.prepare_sql` /
+    :meth:`QueryPipeline.prepare_query`: parsing, lowering, rewriting and
+    planning have run (through the shared SQL-text and plan caches), but
+    nothing has executed. The serving layer plans first, charges the
+    plan's cost estimate against the tenant's quota, and only then calls
+    :meth:`QueryPipeline.execute_prepared` — pinned to the session's
+    snapshot — without a second trip through the planner.
+
+    Telemetry note: the embedded :class:`PipelineTelemetry` accumulates
+    across executions, so treat a PreparedQuery as single-shot when you
+    care about per-run stage timings (re-preparing is cheap — it hits the
+    warm caches).
+    """
+
+    __slots__ = ("sql", "query", "plan", "telemetry")
+
+    def __init__(self, sql, query, plan, telemetry):
+        self.sql = sql
+        self.query = query
+        self.plan = plan
+        self.telemetry = telemetry
+
+    @property
+    def est_cost(self):
+        """The planner's cost estimate for the whole plan (floor 1.0).
+
+        The admission currency: comparable to the executor's measured
+        ``work`` by construction (same formulas, estimated vs. actual
+        cardinalities), so quota charges settle against
+        ``ExecutionTelemetry.total_work`` in the same unit.
+        """
+        root = self.plan
+        for value in (root.est_cost, root.est_rows):
+            if value is not None:
+                return max(1.0, float(value))
+        return 1.0
+
+    def __repr__(self):
+        return "PreparedQuery(est_cost=%.1f, cache_hit=%r)" % (
+            self.est_cost, self.telemetry.cache_hit,
+        )
+
+
 class _CacheEntry:
     __slots__ = ("value", "epoch", "hits")
 
@@ -430,6 +476,74 @@ class QueryPipeline:
         return self._run_query(
             query, PipelineTelemetry(), order=order, snapshot=snapshot
         )
+
+    def prepare_sql(self, sql_text):
+        """Plan a SELECT through the caches without executing it.
+
+        Returns a :class:`PreparedQuery` carrying the lowered query, the
+        physical plan, the planning telemetry, and the plan's cost
+        estimate. Only SELECT is accepted — preparation exists for the
+        serving layer's read path, where admission control must see the
+        cost estimate *before* execution. Statement hooks are bypassed
+        (they may mutate).
+        """
+        telemetry = PipelineTelemetry()
+        schema_epoch = self.db.catalog.schema_epoch
+        t0 = time.perf_counter()
+        query = self.query_cache.get(sql_text, schema_epoch)
+        if query is None:
+            t0 = time.perf_counter()
+            stmt = parse_sql(sql_text)
+            telemetry.record_stage("parse", time.perf_counter() - t0)
+            stmt = self._apply_hooks("parse", stmt)
+            if not isinstance(stmt, SelectStmt):
+                raise ExecutionError(
+                    "prepare_sql supports only SELECT statements, got %r"
+                    % (sql_text.strip().split(None, 1)[0]
+                       if sql_text.strip() else sql_text,)
+                )
+            t0 = time.perf_counter()
+            query = lower_select(stmt, self.db.catalog)
+            query = self._apply_hooks("lower", query)
+            self.query_cache.put(sql_text, query, schema_epoch)
+        telemetry.record_stage("lower", time.perf_counter() - t0)
+        return self._prepare(sql_text, query, telemetry)
+
+    def prepare_query(self, query, order=None):
+        """Plan a structured :class:`ConjunctiveQuery` without executing.
+
+        The query-object twin of :meth:`prepare_sql` (rewrite → plan via
+        the shared plan cache); returns a :class:`PreparedQuery`.
+        """
+        return self._prepare(None, query, PipelineTelemetry(), order=order)
+
+    def _prepare(self, sql_text, query, telemetry, order=None):
+        query = self._rewrite(query, telemetry)
+        plan = self._plan(query, telemetry, order=order)
+        return PreparedQuery(sql_text, query, plan, telemetry)
+
+    def execute_prepared(self, prepared, snapshot=None):
+        """Execute a :class:`PreparedQuery`, optionally pinned to a
+        :class:`~repro.engine.catalog.CatalogSnapshot`.
+
+        The execution half of the serving layer's read path: the plan was
+        already produced (and its cost estimate charged against a quota),
+        so this runs exactly that plan — against the live catalog, or the
+        pinned snapshot — with the same hook application, feedback
+        ingestion (skipped for snapshot runs), and stats accumulation as
+        :meth:`run_sql`.
+        """
+        telemetry = prepared.telemetry
+        t0 = time.perf_counter()
+        result = self.db.executor.execute(prepared.plan, catalog=snapshot)
+        telemetry.record_stage("execute", time.perf_counter() - t0)
+        result = self._apply_hooks("execute", result)
+        telemetry.execution = result.telemetry
+        result.pipeline_telemetry = telemetry
+        if snapshot is None:
+            self._ingest_feedback(prepared.query, prepared.plan, result)
+        self._accumulate(telemetry)
+        return result
 
     def explain(self, sql_text):
         """Plan a SELECT (through the cache) without executing it.

@@ -1,0 +1,341 @@
+"""The multi-tenant query server: sessions, snapshot reads, one writer.
+
+:class:`QueryServer` turns a single :class:`~repro.engine.database.
+Database` into a multi-user system:
+
+* **Sessions** (:meth:`QueryServer.session`) are the caller surface —
+  many may execute concurrently, each tagged with a tenant for
+  accounting and admission.
+* **Reads are MVCC snapshot reads.** Every SELECT executes against an
+  immutable :class:`~repro.engine.catalog.CatalogSnapshot` — pinned per
+  statement (default) or once per session (``isolation="session"``,
+  repeatable-read style) — while *planning* flows through the shared
+  pipeline and its warm plan cache. Snapshots are pinned under the
+  commit lock, so every snapshot is a state that actually existed
+  between two commits, never a torn mix.
+* **Writes serialize through a single-writer commit path.** DDL / INSERT
+  / ANALYZE take the server's commit lock, execute, and append the
+  resulting per-table version vector to :attr:`QueryServer.commit_log`
+  — the ground truth the concurrency suite checks read snapshots
+  against.
+* **Admission control** (:mod:`repro.engine.server.admission`) charges
+  each query's cost estimate against its tenant's work-quota token
+  bucket before execution and settles the estimate against the measured
+  ``total_work`` afterwards; over-quota queries queue (fifo /
+  fair-share) or shed, per
+  :attr:`~repro.engine.config.EngineConfig.admission_policy`.
+
+The NeurDB-style split (PAPERS.md): the engine stays a fast
+single-caller library; this layer owns sessions, scheduling, and
+tenancy.
+"""
+
+import itertools
+import threading
+import time
+
+from repro.common import ExecutionError
+from repro.engine.database import Database
+from repro.engine.server.admission import AdmissionController
+from repro.engine.telemetry import ServingRollup
+
+#: Session isolation levels: pin a fresh snapshot per statement, or one
+#: snapshot for the session's whole lifetime (repeatable read; read-only).
+ISOLATION_LEVELS = ("statement", "session")
+
+#: Flat work charge for one write statement (writes bypass the planner,
+#: so there is no cost estimate to charge; overridable per server).
+DEFAULT_WRITE_COST = 64.0
+
+
+class Session:
+    """One caller's handle on a :class:`QueryServer`.
+
+    Sessions are cheap, thread-compatible handles (use one per thread;
+    the server underneath is what's shared). Each carries a tenant name
+    for admission accounting and an isolation level:
+
+    * ``"statement"`` (default) — every SELECT pins a fresh snapshot, so
+      reads observe each committed write exactly once it commits.
+    * ``"session"`` — one snapshot pinned at open; every read sees that
+      state forever (repeatable read). Writes are rejected, since the
+      session could not read them back.
+    """
+
+    def __init__(self, server, tenant, isolation, session_id):
+        if isolation not in ISOLATION_LEVELS:
+            raise ExecutionError(
+                "session isolation must be one of %r, got %r"
+                % (ISOLATION_LEVELS, isolation)
+            )
+        self._server = server
+        self.tenant = tenant
+        self.isolation = isolation
+        self.session_id = session_id
+        self.last_admission = None
+        self._pinned = (
+            server.pin_snapshot() if isolation == "session" else None
+        )
+        self.closed = False
+
+    # -- statement surface ----------------------------------------------
+    def execute(self, sql_text):
+        """Run one SQL statement under this session's tenant.
+
+        SELECTs go through admission control and execute against a
+        snapshot; anything else serializes through the server's
+        single-writer commit path. Returns what
+        :meth:`Database.execute` would (an
+        :class:`~repro.engine.executor.ExecutionResult` for SELECT, a
+        status string otherwise).
+        """
+        self._check_open()
+        if _is_select(sql_text):
+            prepared = self._server.db.pipeline.prepare_sql(sql_text)
+            return self._server._run_read(self, prepared)
+        return self._server._run_write(self, sql_text)
+
+    def query(self, sql_text):
+        """Run one SELECT; returns just the rows."""
+        result = self.execute(sql_text)
+        return result.rows
+
+    def run_query_object(self, query, order=None):
+        """Run a structured :class:`ConjunctiveQuery` through admission
+        and snapshot execution (the read path for query objects)."""
+        self._check_open()
+        prepared = self._server.db.pipeline.prepare_query(query, order=order)
+        return self._server._run_read(self, prepared)
+
+    def insert_rows(self, table, rows):
+        """Bulk-append ``rows`` through the single-writer commit path.
+
+        The programmatic write surface (the SQL INSERT literal syntax
+        cannot express NULLs in bulk); charges the same write cost and
+        logs the same commit as SQL writes. Returns the inserted count.
+        """
+        self._check_open()
+        return self._server._run_write(self, None, table=table, rows=rows)
+
+    def snapshot_versions(self):
+        """The per-table version vector this session currently reads.
+
+        For ``"session"`` isolation, the pinned vector; for
+        ``"statement"``, the live catalog's current vector (what the
+        next statement would pin).
+        """
+        source = (self._pinned if self._pinned is not None
+                  else self._server.db.catalog)
+        return source.version_vector()
+
+    def close(self):
+        """Release the session (idempotent)."""
+        self.closed = True
+        self._pinned = None
+
+    def _check_open(self):
+        if self.closed:
+            raise ExecutionError(
+                "session %r is closed" % (self.session_id,)
+            )
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+    def __repr__(self):
+        return "Session(%s, tenant=%r, isolation=%s%s)" % (
+            self.session_id, self.tenant, self.isolation,
+            ", closed" if self.closed else "",
+        )
+
+
+def _is_select(sql_text):
+    head = sql_text.strip().split(None, 1)
+    return bool(head) and head[0].upper() == "SELECT"
+
+
+class QueryServer:
+    """A concurrent, multi-tenant serving layer over one database.
+
+    Args:
+        db: the :class:`Database` to serve (one is built from ``config``
+            when omitted).
+        config: an :class:`~repro.engine.config.EngineConfig` — used to
+            build ``db`` when none is given, and as the source of the
+            admission knobs. Defaults to the database's own config.
+        admission_policy / tenant_quota / quota_refill_rate /
+        queue_depth: override the config's admission knobs.
+        admission_timeout: max seconds a query waits for admission.
+        write_cost: flat work charge per write statement.
+        clock: injectable time source for quota refill (tests).
+
+    Attributes:
+        commit_log: ``[(seq, {table: version}), ...]`` — the per-table
+            version vector after every commit through this server
+            (entry 0 is the state at server construction). Because
+            writes serialize through the commit lock and read snapshots
+            are pinned under that same lock, **every** snapshot a
+            session reads must equal one of these vectors — the
+            no-torn-reads invariant the concurrency suite asserts.
+        admission: the :class:`AdmissionController`.
+        rollup: the :class:`~repro.engine.telemetry.ServingRollup` of
+            per-tenant / per-session query accounting.
+    """
+
+    def __init__(self, db=None, config=None, *, admission_policy=None,
+                 tenant_quota=None, quota_refill_rate=None, queue_depth=None,
+                 admission_timeout=30.0, write_cost=DEFAULT_WRITE_COST,
+                 clock=None):
+        if db is None:
+            db = Database(config=config)
+        elif config is not None and config is not db.config:
+            raise ExecutionError(
+                "pass either an existing db or a config to build one, "
+                "not both"
+            )
+        self.db = db
+        config = db.config
+        self.admission = AdmissionController(
+            policy=(config.admission_policy if admission_policy is None
+                    else admission_policy),
+            tenant_quota=(config.tenant_quota if tenant_quota is None
+                          else tenant_quota),
+            quota_refill_rate=(
+                config.quota_refill_rate if quota_refill_rate is None
+                else quota_refill_rate
+            ),
+            queue_depth=(config.admission_queue_depth if queue_depth is None
+                         else queue_depth),
+            timeout=admission_timeout,
+            clock=clock,
+        )
+        self.write_cost = float(write_cost)
+        self.rollup = ServingRollup()
+        self._commit_lock = threading.RLock()
+        self._session_ids = itertools.count(1)
+        self._commit_seq = 0
+        self.commit_log = [(0, dict(db.catalog.version_vector()))]
+
+    # -- session surface -------------------------------------------------
+    def session(self, tenant="default", isolation="statement"):
+        """Open a :class:`Session` for ``tenant``."""
+        session_id = "s%d" % next(self._session_ids)
+        return Session(self, tenant, isolation, session_id)
+
+    def execute(self, sql_text, tenant="default"):
+        """One-shot convenience: run ``sql_text`` in an ephemeral
+        statement-isolation session for ``tenant``."""
+        with self.session(tenant=tenant) as session:
+            return session.execute(sql_text)
+
+    # -- read path --------------------------------------------------------
+    def pin_snapshot(self):
+        """An immutable catalog snapshot pinned **between commits**.
+
+        Taking the commit lock for the (microseconds-cheap) pin is what
+        guarantees a snapshot never interleaves with a half-applied
+        write — its version vector always equals a committed state.
+        """
+        with self._commit_lock:
+            return self.db.catalog.snapshot()
+
+    def _run_read(self, session, prepared):
+        """Admission → snapshot-pinned execution → settlement."""
+        t0 = time.perf_counter()
+        ticket = None
+        try:
+            ticket = self.admission.admit(session.tenant, prepared.est_cost)
+        except Exception:
+            session.last_admission = None
+            self.rollup.observe(
+                session.tenant, session.session_id,
+                time.perf_counter() - t0, 0.0, "shed",
+            )
+            raise
+        session.last_admission = ticket
+        snapshot = (
+            session._pinned if session._pinned is not None
+            else self.pin_snapshot()
+        )
+        try:
+            result = self.db.pipeline.execute_prepared(
+                prepared, snapshot=snapshot
+            )
+        except Exception:
+            self.admission.cancel(ticket)
+            raise
+        actual = result.telemetry.total_work
+        self.admission.settle(ticket, actual)
+        result.admission = ticket
+        self.rollup.observe(
+            session.tenant, session.session_id,
+            time.perf_counter() - t0, actual, ticket.outcome,
+            queue_wait=ticket.queue_wait,
+        )
+        return result
+
+    # -- write path --------------------------------------------------------
+    def _run_write(self, session, sql_text, table=None, rows=None):
+        """The single-writer commit path (SQL statement or bulk rows)."""
+        if session.isolation == "session":
+            raise ExecutionError(
+                "session-isolation sessions are read-only (their pinned "
+                "snapshot could never observe the write)"
+            )
+        t0 = time.perf_counter()
+        ticket = self.admission.admit(session.tenant, self.write_cost)
+        session.last_admission = ticket
+        try:
+            with self._commit_lock:
+                if sql_text is not None:
+                    result = self.db.execute(sql_text)
+                else:
+                    result = self.db.catalog.table(table).insert_rows(rows)
+                self._commit_seq += 1
+                self.commit_log.append(
+                    (self._commit_seq,
+                     dict(self.db.catalog.version_vector()))
+                )
+        except Exception:
+            self.admission.cancel(ticket)
+            raise
+        # Writes settle at their flat charge (no execution telemetry).
+        self.admission.settle(ticket, ticket.cost)
+        self.rollup.observe(
+            session.tenant, session.session_id,
+            time.perf_counter() - t0, ticket.cost, ticket.outcome,
+            queue_wait=ticket.queue_wait,
+        )
+        return result
+
+    # -- introspection ----------------------------------------------------
+    def commit_history(self):
+        """A copy of the commit log: ``[(seq, {table: version}), ...]``."""
+        with self._commit_lock:
+            return [(seq, dict(vec)) for seq, vec in self.commit_log]
+
+    def committed_vectors(self):
+        """The set of committed version vectors, as hashable items."""
+        with self._commit_lock:
+            return {
+                tuple(sorted(vec.items())) for __, vec in self.commit_log
+            }
+
+    def stats(self):
+        """JSON-friendly server snapshot: admission counters, rollups,
+        commit count, plan-cache stats."""
+        return {
+            "admission": self.admission.stats(),
+            "rollup": self.rollup.summary(),
+            "commits": self._commit_seq,
+            "plan_cache": self.db.pipeline.plan_cache.stats(),
+        }
+
+    def __repr__(self):
+        return "QueryServer(policy=%s, commits=%d)" % (
+            self.admission.policy, self._commit_seq,
+        )

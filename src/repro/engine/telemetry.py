@@ -15,6 +15,8 @@ It also hosts :class:`ExecutionTelemetry`, the per-operator batch/row/time
 counters the executor fills in while running a plan.
 """
 
+import threading
+
 import numpy as np
 
 from repro.common import ensure_rng
@@ -70,12 +72,16 @@ class ExecutionTelemetry:
             run read — the live catalog's current versions, or the pinned
             vector when the run executed against a
             :class:`~repro.engine.catalog.CatalogSnapshot`.
+        total_work: the run's exact deterministic work measurement (the
+            same number as ``ExecutionResult.work``) — the currency the
+            serving layer's admission control settles quota charges in.
         total_seconds: wall-clock time for the whole plan.
     """
 
     __slots__ = ("mode", "operators", "workers", "fused_ops",
                  "node_stats", "segments_total", "segments_pruned",
-                 "bytes_decoded", "catalog_versions", "total_seconds")
+                 "bytes_decoded", "catalog_versions", "total_work",
+                 "total_seconds")
 
     def __init__(self, mode):
         self.mode = mode
@@ -87,6 +93,7 @@ class ExecutionTelemetry:
         self.segments_pruned = 0
         self.bytes_decoded = 0
         self.catalog_versions = {}
+        self.total_work = 0.0
         self.total_seconds = 0.0
 
     def record(self, op_name, rows, seconds):
@@ -155,6 +162,7 @@ class ExecutionTelemetry:
             "segments_pruned": self.segments_pruned,
             "bytes_decoded": self.bytes_decoded,
             "catalog_versions": dict(self.catalog_versions),
+            "total_work": self.total_work,
             "operators": {
                 k: dict(v) for k, v in sorted(self.operators.items())
             },
@@ -246,6 +254,115 @@ class PipelineTelemetry:
         return "PipelineTelemetry(planning=%.6fs, execution=%.6fs, hit=%r)" % (
             self.planning_seconds, self.execution_seconds, self.cache_hit,
         )
+
+
+def percentile(values, q):
+    """The ``q``-quantile (0..1) of ``values`` by nearest-rank on a copy.
+
+    Deterministic and dependency-free — the latency-percentile helper the
+    serving rollups and the server benchmarks share. Returns 0.0 for an
+    empty input.
+    """
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+class _RollupBucket:
+    """One aggregation cell of a :class:`ServingRollup` (tenant or session)."""
+
+    __slots__ = ("queries", "outcomes", "total_work", "total_seconds",
+                 "queue_seconds", "latencies")
+
+    def __init__(self):
+        self.queries = 0
+        self.outcomes = {}
+        self.total_work = 0.0
+        self.total_seconds = 0.0
+        self.queue_seconds = 0.0
+        self.latencies = []
+
+    def observe(self, seconds, work, outcome, queue_wait):
+        self.queries += 1
+        self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
+        self.total_work += work
+        self.total_seconds += seconds
+        self.queue_seconds += queue_wait
+        self.latencies.append(seconds)
+
+    def summary(self):
+        return {
+            "queries": self.queries,
+            "outcomes": dict(sorted(self.outcomes.items())),
+            "total_work": self.total_work,
+            "total_seconds": self.total_seconds,
+            "queue_seconds": self.queue_seconds,
+            "p50_seconds": percentile(self.latencies, 0.50),
+            "p95_seconds": percentile(self.latencies, 0.95),
+            "p99_seconds": percentile(self.latencies, 0.99),
+        }
+
+
+class ServingRollup:
+    """Per-tenant and per-session aggregation of served queries.
+
+    The serving layer (:class:`~repro.engine.server.QueryServer`) records
+    every statement it completes here: which tenant and session issued
+    it, how long it took end to end (admission wait included), how much
+    deterministic ``work`` it charged, and what the admission verdict was
+    (``"admitted"`` / ``"queued"`` / ``"shed"``). Thread-safe — sessions
+    on many threads observe into one shared rollup.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._tenants = {}
+        self._sessions = {}
+
+    def observe(self, tenant, session_id, seconds, work, outcome,
+                queue_wait=0.0):
+        """Record one completed (or shed) statement."""
+        with self._lock:
+            self._tenants.setdefault(tenant, _RollupBucket()).observe(
+                seconds, work, outcome, queue_wait
+            )
+            self._sessions.setdefault(session_id, _RollupBucket()).observe(
+                seconds, work, outcome, queue_wait
+            )
+
+    def tenant_work(self, tenant):
+        """Total settled work recorded for one tenant (0.0 if unseen)."""
+        with self._lock:
+            bucket = self._tenants.get(tenant)
+            return 0.0 if bucket is None else bucket.total_work
+
+    def tenant_latencies(self, tenant):
+        """A copy of one tenant's per-statement latency samples."""
+        with self._lock:
+            bucket = self._tenants.get(tenant)
+            return [] if bucket is None else list(bucket.latencies)
+
+    def summary(self):
+        """JSON-friendly per-tenant / per-session rollup snapshot."""
+        with self._lock:
+            return {
+                "tenants": {
+                    name: bucket.summary()
+                    for name, bucket in sorted(self._tenants.items())
+                },
+                "sessions": {
+                    name: bucket.summary()
+                    for name, bucket in sorted(self._sessions.items())
+                },
+            }
+
+    def __repr__(self):
+        with self._lock:
+            return "ServingRollup(tenants=%d, sessions=%d)" % (
+                len(self._tenants), len(self._sessions),
+            )
 
 
 #: KPI dimensions reported per incident.

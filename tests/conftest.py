@@ -1,11 +1,29 @@
 """Shared fixtures for the test suite."""
 
+import faulthandler
+import os
+
 import numpy as np
 import pytest
 
 from repro.engine import Database
 from repro.engine.catalog import Catalog
 from repro.engine import datagen
+
+#: Per-test watchdog in seconds (0 disables). ``make test-concurrency``
+#: sets it so a deadlocked thread test dumps every stack and dies instead
+#: of hanging CI; implemented with the stdlib faulthandler (no plugin).
+_TEST_TIMEOUT = float(os.environ.get("REPRO_TEST_TIMEOUT", "0") or 0.0)
+
+if _TEST_TIMEOUT > 0:
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_protocol(item, nextitem):
+        faulthandler.dump_traceback_later(_TEST_TIMEOUT, exit=True)
+        try:
+            yield
+        finally:
+            faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture

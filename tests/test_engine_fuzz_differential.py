@@ -367,6 +367,154 @@ def test_fuzz_snapshot_isolation(config):
                 == frozen.catalog.table(t).n_rows), t
 
 
+#: Server-mode fuzz sizes: concurrent sessions and statements per session.
+SERVER_SESSIONS = 4
+SERVER_OPS = 10
+
+
+def _add_private_tables(db, n_sessions, seed):
+    """Identically-seeded per-session private tables, in db and twin."""
+    for i in range(n_sessions):
+        name = "priv%d" % i
+        db.execute(
+            "CREATE TABLE %s (id INT, k INT, v FLOAT, tag TEXT, ntag TEXT)"
+            % name
+        )
+        prng = random.Random(seed * 31 + i)
+        db.catalog.table(name).insert_rows([
+            (
+                j,
+                prng.randrange(12),
+                round(prng.uniform(-10.0, 10.0), 6),
+                "tag%d" % prng.randrange(5),
+                None if prng.random() < 0.3 else "n%d" % prng.randrange(3),
+            )
+            for j in range(40)
+        ])
+    db.execute("ANALYZE")
+
+
+def _session_script(seed, idx, shared_tables, n_ops):
+    """One session's deterministic statement mix (pure function of seed).
+
+    Reads are random conjunctive queries over the shared tables plus the
+    session's own private table; writes append seeded rows to that
+    private table only. Because no session ever writes a table another
+    session reads, a serial replay of the same script must observe
+    bit-identical results — the property the server-mode fuzz asserts.
+    """
+    rng = random.Random(seed * 7001 + idx)
+    private = "priv%d" % idx
+    ops = []
+    for __ in range(n_ops):
+        if rng.random() < 0.3:
+            rows = [
+                (
+                    rng.randrange(100_000),
+                    rng.randrange(12),
+                    round(rng.uniform(-10.0, 10.0), 6),
+                    "tag%d" % rng.randrange(5),
+                    None if rng.random() < 0.3 else "n%d" % rng.randrange(3),
+                )
+                for __ in range(rng.randint(1, 4))
+            ]
+            ops.append(("write", rows))
+        else:
+            ops.append(("read", _random_query(rng, shared_tables + [private])))
+    return ops
+
+
+def _replay_session(server, idx, ops):
+    """Run one session's script; return its observable outcomes."""
+    out = []
+    with server.session(tenant="s%d" % idx) as sess:
+        for kind, payload in ops:
+            if kind == "write":
+                sess.insert_rows("priv%d" % idx, payload)
+                out.append(("write", len(payload)))
+            else:
+                res = sess.run_query_object(payload)
+                out.append((
+                    "read", res.rows, res.telemetry.total_work,
+                    _node_counts(res),
+                ))
+    return out
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_fuzz_server_mode_matches_serial_oracle(config):
+    """N sessions replay seeded statement mixes through the QueryServer
+    concurrently; each session's results must be **bit-identical** to an
+    identically-seeded serial replay on a frozen twin server.
+
+    Sessions share read-only tables and privately own one writable table
+    each, so per-session outcomes are deterministic even under real
+    concurrency: plans, rows, ``total_work``, and per-node actual_rows
+    must all match the serial oracle exactly, in every mode×fusion
+    config. Admission is configured generously so scheduling never
+    sheds or reorders anything — this isolates the snapshot-execution
+    and single-writer-commit machinery.
+    """
+    from repro.engine import QueryServer
+
+    mode, fusion = config
+    db, shared = _build_db(mode, 0, fusion=fusion)
+    twin, __ = _build_db(mode, 0, fusion=fusion)
+    _add_private_tables(db, SERVER_SESSIONS, seed=0)
+    _add_private_tables(twin, SERVER_SESSIONS, seed=0)
+
+    scripts = [
+        _session_script(0, idx, shared, SERVER_OPS)
+        for idx in range(SERVER_SESSIONS)
+    ]
+    # The mix must actually exercise both paths.
+    kinds = {kind for ops in scripts for kind, __ in ops}
+    assert kinds == {"read", "write"}
+
+    live = QueryServer(db, tenant_quota=1e15, quota_refill_rate=0.0)
+    frozen = QueryServer(twin, tenant_quota=1e15, quota_refill_rate=0.0)
+
+    concurrent_results = {}
+    errors = []
+    barrier = threading.Barrier(SERVER_SESSIONS)
+
+    def worker(idx):
+        try:
+            barrier.wait()
+            concurrent_results[idx] = _replay_session(live, idx, scripts[idx])
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(SERVER_SESSIONS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors[0]
+
+    for idx in range(SERVER_SESSIONS):
+        oracle = _replay_session(frozen, idx, scripts[idx])
+        label = "config=%r session=%d" % (config, idx)
+        assert len(concurrent_results[idx]) == len(oracle), label
+        for op_i, (got, want) in enumerate(
+            zip(concurrent_results[idx], oracle)
+        ):
+            assert got == want, (
+                "%s op=%d diverges from serial oracle\nconcurrent=%r\n"
+                "serial=%r" % (label, op_i, got, want)
+            )
+        # Both replicas applied the same writes.
+        name = "priv%d" % idx
+        assert (db.catalog.table(name).n_rows
+                == twin.catalog.table(name).n_rows), label
+    # Every server write went through the single-writer commit log.
+    writes = sum(
+        1 for ops in scripts for kind, __ in ops if kind == "write"
+    )
+    assert live.commit_history()[-1][0] == writes
+
+
 class TestEdgeCases:
     """Targeted regressions for the edge cases the fuzzer hunts.
 

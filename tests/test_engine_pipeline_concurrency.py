@@ -14,6 +14,13 @@ data never changes but every cached plan goes stale), asserting:
   violate via its lookup-then-delete race;
 * concurrent execution works in every executor mode, including the
   parallel mode whose morsel pool is shared process-wide.
+
+Synchronization discipline (PR 8): all threads release from one
+``threading.Barrier`` so the race window opens simultaneously, and query
+threads wait on a ``first_mutation`` event before their final rounds —
+the overlap is *proven* by events, never assumed from sleeps. Tier-1
+sizes stay small; the ``slow``-marked variants turn the same harness up
+for ``make test-concurrency``.
 """
 
 import threading
@@ -25,7 +32,13 @@ from repro.engine.executor import EXECUTOR_MODES
 from repro.engine.pipeline import PlanCache
 
 N_THREADS = 4
-ROUNDS_PER_THREAD = 30
+ROUNDS_PER_THREAD = 20
+#: Rounds every query thread runs *after* the first epoch bump has
+#: provably happened (it waits on the mutator's event).
+POST_MUTATION_ROUNDS = 3
+
+HEAVY_THREADS = 8
+HEAVY_ROUNDS = 100
 
 
 def _build_db(mode):
@@ -51,46 +64,87 @@ QUERIES = [
 ]
 
 
+def _race_queries_against_mutator(db, n_threads, rounds):
+    """Race ``n_threads`` query loops against an epoch-bumping mutator.
+
+    Every thread starts from one barrier; the mutator sets
+    ``first_mutation`` after its first INSERT+ANALYZE and keeps mutating
+    until the query threads finish, and each query thread waits for that
+    event before running its last ``POST_MUTATION_ROUNDS`` rounds — so
+    mutation provably overlaps querying in every run, no sleeps involved.
+
+    Returns the number of query rounds executed (all threads combined).
+    """
+    errors = []
+    stop = threading.Event()
+    first_mutation = threading.Event()
+    barrier = threading.Barrier(n_threads + 1)
+
+    def query_loop():
+        try:
+            barrier.wait()
+            for i in range(rounds):
+                sql, expected = QUERIES[i % len(QUERIES)]
+                res = db.execute(sql)
+                assert res.rows == expected, (sql, res.rows)
+            # The provably-raced phase: these rounds run strictly after
+            # at least one epoch bump, while bumps keep coming.
+            assert first_mutation.wait(timeout=30.0), "mutator never ran"
+            for i in range(POST_MUTATION_ROUNDS):
+                sql, expected = QUERIES[i % len(QUERIES)]
+                res = db.execute(sql)
+                assert res.rows == expected, (sql, res.rows)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+
+    def mutation_loop():
+        # Bump the epoch via a table the queries never touch: every
+        # cached plan goes stale without changing any expected result.
+        try:
+            barrier.wait()
+            while not stop.is_set():
+                db.catalog.table("b").insert_rows([(999,)])
+                db.execute("ANALYZE b")
+                first_mutation.set()
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+            first_mutation.set()  # never leave query threads waiting
+
+    threads = [threading.Thread(target=query_loop)
+               for __ in range(n_threads)]
+    mutator = threading.Thread(target=mutation_loop)
+    mutator.start()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stop.set()
+    mutator.join()
+    assert not errors, errors[0]
+    assert first_mutation.is_set()
+    return n_threads * (rounds + POST_MUTATION_ROUNDS)
+
+
 class TestConcurrentExecution:
     @pytest.mark.parametrize("mode", EXECUTOR_MODES)
     def test_queries_with_concurrent_epoch_bumps(self, mode):
         db = _build_db(mode)
-        errors = []
-        stop = threading.Event()
-
-        def query_loop():
-            try:
-                for i in range(ROUNDS_PER_THREAD):
-                    sql, expected = QUERIES[i % len(QUERIES)]
-                    res = db.execute(sql)
-                    assert res.rows == expected, (sql, res.rows)
-            except BaseException as exc:  # noqa: BLE001 - reported below
-                errors.append(exc)
-            finally:
-                stop.set()
-
-        def mutation_loop():
-            # Bump the epoch via a table the queries never touch: every
-            # cached plan goes stale without changing any expected result.
-            while not stop.is_set():
-                db.catalog.table("b").insert_rows([(999,)])
-                db.execute("ANALYZE b")
-
-        threads = [threading.Thread(target=query_loop)
-                   for __ in range(N_THREADS)]
-        mutator = threading.Thread(target=mutation_loop)
-        for t in threads:
-            t.start()
-        mutator.start()
-        for t in threads:
-            t.join()
-        stop.set()
-        mutator.join()
-        assert not errors, errors[0]
+        _race_queries_against_mutator(db, N_THREADS, ROUNDS_PER_THREAD)
         stats = db.pipeline.plan_cache.stats()
-        # The mutator must actually have raced the queries at least once.
+        # The mutator provably raced the queries (the event-ordered
+        # post-mutation rounds), so stale plans were really invalidated.
         assert stats["invalidations"] + stats["misses"] >= len(QUERIES)
         assert stats["hits"] + stats["misses"] > 0
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("mode", EXECUTOR_MODES)
+    def test_heavy_epoch_bump_race(self, mode):
+        db = _build_db(mode)
+        total = _race_queries_against_mutator(
+            db, HEAVY_THREADS, HEAVY_ROUNDS
+        )
+        stats = db.pipeline.plan_cache.stats()
+        assert stats["hits"] + stats["misses"] == total
 
     def test_no_stale_result_after_mutation_barrier(self):
         """Sequential check the stress test can't do: after the mutation
@@ -116,51 +170,34 @@ class TestPerTableIsolation:
     """The PR 7 contract: a writer hammering table ``b`` must never evict
     cached plans for queries that touch only table ``a``."""
 
-    @pytest.mark.parametrize("mode", EXECUTOR_MODES)
-    def test_writer_on_b_never_evicts_plans_for_a(self, mode):
-        db = _build_db(mode)
+    def _race_warm(self, db, n_threads, rounds):
         # Warm every a-only plan, then zero the counters so the assertion
         # window covers exactly the raced phase.
         for sql, __ in QUERIES:
             db.execute(sql)
         db.pipeline.plan_cache.reset_counters()
+        return _race_queries_against_mutator(db, n_threads, rounds)
 
-        errors = []
-        stop = threading.Event()
-
-        def query_loop():
-            try:
-                for i in range(ROUNDS_PER_THREAD):
-                    sql, expected = QUERIES[i % len(QUERIES)]
-                    res = db.execute(sql)
-                    assert res.rows == expected, (sql, res.rows)
-            except BaseException as exc:  # noqa: BLE001 - reported below
-                errors.append(exc)
-            finally:
-                stop.set()
-
-        def mutation_loop():
-            while not stop.is_set():
-                db.catalog.table("b").insert_rows([(999,)])
-                db.execute("ANALYZE b")
-
-        threads = [threading.Thread(target=query_loop)
-                   for __ in range(N_THREADS)]
-        mutator = threading.Thread(target=mutation_loop)
-        for t in threads:
-            t.start()
-        mutator.start()
-        for t in threads:
-            t.join()
-        stop.set()
-        mutator.join()
-        assert not errors, errors[0]
+    @pytest.mark.parametrize("mode", EXECUTOR_MODES)
+    def test_writer_on_b_never_evicts_plans_for_a(self, mode):
+        db = _build_db(mode)
+        total = self._race_warm(db, N_THREADS, ROUNDS_PER_THREAD)
         stats = db.pipeline.plan_cache.stats()
         # Every raced query ran against a warm plan: the writer on b bumps
         # only b's version, so a-scoped tokens never drift.
         assert stats["invalidations"] == 0, stats
         assert stats["misses"] == 0, stats
-        assert stats["hits"] == N_THREADS * ROUNDS_PER_THREAD, stats
+        assert stats["hits"] == total, stats
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("mode", EXECUTOR_MODES)
+    def test_heavy_writer_isolation(self, mode):
+        db = _build_db(mode)
+        total = self._race_warm(db, HEAVY_THREADS, HEAVY_ROUNDS)
+        stats = db.pipeline.plan_cache.stats()
+        assert stats["invalidations"] == 0, stats
+        assert stats["misses"] == 0, stats
+        assert stats["hits"] == total, stats
 
     def test_global_scope_shows_the_old_behaviour(self):
         """Control: under ``cache_scope="global"`` the same writer *does*
@@ -191,9 +228,8 @@ class TestPerTableIsolation:
 class TestPlanCacheHammer:
     """Raw PlanCache under concurrent get/put/clear from many threads."""
 
-    def test_counters_stay_consistent(self):
+    def _hammer_counters(self, n_threads, n_ops):
         cache = PlanCache(capacity=8)
-        n_threads, n_ops = 8, 400
         lookups = []
         lock = threading.Lock()
         barrier = threading.Barrier(n_threads)
@@ -228,15 +264,24 @@ class TestPlanCacheHammer:
         assert stats["invalidations"] >= 1
         assert len(cache) <= cache.capacity
 
+    def test_counters_stay_consistent(self):
+        self._hammer_counters(n_threads=8, n_ops=400)
+
+    @pytest.mark.slow
+    def test_counters_stay_consistent_heavy(self):
+        self._hammer_counters(n_threads=16, n_ops=4000)
+
     def test_concurrent_epoch_churn_never_serves_stale(self):
         """Entries stored under one epoch must never be returned under
         another, no matter how the threads interleave."""
         cache = PlanCache(capacity=32)
         errors = []
         n_threads = 6
+        barrier = threading.Barrier(n_threads)
 
         def worker(wid):
             try:
+                barrier.wait()
                 for i in range(300):
                     epoch = i % 5
                     value = ("v", epoch)
