@@ -4,8 +4,8 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test test-concurrency lint fuzz bench bench-fusion bench-feedback \
-	bench-storage bench-snapshots bench-server bench-json
+.PHONY: test test-session test-concurrency lint fuzz bench bench-fusion \
+	bench-feedback bench-storage bench-snapshots bench-server bench-json
 
 # Tier-1 suite (fast; slow-marked full-size benchmarks are deselected by
 # the pytest addopts default). Lints first — a lint finding fails the run.
@@ -16,6 +16,18 @@ test: lint
 # otherwise the bundled dependency-free AST checker in tools/lint.py.
 lint:
 	python tools/lint.py src tests benchmarks tools
+
+# Session-layer battery (slow variants included): the safety-gated
+# session API (policy/audit/dry-run/rollback across all mode×fusion
+# configs), the public-surface + error-hierarchy guards, and the
+# agent-session fuzz arm racing random scripts under random policies
+# against a serial oracle.
+test-session:
+	python -m pytest \
+		tests/test_engine_session.py \
+		tests/test_api_surface.py \
+		tests/test_engine_fuzz_differential.py::test_fuzz_agent_session_rollback_matches_serial_oracle \
+		-q -m ''
 
 # The concurrency battery at full size (slow variants included): server
 # admission properties, no-torn-reads races, plan-cache hammering, and

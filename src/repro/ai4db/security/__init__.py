@@ -16,6 +16,10 @@ from repro.ai4db.security.access_control import (
     StaticACLBaseline,
     LearnedAccessController,
 )
+from repro.ai4db.security.session_policy import (
+    column_sensitivity,
+    derive_policy,
+)
 
 __all__ = [
     "InjectionCorpusGenerator",
@@ -28,4 +32,6 @@ __all__ = [
     "AccessRequestGenerator",
     "StaticACLBaseline",
     "LearnedAccessController",
+    "column_sensitivity",
+    "derive_policy",
 ]

@@ -1,0 +1,89 @@
+"""Bridge: learned access control → engine session policies.
+
+Closes the loop between the security experiments and the engine's
+session layer. The access-control track trains controllers that judge
+``(role, action, purpose, sensitivity, off_hours, bulk)`` requests; the
+engine's :class:`~repro.engine.session.policy.Policy` wants declarative
+table/column/statement gates. :func:`derive_policy` asks a fitted
+controller about every column in a catalog — sensitivity read from the
+schema's ground-truth :attr:`ColumnSchema.sensitive` flag — and compiles
+the answers into a ``Policy`` a session can enforce, so a "support role,
+support_ticket purpose, off hours" caller gets exactly the column
+visibility the learned controller would grant, statement by statement.
+
+Layering: ai4db imports the engine (never the reverse) — this module is
+the sanctioned direction for wiring learned components into sessions.
+"""
+
+from repro.engine.session.policy import Policy
+
+#: Controller actions that justify write statement kinds.
+_WRITE_ACTIONS = ("update",)
+
+#: Statement kinds granted when a write action is permitted.
+_WRITE_KINDS = ("INSERT", "CREATE TABLE", "CREATE INDEX", "ANALYZE")
+
+
+def column_sensitivity(column):
+    """Map a :class:`ColumnSchema` to the controller's sensitivity vocab.
+
+    The engine schema carries one bit (``sensitive``); the controllers
+    were trained on four levels. Sensitive columns map to ``"pii"`` (the
+    level the hidden policy guards hardest), everything else to
+    ``"internal"``.
+    """
+    return "pii" if getattr(column, "sensitive", False) else "internal"
+
+
+def derive_policy(catalog, controller, role, purpose, *, off_hours=False,
+                  bulk=False, max_rows=None, max_cost=None):
+    """Compile a fitted access controller into a session :class:`Policy`.
+
+    Args:
+        catalog: the :class:`~repro.engine.catalog.Catalog` whose
+            columns the policy should cover.
+        controller: a fitted access controller (anything with
+            ``predict(requests) -> 0/1 array`` over
+            ``(role, action, purpose, sensitivity, off_hours, bulk)``
+            rows — :class:`LearnedAccessController` or
+            :class:`StaticACLBaseline`).
+        role / purpose: the caller's identity and stated purpose.
+        off_hours / bulk: request context, applied to every probe.
+        max_rows / max_cost: optional resource ceilings passed through
+            to the policy (``bulk=False`` callers typically set
+            ``max_rows``).
+
+    Returns:
+        a :class:`Policy` whose ``deny_columns`` are the columns the
+        controller denies ``read`` on, and whose ``statement_kinds``
+        are ``{"SELECT"}`` plus the write kinds iff the controller
+        permits ``update`` on internal data.
+    """
+    probes = []
+    probe_columns = []
+    for name in catalog.table_names():
+        schema = catalog.table(name).schema
+        for column in schema.columns:
+            probes.append((role, "read", purpose,
+                           column_sensitivity(column), off_hours, bulk))
+            probe_columns.append("%s.%s" % (name.lower(),
+                                            column.name.lower()))
+    deny_columns = []
+    if probes:
+        verdicts = controller.predict(probes)
+        deny_columns = [
+            col for col, verdict in zip(probe_columns, verdicts)
+            if not int(verdict)
+        ]
+    kinds = ["SELECT", "PREDICT", "EVALUATE"]
+    write_probe = [(role, action, purpose, "internal", off_hours, bulk)
+                   for action in _WRITE_ACTIONS]
+    if write_probe and all(int(v) for v in controller.predict(write_probe)):
+        kinds.extend(_WRITE_KINDS)
+        kinds.append("CREATE MODEL")
+    return Policy(
+        statement_kinds=kinds,
+        deny_columns=deny_columns,
+        max_rows=max_rows,
+        max_cost=max_cost,
+    )

@@ -7,6 +7,7 @@ the two so experiments are reproducible end to end.
 
 from repro.common.errors import (
     ReproError,
+    EngineError,
     CatalogError,
     ParseError,
     PlanError,
@@ -20,6 +21,7 @@ from repro.common.tables import ResultTable
 
 __all__ = [
     "ReproError",
+    "EngineError",
     "CatalogError",
     "ParseError",
     "PlanError",

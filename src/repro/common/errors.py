@@ -2,7 +2,16 @@
 
 All library-raised exceptions derive from :class:`ReproError` so callers can
 catch everything the library signals with a single ``except`` clause while
-still being able to discriminate by subsystem.
+still being able to discriminate by subsystem. Engine-raised errors
+additionally share :class:`EngineError`, the base the session API's
+``repro.engine.errors`` module re-exports and extends — catching
+``EngineError`` means "anything the database engine can signal" (parse,
+catalog, planning, execution, policy, admission) without also swallowing
+ML-layer misuse (:class:`ModelError`).
+
+The classes live here, below the engine, so both ``repro.common`` and
+``repro.engine.errors`` can expose the *same* objects (back-compat
+aliases, not copies) without a layering cycle.
 """
 
 
@@ -10,11 +19,20 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
-class CatalogError(ReproError):
+class EngineError(ReproError):
+    """Base class for every error the database engine raises.
+
+    The root of the ``repro.engine.errors`` hierarchy: parse, catalog,
+    plan, execution, policy, session, and admission errors all derive
+    from it.
+    """
+
+
+class CatalogError(EngineError):
     """A catalog object (table, column, index, view) is missing or invalid."""
 
 
-class ParseError(ReproError):
+class ParseError(EngineError):
     """SQL (or AISQL) text could not be tokenized or parsed.
 
     Attributes:
@@ -27,11 +45,11 @@ class ParseError(ReproError):
         self.position = position
 
 
-class PlanError(ReproError):
+class PlanError(EngineError):
     """A logical or physical plan is malformed or cannot be produced."""
 
 
-class ExecutionError(ReproError):
+class ExecutionError(EngineError):
     """A physical operator failed while producing rows."""
 
 

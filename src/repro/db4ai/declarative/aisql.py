@@ -239,9 +239,14 @@ class AISQLExtension:
         Returns self for chaining. Feature extraction for ``CREATE MODEL``
         / ``PREDICT`` / ``EVALUATE`` then runs through the staged pipeline,
         so repeated ``PREDICT`` statements over the same feature query hit
-        the plan cache instead of replanning.
+        the plan cache instead of replanning. A read-only *inspector* is
+        registered alongside the hook, so the session layer's dry-run and
+        policy gates can classify and cost AISQL statements — tables,
+        feature columns, and the plannable feature query — without
+        executing them.
         """
         database.pipeline.statement_hooks.append(self._hook)
+        database.pipeline.statement_inspectors.append(self._inspect)
         return self
 
     # ------------------------------------------------------------------
@@ -255,6 +260,52 @@ class AISQLExtension:
         if isinstance(stmt, PredictStmt):
             return self._predict(database, stmt)
         return self._evaluate(database, stmt)
+
+    def _inspect(self, database, sql_text):
+        """Describe an AISQL statement without executing it.
+
+        The ``statement_inspectors`` contract: returns ``None`` for
+        statements this extension doesn't own, else a dict with the
+        statement's kind, referenced tables and columns, and — when the
+        feature set is known — the plannable feature
+        :class:`ConjunctiveQuery` the session layer can cost.
+        """
+        head = sql_text.lstrip().upper()
+        if not any(head.startswith(h) for h in self._HEADS):
+            return None
+        stmt = _AISQLParser(sql_text).parse()
+        limit = None
+        if isinstance(stmt, CreateModelStmt):
+            kind = "CREATE MODEL"
+            feature_cols = list(stmt.features) + [stmt.target]
+        else:
+            kind = "PREDICT" if isinstance(stmt, PredictStmt) else "EVALUATE"
+            limit = getattr(stmt, "limit", None)
+            try:
+                bundle = self.registry.get(stmt.model).model
+                feature_cols = list(bundle["features"])
+                if kind == "EVALUATE":
+                    feature_cols.append(bundle["target"])
+            except Exception:
+                # Unknown model: the statement would fail at execution,
+                # but kind/table gates should still see it.
+                feature_cols = []
+        columns = [(stmt.table, c) for c in feature_cols]
+        columns.extend((stmt.table, p.column) for p in stmt.predicates)
+        query = None
+        if feature_cols:
+            query = ConjunctiveQuery(
+                tables=[stmt.table],
+                predicates=stmt.predicates,
+                projections=[(stmt.table, c) for c in feature_cols],
+                limit=limit,
+            )
+        return {
+            "kind": kind,
+            "tables": [stmt.table],
+            "columns": columns,
+            "query": query,
+        }
 
     # ------------------------------------------------------------------
     def _fetch(self, database, table, columns, predicates, limit=None):

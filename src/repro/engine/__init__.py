@@ -7,8 +7,19 @@ transactions, telemetry) that stand in for production substrates per the
 substitution table in DESIGN.md.
 """
 
+from repro.engine.errors import (
+    EngineError,
+    PolicyError,
+    SessionError,
+)
 from repro.engine.types import ColumnSchema, DataType, TableSchema
-from repro.engine.storage import PAGE_BYTES, RowGroup, Table, TableSnapshot
+from repro.engine.storage import (
+    PAGE_BYTES,
+    RowGroup,
+    Table,
+    TableRestorePoint,
+    TableSnapshot,
+)
 from repro.engine.segments import (
     DEFAULT_ENCODINGS,
     ColumnSegment,
@@ -18,7 +29,13 @@ from repro.engine.segments import (
 )
 from repro.engine.stats import ColumnStats, EquiDepthHistogram, TableStats
 from repro.engine.query import Aggregate, ConjunctiveQuery, JoinEdge, Predicate
-from repro.engine.catalog import Catalog, CatalogSnapshot, IndexDef, ViewDef
+from repro.engine.catalog import (
+    Catalog,
+    CatalogRestorePoint,
+    CatalogSnapshot,
+    IndexDef,
+    ViewDef,
+)
 from repro.engine.config import CACHE_SCOPES, EXECUTOR_MODES, EngineConfig
 from repro.engine.indexes import BPlusTree, HashIndex
 from repro.engine.executor import (
@@ -46,6 +63,19 @@ from repro.engine.pipeline import (
     QueryPipeline,
 )
 from repro.engine.plans import FusedPipelineOp
+from repro.engine.session import (
+    AgentSession,
+    AuditLog,
+    AuditRecord,
+    DryRunReport,
+    Policy,
+    PolicyDecision,
+    SessionContext,
+    SessionResult,
+    StatementInfo,
+    StatementPreview,
+    split_script,
+)
 from repro.engine.database import Database, DatabaseSnapshot
 from repro.engine.server import (
     AdmissionController,
@@ -77,6 +107,22 @@ from repro.engine.txn import (
 from repro.engine import datagen, telemetry
 
 __all__ = [
+    "AgentSession",
+    "AuditLog",
+    "AuditRecord",
+    "CatalogRestorePoint",
+    "DryRunReport",
+    "EngineError",
+    "Policy",
+    "PolicyDecision",
+    "PolicyError",
+    "SessionContext",
+    "SessionError",
+    "SessionResult",
+    "StatementInfo",
+    "StatementPreview",
+    "TableRestorePoint",
+    "split_script",
     "ColumnSchema",
     "DataType",
     "TableSchema",

@@ -416,6 +416,19 @@ class Catalog:
         """
         return CatalogSnapshot(self)
 
+    def restore_point(self):
+        """A :class:`CatalogRestorePoint` that can rewind this catalog.
+
+        The write-side sibling of :meth:`snapshot` and the primitive the
+        session API's ``rollback()`` is built on: captures every table's
+        :class:`~repro.engine.storage.TableRestorePoint` plus the
+        catalog's own maps (stats, indexes, views, versions, epochs), and
+        ``restore()`` puts it all back bit-identically — tables created
+        in between vanish, dropped ones reappear, and the version vector
+        returns to its captured values.
+        """
+        return CatalogRestorePoint(self)
+
     # ------------------------------------------------------------------
     def total_data_bytes(self):
         """Total modeled base-table bytes."""
@@ -443,6 +456,78 @@ class Catalog:
         for v in self.views():
             lines.append("view %s rows=%d" % (v.name, v.n_rows))
         return "\n".join(lines)
+
+
+class CatalogRestorePoint:
+    """A rewind handle for a whole :class:`Catalog`.
+
+    Captures the table map, per-table physical restore points, and the
+    stats / index / view / version maps. ``restore()`` rewinds all of it:
+
+    * tables created after the capture are detached (their write hook is
+      removed so later writes to a stale reference cannot bump versions);
+    * tables dropped after the capture come back, physically rewound;
+    * the version vector, derived epoch, and schema epoch return to the
+      captured values.
+
+    Restoring moves versions **backward** — the one deliberate exception
+    to the catalog's monotonicity rule, sound because the data is
+    rewound with them (a cached plan whose token matches again planned
+    over bit-identical state). Callers that cached plans *during* the
+    rewound window must drop them: the session API calls
+    ``pipeline.invalidate()`` after every restore.
+    """
+
+    __slots__ = ("_catalog", "_tables", "_points", "_stats", "_indexes",
+                 "_views", "_versions", "_epoch", "_schema_epoch")
+
+    def __init__(self, catalog):
+        self._catalog = catalog
+        self._tables = dict(catalog._tables)
+        self._points = {
+            key: table.restore_point()
+            for key, table in catalog._tables.items()
+        }
+        self._stats = dict(catalog._stats)
+        self._indexes = dict(catalog._indexes)
+        self._views = dict(catalog._views)
+        self._versions = dict(catalog._versions)
+        self._epoch = catalog._epoch
+        self._schema_epoch = catalog._schema_epoch
+
+    def version_vector(self, tables=None):
+        """The captured ``((name, version), ...)`` vector (what
+        ``restore()`` returns the catalog to)."""
+        if tables is None:
+            names = sorted(self._versions)
+        else:
+            names = sorted({t.lower() for t in tables})
+        return tuple((n, self._versions.get(n, 0)) for n in names)
+
+    def restore(self):
+        """Rewind the catalog (and every captured table) — idempotent."""
+        cat = self._catalog
+        hook = cat._on_table_write
+        for key, table in cat._tables.items():
+            if key not in self._tables:
+                table.remove_write_hook(hook)
+        cat._tables = dict(self._tables)
+        for point in self._points.values():
+            point.restore()
+        for table in cat._tables.values():
+            if hook not in table._write_hooks:
+                table.add_write_hook(hook)
+        cat._stats = dict(self._stats)
+        cat._indexes = dict(self._indexes)
+        cat._views = dict(self._views)
+        cat._versions = dict(self._versions)
+        cat._epoch = self._epoch
+        cat._schema_epoch = self._schema_epoch
+
+    def __repr__(self):
+        return "CatalogRestorePoint(tables=%d, epoch=%d)" % (
+            len(self._tables), self._epoch
+        )
 
 
 class CatalogSnapshot:

@@ -21,11 +21,17 @@ The extension points the AI4DB and DB4AI layers use:
   pipeline's rewrite stage.
 * ``pipeline.add_stage_hook`` — observe/replace any stage's output.
 
-``db.rewriter`` and ``db.statement_hooks`` remain as deprecated
-back-compat shims onto the pipeline; their setters warn.
-"""
+Every statement flows through a :class:`~repro.engine.session.context.
+SessionContext` — :meth:`Database.execute` is a thin facade over an
+ungated one (identical behavior and return values to the classic
+surface), and :meth:`Database.session` / :meth:`Database.agent_session`
+hand out gated ones with per-session policy, audit, dry-run, and (for
+agent sessions) transactional rollback.
 
-import warnings
+The pre-pipeline ``db.rewriter`` / ``db.statement_hooks`` shims were
+removed after their deprecation cycle; accessing them now raises with a
+pointer at the ``db.pipeline`` spelling.
+"""
 
 from repro.common import ReproError
 from repro.engine.catalog import Catalog
@@ -38,6 +44,8 @@ from repro.engine.optimizer.feedback import (
 )
 from repro.engine.optimizer.planner import Planner
 from repro.engine.pipeline import QueryPipeline
+from repro.engine.session.agent import AgentSession
+from repro.engine.session.context import SessionContext, SnapshotBackend
 
 
 class Database:
@@ -140,6 +148,9 @@ class Database:
         self.pipeline = QueryPipeline(
             self, plan_cache_size=config.plan_cache_size
         )
+        # The ungated facade session Database.execute routes through —
+        # same code path and return values as calling the pipeline raw.
+        self._session = SessionContext(self)
 
     @property
     def config(self):
@@ -156,36 +167,30 @@ class Database:
         """
         return 0 if self.feedback is None else self.feedback.version
 
-    # -- deprecated back-compat shims onto the pipeline -----------------
+    # -- removed pre-pipeline shims -------------------------------------
+    def _removed_shim(self, name):
+        raise AttributeError(
+            "Database.%s was removed after its deprecation cycle; use "
+            "db.pipeline.%s instead" % (name, name)
+        )
+
     @property
     def rewriter(self):
-        """The pipeline's rewrite-stage callable (``None`` when unset)."""
-        return self.pipeline.rewriter
+        """Removed — use ``db.pipeline.rewriter``."""
+        self._removed_shim("rewriter")
 
     @rewriter.setter
     def rewriter(self, fn):
-        warnings.warn(
-            "setting Database.rewriter is deprecated; use "
-            "db.pipeline.rewriter instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.pipeline.rewriter = fn
+        self._removed_shim("rewriter")
 
     @property
     def statement_hooks(self):
-        """The pipeline's raw-SQL intercept hooks (mutable list)."""
-        return self.pipeline.statement_hooks
+        """Removed — use ``db.pipeline.statement_hooks``."""
+        self._removed_shim("statement_hooks")
 
     @statement_hooks.setter
     def statement_hooks(self, hooks):
-        warnings.warn(
-            "setting Database.statement_hooks is deprecated; use "
-            "db.pipeline.statement_hooks instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.pipeline.statement_hooks = list(hooks)
+        self._removed_shim("statement_hooks")
 
     @property
     def epoch(self):
@@ -212,16 +217,38 @@ class Database:
         """
         return DatabaseSnapshot(self)
 
+    def session(self, policy=None, audit=None):
+        """Open a :class:`~repro.engine.session.context.SessionContext`.
+
+        The unified statement surface: ``execute`` returns a
+        :class:`~repro.engine.session.context.SessionResult`, ``dry_run``
+        plans whole scripts without executing, and the optional
+        ``policy`` / ``audit`` turn on per-statement gating and logging.
+        """
+        return SessionContext(self, policy=policy, audit=audit)
+
+    def agent_session(self, policy=None, audit=None):
+        """Open an :class:`~repro.engine.session.agent.AgentSession`.
+
+        The safety-gated handle for autonomous callers: always audited,
+        optionally policy-gated, with ``begin()``/``commit()``/
+        ``rollback()`` transactional undo over the whole catalog.
+        """
+        return AgentSession(self, policy=policy, audit=audit)
+
     # ------------------------------------------------------------------
     def execute(self, sql_text):
         """Execute one SQL (or AISQL) statement through the pipeline.
+
+        A facade over the database's ungated session — behavior and
+        return values are exactly the classic surface:
 
         Returns:
             For SELECT: an :class:`~repro.engine.executor.ExecutionResult`.
             For DDL/DML/ANALYZE: a status string.
             For hooked statements: whatever the hook returns.
         """
-        return self.pipeline.run_sql(sql_text)
+        return self._session.execute(sql_text).raw
 
     # ------------------------------------------------------------------
     def query(self, sql_text):
@@ -280,6 +307,20 @@ class DatabaseSnapshot:
     def __init__(self, database):
         self._db = database
         self.catalog = database.catalog.snapshot()
+        # The ungated facade session execute() routes through; reads are
+        # pinned to this snapshot's catalog by the backend.
+        self._session = SessionContext(
+            database, backend=SnapshotBackend(database, self.catalog)
+        )
+
+    def session(self, policy=None, audit=None):
+        """A gated :class:`SessionContext` pinned to this snapshot."""
+        return SessionContext(
+            self._db,
+            backend=SnapshotBackend(self._db, self.catalog),
+            policy=policy,
+            audit=audit,
+        )
 
     @property
     def epoch(self):
@@ -297,7 +338,7 @@ class DatabaseSnapshot:
         anything but SELECT raises
         :class:`~repro.common.ExecutionError`.
         """
-        return self._db.pipeline.run_sql(sql_text, snapshot=self.catalog)
+        return self._session.execute(sql_text).raw
 
     def query(self, sql_text):
         """Run one SELECT against the pinned state; returns just the rows."""

@@ -1,0 +1,74 @@
+"""The engine's exception hierarchy, in one place.
+
+Before the session API, callers had to know which layer raised what:
+SQL-layer failures raised ``repro.common.ParseError``, the serving layer
+raised ``repro.engine.server.AdmissionError``, and the two shared no base
+below :class:`~repro.common.ReproError`. This module is the single import
+point for everything the engine signals::
+
+    EngineError
+    ├── ParseError      SQL / AISQL text could not be parsed
+    ├── CatalogError    missing or invalid table / column / index / view
+    ├── PlanError       no valid plan (bad query shape, cache misuse)
+    ├── ExecutionError  an operator failed while producing rows
+    │   └── AdmissionError  refused by admission control (shed / timeout)
+    ├── PolicyError     a session policy denied the statement
+    └── SessionError    session lifecycle misuse (closed, no transaction)
+
+Back-compat: the pre-existing classes are the *same objects* as their old
+spellings (``repro.common.ParseError is repro.engine.errors.ParseError``;
+``repro.engine.server.AdmissionError`` imports from here), so existing
+``except`` clauses keep working unchanged. The class bodies of the shared
+base classes live in :mod:`repro.common.errors` — below the engine — so
+the common layer can expose them without importing the engine.
+"""
+
+from repro.common.errors import (
+    CatalogError,
+    EngineError,
+    ExecutionError,
+    ParseError,
+    PlanError,
+    ReproError,
+)
+
+
+class PolicyError(EngineError):
+    """A session policy denied a statement (or its result).
+
+    Attributes:
+        decision: the :class:`~repro.engine.session.policy.PolicyDecision`
+            that denied, when one is available (``None`` otherwise) — it
+            carries the rule that fired and the human-readable reason.
+    """
+
+    def __init__(self, message, decision=None):
+        super().__init__(message)
+        self.decision = decision
+
+
+class SessionError(EngineError):
+    """A session was misused: closed handle, rollback with no open
+    transaction, nested ``begin()``, write on a read-only session..."""
+
+
+class AdmissionError(ExecutionError):
+    """A query was refused admission (shed, queue full, or timed out).
+
+    Derives from :class:`ExecutionError` (pre-session callers caught it
+    there) and therefore from :class:`EngineError` like every other
+    engine failure.
+    """
+
+
+__all__ = [
+    "ReproError",
+    "EngineError",
+    "CatalogError",
+    "ParseError",
+    "PlanError",
+    "ExecutionError",
+    "AdmissionError",
+    "PolicyError",
+    "SessionError",
+]

@@ -372,6 +372,13 @@ class QueryPipeline:
     def __init__(self, database, plan_cache_size=256):
         self.db = database
         self.statement_hooks = []
+        # Read-only companions to statement_hooks: callables
+        # ``(db, sql_text) -> dict or None`` that *describe* a hooked
+        # statement (kind, tables, columns, cost-estimable feature query)
+        # without executing it. The session API's dry-run and policy
+        # gates consult these so extension statements (AISQL) are
+        # previewable and gateable like native SQL.
+        self.statement_inspectors = []
         self.stage_hooks = {stage: [] for stage in PIPELINE_STAGES}
         self._rewriter = None
         self.plan_cache = PlanCache(plan_cache_size)
@@ -508,6 +515,31 @@ class QueryPipeline:
             self.query_cache.put(sql_text, query, schema_epoch)
         telemetry.record_stage("lower", time.perf_counter() - t0)
         return self._prepare(sql_text, query, telemetry)
+
+    def lower_sql(self, sql_text):
+        """Parse + lower a SELECT to its :class:`ConjunctiveQuery`.
+
+        Shares the SQL-text cache with :meth:`run_sql` (same
+        ``schema_epoch`` token), so classifying a statement and then
+        executing it costs one parse, not two. Only SELECT lowers;
+        anything else raises :class:`~repro.common.ParseError`.
+        """
+        schema_epoch = self.db.catalog.schema_epoch
+        query = self.query_cache.get(sql_text, schema_epoch)
+        if query is not None:
+            return query
+        stmt = parse_sql(sql_text)
+        stmt = self._apply_hooks("parse", stmt)
+        if not isinstance(stmt, SelectStmt):
+            raise ParseError(
+                "lower_sql supports only SELECT statements, got %r"
+                % (sql_text.strip().split(None, 1)[0]
+                   if sql_text.strip() else sql_text,)
+            )
+        query = lower_select(stmt, self.db.catalog)
+        query = self._apply_hooks("lower", query)
+        self.query_cache.put(sql_text, query, schema_epoch)
+        return query
 
     def prepare_query(self, query, order=None):
         """Plan a structured :class:`ConjunctiveQuery` without executing.

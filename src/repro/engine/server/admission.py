@@ -39,6 +39,7 @@ from repro.engine.config import (
     DEFAULT_QUOTA_REFILL,
     DEFAULT_TENANT_QUOTA,
 )
+from repro.engine.errors import AdmissionError
 
 #: Fallback cost charged when a statement has no usable estimate.
 MIN_CHARGE = 1.0
@@ -48,10 +49,6 @@ MIN_CHARGE = 1.0
 #: ``settle``/``cancel`` notifications, this tick only covers refill by
 #: the passage of time.
 _WAIT_TICK = 0.05
-
-
-class AdmissionError(ExecutionError):
-    """A query was refused admission (shed, queue full, or timed out)."""
 
 
 class TokenBucket:

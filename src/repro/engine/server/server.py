@@ -37,6 +37,8 @@ import time
 from repro.common import ExecutionError
 from repro.engine.database import Database
 from repro.engine.server.admission import AdmissionController
+from repro.engine.session.agent import AgentSession
+from repro.engine.session.context import ServerBackend, SessionContext
 from repro.engine.telemetry import ServingRollup
 
 #: Session isolation levels: pin a fresh snapshot per statement, or one
@@ -77,6 +79,12 @@ class Session:
             server.pin_snapshot() if isolation == "session" else None
         )
         self.closed = False
+        # The ungated facade context execute() routes through: SELECTs
+        # take admission + snapshot reads, everything else the
+        # single-writer commit path — the classic behavior.
+        self._context = SessionContext(
+            server.db, backend=ServerBackend(server, self)
+        )
 
     # -- statement surface ----------------------------------------------
     def execute(self, sql_text):
@@ -90,10 +98,18 @@ class Session:
         status string otherwise).
         """
         self._check_open()
-        if _is_select(sql_text):
-            prepared = self._server.db.pipeline.prepare_sql(sql_text)
-            return self._server._run_read(self, prepared)
-        return self._server._run_write(self, sql_text)
+        return self._context.execute(sql_text).raw
+
+    def session_context(self, policy=None, audit=None):
+        """A gated :class:`SessionContext` over this session's tenant:
+        statements flow through the same admission/commit paths, with
+        per-statement policy checks and audit logging on top."""
+        return SessionContext(
+            self._server.db,
+            backend=ServerBackend(self._server, self),
+            policy=policy,
+            audit=audit,
+        )
 
     def query(self, sql_text):
         """Run one SELECT; returns just the rows."""
@@ -151,11 +167,6 @@ class Session:
             self.session_id, self.tenant, self.isolation,
             ", closed" if self.closed else "",
         )
-
-
-def _is_select(sql_text):
-    head = sql_text.strip().split(None, 1)
-    return bool(head) and head[0].upper() == "SELECT"
 
 
 class QueryServer:
@@ -231,6 +242,15 @@ class QueryServer:
         statement-isolation session for ``tenant``."""
         with self.session(tenant=tenant) as session:
             return session.execute(sql_text)
+
+    def agent_session(self, policy=None, audit=None, tenant="agent"):
+        """Open an :class:`~repro.engine.session.agent.AgentSession`
+        over this server: always audited, optionally policy-gated, with
+        ``begin()``/``commit()``/``rollback()`` holding the commit lock
+        so the whole transaction is atomic against every other session.
+        """
+        return AgentSession(self, policy=policy, audit=audit,
+                            tenant=tenant)
 
     # -- read path --------------------------------------------------------
     def pin_snapshot(self):

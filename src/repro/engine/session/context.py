@@ -1,0 +1,746 @@
+"""The unified session surface over every way of talking to the engine.
+
+Before this layer, the repo had three parallel entry points —
+``Database.execute`` (embedded), ``db.snapshot()`` (pinned reads), and
+``QueryServer.session()`` (multi-tenant serving) — each with its own
+calling conventions. :class:`SessionContext` is the one abstraction they
+are all facades over: a *backend* strategy object supplies the three
+primitive operations (raw statement, prepared read, write), and the
+context layers classification, policy gates, audit logging, dry-run
+planning, and a single :class:`SessionResult` envelope on top.
+
+Layering: this module sits inside ``repro.engine`` and must not import
+the serving layer (``repro.engine.server``) — the server imports *us*.
+:class:`ServerBackend` therefore duck-types its target: anything with
+``pin_snapshot`` / ``_run_read`` / ``_run_write`` works.
+
+The fast path is preserved exactly: a session with no policy and no
+audit log routes every statement through the backend's raw path — the
+same code path (statement hooks first, warm SQL cache, direct DDL) the
+legacy facades used — and only sniffs the statement head for the result
+envelope. Gates and bookkeeping cost nothing until you ask for them.
+"""
+
+from repro.engine.errors import EngineError, ExecutionError
+from repro.engine.session.audit import AuditLog  # noqa: F401 (re-export)
+from repro.engine.session.policy import PolicyDecision
+from repro.engine.sql.ast_nodes import (
+    AnalyzeStmt,
+    CreateIndexStmt,
+    CreateTableStmt,
+    InsertStmt,
+    SelectStmt,
+)
+from repro.engine.sql.parser import parse_sql
+
+#: Flat planning-cost stand-in for write statements (mirrors the serving
+#: layer's ``DEFAULT_WRITE_COST`` — writes bypass the planner, so there
+#: is no estimate to read).
+WRITE_STATEMENT_COST = 64.0
+
+#: Two-word statement heads the classifier must join before matching.
+_TWO_WORD_KINDS = {
+    ("CREATE", "TABLE"): "CREATE TABLE",
+    ("CREATE", "INDEX"): "CREATE INDEX",
+    ("CREATE", "HYPOTHETICAL"): "CREATE INDEX",
+    ("CREATE", "MODEL"): "CREATE MODEL",
+}
+
+_ONE_WORD_KINDS = {
+    "SELECT": "SELECT",
+    "INSERT": "INSERT",
+    "ANALYZE": "ANALYZE",
+    "PREDICT": "PREDICT",
+    "EVALUATE": "EVALUATE",
+}
+
+
+def split_script(text):
+    """Split a multi-statement script on ``;`` outside quotes.
+
+    Returns the non-empty statements with surrounding whitespace (and
+    the terminating semicolon) stripped. Quote-aware so string literals
+    containing semicolons survive intact.
+    """
+    statements = []
+    buf = []
+    quote = None
+    for ch in text:
+        if quote is not None:
+            buf.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+            buf.append(ch)
+        elif ch == ";":
+            stmt = "".join(buf).strip()
+            if stmt:
+                statements.append(stmt)
+            buf = []
+        else:
+            buf.append(ch)
+    stmt = "".join(buf).strip()
+    if stmt:
+        statements.append(stmt)
+    return statements
+
+
+def sniff_kind(sql_text):
+    """Classify a statement by its head token(s) — no parsing.
+
+    Returns one of :data:`~repro.engine.session.policy.STATEMENT_KINDS`
+    (``"UNKNOWN"`` when the head matches nothing).
+    """
+    tokens = sql_text.strip().split(None, 2)
+    if not tokens:
+        return "UNKNOWN"
+    head = tokens[0].upper()
+    if head == "CREATE" and len(tokens) > 1:
+        return _TWO_WORD_KINDS.get((head, tokens[1].upper()), "UNKNOWN")
+    return _ONE_WORD_KINDS.get(head, "UNKNOWN")
+
+
+class StatementInfo:
+    """What classification learned about one statement.
+
+    Attributes:
+        sql: the statement text.
+        kind: a :data:`~repro.engine.session.policy.STATEMENT_KINDS`
+            entry.
+        tables: referenced table names (as deep as classification saw).
+        columns: referenced ``(table, column)`` pairs — for a deep
+            SELECT this covers projections (expanded to all columns for
+            ``SELECT *``), predicates, join keys, aggregate arguments,
+            grouping and ordering keys, so a policy deny-list catches a
+            column *wherever* it appears in the statement.
+        query: the lowered :class:`~repro.engine.query.ConjunctiveQuery`
+            when one exists (deep SELECT, or an extension inspector's
+            cost-estimable feature query).
+        row_estimate: known row count before execution (INSERT only).
+        source: how the info was obtained — ``"inspector"`` /
+            ``"lowered"`` / ``"parsed"`` / ``"sniffed"``.
+    """
+
+    __slots__ = ("sql", "kind", "tables", "columns", "query",
+                 "row_estimate", "source")
+
+    def __init__(self, sql, kind, tables=(), columns=(), query=None,
+                 row_estimate=None, source="sniffed"):
+        self.sql = sql
+        self.kind = kind
+        self.tables = list(tables)
+        self.columns = list(columns)
+        self.query = query
+        self.row_estimate = row_estimate
+        self.source = source
+
+    def __repr__(self):
+        return "StatementInfo(%s, tables=%r, source=%s)" % (
+            self.kind, self.tables, self.source)
+
+
+def _dedupe(pairs):
+    seen = set()
+    out = []
+    for t, c in pairs:
+        key = (t.lower(), c.lower())
+        if key not in seen:
+            seen.add(key)
+            out.append((t, c))
+    return out
+
+
+def _query_columns(db, query):
+    """Every (table, column) a lowered query references, deduplicated."""
+    cols = []
+    if query.projections:
+        cols.extend(query.projections)
+    elif not query.aggregates:
+        # SELECT * — expand to every column of every table so allow/deny
+        # lists see exactly what the result would expose. Aggregate-only
+        # queries (e.g. COUNT(*)) expose only their aggregate arguments,
+        # collected below.
+        for t in query.tables:
+            for c in db.catalog.table(t).schema.column_names:
+                cols.append((t, c))
+    for p in query.predicates:
+        cols.append((p.table, p.column))
+    for e in query.join_edges:
+        cols.append((e.left_table, e.left_column))
+        cols.append((e.right_table, e.right_column))
+    for a in query.aggregates:
+        if a.column is not None:
+            cols.append((a.table, a.column))
+    cols.extend(query.group_by)
+    if query.order_by is not None:
+        cols.append(query.order_by[0])
+    return _dedupe(cols)
+
+
+def classify(db, sql_text, deep=False):
+    """Classify one statement without executing it.
+
+    Extension inspectors (``db.pipeline.statement_inspectors`` — the
+    read-only companions to statement hooks) are consulted first, so
+    hooked statements (AISQL) classify like native SQL. Otherwise the
+    head tokens are sniffed; with ``deep=True`` native statements are
+    additionally parsed (and SELECTs lowered through the warm SQL-text
+    cache) to resolve the tables and columns they reference.
+
+    Deep classification of a malformed or unresolvable statement raises
+    the same :class:`~repro.common.ParseError` /
+    :class:`~repro.common.CatalogError` executing it would.
+    """
+    for inspector in db.pipeline.statement_inspectors:
+        desc = inspector(db, sql_text)
+        if desc is not None:
+            return StatementInfo(
+                sql_text,
+                desc.get("kind", "UNKNOWN"),
+                tables=desc.get("tables", ()),
+                columns=_dedupe(desc.get("columns", ())),
+                query=desc.get("query"),
+                row_estimate=desc.get("row_estimate"),
+                source="inspector",
+            )
+    kind = sniff_kind(sql_text)
+    if not deep:
+        return StatementInfo(sql_text, kind)
+    if kind == "SELECT":
+        query = db.pipeline.lower_sql(sql_text)
+        return StatementInfo(
+            sql_text, kind, tables=list(query.tables),
+            columns=_query_columns(db, query), query=query,
+            source="lowered",
+        )
+    if kind in ("PREDICT", "EVALUATE", "CREATE MODEL", "UNKNOWN"):
+        # Extension statement with no inspector installed (or noise):
+        # the kind gate still applies, but there is nothing to resolve.
+        return StatementInfo(sql_text, kind)
+    stmt = parse_sql(sql_text)
+    if isinstance(stmt, InsertStmt):
+        if stmt.columns:
+            columns = [(stmt.table, c) for c in stmt.columns]
+        elif db.catalog.has_table(stmt.table):
+            columns = [(stmt.table, c) for c in
+                       db.catalog.table(stmt.table).schema.column_names]
+        else:
+            columns = []
+        return StatementInfo(
+            sql_text, "INSERT", tables=[stmt.table], columns=columns,
+            row_estimate=len(stmt.rows), source="parsed",
+        )
+    if isinstance(stmt, CreateTableStmt):
+        return StatementInfo(
+            sql_text, "CREATE TABLE", tables=[stmt.name], source="parsed")
+    if isinstance(stmt, CreateIndexStmt):
+        return StatementInfo(
+            sql_text, "CREATE INDEX", tables=[stmt.table],
+            columns=[(stmt.table, stmt.column)], source="parsed",
+        )
+    if isinstance(stmt, AnalyzeStmt):
+        tables = ([stmt.table] if stmt.table
+                  else db.catalog.table_names())
+        return StatementInfo(
+            sql_text, "ANALYZE", tables=tables, source="parsed")
+    if isinstance(stmt, SelectStmt):  # sniff missed (leading comment etc.)
+        query = db.pipeline.lower_sql(sql_text)
+        return StatementInfo(
+            sql_text, "SELECT", tables=list(query.tables),
+            columns=_query_columns(db, query), query=query,
+            source="lowered",
+        )
+    return StatementInfo(sql_text, "UNKNOWN", source="parsed")
+
+
+class SessionResult:
+    """The single result envelope every session statement returns.
+
+    Attributes:
+        sql: the statement text.
+        kind: classified statement kind.
+        raw: the legacy return value — an
+            :class:`~repro.engine.executor.ExecutionResult` for SELECT,
+            a status string for DDL/DML/ANALYZE, or the hook result for
+            extension statements. The facades (``Database.execute`` et
+            al.) return exactly this, so existing callers never see the
+            envelope.
+        decision: the :class:`PolicyDecision` that admitted the
+            statement (``None`` on the ungated fast path).
+        est_cost: the planner's pre-execution cost estimate, when one
+            existed.
+        audit_record: the :class:`~repro.engine.session.audit.
+            AuditRecord` written for this statement (``None`` when the
+            session has no audit log).
+    """
+
+    __slots__ = ("sql", "kind", "raw", "decision", "est_cost",
+                 "audit_record")
+
+    def __init__(self, sql, kind, raw, decision=None, est_cost=None,
+                 audit_record=None):
+        self.sql = sql
+        self.kind = kind
+        self.raw = raw
+        self.decision = decision
+        self.est_cost = est_cost
+        self.audit_record = audit_record
+
+    @property
+    def rows(self):
+        """Result rows for reads; ``None`` for statements without rows."""
+        return getattr(self.raw, "rows", None)
+
+    @property
+    def columns(self):
+        """Result column labels for reads, else ``None``."""
+        return getattr(self.raw, "columns", None)
+
+    @property
+    def telemetry(self):
+        """The run's :class:`ExecutionTelemetry`, when the statement
+        executed through the executor."""
+        return getattr(self.raw, "telemetry", None)
+
+    @property
+    def actual_work(self):
+        """Measured executor work (settles against ``est_cost``)."""
+        telemetry = self.telemetry
+        if telemetry is not None:
+            return telemetry.total_work
+        return None
+
+    def __repr__(self):
+        n = self.rows
+        return "SessionResult(%s%s)" % (
+            self.kind, "" if n is None else ", %d rows" % len(n))
+
+
+class StatementPreview:
+    """One statement's dry-run verdict: what *would* happen.
+
+    Attributes:
+        sql / kind / tables / columns: from classification.
+        decision: the policy verdict (``None`` without a policy).
+        est_cost: planner cost estimate (SELECT and inspectable
+            extension statements), flat :data:`WRITE_STATEMENT_COST`
+            for writes.
+        est_rows: planner row estimate (reads) or literal row count
+            (INSERT).
+        error: classification/planning failure message (the statement
+            would fail the same way if executed), else ``None``.
+    """
+
+    __slots__ = ("sql", "kind", "tables", "columns", "decision",
+                 "est_cost", "est_rows", "error")
+
+    def __init__(self, sql, kind, tables=(), columns=(), decision=None,
+                 est_cost=None, est_rows=None, error=None):
+        self.sql = sql
+        self.kind = kind
+        self.tables = list(tables)
+        self.columns = list(columns)
+        self.decision = decision
+        self.est_cost = est_cost
+        self.est_rows = est_rows
+        self.error = error
+
+    @property
+    def ok(self):
+        """Whether the statement would be admitted and plans cleanly."""
+        if self.error is not None:
+            return False
+        return self.decision is None or self.decision.allowed
+
+    def __repr__(self):
+        return "StatementPreview(%s, ok=%r, est_cost=%r)" % (
+            self.kind, self.ok, self.est_cost)
+
+
+class DryRunReport:
+    """A whole script's dry run: per-statement previews, nothing executed.
+
+    Iterable/indexable over its :class:`StatementPreview` entries.
+    """
+
+    __slots__ = ("statements",)
+
+    def __init__(self, statements):
+        self.statements = list(statements)
+
+    @property
+    def ok(self):
+        """Whether every statement would be admitted and plans cleanly."""
+        return all(p.ok for p in self.statements)
+
+    @property
+    def total_est_cost(self):
+        """Sum of the known per-statement cost estimates."""
+        return sum(p.est_cost for p in self.statements
+                   if p.est_cost is not None)
+
+    def denied(self):
+        return [p for p in self.statements
+                if p.decision is not None and not p.decision.allowed]
+
+    def errors(self):
+        return [p for p in self.statements if p.error is not None]
+
+    def __iter__(self):
+        return iter(self.statements)
+
+    def __len__(self):
+        return len(self.statements)
+
+    def __getitem__(self, idx):
+        return self.statements[idx]
+
+    def __repr__(self):
+        return "DryRunReport(%d statements, ok=%r, est_cost=%.1f)" % (
+            len(self.statements), self.ok, self.total_est_cost)
+
+
+# ---------------------------------------------------------------------------
+# Backends: the three primitive operations each entry point supplies.
+# ---------------------------------------------------------------------------
+class LocalBackend:
+    """Direct embedded execution against a live :class:`Database`."""
+
+    read_only = False
+
+    def __init__(self, db):
+        self.db = db
+
+    def run_raw(self, sql_text):
+        """The exact legacy path: hooks → warm SQL cache → execute."""
+        return self.db.pipeline.run_sql(sql_text)
+
+    def read(self, prepared):
+        return self.db.pipeline.execute_prepared(prepared)
+
+    def write(self, sql_text):
+        return self.db.pipeline.run_sql(sql_text)
+
+
+class SnapshotBackend:
+    """Read-only execution pinned to a :class:`CatalogSnapshot`."""
+
+    read_only = True
+
+    def __init__(self, db, snapshot):
+        self.db = db
+        self.snapshot = snapshot
+
+    def run_raw(self, sql_text):
+        # run_sql itself rejects non-SELECT under a snapshot, keeping
+        # the legacy read-only error text.
+        return self.db.pipeline.run_sql(sql_text, snapshot=self.snapshot)
+
+    def read(self, prepared):
+        return self.db.pipeline.execute_prepared(
+            prepared, snapshot=self.snapshot)
+
+    def write(self, sql_text):
+        raise ExecutionError(
+            "snapshot sessions are read-only: only SELECT is allowed")
+
+
+class ServerBackend:
+    """Execution through a :class:`QueryServer`'s admission + commit paths.
+
+    Duck-typed: ``server`` is anything exposing ``pin_snapshot``,
+    ``_run_read(session, prepared)`` and ``_run_write(session, sql)``;
+    ``session`` is that server's session handle. (This module must not
+    import the serving layer — it imports us.)
+    """
+
+    read_only = False
+
+    def __init__(self, server, session):
+        self.server = server
+        self.session = session
+        self.db = server.db
+
+    def run_raw(self, sql_text):
+        if sniff_kind(sql_text) == "SELECT":
+            prepared = self.db.pipeline.prepare_sql(sql_text)
+            return self.server._run_read(self.session, prepared)
+        return self.server._run_write(self.session, sql_text)
+
+    def read(self, prepared):
+        return self.server._run_read(self.session, prepared)
+
+    def write(self, sql_text):
+        return self.server._run_write(self.session, sql_text)
+
+
+class SessionContext:
+    """One caller's gated, audited view of the engine.
+
+    Args:
+        db: the underlying :class:`~repro.engine.database.Database`.
+        backend: the execution strategy (defaults to a
+            :class:`LocalBackend` over ``db``).
+        policy: an optional :class:`Policy`; every statement is
+            classified deeply and checked before (and reads after)
+            execution.
+        audit: an optional :class:`~repro.engine.session.audit.AuditLog`;
+            every statement — allowed, denied, or failed — is appended.
+
+    With neither policy nor audit the context is a zero-overhead facade:
+    statements flow through the backend's raw path untouched.
+    """
+
+    def __init__(self, db, backend=None, policy=None, audit=None):
+        self.db = db
+        self.backend = backend if backend is not None else LocalBackend(db)
+        self.policy = policy
+        self.audit = audit
+
+    @property
+    def gated(self):
+        """Whether statements go through classify/check/record."""
+        return self.policy is not None or self.audit is not None
+
+    # -- unified statement surface --------------------------------------
+    def execute(self, sql_text):
+        """Run one statement; returns a :class:`SessionResult`.
+
+        Ungated sessions take the exact legacy path. Gated sessions
+        classify the statement (deep — real tables and columns), check
+        the policy, route SELECTs through prepare (so the audit log
+        records estimated vs. actual cost), enforce row limits on the
+        realized result, and audit the outcome — including denials and
+        execution failures.
+        """
+        if not self.gated:
+            raw = self.backend.run_raw(sql_text)
+            return SessionResult(sql_text, sniff_kind(sql_text), raw)
+        return self._execute_gated(sql_text)
+
+    def query(self, sql_text):
+        """Run one SELECT; returns just the rows."""
+        return self.execute(sql_text).rows
+
+    def explain(self, sql_text):
+        """Plan a SELECT without executing (policy-checked when gated)."""
+        if self.policy is not None:
+            info = classify(self.db, sql_text, deep=True)
+            self.policy.check_statement(info).raise_if_denied(sql_text)
+        return self.db.pipeline.explain(sql_text)
+
+    def prepare(self, sql_text):
+        """Plan a SELECT through the warm caches without executing.
+
+        Returns a :class:`~repro.engine.pipeline.PreparedQuery`; gated
+        sessions check the policy (statement + cost gates) first.
+        """
+        if self.policy is not None:
+            info = classify(self.db, sql_text, deep=True)
+            self.policy.check_statement(info).raise_if_denied(sql_text)
+        prepared = self.db.pipeline.prepare_sql(sql_text)
+        if self.policy is not None:
+            self.policy.check_cost(prepared.est_cost).raise_if_denied(
+                sql_text)
+        return prepared
+
+    def run_script(self, script):
+        """Execute a multi-statement script, statement by statement.
+
+        Returns the list of :class:`SessionResult`; the first failure
+        propagates (earlier statements stay applied — wrap the script in
+        an :class:`~repro.engine.session.agent.AgentSession` transaction
+        to make it all-or-nothing).
+        """
+        return [self.execute(stmt) for stmt in split_script(script)]
+
+    # -- dry run ---------------------------------------------------------
+    def dry_run(self, script):
+        """Plan every statement of a script without executing anything.
+
+        Each statement is classified, policy-checked, and — where a
+        planner estimate exists (SELECT always; AISQL when its inspector
+        is installed; INSERT from its literal rows) — costed. Returns a
+        :class:`DryRunReport`. Per-statement failures are captured in
+        the preview (``error``), never raised, so one bad statement
+        doesn't hide the rest of the report.
+
+        Planning runs against the *current* catalog: a statement that
+        depends on earlier uncommitted DDL in the same script previews
+        as an error, which is itself useful signal.
+        """
+        previews = []
+        for sql_text in split_script(script):
+            previews.append(self._preview(sql_text))
+        return DryRunReport(previews)
+
+    def _preview(self, sql_text):
+        try:
+            info = classify(self.db, sql_text, deep=True)
+        except EngineError as exc:
+            return StatementPreview(
+                sql_text, sniff_kind(sql_text), error=str(exc))
+        decision = (self.policy.check_statement(info)
+                    if self.policy is not None else None)
+        est_cost = None
+        est_rows = None
+        error = None
+        try:
+            if info.kind == "SELECT":
+                prepared = self.db.pipeline.prepare_sql(sql_text)
+                est_cost = prepared.est_cost
+                est_rows = prepared.plan.est_rows
+            elif info.query is not None:
+                # Extension statement (AISQL) whose inspector exposed a
+                # cost-estimable feature query: plan it.
+                prepared = self.db.pipeline.prepare_query(info.query)
+                est_cost = prepared.est_cost
+                est_rows = prepared.plan.est_rows
+            elif info.kind == "INSERT":
+                est_cost = WRITE_STATEMENT_COST
+                est_rows = info.row_estimate
+            elif info.kind in ("CREATE TABLE", "CREATE INDEX", "ANALYZE",
+                               "CREATE MODEL"):
+                est_cost = WRITE_STATEMENT_COST
+        except EngineError as exc:
+            error = str(exc)
+        if (decision is not None and decision.allowed
+                and self.policy is not None):
+            cost_decision = self.policy.check_cost(est_cost)
+            if not cost_decision.allowed:
+                decision = cost_decision
+        return StatementPreview(
+            sql_text, info.kind, tables=info.tables, columns=info.columns,
+            decision=decision, est_cost=est_cost, est_rows=est_rows,
+            error=error,
+        )
+
+    # -- gated execution -------------------------------------------------
+    def _versions(self):
+        return dict(self.db.catalog.version_vector())
+
+    def _audit(self, sql_text, kind, decision, status, **fields):
+        if self.audit is None:
+            return None
+        rule = decision.rule if decision is not None else "default"
+        verdict = decision.verdict if decision is not None else "allow"
+        return self.audit.record(
+            sql_text, kind, verdict, rule, status,
+            versions=self._versions(), **fields)
+
+    def _execute_gated(self, sql_text):
+        try:
+            info = classify(self.db, sql_text, deep=True)
+        except EngineError as exc:
+            self._audit(sql_text, sniff_kind(sql_text), None, "error",
+                        error=str(exc))
+            raise
+        decision = (self.policy.check_statement(info)
+                    if self.policy is not None
+                    else PolicyDecision.allow())
+        if not decision.allowed:
+            self._audit(sql_text, info.kind, decision, "denied",
+                        error=decision.reason)
+            decision.raise_if_denied(sql_text)
+        if info.kind == "SELECT":
+            return self._gated_read(sql_text, info, decision)
+        return self._gated_raw(sql_text, info, decision)
+
+    def _gated_read(self, sql_text, info, decision):
+        """SELECT under gates: prepare → cost gate → execute → row gate."""
+        try:
+            prepared = self.db.pipeline.prepare_sql(sql_text)
+        except EngineError as exc:
+            self._audit(sql_text, info.kind, decision, "error",
+                        error=str(exc))
+            raise
+        est_cost = prepared.est_cost
+        if self.policy is not None:
+            cost_decision = self.policy.check_cost(est_cost)
+            if not cost_decision.allowed:
+                self._audit(sql_text, info.kind, cost_decision, "denied",
+                            error=cost_decision.reason, est_cost=est_cost)
+                cost_decision.raise_if_denied(sql_text)
+        try:
+            raw = self.backend.read(prepared)
+        except EngineError as exc:
+            self._audit(sql_text, info.kind, decision, "error",
+                        error=str(exc), est_cost=est_cost)
+            raise
+        n_rows = len(raw.rows)
+        if self.policy is not None:
+            row_decision = self.policy.check_result_rows(n_rows)
+            if not row_decision.allowed:
+                # The read already ran (limits on realized size can only
+                # be checked after execution) — the result is withheld
+                # and the overrun audited.
+                self._audit(sql_text, info.kind, row_decision, "denied",
+                            error=row_decision.reason, est_cost=est_cost,
+                            actual_work=raw.telemetry.total_work,
+                            n_rows=n_rows)
+                row_decision.raise_if_denied(sql_text)
+        record = self._audit(
+            sql_text, info.kind, decision, "ok", est_cost=est_cost,
+            actual_work=raw.telemetry.total_work, n_rows=n_rows,
+            telemetry=raw.telemetry.brief(),
+        )
+        return SessionResult(sql_text, info.kind, raw, decision=decision,
+                             est_cost=est_cost, audit_record=record)
+
+    def _gated_raw(self, sql_text, info, decision):
+        """Everything else under gates: cost gate → raw path → audit."""
+        est_cost = None
+        if info.query is not None:
+            try:
+                est_cost = self.db.pipeline.prepare_query(
+                    info.query).est_cost
+            except EngineError:
+                est_cost = None
+        elif info.kind in ("INSERT", "CREATE TABLE", "CREATE INDEX",
+                           "ANALYZE", "CREATE MODEL"):
+            est_cost = WRITE_STATEMENT_COST
+        if self.policy is not None and est_cost is not None:
+            cost_decision = self.policy.check_cost(est_cost)
+            if not cost_decision.allowed:
+                self._audit(sql_text, info.kind, cost_decision, "denied",
+                            error=cost_decision.reason, est_cost=est_cost)
+                cost_decision.raise_if_denied(sql_text)
+        try:
+            raw = self.backend.run_raw(sql_text)
+        except EngineError as exc:
+            self._audit(sql_text, info.kind, decision, "error",
+                        error=str(exc), est_cost=est_cost)
+            raise
+        telemetry = getattr(raw, "telemetry", None)
+        rows = getattr(raw, "rows", None)
+        n_rows = len(rows) if rows is not None else info.row_estimate
+        if (self.policy is not None and rows is not None):
+            # Extension reads (AISQL PREDICT) return row-shaped results
+            # outside the prepare path; the row gate still applies.
+            row_decision = self.policy.check_result_rows(len(rows))
+            if not row_decision.allowed:
+                self._audit(sql_text, info.kind, row_decision, "denied",
+                            error=row_decision.reason, est_cost=est_cost,
+                            n_rows=len(rows))
+                row_decision.raise_if_denied(sql_text)
+        record = self._audit(
+            sql_text, info.kind, decision, "ok", est_cost=est_cost,
+            actual_work=(telemetry.total_work
+                         if telemetry is not None else None),
+            n_rows=n_rows,
+            telemetry=(telemetry.brief()
+                       if telemetry is not None else None),
+        )
+        return SessionResult(sql_text, info.kind, raw, decision=decision,
+                             est_cost=est_cost, audit_record=record)
+
+    def __repr__(self):
+        gates = []
+        if self.policy is not None:
+            gates.append(repr(self.policy))
+        if self.audit is not None:
+            gates.append(repr(self.audit))
+        return "SessionContext(%s%s)" % (
+            type(self.backend).__name__,
+            (", " + ", ".join(gates)) if gates else "")

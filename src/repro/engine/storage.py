@@ -425,12 +425,78 @@ class Table:
         """
         return TableSnapshot(self)
 
+    def restore_point(self):
+        """A :class:`TableRestorePoint` that can rewind this table.
+
+        The write-side sibling of :meth:`snapshot`: where a snapshot is a
+        detached immutable *view*, a restore point remembers enough of
+        this table's physical state (sealed groups by reference, tail by
+        copy) to put the table itself back bit-identically via
+        ``restore()`` — the primitive the session API's ``rollback()``
+        is built on. Cost is O(tail rows), like a snapshot.
+        """
+        return TableRestorePoint(self)
+
     def __len__(self):
         return self._n_rows
 
     def __repr__(self):
         return "Table(%r, rows=%d, segments=%d)" % (
             self.name, self._n_rows, self.n_segments
+        )
+
+
+class TableRestorePoint:
+    """A rewind handle for one :class:`Table`.
+
+    Captures the table's physical state — the sealed row-group list by
+    reference (sealed groups are immutable: ``insert_rows`` only appends
+    groups and ``replace_column`` builds fresh ones) plus a copy of the
+    mutable tail and the row/version counters. ``restore()`` puts the
+    table back exactly as captured: same groups, same tail, same
+    ``version``; decoded-array caches are dropped so subsequent reads
+    rematerialize from the restored segments.
+
+    Restoring deliberately does **not** fire the table's write hooks:
+    the catalog-level :class:`~repro.engine.catalog.CatalogRestorePoint`
+    owns version bookkeeping for the rewind as a whole.
+    """
+
+    __slots__ = ("_table", "_groups", "_tail", "_tail_rows", "_n_rows",
+                 "_version")
+
+    def __init__(self, table):
+        self._table = table
+        self._groups = list(table._groups)
+        self._tail = {k: list(v) for k, v in table._tail.items()}
+        self._tail_rows = table._tail_rows
+        self._n_rows = table._n_rows
+        self._version = table._version
+
+    @property
+    def table(self):
+        """The live :class:`Table` this point rewinds."""
+        return self._table
+
+    @property
+    def n_rows(self):
+        """Row count at capture time (what ``restore()`` returns to)."""
+        return self._n_rows
+
+    def restore(self):
+        """Rewind the table to the captured state (idempotent)."""
+        t = self._table
+        t._groups = list(self._groups)
+        t._tail = {k: list(v) for k, v in self._tail.items()}
+        t._tail_rows = self._tail_rows
+        t._n_rows = self._n_rows
+        t._version = self._version
+        t._tail_group = None
+        t._decoded = {}
+
+    def __repr__(self):
+        return "TableRestorePoint(%r, rows=%d, version=%d)" % (
+            self._table.name, self._n_rows, self._version
         )
 
 

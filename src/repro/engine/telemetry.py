@@ -152,6 +152,21 @@ class ExecutionTelemetry:
                   if e["q_error"] is not None]
         return max(errors) if errors else None
 
+    def brief(self):
+        """A one-line dict digest for logs that keep one row per query.
+
+        The session audit log stores this (mode, work, wall time, fused
+        ops, worst q-error) instead of the full :meth:`summary`, which
+        carries per-operator and per-node detail too wide for a log row.
+        """
+        return {
+            "mode": self.mode,
+            "total_work": self.total_work,
+            "total_seconds": self.total_seconds,
+            "fused_ops": self.fused_ops,
+            "max_q_error": self.max_q_error(),
+        }
+
     def summary(self):
         """A plain-dict snapshot (JSON-friendly)."""
         return {

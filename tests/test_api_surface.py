@@ -1,15 +1,21 @@
 """API-surface regression test for the public ``repro.engine`` package.
 
-Guards two properties: every name in ``repro.engine.__all__`` actually
-resolves (no stale exports after refactors), and the names this PR's API
-redesign promises — ``EngineConfig``, ``ExplainResult``,
-``FusedPipelineOp``, ``fuse_plan`` — stay exported alongside the
-long-standing surface the AI4DB/DB4AI layers import.
+Guards three properties: every name in ``repro.engine.__all__`` actually
+resolves (no stale exports after refactors), the names the API redesigns
+promise — the config/fusion surface and now the session layer
+(``SessionContext``, ``AgentSession``, ``Policy``, ``AuditLog``, the
+``repro.engine.errors`` hierarchy) — stay exported alongside the
+long-standing surface the AI4DB/DB4AI layers import, and the error
+hierarchy's identity/parentage invariants hold (``repro.common`` and
+``repro.engine.errors`` expose the *same* classes, all under
+``EngineError``).
 """
 
 import inspect
 
+import repro.common
 import repro.engine as engine
+import repro.engine.errors as engine_errors
 
 #: Names that must stay in ``repro.engine.__all__``; a superset check so
 #: additive growth does not churn this test.
@@ -38,6 +44,12 @@ REQUIRED_EXPORTS = {
     "Transaction", "LockTableSimulator", "ScheduleResult",
     "hotspot_workload", "fifo_schedule", "cost_ordered_schedule",
     "datagen", "telemetry",
+    # session layer (this PR's redesigned surface)
+    "SessionContext", "AgentSession", "SessionResult", "Policy",
+    "PolicyDecision", "AuditLog", "AuditRecord", "DryRunReport",
+    "StatementPreview", "StatementInfo", "split_script",
+    "EngineError", "PolicyError", "SessionError", "AdmissionError",
+    "TableRestorePoint", "CatalogRestorePoint",
 }
 
 
@@ -69,3 +81,47 @@ def test_new_exports_are_the_right_kinds():
     sig = inspect.signature(engine.Database.__init__)
     assert "config" in sig.parameters
     assert "fusion_enabled" in sig.parameters
+
+
+def test_session_surface_present():
+    assert inspect.isclass(engine.SessionContext)
+    assert inspect.isclass(engine.AgentSession)
+    assert issubclass(engine.AgentSession, engine.SessionContext)
+    assert inspect.isclass(engine.Policy)
+    assert inspect.isclass(engine.AuditLog)
+    assert callable(engine.split_script)
+    # The session entry points on the three facades.
+    for owner, name in [
+        (engine.Database, "session"),
+        (engine.Database, "agent_session"),
+        (engine.DatabaseSnapshot, "session"),
+        (engine.QueryServer, "agent_session"),
+        (engine.Session, "session_context"),
+    ]:
+        assert callable(getattr(owner, name)), "%s.%s missing" % (
+            owner.__name__, name)
+
+
+def test_error_hierarchy_identity():
+    """repro.common and repro.engine.errors expose the same classes."""
+    for name in ("ReproError", "EngineError", "CatalogError", "ParseError",
+                 "PlanError", "ExecutionError"):
+        assert getattr(repro.common, name) is getattr(engine_errors, name), (
+            "repro.common.%s is not repro.engine.errors.%s" % (name, name))
+
+
+def test_error_hierarchy_parentage():
+    E = engine_errors
+    # One family: catch EngineError, get every engine failure.
+    for cls in (E.CatalogError, E.ParseError, E.PlanError,
+                E.ExecutionError, E.PolicyError, E.SessionError,
+                E.AdmissionError):
+        assert issubclass(cls, E.EngineError), cls
+        assert issubclass(cls, E.ReproError), cls
+    # AdmissionError kept its historical ExecutionError parent.
+    assert issubclass(E.AdmissionError, E.ExecutionError)
+    # The server package re-exports the same class object.
+    assert engine.AdmissionError is E.AdmissionError
+    # ParseError keeps its position attribute contract.
+    err = E.ParseError("boom", 7)
+    assert err.position == 7

@@ -167,7 +167,7 @@ class TestCountJoinRows:
 
 class TestDatabaseFacade:
     def test_statement_hooks_take_priority(self, tiny_db):
-        tiny_db.statement_hooks.append(
+        tiny_db.pipeline.statement_hooks.append(
             lambda db, text: "HOOKED" if text.startswith("MAGIC") else None
         )
         assert tiny_db.execute("MAGIC WORD") == "HOOKED"

@@ -515,6 +515,149 @@ def test_fuzz_server_mode_matches_serial_oracle(config):
     assert live.commit_history()[-1][0] == writes
 
 
+# ----------------------------------------------------------------------
+# Agent-session arm: random scripts under random policies vs serial oracle
+# ----------------------------------------------------------------------
+#: Scripts per mode×fusion config in the agent-session arm.
+AGENT_CASES = 6
+
+AGENT_POLICY_KINDS = ("SELECT", "INSERT", "CREATE TABLE", "ANALYZE")
+
+
+def _random_policy(rng):
+    """A random session policy (or None for an audit-only session)."""
+    from repro.engine import Policy
+
+    roll = rng.random()
+    if roll < 0.25:
+        return None
+    if roll < 0.45:
+        return Policy.read_only()
+    if roll < 0.60:
+        return Policy(deny_tables=("t0",))
+    if roll < 0.80:
+        return Policy(max_rows=rng.choice([1, 3, 25]))
+    kinds = tuple(k for k in AGENT_POLICY_KINDS if rng.random() < 0.7)
+    return Policy(statement_kinds=kinds or ("SELECT",))
+
+
+def _agent_script(rng, tables, case):
+    """A random multi-statement SQL script (pure function of the rng).
+
+    Mixes shared-table inserts, scratch DDL + inserts, reads, ANALYZE,
+    and the occasional statement that is guaranteed to fail — the mix a
+    misbehaving agent would produce. Scratch names embed ``case`` so a
+    committed case never collides with the next one.
+    """
+    stmts = []
+    scratch = []
+    for __ in range(rng.randint(4, 9)):
+        roll = rng.random()
+        t = rng.choice(tables)
+        if roll < 0.30:
+            rows = ", ".join(
+                "(%d, %d, %.3f, 'tag%d', 'n%d')" % (
+                    rng.randrange(100_000), rng.randrange(12),
+                    rng.uniform(-10.0, 10.0), rng.randrange(5),
+                    rng.randrange(3))
+                for __ in range(rng.randint(1, 3))
+            )
+            stmts.append("INSERT INTO %s VALUES %s" % (t, rows))
+        elif roll < 0.45:
+            name = "s%d_%d" % (case, len(scratch))
+            scratch.append(name)
+            stmts.append("CREATE TABLE %s (a INT, b TEXT)" % name)
+        elif roll < 0.55 and scratch:
+            stmts.append("INSERT INTO %s VALUES (%d, 'b%d')" % (
+                rng.choice(scratch), rng.randrange(100),
+                rng.randrange(4)))
+        elif roll < 0.80:
+            stmts.append(rng.choice([
+                "SELECT COUNT(*) FROM %s" % t,
+                "SELECT id, k FROM %s WHERE k < %d" % (t, rng.randrange(12)),
+                "SELECT MIN(v), MAX(v) FROM %s" % t,
+            ]))
+        elif roll < 0.90:
+            stmts.append("ANALYZE %s" % t)
+        else:
+            stmts.append("SELECT * FROM no_such_%d" % rng.randrange(10))
+    return stmts
+
+
+def _run_gated_statements(session, stmts):
+    """Execute ``stmts`` one by one; return the observable outcomes."""
+    from repro.engine import EngineError
+
+    out = []
+    for sql in stmts:
+        try:
+            res = session.execute(sql)
+            raw = res.raw
+            out.append((
+                "ok", res.kind,
+                raw.rows if hasattr(raw, "rows") else raw,
+            ))
+        except EngineError as exc:
+            out.append(("error", type(exc).__name__))
+    return out
+
+
+def _full_state(db):
+    """Bit-identity probe: every table's rows + the full version vector."""
+    state = {
+        name: db.query("SELECT * FROM %s" % name)
+        for name in sorted(db.catalog.table_names())
+    }
+    return state, dict(db.catalog.version_vector())
+
+
+@pytest.mark.parametrize("config", CONFIGS)
+def test_fuzz_agent_session_rollback_matches_serial_oracle(config):
+    """Random scripts under random policies through :class:`AgentSession`:
+
+    * ``rollback()`` restores bit-identical state (all tables' rows and
+      the version vector) in every mode×fusion config, regardless of
+      how far the script got before failing or being denied;
+    * re-running the same script and committing produces the **same
+      per-statement outcomes** (rows, status strings, error classes,
+      policy denials) as a serial gated-session oracle on a frozen
+      twin, and leaves both databases bit-identical;
+    * the audit log records every statement plus BEGIN/ROLLBACK.
+    """
+    mode, fusion = config
+    db, tables = _build_db(mode, 3, fusion=fusion)
+    twin, __ = _build_db(mode, 3, fusion=fusion)
+    rng = random.Random(90_000 + 17 * CONFIGS.index(config))
+    for case in range(AGENT_CASES):
+        policy = _random_policy(rng)
+        stmts = _agent_script(rng, tables, case)
+        label = "config=%r case=%d policy=%r stmts=%r" % (
+            config, case, policy and policy.describe(), stmts)
+        before = _full_state(db)
+
+        # Leg 1: run inside a transaction, then roll everything back.
+        agent = db.agent_session(policy=policy)
+        agent.begin()
+        live = _run_gated_statements(agent, stmts)
+        agent.rollback()
+        assert _full_state(db) == before, label
+        assert len(agent.audit) == len(stmts) + 2, label  # BEGIN/ROLLBACK
+        assert [r.kind for r in agent.audit][0] == "BEGIN"
+        assert [r.kind for r in agent.audit][-1] == "ROLLBACK"
+
+        # Leg 2: serial oracle — same script, same policy, plain gated
+        # session on the twin (no transaction machinery at all).
+        oracle = _run_gated_statements(twin.session(policy=policy), stmts)
+        assert live == oracle, (
+            "%s\nagent=%r\noracle=%r" % (label, live, oracle))
+
+        # Leg 3: replay + commit; outcomes repeat and states converge.
+        with db.agent_session(policy=policy) as agent2:
+            committed = _run_gated_statements(agent2, stmts)
+        assert committed == live, label
+        assert _full_state(db) == _full_state(twin), label
+
+
 class TestEdgeCases:
     """Targeted regressions for the edge cases the fuzzer hunts.
 

@@ -7,8 +7,6 @@ must be invalidated by every catalog mutation (INSERT / CREATE INDEX /
 ANALYZE / DDL) — no test may ever observe a stale plan.
 """
 
-import warnings
-
 import pytest
 
 from repro.common import PlanError
@@ -375,25 +373,27 @@ class TestExplicitOrders:
 
 
 # ----------------------------------------------------------------------
-# Back-compat shims and stage hooks
+# Removed shims and stage hooks
 # ----------------------------------------------------------------------
 class TestShims:
-    def test_statement_hooks_shim(self, db):
-        db.statement_hooks.append(
+    """The pre-pipeline ``db.rewriter``/``db.statement_hooks`` shims
+    finished their deprecation cycle: the pipeline spelling is the only
+    one, and the removed names fail loudly with a migration pointer."""
+
+    def test_statement_hooks_on_pipeline(self, db):
+        db.pipeline.statement_hooks.append(
             lambda d, text: "HOOKED" if text.startswith("MAGIC") else None
         )
         assert db.execute("MAGIC WORD") == "HOOKED"
-        assert db.pipeline.statement_hooks is db.statement_hooks
 
-    def test_rewriter_shim_applied_on_sql_and_query_paths(self, db):
+    def test_rewriter_applied_on_sql_and_query_paths(self, db):
         calls = []
 
         def rewriter(query):
             calls.append(query)
             return query
 
-        with pytest.warns(DeprecationWarning, match="db.pipeline.rewriter"):
-            db.rewriter = rewriter
+        db.pipeline.rewriter = rewriter
         assert db.pipeline.rewriter is rewriter
         db.query("SELECT COUNT(*) FROM users")
         q = ConjunctiveQuery(tables=["users"],
@@ -404,22 +404,22 @@ class TestShims:
     def test_setting_rewriter_clears_plan_cache(self, db):
         db.query("SELECT COUNT(*) FROM users")
         assert len(db.pipeline.plan_cache) == 1
-        with pytest.warns(DeprecationWarning):
-            db.rewriter = lambda q: q
+        db.pipeline.rewriter = lambda q: q
         assert len(db.pipeline.plan_cache) == 0
 
-    def test_statement_hooks_setter_warns_but_works(self, db):
-        hook = lambda d, text: None  # noqa: E731
-        with pytest.warns(
-            DeprecationWarning, match="db.pipeline.statement_hooks"
+    def test_removed_shims_raise_with_migration_pointer(self, db):
+        with pytest.raises(AttributeError, match="db.pipeline.rewriter"):
+            db.rewriter
+        with pytest.raises(AttributeError, match="db.pipeline.rewriter"):
+            db.rewriter = lambda q: q
+        with pytest.raises(
+            AttributeError, match="db.pipeline.statement_hooks"
         ):
-            db.statement_hooks = [hook]
-        assert db.pipeline.statement_hooks == [hook]
-        # Reading the shims (the common path) stays silent.
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert db.statement_hooks == [hook]
-            assert db.rewriter is None
+            db.statement_hooks
+        with pytest.raises(
+            AttributeError, match="db.pipeline.statement_hooks"
+        ):
+            db.statement_hooks = []
 
     def test_stage_hooks_observe_and_replace(self, db):
         seen = {stage: 0 for stage in PIPELINE_STAGES}

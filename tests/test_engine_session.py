@@ -1,0 +1,582 @@
+"""Session-layer tests: unified surface, policy, audit, dry-run, rollback.
+
+The safety contract under test, per acceptance criteria:
+
+* the three legacy entry points (``Database.execute``, ``db.snapshot()``,
+  ``QueryServer.session``) behave exactly as before while being facades
+  over :class:`SessionContext`;
+* policies catch denied columns wherever they appear (projection,
+  predicate, aggregate, AISQL feature list) and row/cost ceilings hold;
+* the audit log records every statement — allowed, denied, and failed —
+  with policy decision, version vector, and estimated vs. actual cost,
+  and is queryable as a table;
+* ``dry_run`` plans whole scripts (AISQL included) without executing;
+* ``AgentSession.rollback()`` restores bit-identical state — rows,
+  version vectors, COUNT(*) — in **all six** executor mode × fusion
+  configurations, embedded and served.
+"""
+
+import pytest
+
+from repro.common import CatalogError, ExecutionError, ParseError
+from repro.engine import (
+    AgentSession,
+    AuditLog,
+    Database,
+    EngineError,
+    Policy,
+    PolicyError,
+    QueryServer,
+    SessionContext,
+    SessionError,
+    SessionResult,
+    split_script,
+)
+from repro.engine.executor import EXECUTOR_MODES
+from repro.engine.session.context import classify, sniff_kind
+
+SEED_ROWS = [
+    (1, "alice", 30), (2, "bob", 25), (3, "carol", 41),
+    (4, "dave", 25), (5, "erin", 35),
+]
+
+
+def make_db(**kwargs):
+    db = Database(**kwargs)
+    db.execute("CREATE TABLE users (id INT, name TEXT, age INT)")
+    db.execute(
+        "INSERT INTO users VALUES "
+        + ", ".join("(%d, '%s', %d)" % r for r in SEED_ROWS)
+    )
+    db.execute("ANALYZE users")
+    return db
+
+
+def table_state(db, name):
+    """Bit-identity probe: ordered rows + version vector + COUNT(*)."""
+    rows = db.query("SELECT * FROM %s" % name)
+    vector = db.catalog.version_vector()
+    count = db.query("SELECT COUNT(*) FROM %s" % name)[0][0]
+    return rows, vector, count
+
+
+# ----------------------------------------------------------------------
+# Script splitting and classification
+# ----------------------------------------------------------------------
+class TestClassify:
+    def test_split_script_respects_quotes(self):
+        stmts = split_script(
+            "INSERT INTO t VALUES (1, 'a;b');\n SELECT * FROM t;;"
+        )
+        assert stmts == ["INSERT INTO t VALUES (1, 'a;b')",
+                         "SELECT * FROM t"]
+
+    def test_sniff_kinds(self):
+        assert sniff_kind("SELECT 1") == "SELECT"
+        assert sniff_kind("  insert into t values (1)") == "INSERT"
+        assert sniff_kind("CREATE TABLE t (a INT)") == "CREATE TABLE"
+        assert sniff_kind("CREATE INDEX i ON t (a)") == "CREATE INDEX"
+        assert sniff_kind("CREATE MODEL m ON t TARGET y") == "CREATE MODEL"
+        assert sniff_kind("PREDICT m ON t") == "PREDICT"
+        assert sniff_kind("gibberish") == "UNKNOWN"
+        assert sniff_kind("") == "UNKNOWN"
+
+    def test_deep_select_collects_all_column_references(self):
+        db = make_db()
+        info = classify(
+            db,
+            "SELECT name FROM users WHERE age > 30 ORDER BY id",
+            deep=True,
+        )
+        assert info.kind == "SELECT"
+        assert [t.lower() for t in info.tables] == ["users"]
+        cols = {(t.lower(), c.lower()) for t, c in info.columns}
+        assert ("users", "name") in cols      # projection
+        assert ("users", "age") in cols       # predicate
+        assert ("users", "id") in cols        # order key
+
+    def test_select_star_expands_all_columns(self):
+        db = make_db()
+        info = classify(db, "SELECT * FROM users", deep=True)
+        cols = {c.lower() for _, c in info.columns}
+        assert cols == {"id", "name", "age"}
+
+    def test_deep_insert_reports_rows_and_columns(self):
+        db = make_db()
+        info = classify(
+            db, "INSERT INTO users VALUES (9, 'zed', 50)", deep=True)
+        assert info.kind == "INSERT"
+        assert info.row_estimate == 1
+        assert {c.lower() for _, c in info.columns} == {"id", "name", "age"}
+
+
+# ----------------------------------------------------------------------
+# Facade equivalence: legacy surfaces are unchanged
+# ----------------------------------------------------------------------
+class TestFacades:
+    def test_database_execute_returns_legacy_types(self):
+        db = make_db()
+        assert db.execute("CREATE TABLE t (a INT)") == "CREATE TABLE"
+        assert db.execute("INSERT INTO t VALUES (1)") == "INSERT 1"
+        assert db.execute("ANALYZE t") == "ANALYZE"
+        result = db.execute("SELECT COUNT(*) FROM t")
+        assert result.rows == [(1,)]
+        # Hooked statements still return the hook's raw result.
+        db.pipeline.statement_hooks.append(
+            lambda d, text: "HOOKED" if text.startswith("MAGIC") else None)
+        assert db.execute("MAGIC") == "HOOKED"
+
+    def test_session_execute_wraps_same_raw(self):
+        db = make_db()
+        session = db.session()
+        res = session.execute("SELECT name FROM users WHERE age = 25")
+        assert isinstance(res, SessionResult)
+        assert res.kind == "SELECT"
+        assert res.rows == [("bob",), ("dave",)]
+        assert res.raw.rows == res.rows
+
+    def test_snapshot_facade_pins_and_rejects_writes(self):
+        db = make_db()
+        snap = db.snapshot()
+        db.execute("INSERT INTO users VALUES (6, 'fred', 60)")
+        assert snap.query("SELECT COUNT(*) FROM users") == [(5,)]
+        assert db.query("SELECT COUNT(*) FROM users") == [(6,)]
+        with pytest.raises(ExecutionError, match="read-only"):
+            snap.execute("INSERT INTO users VALUES (7, 'gail', 70)")
+        # Gated snapshot session reads the same pinned state.
+        gated = snap.session(policy=Policy.read_only())
+        assert gated.execute("SELECT COUNT(*) FROM users").rows == [(5,)]
+
+    def test_server_session_facade_unchanged(self):
+        db = make_db()
+        server = QueryServer(db)
+        with server.session(tenant="t1") as session:
+            result = session.execute("SELECT COUNT(*) FROM users")
+            assert result.rows == [(5,)]
+            assert session.execute(
+                "INSERT INTO users VALUES (6, 'fred', 60)") == "INSERT 1"
+        assert server.commit_history()[-1][1]["users"] > 0
+
+    def test_server_session_context_gates(self):
+        db = make_db()
+        server = QueryServer(db)
+        with server.session(tenant="t1") as session:
+            gated = session.session_context(policy=Policy.read_only())
+            assert gated.execute("SELECT COUNT(*) FROM users").rows == [(5,)]
+            with pytest.raises(PolicyError):
+                gated.execute("INSERT INTO users VALUES (9, 'x', 1)")
+
+
+# ----------------------------------------------------------------------
+# Policy edges
+# ----------------------------------------------------------------------
+class TestPolicy:
+    def test_denied_column_inside_expression(self):
+        """A deny-listed column is caught in WHERE, not just SELECT."""
+        db = make_db()
+        session = db.session(policy=Policy(deny_columns=("users.age",)))
+        with pytest.raises(PolicyError, match="column-deny") as exc:
+            session.execute("SELECT name FROM users WHERE age > 30")
+        assert exc.value.decision.rule == "column-deny"
+        # Aggregate argument is caught too.
+        with pytest.raises(PolicyError, match="column-deny"):
+            session.execute("SELECT AVG(age) FROM users")
+        # Untainted statements pass — including aggregate-only queries,
+        # which expose no columns (COUNT(*) is not a SELECT *).
+        assert session.execute("SELECT name FROM users WHERE id = 1"
+                               ).rows == [("alice",)]
+        assert session.execute("SELECT COUNT(*) FROM users"
+                               ).rows == [(5,)]
+
+    def test_table_gates(self):
+        db = make_db()
+        session = db.session(policy=Policy(allow_tables=("users",)))
+        db.execute("CREATE TABLE secrets (k TEXT)")
+        with pytest.raises(PolicyError, match="table-allow"):
+            session.execute("SELECT * FROM secrets")
+
+    def test_statement_kind_gate(self):
+        db = make_db()
+        session = db.session(policy=Policy.read_only())
+        with pytest.raises(PolicyError, match="statement-kind"):
+            session.execute("CREATE INDEX i ON users (age)")
+        with pytest.raises(PolicyError, match="statement-kind"):
+            session.execute("ANALYZE users")
+
+    def test_row_limit_on_read_enforced_after_execution(self):
+        """Row ceilings bind on the realized result — including through
+        the fused pipeline (fusion on is the default config)."""
+        db = make_db()
+        assert db.executor.fusion_enabled
+        audit = AuditLog()
+        session = db.session(policy=Policy(max_rows=3), audit=audit)
+        with pytest.raises(PolicyError, match="row-limit"):
+            session.execute("SELECT * FROM users")
+        rec = audit.records()[-1]
+        assert rec.decision == "deny" and rec.status == "denied"
+        assert rec.n_rows == 5  # the overrun was measured, not guessed
+        # Within the ceiling passes.
+        assert len(session.execute(
+            "SELECT * FROM users WHERE age = 25").rows) == 2
+
+    def test_row_limit_on_insert_enforced_before_execution(self):
+        db = make_db()
+        session = db.session(policy=Policy(max_rows=2))
+        with pytest.raises(PolicyError, match="row-limit"):
+            session.execute(
+                "INSERT INTO users VALUES (6,'x',1),(7,'y',2),(8,'z',3)")
+        # Nothing was applied.
+        assert db.query("SELECT COUNT(*) FROM users") == [(5,)]
+
+    def test_cost_ceiling(self):
+        db = make_db()
+        session = db.session(policy=Policy(max_cost=0.5))
+        with pytest.raises(PolicyError, match="cost-limit"):
+            session.execute("SELECT * FROM users")
+
+    def test_unknown_kind_rejected_in_policy(self):
+        with pytest.raises(PolicyError, match="unknown statement kinds"):
+            Policy(statement_kinds=("DROP",))
+
+
+# ----------------------------------------------------------------------
+# Audit log
+# ----------------------------------------------------------------------
+class TestAudit:
+    def test_every_statement_recorded_with_est_vs_actual(self):
+        db = make_db()
+        audit = AuditLog()
+        session = db.session(audit=audit)
+        session.execute("SELECT name FROM users WHERE age > 30")
+        session.execute("INSERT INTO users VALUES (6, 'fred', 60)")
+        assert len(audit) == 2
+        read, write = audit.records()
+        assert read.kind == "SELECT" and read.status == "ok"
+        assert read.decision == "allow"
+        assert read.est_cost is not None and read.est_cost > 0
+        assert read.actual_work is not None and read.actual_work > 0
+        assert read.versions["users"] > 0
+        assert read.telemetry["mode"] in EXECUTOR_MODES
+        assert write.kind == "INSERT" and write.n_rows == 1
+
+    def test_audit_survives_execution_failure(self):
+        db = make_db()
+        audit = AuditLog()
+        session = db.session(audit=audit)
+        with pytest.raises(CatalogError):
+            session.execute("SELECT * FROM missing")
+        with pytest.raises(ParseError):
+            session.execute("THIS IS NOT SQL")
+        assert len(audit) == 2
+        assert all(r.status == "error" for r in audit)
+        assert audit.records()[0].error  # message captured
+        assert audit.failed() == audit.records()
+
+    def test_audit_queryable_as_table(self):
+        db = make_db()
+        audit = AuditLog()
+        session = db.session(
+            policy=Policy(deny_columns=("users.age",)), audit=audit)
+        session.execute("SELECT name FROM users")
+        with pytest.raises(PolicyError):
+            session.execute("SELECT age FROM users")
+        audit.attach(db.catalog, "session_audit")
+        rows = db.query(
+            "SELECT seq, kind, decision, status FROM session_audit")
+        assert rows == [(1, "SELECT", "allow", "ok"),
+                        (2, "SELECT", "deny", "denied")]
+        # est vs actual landed in the table for the executed read.
+        est, actual = db.query(
+            "SELECT est_cost, actual_work FROM session_audit WHERE seq = 1"
+        )[0]
+        assert est > 0 and actual > 0
+        # Re-attaching refreshes rather than erroring.
+        session.execute("SELECT name FROM users")
+        audit.attach(db.catalog, "session_audit")
+        assert db.query("SELECT COUNT(*) FROM session_audit") == [(3,)]
+
+
+# ----------------------------------------------------------------------
+# Dry run
+# ----------------------------------------------------------------------
+class TestDryRun:
+    def test_script_planned_not_executed(self):
+        db = make_db()
+        session = db.session(policy=Policy(deny_tables=("secrets",)))
+        before = table_state(db, "users")
+        report = session.dry_run(
+            "SELECT name FROM users WHERE age > 30;"
+            "INSERT INTO users VALUES (9, 'zed', 90);"
+            "CREATE TABLE t2 (a INT)"
+        )
+        assert table_state(db, "users") == before  # nothing ran
+        assert not db.catalog.has_table("t2")
+        assert report.ok and len(report) == 3
+        select, insert, ddl = report
+        assert select.kind == "SELECT"
+        assert select.est_cost > 0 and select.est_rows is not None
+        assert insert.kind == "INSERT" and insert.est_rows == 1
+        assert ddl.kind == "CREATE TABLE"
+        assert report.total_est_cost > 0
+
+    def test_dry_run_flags_denials_and_errors(self):
+        db = make_db()
+        session = db.session(policy=Policy.read_only())
+        report = session.dry_run(
+            "SELECT name FROM users;"
+            "INSERT INTO users VALUES (9, 'zed', 90);"
+            "SELECT * FROM missing"
+        )
+        assert not report.ok
+        assert len(report.denied()) == 1
+        assert report.denied()[0].kind == "INSERT"
+        assert len(report.errors()) == 1
+        assert "missing" in report.errors()[0].error
+
+
+# ----------------------------------------------------------------------
+# AgentSession transactions: the rollback acceptance criterion
+# ----------------------------------------------------------------------
+MODE_FUSION = [(m, f) for m in EXECUTOR_MODES for f in (True, False)]
+
+
+class TestAgentRollback:
+    @pytest.mark.parametrize("mode,fusion", MODE_FUSION)
+    def test_misbehaving_script_fully_undone(self, mode, fusion):
+        """Post-rollback tables, version vectors, and COUNT(*) are
+        bit-identical in all six mode × fusion configs."""
+        db = make_db(executor_mode=mode, fusion_enabled=fusion)
+        before = table_state(db, "users")
+        agent = db.agent_session(policy=Policy(deny_tables=("secrets",)))
+        with pytest.raises(CatalogError):
+            with agent:
+                agent.run_script(
+                    "INSERT INTO users VALUES (6, 'mallory', 66);"
+                    "CREATE TABLE loot (k TEXT);"
+                    "INSERT INTO loot VALUES ('swag');"
+                    "CREATE INDEX ix ON users (age);"
+                    "SELECT * FROM nonexistent"  # the misbehavior
+                )
+        assert table_state(db, "users") == before
+        assert not db.catalog.has_table("loot")
+        assert "ix" not in [ix.name for ix in db.catalog.indexes()]
+        # The audit log survived the rollback and recorded the failure.
+        kinds = [r.kind for r in agent.audit]
+        assert "ROLLBACK" in kinds and "error" in [
+            r.status for r in agent.audit]
+
+    def test_rollback_after_partial_script(self):
+        """Explicit begin/rollback mid-script: earlier statements are
+        applied, rollback reverts all of them."""
+        db = make_db()
+        agent = db.agent_session()
+        before = table_state(db, "users")
+        agent.begin()
+        agent.execute("INSERT INTO users VALUES (6, 'fred', 60)")
+        agent.execute("INSERT INTO users VALUES (7, 'gail', 70)")
+        assert db.query("SELECT COUNT(*) FROM users") == [(7,)]
+        agent.rollback()
+        assert table_state(db, "users") == before
+        # Plan caches were invalidated: a fresh query replans cleanly
+        # and sees the restored data.
+        assert db.query("SELECT COUNT(*) FROM users") == [(5,)]
+
+    def test_commit_keeps_changes(self):
+        db = make_db()
+        with db.agent_session() as agent:
+            agent.execute("INSERT INTO users VALUES (6, 'fred', 60)")
+        assert db.query("SELECT COUNT(*) FROM users") == [(6,)]
+
+    def test_transaction_state_errors(self):
+        db = make_db()
+        agent = db.agent_session()
+        with pytest.raises(SessionError, match="no transaction"):
+            agent.rollback()
+        agent.begin()
+        with pytest.raises(SessionError, match="already active"):
+            agent.begin()
+        agent.commit()
+        with pytest.raises(SessionError, match="no transaction"):
+            agent.commit()
+
+    def test_rollback_restores_stats_and_views(self):
+        db = make_db()
+        stats_before = db.catalog.stats("users").n_rows
+        agent = db.agent_session()
+        agent.begin()
+        agent.execute("INSERT INTO users VALUES (6, 'fred', 60)")
+        agent.execute("ANALYZE users")
+        assert db.catalog.stats("users").n_rows == 6
+        agent.rollback()
+        assert db.catalog.stats("users").n_rows == stats_before
+
+
+class TestAgentOverServer:
+    def test_server_rollback_bit_identical_and_logged(self):
+        db = make_db()
+        server = QueryServer(db)
+        before = table_state(db, "users")
+        history_before = len(server.commit_history())
+        agent = server.agent_session(policy=Policy(max_rows=100))
+        agent.begin()
+        agent.execute("INSERT INTO users VALUES (6, 'fred', 60)")
+        agent.execute("CREATE TABLE scratch (x INT)")
+        agent.rollback()
+        agent.close()
+        assert table_state(db, "users") == before
+        assert not db.catalog.has_table("scratch")
+        # The rollback appended the restored vector: the post-rollback
+        # state is a committed state (no-torn-reads invariant holds).
+        history = server.commit_history()
+        assert len(history) > history_before
+        assert history[-1][1] == dict(db.catalog.version_vector())
+        with server.session() as session:
+            assert session.execute(
+                "SELECT COUNT(*) FROM users").rows == [(5,)]
+
+    def test_server_agent_commit_visible_to_other_sessions(self):
+        db = make_db()
+        server = QueryServer(db)
+        with server.agent_session() as agent:
+            agent.execute("INSERT INTO users VALUES (6, 'fred', 60)")
+        with server.session() as session:
+            assert session.execute(
+                "SELECT COUNT(*) FROM users").rows == [(6,)]
+
+
+# ----------------------------------------------------------------------
+# AISQL under sessions
+# ----------------------------------------------------------------------
+class TestAISQLSessions:
+    def _db_with_aisql(self):
+        pytest.importorskip("repro.db4ai")
+        from repro.db4ai.declarative.aisql import AISQLExtension
+        db = make_db()
+        AISQLExtension().install(db)
+        return db
+
+    def test_predict_denied_under_select_only_policy(self):
+        db = self._db_with_aisql()
+        db.execute(
+            "CREATE MODEL m KIND linear ON users TARGET age FEATURES (id)")
+        session = db.session(policy=Policy.read_only())
+        with pytest.raises(PolicyError, match="statement-kind"):
+            session.execute("PREDICT m ON users LIMIT 2")
+        # A policy that allows PREDICT lets it through, with a planner
+        # cost estimate from the inspector's feature query.
+        open_session = db.session(
+            policy=Policy(statement_kinds=("SELECT", "PREDICT")),
+            audit=AuditLog())
+        res = open_session.execute("PREDICT m ON users LIMIT 2")
+        assert res.kind == "PREDICT"
+        assert len(res.raw.rows) == 2
+        assert res.est_cost is not None and res.est_cost > 0
+        assert open_session.audit.records()[-1].decision == "allow"
+
+    def test_create_model_feature_columns_gated(self):
+        db = self._db_with_aisql()
+        session = db.session(policy=Policy(deny_columns=("users.age",)))
+        with pytest.raises(PolicyError, match="column-deny"):
+            session.execute(
+                "CREATE MODEL m KIND linear ON users TARGET age "
+                "FEATURES (id)")
+
+    def test_dry_run_plans_aisql_without_training(self):
+        db = self._db_with_aisql()
+        session = db.session()
+        report = session.dry_run(
+            "CREATE MODEL m KIND linear ON users TARGET age FEATURES (id);"
+            "SELECT COUNT(*) FROM users"
+        )
+        assert report.ok
+        create = report[0]
+        assert create.kind == "CREATE MODEL"
+        assert [t.lower() for t in create.tables] == ["users"]
+        assert create.est_cost is not None and create.est_cost > 0
+        # Nothing trained: the registry hook never fired.
+        with pytest.raises(EngineError):
+            db.execute("PREDICT m ON users LIMIT 1")
+
+    def test_rollback_reverts_aisql_side_tables_not_registry(self):
+        """Documented boundary: catalog state rolls back; the model
+        registry (an extension object outside the catalog) does not."""
+        db = self._db_with_aisql()
+        before = table_state(db, "users")
+        agent = db.agent_session()
+        agent.begin()
+        agent.execute(
+            "CREATE MODEL m KIND linear ON users TARGET age FEATURES (id)")
+        agent.execute("INSERT INTO users VALUES (6, 'fred', 60)")
+        agent.rollback()
+        assert table_state(db, "users") == before
+        # The registry kept the model (out-of-catalog side effect).
+        assert len(db.execute("PREDICT m ON users LIMIT 1").rows) == 1
+
+
+# ----------------------------------------------------------------------
+# Learned access control → session policy bridge
+# ----------------------------------------------------------------------
+class TestPolicyBridge:
+    def test_derived_policy_enforces_learned_denials(self):
+        pytest.importorskip("repro.ai4db")
+        from repro.ai4db.security import (
+            AccessRequestGenerator,
+            LearnedAccessController,
+            derive_policy,
+        )
+        db = Database()
+        db.catalog.create_table(
+            "people",
+            [("id", "INT"), ("ssn", "TEXT"), ("region", "TEXT")],
+            sensitive=("ssn",),
+        )
+        db.catalog.table("people").insert_rows(
+            [(1, "123-45-6789", "west"), (2, "987-65-4321", "east")])
+        requests, labels = AccessRequestGenerator(seed=0).generate(3000)
+        controller = LearnedAccessController(seed=0).fit(requests, labels)
+        # A marketing caller on an ad-hoc purpose must not see pii.
+        policy = derive_policy(
+            db.catalog, controller, role="marketing", purpose="ad_hoc")
+        session = db.session(policy=policy)
+        with pytest.raises(PolicyError, match="column-deny"):
+            session.execute("SELECT ssn FROM people")
+        assert session.execute("SELECT region FROM people").rows == [
+            ("west",), ("east",)]
+        # An admin sees everything (the hidden policy allows admin).
+        admin = db.session(policy=derive_policy(
+            db.catalog, controller, role="admin", purpose="reporting"))
+        assert len(admin.execute("SELECT ssn FROM people").rows) == 2
+
+
+# ----------------------------------------------------------------------
+# SessionContext misc
+# ----------------------------------------------------------------------
+class TestSessionContextMisc:
+    def test_ungated_session_is_transparent(self):
+        db = make_db()
+        session = db.session()
+        assert not session.gated
+        assert session.execute("INSERT INTO users VALUES (6, 'f', 1)"
+                               ).raw == "INSERT 1"
+
+    def test_agent_session_always_audits(self):
+        db = make_db()
+        agent = db.agent_session()
+        assert isinstance(agent, AgentSession)
+        assert isinstance(agent, SessionContext)
+        agent.execute("SELECT COUNT(*) FROM users")
+        assert len(agent.audit) == 1
+
+    def test_prepare_respects_policy(self):
+        db = make_db()
+        session = db.session(policy=Policy(deny_columns=("users.age",)))
+        with pytest.raises(PolicyError):
+            session.prepare("SELECT age FROM users")
+        prepared = session.prepare("SELECT name FROM users")
+        assert prepared.est_cost > 0
+
+    def test_explain_respects_policy(self):
+        db = make_db()
+        session = db.session(policy=Policy(deny_tables=("users",)))
+        with pytest.raises(PolicyError):
+            session.explain("SELECT name FROM users")
