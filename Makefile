@@ -4,8 +4,9 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test test-session test-concurrency lint fuzz bench bench-fusion \
-	bench-feedback bench-storage bench-snapshots bench-server bench-json
+.PHONY: test test-session test-concurrency test-optimizer lint fuzz \
+	bench bench-fusion bench-feedback bench-storage bench-snapshots \
+	bench-server bench-plansel bench-json bench-summary
 
 # Tier-1 suite (fast; slow-marked full-size benchmarks are deselected by
 # the pytest addopts default). Lints first — a lint finding fails the run.
@@ -40,6 +41,18 @@ test-concurrency:
 		tests/test_engine_server_concurrency.py \
 		tests/test_engine_pipeline_concurrency.py \
 		tests/test_engine_fuzz_differential.py -q -m ''
+
+# Optimizer battery (slow variants included): plan selection (hint-set
+# arms, UES bounds, bandit/pessimistic selectors, regret caps), the
+# classic optimizer suite, cardinality feedback, and the selector-race
+# fuzz arm (three selectors vs the cost oracle on random catalogs).
+test-optimizer:
+	python -m pytest \
+		tests/test_engine_plan_selection.py \
+		tests/test_engine_optimizer.py \
+		tests/test_engine_feedback.py \
+		tests/test_engine_fuzz_differential.py::test_fuzz_selector_race \
+		-q -m ''
 
 # Differential query fuzzer with a larger case budget than tier-1's ~200.
 # Override the budget: make fuzz FUZZ_CASES=5000
@@ -81,6 +94,17 @@ bench-server:
 	python -m pytest benchmarks/bench_p8_server.py -q -m ''
 	python benchmarks/bench_p8_server.py
 
+# Plan-selection benchmark alone (four-strategy race over the skewed +
+# correlated workload, slow full-size gates included), regenerating
+# BENCH_P9.json.
+bench-plansel:
+	python -m pytest benchmarks/bench_p9_plansel.py -q -m ''
+	python benchmarks/bench_p9_plansel.py
+
+# One-table headline summary of the committed BENCH_P*.json artifacts.
+bench-summary:
+	python tools/bench_summary.py
+
 # Regenerate the committed BENCH_P*.json artifacts at full size.
 bench-json:
 	python benchmarks/bench_p1_executor.py
@@ -91,3 +115,4 @@ bench-json:
 	python benchmarks/bench_p6_storage.py
 	python benchmarks/bench_p7_snapshots.py
 	python benchmarks/bench_p8_server.py
+	python benchmarks/bench_p9_plansel.py

@@ -28,6 +28,9 @@ environment variable      field                        default
 ``REPRO_TENANT_QUOTA``    ``tenant_quota``             200000 work units
 ``REPRO_QUOTA_REFILL``    ``quota_refill_rate``        100000 work/s
 ``REPRO_ADMISSION_QUEUE_DEPTH`` ``admission_queue_depth`` 256
+``REPRO_PLAN_SELECTOR``   ``plan_selector``            ``"cost"``
+``REPRO_REGRET_CAP``      ``regret_cap``               2.0
+``REPRO_SEED``            ``seed``                     0
 ======================== ============================ ====================
 
 This module sits at the bottom of the engine's import graph (it imports
@@ -88,6 +91,20 @@ DEFAULT_QUOTA_REFILL = 100_000.0
 
 #: Default bound on queries waiting for admission across all tenants.
 DEFAULT_ADMISSION_QUEUE_DEPTH = 256
+
+#: Plan-selection strategies the pipeline's plan stage supports (first
+#: entry is the default): ``cost`` is the legacy single-path planner,
+#: ``bandit`` the BAO-lite contextual bandit over hint-set arms,
+#: ``pessimistic`` always the UES upper-bound plan.
+PLAN_SELECTORS = ("cost", "bandit", "pessimistic")
+
+#: Default regret cap: a learned arm is eligible only while its estimated
+#: cost is at most this multiple of the UES bound.
+DEFAULT_REGRET_CAP = 2.0
+
+#: Default engine seed (bandit Thompson sampling, random enumerator,
+#: traffic drivers) — every stochastic component derives from it.
+DEFAULT_SEED = 0
 
 #: Values of ``REPRO_FUSION`` that disable operator fusion.
 _FALSEY = {"0", "false", "off", "no"}
@@ -250,6 +267,37 @@ def default_admission_queue_depth():
     return max(1, value)
 
 
+def default_plan_selector():
+    """Plan-selection strategy from ``REPRO_PLAN_SELECTOR`` (default
+    ``cost`` — the exact legacy single-path planner)."""
+    raw = os.environ.get("REPRO_PLAN_SELECTOR")
+    if raw is None or not raw.strip():
+        return PLAN_SELECTORS[0]
+    value = raw.strip().lower()
+    if value not in PLAN_SELECTORS:
+        raise ReproError(
+            "REPRO_PLAN_SELECTOR must be one of %r, got %r"
+            % (PLAN_SELECTORS, raw)
+        )
+    return value
+
+
+def default_regret_cap():
+    """Regret cap from ``REPRO_REGRET_CAP`` (default 2.0, must be >= 1)."""
+    value = _env_float("REPRO_REGRET_CAP")
+    if value is None:
+        return DEFAULT_REGRET_CAP
+    if value < 1.0:
+        raise ExecutionError("REPRO_REGRET_CAP must be >= 1.0")
+    return value
+
+
+def default_seed():
+    """Engine seed from ``REPRO_SEED`` (default 0)."""
+    value = _env_int("REPRO_SEED")
+    return DEFAULT_SEED if value is None else value
+
+
 def default_feedback_enabled():
     """Cardinality-feedback gate from ``REPRO_FEEDBACK`` (default off).
 
@@ -317,6 +365,18 @@ class EngineConfig:
         admission_queue_depth: bound on queries waiting for admission
             across all tenants; arrivals beyond it are shed even under
             queueing policies.
+        plan_selector: plan-selection strategy — ``"cost"`` (the legacy
+            single-path planner, bit-identical to the pre-selection
+            engine), ``"bandit"`` (BAO-lite: a contextual bandit racing
+            hint-set arms, trained online from measured work), or
+            ``"pessimistic"`` (always the UES upper-bound plan).
+        regret_cap: bandit eligibility guard — an arm may only be picked
+            while its estimated cost is ≤ ``regret_cap ×`` the UES
+            bound for the same query. Must be ≥ 1.
+        seed: engine seed; one :class:`numpy.random.Generator` derived
+            from it drives every stochastic component (bandit Thompson
+            sampling, the random join enumerator, traffic drivers), so
+            runs are reproducible from their logged seed.
     """
 
     executor_mode: str = EXECUTOR_MODES[0]
@@ -336,8 +396,18 @@ class EngineConfig:
     tenant_quota: float = DEFAULT_TENANT_QUOTA
     quota_refill_rate: float = DEFAULT_QUOTA_REFILL
     admission_queue_depth: int = DEFAULT_ADMISSION_QUEUE_DEPTH
+    plan_selector: str = PLAN_SELECTORS[0]
+    regret_cap: float = DEFAULT_REGRET_CAP
+    seed: int = DEFAULT_SEED
 
     def __post_init__(self):
+        if self.plan_selector not in PLAN_SELECTORS:
+            raise ReproError(
+                "plan_selector must be one of %r, got %r"
+                % (PLAN_SELECTORS, self.plan_selector)
+            )
+        if float(self.regret_cap) < 1.0:
+            raise ExecutionError("regret_cap must be >= 1.0")
         if self.cache_scope not in CACHE_SCOPES:
             raise ReproError(
                 "cache_scope must be one of %r, got %r"
@@ -407,6 +477,9 @@ class EngineConfig:
             "tenant_quota": default_tenant_quota(),
             "quota_refill_rate": default_quota_refill(),
             "admission_queue_depth": default_admission_queue_depth(),
+            "plan_selector": default_plan_selector(),
+            "regret_cap": default_regret_cap(),
+            "seed": default_seed(),
         }
         for key, value in overrides.items():
             if value is not None:

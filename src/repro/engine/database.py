@@ -33,7 +33,9 @@ removed after their deprecation cycle; accessing them now raises with a
 pointer at the ``db.pipeline`` spelling.
 """
 
-from repro.common import ReproError
+import threading
+
+from repro.common import ReproError, ensure_rng, spawn_rngs
 from repro.engine.catalog import Catalog
 from repro.engine.config import EngineConfig
 from repro.engine.executor import Executor, count_join_rows
@@ -43,6 +45,7 @@ from repro.engine.optimizer.feedback import (
     QueryFeedbackStore,
 )
 from repro.engine.optimizer.planner import Planner
+from repro.engine.optimizer.selection import make_selector
 from repro.engine.pipeline import QueryPipeline
 from repro.engine.session.agent import AgentSession
 from repro.engine.session.context import SessionContext, SnapshotBackend
@@ -85,6 +88,18 @@ class Database:
             tables the query touches; ``"global"`` restores the legacy
             whole-catalog epoch token (``None`` reads
             ``REPRO_CACHE_SCOPE``).
+        plan_selector: plan-selection strategy — ``"cost"`` (the exact
+            legacy single-path planner, the default), ``"bandit"``
+            (BAO-lite hint-set arms picked by a contextual bandit,
+            trained online from measured work), or ``"pessimistic"``
+            (always the UES upper-bound plan). ``None`` reads
+            ``REPRO_PLAN_SELECTOR``.
+        regret_cap: bandit eligibility guard — an arm is pickable only
+            while its estimated cost is ≤ ``regret_cap ×`` the UES
+            bound (``None`` reads ``REPRO_REGRET_CAP``, default 2.0).
+        seed: engine seed for every stochastic component (bandit
+            sampling, the random enumerator); ``None`` reads
+            ``REPRO_SEED``, default 0.
     """
 
     def __init__(self, config=None, *, enumerator=None, use_views=None,
@@ -92,7 +107,8 @@ class Database:
                  morsel_rows=None, parallel_workers=None,
                  fusion_enabled=None, feedback_enabled=None,
                  segment_rows=None, segment_encodings=None,
-                 zone_map_pruning=None, cache_scope=None):
+                 zone_map_pruning=None, cache_scope=None,
+                 plan_selector=None, regret_cap=None, seed=None):
         overrides = {
             "enumerator": enumerator,
             "use_views": use_views,
@@ -107,6 +123,9 @@ class Database:
             "segment_encodings": segment_encodings,
             "zone_map_pruning": zone_map_pruning,
             "cache_scope": cache_scope,
+            "plan_selector": plan_selector,
+            "regret_cap": regret_cap,
+            "seed": seed,
         }
         passed = sorted(k for k, v in overrides.items() if v is not None)
         if config is not None:
@@ -133,10 +152,25 @@ class Database:
             cost_model=self.cost_model,
             enumerator=config.enumerator,
             use_views=config.use_views,
+            seed=config.seed,
         )
         self.executor = Executor(
             self.catalog, self.cost_model, **config.executor_kwargs()
         )
+        # One seeded generator per engine: `rng` is the public stream,
+        # and the plan selector gets its own spawned child so user draws
+        # never perturb the (reproducible) selection sequence.
+        self.rng = ensure_rng(config.seed)
+        selector_rng, = spawn_rngs(config.seed, 1)
+        self.plan_selector = make_selector(
+            config.plan_selector,
+            regret_cap=config.regret_cap,
+            rng=selector_rng,
+        )
+        # Per-arm executors for hint sets that override fusion/parallel
+        # execution; built lazily, keyed (mode, fusion_enabled).
+        self._hint_executors = {}
+        self._hint_executor_lock = threading.Lock()
         self.feedback = None
         if config.feedback_enabled:
             self.feedback = QueryFeedbackStore()
@@ -144,6 +178,11 @@ class Database:
             # estimates with observed actuals on exact sub-query hits.
             self.planner.estimator = FeedbackCorrectedEstimator(
                 self.planner.estimator, self.feedback
+            )
+            # Drift demotes a misbehaving learned arm: the feedback
+            # store's ingest hook notifies the selector on every drift.
+            self.feedback.drift_listeners.append(
+                self.plan_selector.note_drift
             )
         self.pipeline = QueryPipeline(
             self, plan_cache_size=config.plan_cache_size
@@ -166,6 +205,41 @@ class Database:
         were planned under are current.
         """
         return 0 if self.feedback is None else self.feedback.version
+
+    def executor_for(self, hints=None):
+        """The executor a hint set's execution axes resolve to.
+
+        ``fusion``/``parallel`` are execution hints: they never change
+        measured work (the engine's mode contract), only how the plan is
+        run. ``None`` axes inherit the engine config, in which case the
+        shared default executor is returned; overriding arms get a
+        lazily built executor cached per ``(mode, fusion)`` so the
+        serving layer can plan concurrently without re-wiring state.
+        """
+        if hints is None:
+            return self.executor
+        mode = self._config.executor_mode
+        if hints.parallel is not None:
+            if hints.parallel:
+                mode = "parallel"
+            elif mode == "parallel":
+                mode = "vectorized"
+        fusion = (
+            self.executor.fusion_enabled
+            if hints.fusion is None else bool(hints.fusion)
+        )
+        if mode == self.executor.mode and fusion == self.executor.fusion_enabled:
+            return self.executor
+        key = (mode, fusion)
+        with self._hint_executor_lock:
+            cached = self._hint_executors.get(key)
+            if cached is None:
+                kwargs = self._config.executor_kwargs()
+                kwargs["mode"] = mode
+                kwargs["fusion_enabled"] = fusion
+                cached = Executor(self.catalog, self.cost_model, **kwargs)
+                self._hint_executors[key] = cached
+            return cached
 
     # -- removed pre-pipeline shims -------------------------------------
     def _removed_shim(self, name):

@@ -12,11 +12,16 @@ That pluggability is the point: every AI4DB optimization experiment is
 "swap one axis, hold the rest fixed, measure executed work".
 """
 
-from repro.common import PlanError
+from repro.common import CatalogError, PlanError
 from repro.engine import plans as P
 from repro.engine.optimizer.cardinality import TraditionalEstimator
 from repro.engine.optimizer.cost import CostModel, _SinglePredicateView
+from repro.engine.optimizer.hints import (
+    EXHAUSTIVE_MAX_TABLES,
+    PlanCandidate,
+)
 from repro.engine.optimizer.join_enum import dp_left_deep, greedy_order, random_order
+from repro.engine.optimizer.ues import bound_cost, ues_order
 
 _ENUMERATORS = {"dp": dp_left_deep, "greedy": greedy_order}
 
@@ -95,10 +100,121 @@ class Planner:
         else:
             if {t.lower() for t in order} != {t.lower() for t in query.tables}:
                 raise PlanError("explicit order must cover the query's tables")
-        plan = self._access_path(query, order[0])
+        return self._assemble(query, order)
+
+    def plan_with_hints(self, query, hints, order=None):
+        """Build a plan under a :class:`~repro.engine.optimizer.hints.
+        HintSet` — the candidate-generation entry point.
+
+        The hint set's ``join_order`` strategy picks the order
+        (``"default"`` reproduces :meth:`plan` exactly) and
+        ``use_indexes`` overrides access-path selection; execution-time
+        hints (fusion/parallel) are carried by the hint set for the
+        pipeline, not applied here. An explicit ``order`` beats the
+        strategy, mirroring :meth:`plan`.
+        """
+        if query.limit == 0:
+            plan = P.EmptyResult(self._output_columns(query))
+            self.cost_model.annotate(plan, self.estimator, query)
+            return plan
+        view_match = self.catalog.matching_view(query) if self.use_views else None
+        if view_match is not None:
+            view, residual = view_match
+            plan = P.ViewScan(view, residual)
+            plan = self._finalize(plan, query)
+            self.cost_model.annotate(plan, self.estimator, query)
+            return plan
+        if order is None:
+            order = self._hint_order(query, hints)
+        elif {t.lower() for t in order} != {t.lower() for t in query.tables}:
+            raise PlanError("explicit order must cover the query's tables")
+        return self._assemble(query, order, use_indexes=hints.use_indexes)
+
+    def plan_candidates(self, query, arms, order=None):
+        """One :class:`~repro.engine.optimizer.hints.PlanCandidate` per arm.
+
+        Each candidate carries the arm's plan and the cost model's
+        estimate for it; the UES arm additionally carries its pessimistic
+        :func:`~repro.engine.optimizer.ues.bound_cost` guarantee (the
+        regret guard's anchor). Unknown tables surface as
+        :class:`~repro.common.CatalogError` — never a raw ``KeyError`` —
+        so dropped-table races fail uniformly across all selectors.
+        """
+        candidates = []
+        for hints in arms:
+            try:
+                plan = self.plan_with_hints(query, hints, order=order)
+            except KeyError as exc:  # defensive: unify on CatalogError
+                raise CatalogError(
+                    "planning failed for arm %r: unknown catalog object %s"
+                    % (hints.name, exc)
+                )
+            bound = None
+            if hints.join_order == "ues" and len(query.tables) > 0:
+                __, ___, bound = bound_cost(
+                    self.catalog, query, self.cost_model
+                )
+            candidates.append(PlanCandidate(
+                arm=hints.name,
+                hints=hints,
+                plan=plan,
+                est_cost=self._plan_cost(plan),
+                bound=bound,
+            ))
+        return candidates
+
+    def _hint_order(self, query, hints):
+        """The left-deep order a hint set's join-order strategy produces."""
+        if len(query.tables) == 1:
+            return [query.tables[0]]
+        strategy = hints.join_order
+        if strategy == "ues":
+            order, __ = ues_order(self.catalog, query)
+            return order
+        if strategy == "greedy":
+            order, __ = greedy_order(query, self.estimator, self.cost_model)
+            return order
+        if strategy == "exhaustive":
+            if len(query.tables) <= EXHAUSTIVE_MAX_TABLES:
+                order, __ = dp_left_deep(
+                    query, self.estimator, self.cost_model
+                )
+            else:
+                order, __ = greedy_order(
+                    query, self.estimator, self.cost_model
+                )
+            return order
+        # "default": whatever this planner is configured with.
+        if self.enumerator == "random":
+            order, __ = random_order(
+                query, self.estimator, self.cost_model, seed=self.seed
+            )
+        else:
+            order, __ = _ENUMERATORS[self.enumerator](
+                query, self.estimator, self.cost_model
+            )
+        return order
+
+    @staticmethod
+    def _plan_cost(plan):
+        """A plan's whole-tree cost estimate (floored at 1.0)."""
+        for value in (plan.est_cost, plan.est_rows):
+            if value is not None:
+                return max(1.0, float(value))
+        return 1.0
+
+    def _assemble(self, query, order, use_indexes=None):
+        """Access paths + left-deep joins + finalize + cost annotation.
+
+        The shared back half of :meth:`plan` and :meth:`plan_with_hints`:
+        identical inputs produce identical plans, which is what keeps the
+        default selector bit-compatible with the legacy single-path
+        planner. ``use_indexes=None`` inherits the planner's setting.
+        """
+        plan = self._access_path(query, order[0], use_indexes=use_indexes)
         joined = [order[0]]
         for t in order[1:]:
-            right = self._access_path(query, t)
+            right = self._access_path(query, t, use_indexes=use_indexes)
             edges = query.edges_between(joined, t)
             if edges:
                 left_rows = self.estimator.estimate_subset(query, joined)
@@ -119,10 +235,17 @@ class Planner:
         return plan
 
     # ------------------------------------------------------------------
-    def _access_path(self, query, table):
-        """Choose SeqScan vs IndexScan for one base table."""
+    def _access_path(self, query, table, use_indexes=None):
+        """Choose SeqScan vs IndexScan for one base table.
+
+        ``use_indexes`` overrides the planner-level setting per call (the
+        hint-set axis); ``None`` inherits it.
+        """
+        allow_indexes = (
+            self.use_indexes if use_indexes is None else use_indexes
+        )
         preds = query.predicates_on(table)
-        if not (self.use_indexes and preds):
+        if not (allow_indexes and preds):
             return P.SeqScan(table, preds)
         table_rows = max(1.0, float(self.catalog.table(table).n_rows))
         best = None

@@ -31,7 +31,10 @@ Cache-key / token invariants:
 * the plan cache key is the **full** query signature (joins, predicates,
   projections, aggregates, grouping, ordering, limit, distinct) plus the
   explicit join order if one was supplied — queries differing in any of
-  those never share an entry;
+  those never share an entry; under a non-default plan selector the
+  hint-set **arm name** joins the key too, so every arm caches its own
+  candidate (scoped invalidation drops all of a query's arms together,
+  since they share the same token);
 * keys are computed **after** the rewrite stage, so a changed rewriter
   maps queries to different signatures and can never revive a plan for a
   query it no longer produces;
@@ -57,10 +60,12 @@ allowed — the ``db.snapshot()`` read API.
 import threading
 import time
 from collections import OrderedDict
+from dataclasses import replace
 
 from repro.common import ExecutionError, ParseError, PlanError
 from repro.engine.fusion import fuse_plan
 from repro.engine.optimizer.feedback import ingest_execution
+from repro.engine.optimizer.selection import plan_features
 from repro.engine.plans import pretty_analyze
 from repro.engine.sql.ast_nodes import (
     AnalyzeStmt,
@@ -135,17 +140,19 @@ class ExplainResult:
         invalidation_cause: for ``"invalidated"`` — which token component
             moved (``"table:<name>"`` / ``"feedback:<name>"``), else
             ``None``.
+        arm: the hint-set arm the plan selector chose (``None`` under
+            the default single-path cost selector).
     """
 
     __slots__ = ("text", "plan", "fused_ops", "cache_hit", "node_stats",
                  "result", "segments_total", "segments_pruned",
                  "bytes_decoded", "version_vector", "cache_outcome",
-                 "invalidation_cause")
+                 "invalidation_cause", "arm")
 
     def __init__(self, text, plan, fused_ops=0, cache_hit=False,
                  node_stats=None, result=None, segments_total=0,
                  segments_pruned=0, bytes_decoded=0, version_vector=None,
-                 cache_outcome=None, invalidation_cause=None):
+                 cache_outcome=None, invalidation_cause=None, arm=None):
         self.text = text
         self.plan = plan
         self.fused_ops = fused_ops
@@ -158,6 +165,7 @@ class ExplainResult:
         self.version_vector = version_vector
         self.cache_outcome = cache_outcome
         self.invalidation_cause = invalidation_cause
+        self.arm = arm
 
     def __str__(self):
         return self.text
@@ -198,13 +206,17 @@ class PreparedQuery:
     warm caches).
     """
 
-    __slots__ = ("sql", "query", "plan", "telemetry")
+    __slots__ = ("sql", "query", "plan", "telemetry", "hints")
 
-    def __init__(self, sql, query, plan, telemetry):
+    def __init__(self, sql, query, plan, telemetry, hints=None):
         self.sql = sql
         self.query = query
         self.plan = plan
         self.telemetry = telemetry
+        # The chosen arm's HintSet under a non-default plan selector
+        # (``None`` on the legacy single-path route) — execute_prepared
+        # resolves fusion/parallel execution hints from it.
+        self.hints = hints
 
     @property
     def est_cost(self):
@@ -551,8 +563,8 @@ class QueryPipeline:
 
     def _prepare(self, sql_text, query, telemetry, order=None):
         query = self._rewrite(query, telemetry)
-        plan = self._plan(query, telemetry, order=order)
-        return PreparedQuery(sql_text, query, plan, telemetry)
+        plan, hints = self._plan_choice(query, telemetry, order=order)
+        return PreparedQuery(sql_text, query, plan, telemetry, hints=hints)
 
     def execute_prepared(self, prepared, snapshot=None):
         """Execute a :class:`PreparedQuery`, optionally pinned to a
@@ -566,14 +578,19 @@ class QueryPipeline:
         :meth:`run_sql`.
         """
         telemetry = prepared.telemetry
+        executor = (
+            self.db.executor if prepared.hints is None
+            else self.db.executor_for(prepared.hints)
+        )
         t0 = time.perf_counter()
-        result = self.db.executor.execute(prepared.plan, catalog=snapshot)
+        result = executor.execute(prepared.plan, catalog=snapshot)
         telemetry.record_stage("execute", time.perf_counter() - t0)
         result = self._apply_hooks("execute", result)
         telemetry.execution = result.telemetry
         result.pipeline_telemetry = telemetry
         if snapshot is None:
             self._ingest_feedback(prepared.query, prepared.plan, result)
+            self._observe_selection(telemetry, result)
         self._accumulate(telemetry)
         return result
 
@@ -594,19 +611,26 @@ class QueryPipeline:
         query = lower_select(stmt, self.db.catalog)
         telemetry.record_stage("lower", time.perf_counter() - t0)
         query = self._rewrite(query, telemetry)
-        plan = self._plan(query, telemetry, order=None)
+        plan, hints = self._plan_choice(query, telemetry, order=None)
+        executor = (
+            self.db.executor if hints is None else self.db.executor_for(hints)
+        )
         fused_ops = 0
-        if self.db.executor.fusion_enabled:
+        if executor.fusion_enabled:
             __, fused_ops = fuse_plan(plan)
         self._accumulate(telemetry)
+        text = plan.pretty()
+        if telemetry.arm is not None:
+            text += "\n" + self._arm_line(telemetry)
         return ExplainResult(
-            text=plan.pretty(),
+            text=text,
             plan=plan,
             fused_ops=fused_ops,
             cache_hit=bool(telemetry.cache_hit),
             version_vector=telemetry.plan_versions,
             cache_outcome=telemetry.cache_outcome,
             invalidation_cause=telemetry.invalidation_cause,
+            arm=telemetry.arm,
         )
 
     def explain_analyze(self, sql_text):
@@ -630,13 +654,17 @@ class QueryPipeline:
         query = lower_select(stmt, self.db.catalog)
         telemetry.record_stage("lower", time.perf_counter() - t0)
         query = self._rewrite(query, telemetry)
-        plan = self._plan(query, telemetry, order=None)
+        plan, hints = self._plan_choice(query, telemetry, order=None)
+        executor = (
+            self.db.executor if hints is None else self.db.executor_for(hints)
+        )
         t0 = time.perf_counter()
-        result = self.db.executor.execute(plan)
+        result = executor.execute(plan)
         telemetry.record_stage("execute", time.perf_counter() - t0)
         telemetry.execution = result.telemetry
         result.pipeline_telemetry = telemetry
         self._ingest_feedback(query, plan, result)
+        self._observe_selection(telemetry, result)
         self._accumulate(telemetry)
         node_stats = result.telemetry.node_stats
         run = result.telemetry
@@ -655,6 +683,11 @@ class QueryPipeline:
             text += "\nPlan cache: %s" % telemetry.cache_outcome
             if telemetry.invalidation_cause:
                 text += " (%s)" % telemetry.invalidation_cause
+        if telemetry.arm is not None:
+            text += "\n" + self._arm_line(telemetry)
+            wins = self._arm_wins_line()
+            if wins:
+                text += "\n" + wins
         return ExplainResult(
             text=text,
             plan=plan,
@@ -668,6 +701,30 @@ class QueryPipeline:
             version_vector=telemetry.plan_versions,
             cache_outcome=telemetry.cache_outcome,
             invalidation_cause=telemetry.invalidation_cause,
+            arm=telemetry.arm,
+        )
+
+    @staticmethod
+    def _arm_line(telemetry):
+        """The one-line arm report EXPLAIN (ANALYZE) appends."""
+        line = "Arm: %s (est_cost=%.1f" % (
+            telemetry.arm, telemetry.arm_est_cost,
+        )
+        if telemetry.ues_bound is not None:
+            line += ", ues_bound=%.1f" % telemetry.ues_bound
+        return line + ")"
+
+    def _arm_wins_line(self):
+        """Per-arm ``wins/picks`` counters from the selector, one line."""
+        selector = getattr(self.db, "plan_selector", None)
+        if selector is None:
+            return ""
+        arms = selector.stats().get("arms", {})
+        if not arms:
+            return ""
+        return "Arm wins: " + ", ".join(
+            "%s=%d/%d" % (name, st.get("wins") or 0, st.get("picks") or 0)
+            for name, st in sorted(arms.items())
         )
 
     # -- stages ------------------------------------------------------------
@@ -726,19 +783,106 @@ class QueryPipeline:
         telemetry.record_stage("plan", time.perf_counter() - t0)
         return plan
 
+    def _plan_choice(self, query, telemetry, order=None):
+        """The plan stage with selector dispatch: ``(plan, hints)``.
+
+        The default cost selector takes the exact legacy single-path
+        route through :meth:`_plan` (one planner call, the legacy cache
+        key, no candidate fan-out) and reports ``hints=None`` — that
+        short-circuit is what keeps the default config bit-identical to
+        the pre-refactor pipeline. Any other selector goes through
+        :meth:`_plan_selected`.
+        """
+        selector = getattr(self.db, "plan_selector", None)
+        if selector is None or selector.name == "cost":
+            return self._plan(query, telemetry, order=order), None
+        return self._plan_selected(query, telemetry, selector, order=order)
+
+    def _plan_selected(self, query, telemetry, selector, order=None):
+        """Candidate generation + selection for a non-default selector.
+
+        One plan-cache entry per arm — key ``(signature, order, arm)``,
+        all sharing the query's scoped token — so repeated queries skip
+        candidate generation entirely; only arms whose entries are cold
+        or invalidated replan. Selection itself always runs (it is the
+        learning step), and the chosen arm's cache outcome is what the
+        telemetry reports.
+        """
+        t0 = time.perf_counter()
+        sig = query.signature()
+        order_t = None if order is None else tuple(t.lower() for t in order)
+        token = self._plan_token(query)
+        candidates, outcomes, missing = [], {}, []
+        for hints in selector.arms(query):
+            cand, outcome, stale = self.plan_cache.lookup(
+                (sig, order_t, hints.name), token
+            )
+            outcomes[hints.name] = (outcome, stale)
+            if cand is None:
+                missing.append(hints)
+            else:
+                candidates.append(cand)
+        if missing:
+            fresh = self.db.planner.plan_candidates(
+                query, missing, order=order
+            )
+            # Re-read the token: planning may lazily ANALYZE (a version
+            # bump), and entries must match the state they were built from.
+            put_token = self._plan_token(query)
+            for cand in fresh:
+                hooked = self._apply_hooks("plan", cand.plan)
+                if hooked is not cand.plan:
+                    cand = replace(cand, plan=hooked)
+                self.plan_cache.put((sig, order_t, cand.arm), cand, put_token)
+                candidates.append(cand)
+        features = plan_features(query, self.db.planner.estimator)
+        chosen = selector.select(candidates, query, features)
+        outcome, stale = outcomes.get(chosen.arm, ("miss", None))
+        telemetry.cache_hit = outcome == "hit"
+        telemetry.cache_outcome = outcome
+        telemetry.plan_versions = token[0]
+        if outcome == "invalidated":
+            telemetry.invalidation_cause = _invalidation_cause(stale, token)
+        telemetry.arm = chosen.arm
+        telemetry.arm_est_cost = chosen.est_cost
+        telemetry.selection_features = features
+        for cand in candidates:
+            if cand.bound is not None:
+                telemetry.ues_bound = cand.bound
+        telemetry.record_stage("plan", time.perf_counter() - t0)
+        return chosen.plan, chosen.hints
+
+    def _observe_selection(self, telemetry, result):
+        """Close the bandit loop: the run's measured work → the selector."""
+        selector = getattr(self.db, "plan_selector", None)
+        if (selector is None or telemetry.arm is None
+                or result.telemetry is None):
+            return
+        selector.observe(
+            telemetry.arm,
+            telemetry.selection_features,
+            telemetry.arm_est_cost,
+            result.telemetry.total_work,
+        )
+
     def _run_query(self, query, telemetry, order=None, snapshot=None):
         query = self._rewrite(query, telemetry)
-        plan = self._plan(query, telemetry, order=order)
+        plan, hints = self._plan_choice(query, telemetry, order=order)
+        executor = (
+            self.db.executor if hints is None else self.db.executor_for(hints)
+        )
         t0 = time.perf_counter()
-        result = self.db.executor.execute(plan, catalog=snapshot)
+        result = executor.execute(plan, catalog=snapshot)
         telemetry.record_stage("execute", time.perf_counter() - t0)
         result = self._apply_hooks("execute", result)
         telemetry.execution = result.telemetry
         result.pipeline_telemetry = telemetry
         if snapshot is None:
-            # Snapshot runs skip feedback: their actuals describe pinned
-            # data and would poison estimates for the live tables.
+            # Snapshot runs skip feedback and bandit training: their
+            # actuals describe pinned data and would poison estimates
+            # (and rewards) for the live tables.
             self._ingest_feedback(query, plan, result)
+            self._observe_selection(telemetry, result)
         self._accumulate(telemetry)
         return result
 

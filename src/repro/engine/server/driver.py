@@ -80,7 +80,7 @@ class TrafficReport:
 
 def run_traffic(server, read_pool, write_pool=(), *, n_clients=16,
                 requests_per_client=25, n_tenants=4, zipf_s=1.2,
-                read_fraction=0.9, seed=0, isolation="statement"):
+                read_fraction=0.9, seed=None, isolation="statement"):
     """Drive ``server`` with a closed-loop multi-tenant workload.
 
     Args:
@@ -95,11 +95,17 @@ def run_traffic(server, read_pool, write_pool=(), *, n_clients=16,
             Zipf(``zipf_s``)-weighted, so load across tenants is skewed.
         read_fraction: probability a statement is a read.
         seed: base seed; client ``i`` uses ``Random(seed * 10007 + i)``.
+            ``None`` (the default) inherits the engine's configured
+            ``EngineConfig.seed``, so one ``REPRO_SEED`` reproduces the
+            whole stack — plan selection, fuzzing, and traffic alike.
         isolation: session isolation for the clients.
 
     Returns:
         a :class:`TrafficReport`.
     """
+    if seed is None:
+        config = getattr(getattr(server, "db", None), "config", None)
+        seed = getattr(config, "seed", 0)
     tenants = ["tenant%02d" % i for i in range(n_tenants)]
     weights = zipf_weights(n_tenants, zipf_s)
     barrier = threading.Barrier(n_clients)

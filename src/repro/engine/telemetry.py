@@ -223,10 +223,23 @@ class PipelineTelemetry:
             tables (``None`` before planning).
         execution: the run's :class:`ExecutionTelemetry`, or ``None`` when
             nothing was executed (EXPLAIN, DDL).
+        arm: the hint-set arm the plan selector chose for this run
+            (``None`` under the default single-path cost selector, which
+            never fans out candidates).
+        arm_est_cost: the chosen candidate's cost estimate — the number
+            the selector compared and the online trainer settles wins and
+            strikes against (``None`` when no selection ran).
+        ues_bound: the UES arm's pessimistic cost guarantee for this
+            query, when a UES candidate was generated — the regret
+            guard's anchor (``None`` otherwise).
+        selection_features: the contextual feature vector the bandit
+            selected (and later trains) on; ``None`` when no selection
+            ran.
     """
 
     __slots__ = ("stages", "cache_hit", "cache_outcome",
-                 "invalidation_cause", "plan_versions", "execution")
+                 "invalidation_cause", "plan_versions", "execution",
+                 "arm", "arm_est_cost", "ues_bound", "selection_features")
 
     def __init__(self):
         self.stages = {}
@@ -235,6 +248,10 @@ class PipelineTelemetry:
         self.invalidation_cause = None
         self.plan_versions = None
         self.execution = None
+        self.arm = None
+        self.arm_est_cost = None
+        self.ues_bound = None
+        self.selection_features = None
 
     def record_stage(self, stage, seconds):
         """Accumulate wall time for one pipeline stage."""
@@ -261,6 +278,9 @@ class PipelineTelemetry:
             "invalidation_cause": self.invalidation_cause,
             "plan_versions": None if self.plan_versions is None
             else [list(p) for p in self.plan_versions],
+            "arm": self.arm,
+            "arm_est_cost": self.arm_est_cost,
+            "ues_bound": self.ues_bound,
             "execution": None if self.execution is None
             else self.execution.summary(),
         }

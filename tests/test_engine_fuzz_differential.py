@@ -51,6 +51,11 @@ N_CASES = int(os.environ.get("REPRO_FUZZ_CASES", "200"))
 CATALOG_SEEDS = list(range(8))
 CASES_PER_CATALOG = max(1, N_CASES // len(CATALOG_SEEDS))
 
+#: Engine seed (``REPRO_SEED``): threaded into every Database the fuzzer
+#: builds and offset into the query-stream rngs, so one knob diversifies
+#: the whole campaign while the default stays byte-reproducible.
+FUZZ_SEED = int(os.environ.get("REPRO_SEED", "0"))
+
 #: Parallel-mode settings that force morsel splitting on fuzz-size tables.
 MORSEL_ROWS = 64
 N_WORKERS = 3
@@ -89,15 +94,19 @@ def _make_schema(rng):
     }
 
 
-def _build_db(mode, seed, fusion=True, segment_encodings=None):
+def _build_db(mode, seed, fusion=True, segment_encodings=None,
+              plan_selector=None):
     """One database per (mode, fusion, seed); data identical across all."""
     kwargs = {
         "executor_mode": mode,
         "fusion_enabled": fusion,
         "segment_rows": SEGMENT_ROWS,
+        "seed": FUZZ_SEED,
     }
     if segment_encodings is not None:
         kwargs["segment_encodings"] = segment_encodings
+    if plan_selector is not None:
+        kwargs["plan_selector"] = plan_selector
     if mode == "parallel":
         kwargs.update(morsel_rows=MORSEL_ROWS, parallel_workers=N_WORKERS)
     db = Database(**kwargs)
@@ -221,7 +230,7 @@ def test_fuzz_differential(catalog_seed):
         plain_dbs[cfg], __ = _build_db(
             cfg[0], catalog_seed, fusion=cfg[1], segment_encodings=("plain",)
         )
-    rng = random.Random(10_000 + catalog_seed)
+    rng = random.Random(10_000 + catalog_seed + 1_000_003 * FUZZ_SEED)
     for case in range(CASES_PER_CATALOG):
         query = _random_query(rng, tables)
         label = "catalog_seed=%d case=%d query=%r" % (
@@ -289,6 +298,97 @@ def test_fuzz_differential(catalog_seed):
             assert plain.work == enc.work, label
             assert plain.operator_work == enc.operator_work, label
             assert _node_counts(plain) == _node_counts(enc), label
+
+
+# ----------------------------------------------------------------------
+# Plan-selector axis: cost vs bandit vs pessimistic must agree on results
+# ----------------------------------------------------------------------
+#: Catalog seeds and cases for the selector race (candidate generation
+#: fans out several plans per cold query, so the budget is smaller).
+SELECTOR_RACE_SEEDS = (0, 1)
+SELECTOR_RACE_CASES = max(10, CASES_PER_CATALOG // 2)
+PLAN_SELECTORS = ("cost", "bandit", "pessimistic")
+
+
+def _canonical_rows(rows):
+    """An order-independent, float-tolerant row-multiset fingerprint.
+
+    Different join orders legitimately reorder unordered output and
+    change float fold order, so selector parity is a multiset property
+    (rounded to 6 decimals) rather than exact list equality.
+    """
+    return sorted(
+        repr(tuple(round(x, 6) if isinstance(x, float) else x for x in r))
+        for r in rows
+    )
+
+
+def _unlimited(query):
+    """The query with a row-limiting LIMIT dropped.
+
+    LIMIT n over unordered output is a pick-any-n contract: different
+    join orders may legitimately return different subsets, so the
+    selector race compares only fully-determined result multisets.
+    LIMIT 0 stays (its result is exactly empty under every plan).
+    """
+    if query.limit in (None, 0):
+        return query
+    return ConjunctiveQuery(
+        tables=query.tables,
+        join_edges=query.join_edges,
+        predicates=query.predicates,
+        projections=query.projections,
+        aggregates=query.aggregates,
+        group_by=query.group_by,
+        order_by=query.order_by,
+        limit=None,
+        distinct=query.distinct,
+    )
+
+
+@pytest.mark.parametrize("catalog_seed", SELECTOR_RACE_SEEDS)
+def test_fuzz_selector_race(catalog_seed):
+    """The three plan selectors race on identical data: whichever arm
+    each one picks, the *results* may never diverge from the cost
+    selector's (rows as a multiset, same columns) — measured work may
+    differ (that is the point of racing plans), correctness may not.
+    Warm reruns must hit the per-arm plan cache under every selector.
+    """
+    mode, fusion = BASE_CONFIG
+    dbs, tables = {}, None
+    for sel in PLAN_SELECTORS:
+        dbs[sel], tables = _build_db(
+            mode, catalog_seed, fusion=fusion, plan_selector=sel
+        )
+    rng = random.Random(55_000 + catalog_seed + 1_000_003 * FUZZ_SEED)
+    for case in range(SELECTOR_RACE_CASES):
+        query = _unlimited(_random_query(rng, tables))
+        label = "catalog_seed=%d case=%d query=%r" % (
+            catalog_seed, case, query
+        )
+        cold = {sel: dbs[sel].run_query_object(query)
+                for sel in PLAN_SELECTORS}
+        oracle = cold["cost"]
+        oracle_rows = _canonical_rows(oracle.rows)
+        assert oracle.pipeline_telemetry.arm is None, label
+        for sel in ("bandit", "pessimistic"):
+            res = cold[sel]
+            assert res.columns == oracle.columns, label
+            assert _canonical_rows(res.rows) == oracle_rows, (
+                "%s: %s selector rows diverge from cost oracle\n"
+                "cost=%r\n%s=%r"
+                % (label, sel, oracle.rows[:10], sel, res.rows[:10])
+            )
+            # Selection ran: the run is attributed to a named arm.
+            assert res.pipeline_telemetry.arm is not None, label
+            warm = dbs[sel].run_query_object(query)
+            assert warm.pipeline_telemetry.cache_outcome == "hit", label
+            assert _canonical_rows(warm.rows) == oracle_rows, label
+    # The bandit must actually have explored: every arm it races has
+    # been pulled at least once over the campaign.
+    stats = dbs["bandit"].plan_selector.stats()
+    assert stats["selections"] >= SELECTOR_RACE_CASES
+    assert all(st["picks"] > 0 for st in stats["arms"].values()), stats
 
 
 #: Queries per config in the snapshot-isolation race below.

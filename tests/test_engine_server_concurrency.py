@@ -65,6 +65,7 @@ def _run_race(n_writers, commits_per_writer, n_readers, reads_per_reader,
     base_counts = {name: db.catalog.table(name).n_rows for name in TABLES}
 
     barrier = threading.Barrier(n_writers + n_readers)
+    first_commit = threading.Event()
     errors = []
     reader_obs = {i: [] for i in range(n_readers)}
 
@@ -80,6 +81,7 @@ def _run_race(n_writers, commits_per_writer, n_readers, reads_per_reader,
                          rng.randrange(5), 0.0)
                         for r in range(ROWS_PER_COMMIT)
                     ])
+                    first_commit.set()
         except BaseException as exc:  # noqa: BLE001 - reported below
             errors.append(exc)
 
@@ -88,14 +90,24 @@ def _run_race(n_writers, commits_per_writer, n_readers, reads_per_reader,
             rng = random.Random(seed * 104729 + idx)
             with server.session(tenant="reader%d" % idx) as sess:
                 barrier.wait()
-                for __ in range(reads_per_reader):
-                    table = TABLES[rng.randrange(len(TABLES))]
+
+                def observe(table):
                     result = sess.execute("SELECT COUNT(*) FROM %s" % table)
                     reader_obs[idx].append((
                         dict(result.telemetry.catalog_versions),
                         table,
                         result.rows[0][0],
                     ))
+
+                for __ in range(reads_per_reader):
+                    observe(TABLES[rng.randrange(len(TABLES))])
+                # Guarantee the race is observable for *every*
+                # interleaving: once at least one commit has landed, one
+                # more read must pin a post-base snapshot. The extra
+                # observation flows through the same torn-read
+                # assertions as all the others.
+                first_commit.wait(timeout=60)
+                observe(TABLES[rng.randrange(len(TABLES))])
         except BaseException as exc:  # noqa: BLE001 - reported below
             errors.append(exc)
 

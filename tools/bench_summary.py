@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""One-table summary of every committed BENCH_P*.json artifact.
+
+``make bench-summary`` (or ``python tools/bench_summary.py``) reads the
+``BENCH_P1.json`` … ``BENCH_P9.json`` files the benchmarks regenerate
+(``make bench-json``) and prints each bench's headline numbers in a
+single fixed-width table — the quick "did a refactor move anything"
+view, without rerunning anything.
+
+Every extractor is defensive (``dict.get`` with fallbacks), so a bench
+whose schema drifted prints what it can instead of crashing the table;
+a missing file prints a pointer at ``make bench-json``. Exit status is
+non-zero only when *no* artifact could be read at all.
+
+Usage::
+
+    python tools/bench_summary.py [repo_root]
+"""
+
+import json
+import os
+import sys
+
+
+def _num(value, fmt="%.2f"):
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    return fmt % value
+
+
+def _p1(result):
+    modes = result.get("modes", {})
+    row = modes.get("row", {}).get("seconds")
+    vec = modes.get("vectorized", {}).get("seconds")
+    parts = ["vectorized %sx vs row" % _num(result.get("speedup"), "%.1f")]
+    if row is not None and vec is not None:
+        parts.append("%.1fms vs %.0fms" % (vec * 1e3, row * 1e3))
+    return parts
+
+
+def _p2(result):
+    warm = result.get("warm", {})
+    return [
+        "warm planning %sx" % _num(result.get("planning_speedup"), "%.1f"),
+        "hit rate %s" % _num(warm.get("hit_rate"), "%.2f"),
+    ]
+
+
+def _p3(result):
+    speedups = result.get("speedups", {})
+    if not speedups:
+        return ["no speedups recorded"]
+    best = max(speedups, key=speedups.get)
+    return [
+        "best %s %sx" % (best, _num(speedups[best], "%.2f")),
+        "cpus %s" % result.get("cpu_count", "?"),
+    ]
+
+
+def _p4(result):
+    speedups = result.get("speedups", {})
+    parts = ["fused %s %sx" % (mode, _num(ratio, "%.2f"))
+             for mode, ratio in sorted(speedups.items())]
+    alloc = result.get("peak_alloc_ratio")
+    if isinstance(alloc, dict):
+        alloc = max(alloc.values()) if alloc else None
+    if alloc is not None:
+        parts.append("alloc %sx lower" % _num(alloc, "%.1f"))
+    return parts
+
+
+def _p5(result):
+    learned = result.get("learned_feedback", {})
+    replan = result.get("join_order_replan", {})
+    return [
+        "median q-error %s -> %s" % (
+            _num(learned.get("median_q_error_before"), "%.1f"),
+            _num(learned.get("median_q_error_after"), "%.1f"),
+        ),
+        "replan work %sx lower" % _num(replan.get("work_ratio"), "%.2f"),
+    ]
+
+
+def _p6(result):
+    return [
+        "scan %sx" % _num(result.get("scan_speedup"), "%.2f"),
+        "prune %s" % _num(result.get("prune_rate"), "%.2f"),
+        "compression %sx" % _num(result.get("compression_ratio"), "%.2f"),
+    ]
+
+
+def _p7(result):
+    return [
+        "hit rate %s vs %s (table vs global)" % (
+            _num(result.get("hit_rate_table"), "%.2f"),
+            _num(result.get("hit_rate_global"), "%.2f"),
+        ),
+        "p95 %sx" % _num(result.get("p95_speedup"), "%.2f"),
+    ]
+
+
+def _p8(result):
+    iso = result.get("isolation", {})
+    inter = result.get("interference", {})
+    traffic = result.get("traffic", {})
+    return [
+        "%s sessions identical=%s" % (
+            iso.get("n_sessions", "?"),
+            iso.get("snapshot_reads_identical", "?"),
+        ),
+        "p95 interference %sx" % _num(
+            inter.get("p95_interference_ratio"), "%.2f"
+        ),
+        "%s qps" % _num(traffic.get("throughput_qps"), "%.0f"),
+    ]
+
+
+def _p9(result):
+    strategies = result.get("strategies", {})
+
+    def total(name):
+        return strategies.get(name, {}).get("total_work")
+
+    gates = result.get("gates", {})
+    return [
+        "work optimal %s / learned %s / ues %s / greedy %s" % (
+            _num(total("optimal"), "%.0f"), _num(total("learned"), "%.0f"),
+            _num(total("pessimistic"), "%.0f"),
+            _num(total("heuristic"), "%.0f"),
+        ),
+        "gates %s" % ("ok" if gates and all(gates.values()) else gates),
+    ]
+
+
+#: file stem -> (label, headline extractor over one results[] entry).
+BENCHES = (
+    ("BENCH_P1", "P1 executor", _p1),
+    ("BENCH_P2", "P2 plan cache", _p2),
+    ("BENCH_P3", "P3 morsels", _p3),
+    ("BENCH_P4", "P4 fusion", _p4),
+    ("BENCH_P5", "P5 feedback", _p5),
+    ("BENCH_P6", "P6 storage", _p6),
+    ("BENCH_P7", "P7 snapshots", _p7),
+    ("BENCH_P8", "P8 server", _p8),
+    ("BENCH_P9", "P9 plan selection", _p9),
+)
+
+
+def summarize(root="."):
+    """``(rows, found)``: table rows for every bench, and how many files
+    were actually readable."""
+    rows, found = [], 0
+    for stem, label, extractor in BENCHES:
+        path = os.path.join(root, stem + ".json")
+        if not os.path.exists(path):
+            rows.append((label, "-", "missing (run: make bench-json)"))
+            continue
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError) as exc:
+            rows.append((label, "-", "unreadable: %s" % exc))
+            continue
+        found += 1
+        results = payload.get("results") or []
+        if not isinstance(results, list) or not results:
+            rows.append((label, "-", "no results recorded"))
+            continue
+        for result in results:
+            if not isinstance(result, dict):
+                continue
+            size = "fast" if result.get("fast") else "full"
+            try:
+                headline = "; ".join(extractor(result))
+            except Exception as exc:  # noqa: BLE001 - defensive table
+                headline = "extractor failed: %s" % exc
+            rows.append((label, size, headline))
+    return rows, found
+
+
+def render(rows):
+    widths = [max(len(r[i]) for r in rows) for i in range(2)]
+    lines = ["%-*s  %-*s  %s" % (widths[0], "bench", widths[1], "size",
+                                 "headline")]
+    lines.append("-" * max(len(lines[0]), 40))
+    for label, size, headline in rows:
+        lines.append("%-*s  %-*s  %s" % (widths[0], label, widths[1], size,
+                                         headline))
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    root = argv[0] if argv else os.path.join(os.path.dirname(__file__), "..")
+    rows, found = summarize(root)
+    print(render(rows))
+    if not found:
+        print("no BENCH_P*.json artifacts found under %s" % root,
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
